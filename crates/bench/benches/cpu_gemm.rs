@@ -1,0 +1,90 @@
+//! Criterion benches of the CPU executor (ablation A4): wall-clock
+//! comparison of the decomposition strategies on real threads.
+//!
+//! Three regimes mirror the paper's narrative:
+//! - `balanced`: tiles ≫ workers — everyone should be close;
+//! - `quantization_hostile`: tiles = workers + 1 — data-parallel eats
+//!   a nearly empty second wave, Stream-K doesn't;
+//! - `strong_scaling`: one tile, deep k — data-parallel serializes,
+//!   Stream-K splits.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use streamk_core::Decomposition;
+use streamk_cpu::CpuExecutor;
+use streamk_matrix::Matrix;
+use streamk_types::{GemmShape, Layout, TileShape};
+
+const THREADS: usize = 4;
+
+type Cases<'a> = [(&'a str, Decomposition)];
+
+fn bench_case(c: &mut Criterion, group_name: &str, shape: GemmShape, _tile: TileShape, cases: &Cases<'_>) {
+    let a = Matrix::<f64>::random::<f64>(shape.m, shape.k, Layout::RowMajor, 1);
+    let b = Matrix::<f64>::random::<f64>(shape.k, shape.n, Layout::RowMajor, 2);
+    let exec = CpuExecutor::with_threads(THREADS);
+
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(20);
+    for (name, decomp) in cases {
+        group.bench_function(*name, |bencher| {
+            bencher.iter(|| black_box(exec.gemm::<f64, f64>(black_box(&a), black_box(&b), decomp)));
+        });
+    }
+    group.finish();
+}
+
+fn balanced(c: &mut Criterion) {
+    // 8x8 = 64 tiles on 4 workers: 16 full waves.
+    let shape = GemmShape::new(256, 256, 128);
+    let tile = TileShape::new(32, 32, 16);
+    bench_case(
+        c,
+        "balanced_64tiles_4workers",
+        shape,
+        tile,
+        &[
+            ("data_parallel", Decomposition::data_parallel(shape, tile)),
+            ("stream_k_g4", Decomposition::stream_k(shape, tile, THREADS)),
+            ("two_tile_hybrid", Decomposition::two_tile_stream_k_dp(shape, tile, THREADS)),
+        ],
+    );
+}
+
+fn quantization_hostile(c: &mut Criterion) {
+    // 5 tiles on 4 workers: data-parallel's second wave is 1/4 full.
+    let shape = GemmShape::new(320, 64, 512);
+    let tile = TileShape::new(64, 64, 16);
+    bench_case(
+        c,
+        "hostile_5tiles_4workers",
+        shape,
+        tile,
+        &[
+            ("data_parallel", Decomposition::data_parallel(shape, tile)),
+            ("fixed_split_s2", Decomposition::fixed_split(shape, tile, 2)),
+            ("stream_k_g4", Decomposition::stream_k(shape, tile, THREADS)),
+            ("two_tile_hybrid", Decomposition::two_tile_stream_k_dp(shape, tile, THREADS)),
+        ],
+    );
+}
+
+fn strong_scaling(c: &mut Criterion) {
+    // One 64x64 tile, deep k: data-parallel uses a single worker.
+    let shape = GemmShape::new(64, 64, 4096);
+    let tile = TileShape::new(64, 64, 16);
+    bench_case(
+        c,
+        "strong_scaling_1tile",
+        shape,
+        tile,
+        &[
+            ("data_parallel", Decomposition::data_parallel(shape, tile)),
+            ("fixed_split_s4", Decomposition::fixed_split(shape, tile, 4)),
+            ("stream_k_g4", Decomposition::stream_k(shape, tile, THREADS)),
+        ],
+    );
+}
+
+criterion_group!(benches, balanced, quantization_hostile, strong_scaling);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion benches of decomposition construction and simulation
+//! cost — the "launch-time" overhead a library pays per GEMM call.
+//!
+//! The paper's §5.1 argument is that Stream-K's dynamic configuration
+//! (grid-size model + decomposition) is trivial next to
+//! ensemble-style kernel selection; these benches quantify both sides
+//! of this reproduction's stand-ins.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use streamk_core::{CostModel, Decomposition, GridSizeModel};
+use streamk_ensemble::{HeuristicSelector, Oracle, TileEnsemble};
+use streamk_sim::{simulate, GpuSpec};
+use streamk_types::{GemmShape, Precision, TileShape};
+
+fn decomposition_construction(c: &mut Criterion) {
+    let shape = GemmShape::new(4096, 4096, 4096);
+    let tile = TileShape::FP16_STREAMK;
+    let mut group = c.benchmark_group("decomposition_construction");
+    group.bench_function("data_parallel_1024tiles", |b| {
+        b.iter(|| black_box(Decomposition::data_parallel(black_box(shape), tile)));
+    });
+    group.bench_function("two_tile_hybrid_1024tiles", |b| {
+        b.iter(|| black_box(Decomposition::two_tile_stream_k_dp(black_box(shape), tile, 108)));
+    });
+    group.bench_function("grid_model_selection", |b| {
+        let model = GridSizeModel::new(CostModel::a100_fp16(), 108);
+        b.iter(|| black_box(model.best_grid(black_box(GemmShape::new(128, 128, 16384)), tile)));
+    });
+    group.finish();
+}
+
+fn selection_and_simulation(c: &mut Criterion) {
+    let gpu = GpuSpec::a100();
+    let shape = GemmShape::new(2048, 2048, 2048);
+    let mut group = c.benchmark_group("selection_and_simulation");
+    group.bench_function("heuristic_select", |b| {
+        let selector = HeuristicSelector::new(TileEnsemble::fp16t32(), gpu.sms);
+        b.iter(|| black_box(selector.select(black_box(shape))));
+    });
+    group.bench_function("oracle_full_sweep", |b| {
+        let oracle = Oracle::new(TileEnsemble::fp16t32());
+        b.iter(|| black_box(oracle.select(black_box(shape), &gpu)));
+    });
+    group.bench_function("simulate_two_tile_hybrid", |b| {
+        let d = Decomposition::two_tile_stream_k_dp(shape, TileShape::FP16_STREAMK, gpu.sms);
+        b.iter(|| black_box(simulate(&d, &gpu, Precision::Fp16To32)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, decomposition_construction, selection_and_simulation);
+criterion_main!(benches);

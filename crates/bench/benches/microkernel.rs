@@ -1,0 +1,48 @@
+//! Criterion benches of the inner kernels: scalar `MacLoop` vs the
+//! 4×4 register-blocked microkernel, and the strided (generic) path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use streamk_core::IterSpace;
+use streamk_cpu::{mac_loop_blocked, macloop::mac_loop_view};
+use streamk_matrix::Matrix;
+use streamk_types::{GemmShape, Layout, TileShape};
+
+fn inner_kernels(c: &mut Criterion) {
+    let shape = GemmShape::new(64, 64, 512);
+    let tile = TileShape::new(64, 64, 16); // 1 tile x 32 iterations
+    let space = IterSpace::new(shape, tile);
+    let a = Matrix::<f64>::random::<f64>(shape.m, shape.k, Layout::RowMajor, 1);
+    let b = Matrix::<f64>::random::<f64>(shape.k, shape.n, Layout::RowMajor, 2);
+    let a_t = a.to_layout(Layout::ColMajor);
+    let b_t = b.to_layout(Layout::ColMajor);
+    let iters = space.iters_per_tile();
+
+    let mut group = c.benchmark_group("inner_kernels_64x64x512_f64");
+    group.sample_size(30);
+    group.bench_function("scalar_contiguous", |bencher| {
+        let mut accum = vec![0.0f64; tile.blk_m * tile.blk_n];
+        bencher.iter(|| {
+            accum.fill(0.0);
+            mac_loop_view(&a.view(), &b.view(), &space, 0, 0, iters, black_box(&mut accum));
+        });
+    });
+    group.bench_function("register_blocked_4x4", |bencher| {
+        let mut accum = vec![0.0f64; tile.blk_m * tile.blk_n];
+        bencher.iter(|| {
+            accum.fill(0.0);
+            mac_loop_blocked(&a.view(), &b.view(), &space, 0, 0, iters, black_box(&mut accum));
+        });
+    });
+    group.bench_function("scalar_strided", |bencher| {
+        let mut accum = vec![0.0f64; tile.blk_m * tile.blk_n];
+        bencher.iter(|| {
+            accum.fill(0.0);
+            mac_loop_view(&a_t.view(), &b_t.view(), &space, 0, 0, iters, black_box(&mut accum));
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, inner_kernels);
+criterion_main!(benches);

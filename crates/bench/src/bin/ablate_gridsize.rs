@@ -1,0 +1,54 @@
+//! Ablation A2: what does the Appendix A.1 grid-size model buy over
+//! fixed policies?
+//!
+//! In the strong-scaling regime (fewer tiles than SMs) compares
+//! Stream-K launched at the model-selected grid against the two fixed
+//! extremes the appendix discusses: `g = p` (fill the processor) and
+//! `g = t` (no splitting, i.e. data-parallel).
+
+use streamk_core::{CostModel, Decomposition, GridSizeModel};
+use streamk_corpus::stats::geometric_mean;
+use streamk_sim::{simulate, GpuSpec};
+use streamk_types::{GemmShape, Precision, TileShape};
+
+fn main() {
+    let gpu = GpuSpec::a100();
+    let tile = TileShape::FP16_STREAMK;
+    let model = GridSizeModel::new(CostModel::a100_fp16(), gpu.sms);
+
+    // Strong-scaling shapes: 1..64 tiles with k-extents from shallow
+    // to deep (the Figure 8 regime).
+    let mut vs_full = Vec::new();
+    let mut vs_none = Vec::new();
+    println!("m,n,k,tiles,iters_per_tile,g_star,model_s,g_eq_p_s,g_eq_t_s,model_vs_p,model_vs_t");
+    for (tm, tn) in [(1, 1), (1, 4), (2, 4), (4, 4), (7, 8), (8, 8)] {
+        for k in [1024usize, 4096, 8192, 16384] {
+            let shape = GemmShape::new(tm * tile.blk_m, tn * tile.blk_n, k);
+            let tiles = tile.output_tiles(shape);
+            let g_star = model.best_grid(shape, tile);
+
+            let run = |g: usize| simulate(&Decomposition::stream_k(shape, tile, g), &gpu, Precision::Fp16To32);
+            let modeled = run(g_star);
+            let full = run(gpu.sms.min(tile.total_iters(shape)));
+            let none = run(tiles);
+
+            println!(
+                "{},{},{},{tiles},{},{g_star},{:.4e},{:.4e},{:.4e},{:.3},{:.3}",
+                shape.m,
+                shape.n,
+                shape.k,
+                tile.iters_per_tile(shape),
+                modeled.makespan,
+                full.makespan,
+                none.makespan,
+                full.makespan / modeled.makespan,
+                none.makespan / modeled.makespan
+            );
+            vs_full.push(full.makespan / modeled.makespan);
+            vs_none.push(none.makespan / modeled.makespan);
+        }
+    }
+
+    eprintln!("# model-selected grid vs always-fill (g=p): geomean {:.3}x", geometric_mean(&vs_full));
+    eprintln!("# model-selected grid vs never-split (g=t): geomean {:.3}x", geometric_mean(&vs_none));
+}

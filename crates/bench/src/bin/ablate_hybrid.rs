@@ -1,0 +1,62 @@
+//! Ablation A1: how much do the §5.2 hybrid schedules buy over basic
+//! Stream-K?
+//!
+//! Sweeps quantization-hostile shapes (tile counts straddling
+//! multiples of the SM count) and compares basic Stream-K (g = p),
+//! the "DP + one-tile SK" hybrid, and the production "two-tile SK +
+//! DP" hybrid on makespan, fixup-wait stalls, and tile-processing
+//! skew.
+
+use streamk_core::{skew::skew_report, Decomposition};
+use streamk_corpus::stats::geometric_mean;
+use streamk_sim::{simulate, GpuSpec};
+use streamk_types::{GemmShape, Precision, TileShape};
+
+fn main() {
+    let gpu = GpuSpec::a100();
+    let tile = TileShape::FP16_STREAMK;
+    let p = gpu.sms;
+
+    println!("tiles,waves_remainder,basic_s,one_tile_s,two_tile_s,two_vs_basic,basic_wait_s,two_tile_wait_s,basic_skewed_ctas,two_tile_skewed_ctas");
+    let mut two_vs_basic = Vec::new();
+    let mut two_vs_one = Vec::new();
+
+    // Tile counts from just above one wave to several waves, hitting
+    // every remainder class r ∈ {1, p/4, p/2, 3p/4, p-1}.
+    for waves in 1..=4usize {
+        for r in [1, p / 4, p / 2, 3 * p / 4, p - 1] {
+            let tiles = waves * p + r;
+            // Factor `tiles` into a plausible (tiles_m, tiles_n).
+            let tiles_m = (1..=tiles).filter(|d| tiles.is_multiple_of(*d)).min_by_key(|&d| (d as i64 - (tiles as f64).sqrt() as i64).abs()).unwrap();
+            let tiles_n = tiles / tiles_m;
+            let shape = GemmShape::new(tiles_m * tile.blk_m, tiles_n * tile.blk_n, 4096);
+
+            let basic = simulate(&Decomposition::stream_k(shape, tile, p), &gpu, Precision::Fp16To32);
+            let one = simulate(&Decomposition::dp_one_tile_stream_k(shape, tile, p), &gpu, Precision::Fp16To32);
+            let two = simulate(&Decomposition::two_tile_stream_k_dp(shape, tile, p), &gpu, Precision::Fp16To32);
+
+            let basic_skew = skew_report(&Decomposition::stream_k(shape, tile, p));
+            let two_skew = skew_report(&Decomposition::two_tile_stream_k_dp(shape, tile, p));
+            let skewed = |s: &streamk_core::skew::SkewReport| {
+                s.start_k_offsets.iter().filter(|&&o| o != 0).count()
+            };
+
+            println!(
+                "{tiles},{r},{:.4e},{:.4e},{:.4e},{:.3},{:.3e},{:.3e},{},{}",
+                basic.makespan,
+                one.makespan,
+                two.makespan,
+                basic.makespan / two.makespan,
+                basic.total_wait,
+                two.total_wait,
+                skewed(&basic_skew),
+                skewed(&two_skew)
+            );
+            two_vs_basic.push(basic.makespan / two.makespan);
+            two_vs_one.push(one.makespan / two.makespan);
+        }
+    }
+
+    eprintln!("# two-tile hybrid vs basic Stream-K: geomean speedup {:.3}x", geometric_mean(&two_vs_basic));
+    eprintln!("# two-tile hybrid vs one-tile hybrid: geomean speedup {:.3}x", geometric_mean(&two_vs_one));
+}

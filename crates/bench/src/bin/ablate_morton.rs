@@ -1,0 +1,46 @@
+//! Ablation A5 (§7 future work): cache-aware tile-access patterns.
+//!
+//! For grids of output tiles from a few waves to many, computes the
+//! *wave footprint* — distinct A row-panels + B column-panels one
+//! 108-CTA wave touches — under row-major, CUTLASS-style
+//! column-grouped, and Morton traversal. Smaller footprints mean the
+//! wave's working set fits deeper in the L2.
+//!
+//! Also verifies (via the CPU executor) that re-ordered schedules
+//! remain numerically correct.
+
+use streamk_core::order::{tile_permutation, wave_footprint, TileOrder};
+use streamk_core::Decomposition;
+use streamk_cpu::CpuExecutor;
+use streamk_matrix::reference::gemm_naive;
+use streamk_matrix::Matrix;
+use streamk_types::{GemmShape, Layout, TileShape};
+
+fn main() {
+    let wave = 108;
+
+    println!("tiles_m,tiles_n,row_major_footprint,column_grouped8_footprint,morton_footprint,morton_vs_row_major");
+    for (tm, tn) in [(12, 12), (16, 16), (32, 32), (64, 64), (16, 64), (64, 16), (11, 37)] {
+        let rm = wave_footprint(&tile_permutation(TileOrder::RowMajor, tm, tn), wave);
+        let cg = wave_footprint(&tile_permutation(TileOrder::ColumnGrouped(8), tm, tn), wave);
+        let mo = wave_footprint(&tile_permutation(TileOrder::Morton, tm, tn), wave);
+        println!("{tm},{tn},{rm:.2},{cg:.2},{mo:.2},{:.3}", rm / mo);
+    }
+
+    // Correctness of a Morton-ordered Stream-K schedule on real
+    // threads.
+    let shape = GemmShape::new(96, 96, 64);
+    let tile = TileShape::new(16, 16, 8);
+    let a = Matrix::<f64>::random::<f64>(shape.m, shape.k, Layout::RowMajor, 1);
+    let b = Matrix::<f64>::random::<f64>(shape.k, shape.n, Layout::RowMajor, 2);
+    let reference = gemm_naive::<f64, f64>(&a, &b);
+    let exec = CpuExecutor::with_threads(4);
+    for order in [TileOrder::RowMajor, TileOrder::ColumnGrouped(2), TileOrder::Morton] {
+        let d = Decomposition::stream_k(shape, tile, 4).with_tile_order(order);
+        let c = exec.gemm::<f64, f64>(&a, &b, &d);
+        c.assert_close(&reference, 1e-12);
+    }
+    eprintln!("# all tile orders verified numerically on the CPU executor");
+    eprintln!("# expectation: Morton footprints approach 2·sqrt(wave) ≈ 21 per wave on");
+    eprintln!("# large square grids, vs 1 + wave for row-major rows.");
+}

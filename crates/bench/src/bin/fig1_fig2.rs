@@ -1,0 +1,50 @@
+//! Figures 1 and 2: execution schedules of a 384×384×128 GEMM on the
+//! paper's hypothetical four-SM GPU.
+//!
+//! - Fig 1a: data-parallel, 128×128 tiles → 9 CTAs, 75% ceiling.
+//! - Fig 1b: data-parallel, 128×64 tiles → 18 CTAs, 90% ceiling.
+//! - Fig 2a: fixed-split s=2 → 18 CTAs, 90% quantization efficiency.
+//! - Fig 2b: basic Stream-K g=4 → 4 CTAs, ~100% quantization
+//!   efficiency.
+
+use streamk_core::Decomposition;
+use streamk_sim::{render_gantt, simulate, GpuSpec};
+use streamk_types::{GemmShape, Precision, TileShape};
+
+fn main() {
+    let shape = GemmShape::new(384, 384, 128);
+    let gpu = GpuSpec::hypothetical_4sm();
+
+    let cases = [
+        (
+            "Figure 1a: data-parallel, 128x128x128 CTA work volumes (g=9)",
+            Decomposition::data_parallel(shape, TileShape::new(128, 128, 128)),
+        ),
+        (
+            "Figure 1b: data-parallel, 128x64x128 CTA work volumes (g=18)",
+            Decomposition::data_parallel(shape, TileShape::new(128, 64, 128)),
+        ),
+        (
+            "Figure 2a: fixed-split s=2, 128x128x64 CTA work volumes (g=18)",
+            Decomposition::fixed_split(shape, TileShape::new(128, 128, 64), 2),
+        ),
+        (
+            "Figure 2b: basic Stream-K, 128x128x288 CTA work volumes (g=4)",
+            Decomposition::stream_k(shape, TileShape::new(128, 128, 4), 4),
+        ),
+    ];
+
+    println!("384x384x128 GEMM on a hypothetical four-SM GPU\n");
+    for (title, decomp) in cases {
+        let report = simulate(&decomp, &gpu, Precision::Fp64);
+        println!("{title}");
+        println!(
+            "  grid {} CTAs, {} output tiles, {} split seams",
+            decomp.grid_size(),
+            decomp.space().tiles(),
+            decomp.split_tiles()
+        );
+        print!("{}", render_gantt(&report, 72));
+        println!();
+    }
+}

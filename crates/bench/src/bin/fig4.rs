@@ -1,0 +1,43 @@
+//! Figure 4: the evaluation corpus — 32,824 problem shapes log-sampled
+//! over m, n, k ∈ [128, 8192].
+//!
+//! Emits the sampled (m, n, k) triples as CSV plus a distribution
+//! summary showing the six-orders-of-magnitude volume span.
+
+use streamk_bench::corpus_from_args;
+use streamk_types::Precision;
+
+fn main() {
+    let corpus = corpus_from_args(32_824);
+
+    println!("m,n,k,flops,intensity_fp64,intensity_fp16t32");
+    for s in corpus.shapes() {
+        println!(
+            "{},{},{},{},{:.2},{:.2}",
+            s.m,
+            s.n,
+            s.k,
+            s.flops(),
+            s.arithmetic_intensity(Precision::Fp64),
+            s.arithmetic_intensity(Precision::Fp16To32)
+        );
+    }
+
+    let mut flops: Vec<u64> = corpus.shapes().iter().map(|s| s.flops()).collect();
+    flops.sort_unstable();
+    let pct = |p: f64| flops[((flops.len() - 1) as f64 * p) as usize];
+    eprintln!("# shapes: {}", corpus.len());
+    eprintln!("# flops   min {:.2e}  p25 {:.2e}  median {:.2e}  p75 {:.2e}  max {:.2e}", flops[0] as f64, pct(0.25) as f64, pct(0.5) as f64, pct(0.75) as f64, flops[flops.len() - 1] as f64);
+    eprintln!("# volume span: {:.1} orders of magnitude", ((flops[flops.len() - 1] as f64) / (flops[0] as f64)).log10());
+    for p in Precision::ALL {
+        let cb = corpus.compute_bound(p);
+        eprintln!(
+            "# {} compute-bound (> {} ops/B): {} of {} ({:.1}%)",
+            p,
+            p.compute_bound_threshold(),
+            cb.len(),
+            corpus.len(),
+            cb.len() as f64 / corpus.len() as f64 * 100.0
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! Figures 5 and 6: "roofline" performance-utilization landscapes on
+//! the simulated A100 across the evaluation corpus.
+//!
+//! For each precision (Figure 6 = FP64, Figure 5 = FP16→32) and each
+//! of the four contenders, emits the per-shape (arithmetic intensity,
+//! % of peak) cloud as CSV, then a binned summary series with the
+//! mean/min/max utilization per intensity decade — the paper's
+//! headline observation being that Stream-K's band is the tightest
+//! and highest.
+
+use streamk_bench::plot::{render_roofline_svg, PlotOptions, Series};
+use streamk_bench::{corpus_from_args, evaluate_corpus, roofline_series};
+use streamk_sim::GpuSpec;
+use streamk_types::Precision;
+
+type UtilFn = Box<dyn Fn(&streamk_bench::ShapeResult) -> f64>;
+
+fn main() {
+    let corpus = corpus_from_args(4000);
+    let gpu = GpuSpec::a100();
+    let want_svg = std::env::args().any(|a| a == "--svg");
+
+    for (figure, precision) in [("fig6", Precision::Fp64), ("fig5", Precision::Fp16To32)] {
+        eprintln!("# evaluating {} on {} shapes...", precision, corpus.len());
+        let results = evaluate_corpus(&corpus, precision, &gpu);
+
+        println!("figure,impl,intensity_flops_per_byte,utilization");
+        let series: [(&str, UtilFn); 4] = [
+            ("data-parallel", Box::new(|r| r.dp_util)),
+            ("cublas-like", Box::new(|r| r.heuristic_util)),
+            ("oracle", Box::new(|r| r.oracle_util)),
+            ("stream-k", Box::new(|r| r.sk_util)),
+        ];
+        for (name, util) in &series {
+            for r in &results {
+                println!("{figure},{name},{:.3},{:.4}", r.intensity, util(r));
+            }
+        }
+
+        if want_svg {
+            let svg_series: Vec<Series> = series
+                .iter()
+                .zip(["#d62728", "#ff9900", "#2ca02c", "#1f77b4"])
+                .map(|((name, util), color)| Series {
+                    name: (*name).to_string(),
+                    color: color.to_string(),
+                    points: results.iter().map(|r| (r.intensity, util(r))).collect(),
+                })
+                .collect();
+            let svg = render_roofline_svg(&svg_series, &gpu, precision, &PlotOptions::default());
+            let path = format!("target/figures/{figure}_roofline.svg");
+            let _ = std::fs::create_dir_all("target/figures");
+            match std::fs::write(&path, svg) {
+                Ok(()) => eprintln!("# wrote {path}"),
+                Err(e) => eprintln!("# failed to write {path}: {e}"),
+            }
+        }
+
+        // Binned band summary (the visual "spread" of each panel).
+        for (name, util) in &series {
+            let points: Vec<(f64, f64)> = results.iter().map(|r| (r.intensity, util(r))).collect();
+            eprintln!("# {figure} {name}: intensity-binned utilization (center, mean, min, max)");
+            for (center, mean, min, max) in roofline_series(&points, 12) {
+                eprintln!("#   {center:>10.1}  mean {mean:.3}  min {min:.3}  max {max:.3}  spread {:.3}", max - min);
+            }
+            let mean_all = points.iter().map(|p| p.1).sum::<f64>() / points.len() as f64;
+            eprintln!("#   overall mean utilization: {mean_all:.3}");
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Figure 7: Stream-K speedup vs the cuBLAS-like ensemble as a
+//! function of arithmetic intensity, for both precisions.
+//!
+//! The paper's claim: above the compute-bound threshold (150 ops/B
+//! FP64, 400 ops/B FP16→32) Stream-K is unilaterally at least as fast;
+//! below it the relative performance is noisy ("Stream-K is attempting
+//! to make memory-bound computations run faster by adding more memory
+//! workload").
+
+use streamk_bench::{corpus_from_args, evaluate_corpus};
+use streamk_corpus::RatioStats;
+use streamk_sim::GpuSpec;
+use streamk_types::Precision;
+
+fn main() {
+    let corpus = corpus_from_args(4000);
+    let gpu = GpuSpec::a100();
+
+    for (figure, precision) in [("fig7a", Precision::Fp64), ("fig7b", Precision::Fp16To32)] {
+        eprintln!("# evaluating {precision} on {} shapes...", corpus.len());
+        let results = evaluate_corpus(&corpus, precision, &gpu);
+        let threshold = precision.compute_bound_threshold();
+
+        println!("figure,intensity_flops_per_byte,speedup_vs_cublas_like,compute_bound");
+        for r in &results {
+            println!(
+                "{figure},{:.3},{:.4},{}",
+                r.intensity,
+                r.speedup_vs_heuristic(),
+                u8::from(r.intensity > threshold)
+            );
+        }
+
+        let above: Vec<f64> = results.iter().filter(|r| r.intensity > threshold).map(|r| r.speedup_vs_heuristic()).collect();
+        let below: Vec<f64> = results.iter().filter(|r| r.intensity <= threshold).map(|r| r.speedup_vs_heuristic()).collect();
+        eprintln!("# {figure} ({precision}) vs cuBLAS-like, threshold {threshold} ops/B");
+        if !above.is_empty() {
+            let s = RatioStats::of(&above);
+            eprintln!("#   compute-bound  : {}", s.table_row());
+            eprintln!("#   compute-bound win fraction (>= 1.0x): {:.3}", RatioStats::win_fraction(&above));
+        }
+        if !below.is_empty() {
+            let s = RatioStats::of(&below);
+            eprintln!("#   memory-bound   : {}", s.table_row());
+            eprintln!("#   memory-bound win fraction (>= 1.0x): {:.3}", RatioStats::win_fraction(&below));
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Figure 8: the Appendix A.1 grid-size model's predicted CTA runtime
+//! as a function of grid size, for the paper's three strong-scaling
+//! FP16→32 shapes on a 108-SM A100 at 128×128×32 blocking.
+//!
+//! Expected selections: g* = 108 (a), g* = 64 (b), g* = 8 (c).
+
+use streamk_core::{CostModel, GridSizeModel};
+use streamk_types::{GemmShape, TileShape};
+
+fn main() {
+    let tile = TileShape::new(128, 128, 32);
+    let model = GridSizeModel::new(CostModel::a100_fp16(), 108);
+
+    let cases = [
+        ("fig8a", GemmShape::new(256, 3584, 8192)),
+        ("fig8b", GemmShape::new(1024, 1024, 1024)),
+        ("fig8c", GemmShape::new(128, 128, 16384)),
+    ];
+
+    println!("figure,grid_size,modeled_time_units,iters_per_cta,fixup_peers");
+    for (figure, shape) in cases {
+        for (g, t) in model.curve(shape, tile) {
+            println!(
+                "{figure},{g},{t:.1},{},{}",
+                model.iters_per_cta(shape, tile, g),
+                model.fixup_peers(shape, tile, g)
+            );
+        }
+        let best = model.best_grid(shape, tile);
+        eprintln!(
+            "# {figure}: {shape} -> {} output tiles, {} iters/tile; g* = {best} ({} iters/CTA)",
+            tile.output_tiles(shape),
+            tile.iters_per_tile(shape),
+            model.iters_per_cta(shape, tile, best)
+        );
+    }
+}

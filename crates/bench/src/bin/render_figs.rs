@@ -1,0 +1,40 @@
+//! Renders the schedule figures (1, 2, 3, 9) as SVG files under
+//! `target/figures/`.
+
+use std::fs;
+use std::path::Path;
+use streamk_core::Decomposition;
+use streamk_sim::{render_svg, simulate, GpuSpec, SvgOptions};
+use streamk_types::{GemmShape, Precision, TileShape};
+
+fn main() -> std::io::Result<()> {
+    let out_dir = Path::new("target/figures");
+    fs::create_dir_all(out_dir)?;
+    let gpu = GpuSpec::hypothetical_4sm();
+    let options = SvgOptions::default();
+
+    let fig12_shape = GemmShape::new(384, 384, 128);
+    let fig3_shape = GemmShape::new(896, 384, 128);
+    let fig3_tile = TileShape::new(128, 128, 32);
+    let fig9_shape = GemmShape::new(128, 128, 384);
+
+    let figures: Vec<(&str, Decomposition)> = vec![
+        ("fig1a_data_parallel", Decomposition::data_parallel(fig12_shape, TileShape::new(128, 128, 128))),
+        ("fig1b_data_parallel_small", Decomposition::data_parallel(fig12_shape, TileShape::new(128, 64, 128))),
+        ("fig2a_fixed_split", Decomposition::fixed_split(fig12_shape, TileShape::new(128, 128, 64), 2)),
+        ("fig2b_stream_k", Decomposition::stream_k(fig12_shape, TileShape::new(128, 128, 4), 4)),
+        ("fig3a_basic_stream_k", Decomposition::stream_k(fig3_shape, fig3_tile, 4)),
+        ("fig3b_dp_one_tile", Decomposition::dp_one_tile_stream_k(fig3_shape, fig3_tile, 4)),
+        ("fig3c_two_tile_dp", Decomposition::two_tile_stream_k_dp(fig3_shape, fig3_tile, 4)),
+        ("fig9_dp_strong_scaling", Decomposition::data_parallel(fig9_shape, TileShape::new(128, 128, 4))),
+        ("fig9_sk_strong_scaling", Decomposition::stream_k(fig9_shape, TileShape::new(128, 128, 4), 4)),
+    ];
+
+    for (name, decomp) in figures {
+        let report = simulate(&decomp, &gpu, Precision::Fp64);
+        let path = out_dir.join(format!("{name}.svg"));
+        fs::write(&path, render_svg(&report, &options))?;
+        println!("wrote {} ({:.0}% quantization)", path.display(), report.quantization_efficiency() * 100.0);
+    }
+    Ok(())
+}

@@ -1,0 +1,17 @@
+//! Table 1: Stream-K FP64 relative performance over the evaluation
+//! corpus — average / stddev / min / max speedup vs the
+//! same-blocking data-parallel kernel, the cuBLAS-like ensemble
+//! (all problems and compute-bound only), and the oracle ensemble.
+
+use streamk_bench::{corpus_from_args, evaluate_corpus, RelativePerformanceTable};
+use streamk_sim::GpuSpec;
+use streamk_types::Precision;
+
+fn main() {
+    let corpus = corpus_from_args(4000);
+    let gpu = GpuSpec::a100();
+    eprintln!("# evaluating FP64 on {} shapes...", corpus.len());
+    let results = evaluate_corpus(&corpus, Precision::Fp64, &gpu);
+    let table = RelativePerformanceTable::build(&results, Precision::Fp64);
+    print!("{}", table.render());
+}

@@ -1,0 +1,15 @@
+//! Table 2: Stream-K FP16→32 relative performance over the evaluation
+//! corpus — the mixed-precision counterpart of Table 1.
+
+use streamk_bench::{corpus_from_args, evaluate_corpus, RelativePerformanceTable};
+use streamk_sim::GpuSpec;
+use streamk_types::Precision;
+
+fn main() {
+    let corpus = corpus_from_args(4000);
+    let gpu = GpuSpec::a100();
+    eprintln!("# evaluating FP16->32 on {} shapes...", corpus.len());
+    let results = evaluate_corpus(&corpus, Precision::Fp16To32, &gpu);
+    let table = RelativePerformanceTable::build(&results, Precision::Fp16To32);
+    print!("{}", table.render());
+}

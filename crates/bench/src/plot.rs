@@ -1,0 +1,163 @@
+//! SVG scatter plots for roofline landscapes.
+//!
+//! Renders the (arithmetic intensity, fraction-of-peak) clouds of
+//! Figures 5-6 as a log-x scatter with the machine's bandwidth and
+//! compute ceilings drawn in — self-contained SVG, no plotting
+//! dependencies.
+
+use std::fmt::Write as _;
+use streamk_sim::GpuSpec;
+use streamk_types::Precision;
+
+/// One named point cloud.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// CSS color.
+    pub color: String,
+    /// `(intensity flops/B, utilization 0..1)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Plot geometry.
+#[derive(Debug, Clone, Copy)]
+pub struct PlotOptions {
+    /// Canvas width, px.
+    pub width: f64,
+    /// Canvas height, px.
+    pub height: f64,
+    /// Dot radius, px.
+    pub radius: f64,
+}
+
+impl Default for PlotOptions {
+    fn default() -> Self {
+        Self { width: 760.0, height: 420.0, radius: 1.4 }
+    }
+}
+
+/// Renders a roofline scatter: log-10 intensity on x, utilization on
+/// y, with the `peak / bandwidth` roofline of `gpu` at `precision`
+/// drawn as the theoretical ceiling.
+///
+/// # Panics
+///
+/// Panics if every series is empty.
+#[must_use]
+pub fn render_roofline_svg(series: &[Series], gpu: &GpuSpec, precision: Precision, options: &PlotOptions) -> String {
+    let (ml, mr, mt, mb) = (56.0, 16.0, 28.0, 44.0); // margins
+    let (w, h) = (options.width, options.height);
+    let (cw, ch) = (w - ml - mr, h - mt - mb);
+
+    let xs: Vec<f64> = series.iter().flat_map(|s| s.points.iter().map(|p| p.0)).collect();
+    assert!(!xs.is_empty(), "no points to plot");
+    let x_lo = xs.iter().copied().fold(f64::INFINITY, f64::min).max(1e-3).log10().floor();
+    let x_hi = xs.iter().copied().fold(0.0f64, f64::max).log10().ceil();
+    let x_of = |v: f64| ml + (v.max(1e-3).log10() - x_lo) / (x_hi - x_lo).max(1e-9) * cw;
+    let y_of = |u: f64| mt + (1.0 - u.clamp(0.0, 1.05) / 1.05) * ch;
+
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w:.0}" height="{h:.0}" font-family="monospace" font-size="11">"#
+    );
+    let _ = writeln!(svg, r##"<rect width="100%" height="100%" fill="#ffffff"/>"##);
+
+    // Gridlines + axis labels: one per decade on x, 0.25 steps on y.
+    let mut d = x_lo;
+    while d <= x_hi + 1e-9 {
+        let x = x_of(10f64.powf(d));
+        let _ = writeln!(svg, r##"<line x1="{x:.1}" y1="{mt}" x2="{x:.1}" y2="{:.1}" stroke="#ddd"/>"##, mt + ch);
+        let _ = writeln!(svg, r##"<text x="{:.1}" y="{:.1}" fill="#333">1e{d:.0}</text>"##, x - 12.0, mt + ch + 16.0);
+        d += 1.0;
+    }
+    for i in 0..=4 {
+        let u = i as f64 * 0.25;
+        let y = y_of(u);
+        let _ = writeln!(svg, r##"<line x1="{ml}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#ddd"/>"##, ml + cw);
+        let _ = writeln!(svg, r##"<text x="{:.1}" y="{:.1}" fill="#333">{u:.2}</text>"##, ml - 40.0, y + 4.0);
+    }
+    let _ = writeln!(
+        svg,
+        r##"<text x="{:.1}" y="{:.1}" fill="#111">arithmetic intensity (flops/byte, log) — fraction of {:.1} TFLOP/s peak</text>"##,
+        ml,
+        mt - 10.0,
+        gpu.peak_flops(precision) / 1e12
+    );
+
+    // Roofline ceilings: bandwidth slope (util = I·BW/peak) up to the
+    // balance point, then the flat compute ceiling at 1.0.
+    let balance = gpu.balance_flops_per_byte(precision);
+    if balance.is_finite() && balance > 0.0 {
+        let mut path = String::new();
+        let mut started = false;
+        let steps = 64;
+        for i in 0..=steps {
+            let lx = x_lo + (x_hi - x_lo) * i as f64 / steps as f64;
+            let intensity = 10f64.powf(lx);
+            let u = (intensity / balance).min(1.0);
+            let cmd = if started { 'L' } else { 'M' };
+            let _ = write!(path, "{cmd}{:.1} {:.1} ", x_of(intensity), y_of(u));
+            started = true;
+        }
+        let _ = writeln!(svg, r##"<path d="{path}" fill="none" stroke="#888" stroke-width="1.5" stroke-dasharray="6,3"/>"##);
+    }
+
+    // Point clouds.
+    for s in series {
+        for &(x, y) in &s.points {
+            let _ = writeln!(
+                svg,
+                r##"<circle cx="{:.1}" cy="{:.1}" r="{}" fill="{}" fill-opacity="0.45"/>"##,
+                x_of(x),
+                y_of(y),
+                options.radius,
+                s.color
+            );
+        }
+    }
+
+    // Legend.
+    for (i, s) in series.iter().enumerate() {
+        let y = mt + 14.0 + i as f64 * 14.0;
+        let _ = writeln!(svg, r##"<circle cx="{:.1}" cy="{:.1}" r="4" fill="{}"/>"##, ml + 10.0, y - 4.0, s.color);
+        let _ = writeln!(svg, r##"<text x="{:.1}" y="{y:.1}" fill="#111">{}</text>"##, ml + 20.0, s.name);
+    }
+
+    svg.push_str("</svg>\n");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series() -> Vec<Series> {
+        vec![
+            Series {
+                name: "stream-k".into(),
+                color: "#1f77b4".into(),
+                points: (1..200).map(|i| (f64::from(i) * 5.0, 0.9)).collect(),
+            },
+            Series { name: "data-parallel".into(), color: "#d62728".into(), points: vec![(10.0, 0.4), (500.0, 0.8)] },
+        ]
+    }
+
+    #[test]
+    fn renders_points_ceiling_and_legend() {
+        let svg = render_roofline_svg(&series(), &GpuSpec::a100(), Precision::Fp16To32, &PlotOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<circle").count(), 199 + 2 + 2); // points + legend dots
+        assert!(svg.contains("stroke-dasharray")); // the roofline
+        assert!(svg.contains("stream-k"));
+        assert!(svg.contains("222.3 TFLOP/s"));
+    }
+
+    #[test]
+    #[should_panic(expected = "no points")]
+    fn empty_series_panics() {
+        let _ = render_roofline_svg(&[], &GpuSpec::a100(), Precision::Fp64, &PlotOptions::default());
+    }
+}

@@ -1,0 +1,221 @@
+//! Command implementations.
+
+use crate::args::{Cli, Command, StrategyArg, USAGE};
+use std::fmt::Write as _;
+use streamk_core::{CostModel, Decomposition, GridSizeModel};
+use streamk_corpus::{Corpus, CorpusConfig};
+use streamk_ensemble::runners;
+use streamk_sim::{render_gantt, render_svg, simulate, GpuSpec, SvgOptions};
+use streamk_types::{GemmShape, Precision, TileShape};
+
+/// Builds the decomposition a [`StrategyArg`] describes.
+fn build(strategy: StrategyArg, shape: GemmShape, tile: TileShape, sms: usize, precision: Precision) -> Decomposition {
+    match strategy {
+        StrategyArg::DataParallel => Decomposition::data_parallel(shape, tile),
+        StrategyArg::FixedSplit(s) => Decomposition::fixed_split(shape, tile, s),
+        StrategyArg::StreamK(g) => Decomposition::stream_k(shape, tile, g),
+        StrategyArg::Hybrid => Decomposition::two_tile_stream_k_dp(shape, tile, sms),
+        StrategyArg::Auto => GridSizeModel::new(CostModel::for_precision(precision), sms).decompose(shape, tile),
+    }
+}
+
+/// Executes a parsed invocation, returning the output text.
+#[must_use]
+pub fn execute(cli: &Cli) -> String {
+    match &cli.command {
+        Command::Help => USAGE.to_string(),
+        Command::Schedule { shape, tile, sms, strategy } => {
+            let decomp = build(*strategy, *shape, *tile, *sms, Precision::Fp64);
+            let mut gpu = GpuSpec::hypothetical_4sm();
+            gpu.sms = *sms;
+            let report = simulate(&decomp, &gpu, Precision::Fp64);
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "{shape} GEMM, blocking {tile}, {} on a {sms}-SM overhead-free GPU",
+                decomp.strategy()
+            );
+            let _ = writeln!(
+                out,
+                "{} output tiles x {} iterations; grid {} CTAs; {} split seams\n",
+                decomp.space().tiles(),
+                decomp.space().iters_per_tile(),
+                decomp.grid_size(),
+                decomp.split_tiles()
+            );
+            out.push_str(&render_gantt(&report, 72));
+            out
+        }
+        Command::BestGrid { shape, tile, precision, sms } => {
+            let model = GridSizeModel::new(CostModel::for_precision(*precision), *sms);
+            let best = model.best_grid(*shape, *tile);
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "{shape} at {tile} ({precision}): {} tiles x {} iters; modeled best grid g* = {best}",
+                tile.output_tiles(*shape),
+                tile.iters_per_tile(*shape)
+            );
+            let _ = writeln!(out, "\n  g   iters/CTA  peers  time(units)");
+            let curve = model.curve(*shape, *tile);
+            // Print a readable subsample: every point for small curves,
+            // powers + neighbourhood of the minimum for large ones.
+            let show: Vec<usize> = if curve.len() <= 24 {
+                (1..=curve.len()).collect()
+            } else {
+                let mut v: Vec<usize> = vec![1, 2, 4, 8, 16, 32, 64, curve.len()];
+                for g in best.saturating_sub(2)..=(best + 2).min(curve.len()) {
+                    if g >= 1 {
+                        v.push(g);
+                    }
+                }
+                v.sort_unstable();
+                v.dedup();
+                v
+            };
+            for g in show {
+                let (_, t) = curve[g - 1];
+                let marker = if g == best { "  <-- g*" } else { "" };
+                let _ = writeln!(
+                    out,
+                    "{g:>4} {:>10} {:>6} {:>12.1}{marker}",
+                    model.iters_per_cta(*shape, *tile, g),
+                    model.fixup_peers(*shape, *tile, g),
+                    t
+                );
+            }
+            out
+        }
+        Command::Compare { shape, precision } => {
+            let gpu = GpuSpec::a100();
+            let sk = runners::run_stream_k(*shape, *precision, &gpu);
+            let dp = runners::run_dp_single(*shape, *precision, &gpu);
+            let heur = runners::run_heuristic(*shape, *precision, &gpu);
+            let oracle = runners::run_oracle(*shape, *precision, &gpu);
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "{shape} ({precision}) on the simulated A100 — intensity {:.1} flops/B ({})",
+                shape.arithmetic_intensity(*precision),
+                if shape.is_compute_bound(*precision) { "compute-bound" } else { "memory-bound" }
+            );
+            let _ = writeln!(out, "\n{:<22} {:>12} {:>9} {:>10}", "implementation", "makespan", "util", "vs stream-k");
+            for (name, r) in [("stream-k", &sk), ("data-parallel", &dp), ("cublas-like", &heur), ("oracle", &oracle)] {
+                let _ = writeln!(
+                    out,
+                    "{name:<22} {:>11.3e}s {:>8.1}% {:>9.2}x",
+                    r.makespan,
+                    r.utilization() * 100.0,
+                    r.makespan / sk.makespan
+                );
+            }
+            out
+        }
+        Command::Corpus { count } => {
+            let corpus = Corpus::generate(CorpusConfig::smoke(*count));
+            let mut flops: Vec<u64> = corpus.shapes().iter().map(GemmShape::flops).collect();
+            flops.sort_unstable();
+            let mut out = String::new();
+            let _ = writeln!(out, "corpus: {} shapes, m/n/k log-uniform in [128, 8192]", corpus.len());
+            let _ = writeln!(
+                out,
+                "flops: min {:.2e}  median {:.2e}  max {:.2e}",
+                flops[0] as f64,
+                flops[flops.len() / 2] as f64,
+                flops[flops.len() - 1] as f64
+            );
+            for p in Precision::ALL {
+                let cb = corpus.compute_bound(p);
+                let _ = writeln!(
+                    out,
+                    "{p}: {} of {} compute-bound (> {} flops/B)",
+                    cb.len(),
+                    corpus.len(),
+                    p.compute_bound_threshold()
+                );
+            }
+            out
+        }
+        Command::Svg { shape, tile, sms, strategy, out } => {
+            let decomp = build(*strategy, *shape, *tile, *sms, Precision::Fp64);
+            let mut gpu = GpuSpec::hypothetical_4sm();
+            gpu.sms = *sms;
+            let report = simulate(&decomp, &gpu, Precision::Fp64);
+            let svg = render_svg(&report, &SvgOptions::default());
+            match std::fs::write(out, svg) {
+                Ok(()) => format!(
+                    "wrote {out} ({} CTAs, {:.1}% quantization)\n",
+                    decomp.grid_size(),
+                    report.quantization_efficiency() * 100.0
+                ),
+                Err(e) => format!("failed to write {out}: {e}\n"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Cli;
+
+    fn run(s: &str) -> String {
+        let argv: Vec<String> = s.split_whitespace().map(String::from).collect();
+        execute(&Cli::parse(&argv).unwrap())
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run("help");
+        assert!(out.contains("USAGE"));
+        assert!(out.contains("streamk:G"));
+    }
+
+    #[test]
+    fn schedule_shows_gantt_and_stats() {
+        let out = run("schedule 384 384 128 --tile 128x128x4 --strategy streamk:4");
+        assert!(out.contains("9 output tiles"));
+        assert!(out.contains("SM0"));
+        assert!(out.contains("quantization 100.0%"));
+    }
+
+    #[test]
+    fn bestgrid_reproduces_figure8c() {
+        let out = run("bestgrid 128 128 16384 --precision fp16");
+        assert!(out.contains("g* = 8"), "{out}");
+        assert!(out.contains("<-- g*"));
+    }
+
+    #[test]
+    fn compare_lists_four_contenders() {
+        let out = run("compare 1024 1024 1024 --precision fp64");
+        for name in ["stream-k", "data-parallel", "cublas-like", "oracle"] {
+            assert!(out.contains(name), "missing {name}: {out}");
+        }
+    }
+
+    #[test]
+    fn corpus_summary() {
+        let out = run("corpus 200");
+        assert!(out.contains("200 shapes"));
+        assert!(out.contains("compute-bound"));
+    }
+
+    #[test]
+    fn svg_writes_file() {
+        let path = std::env::temp_dir().join("streamk_cli_test.svg");
+        let out = run(&format!("svg 384 384 128 --tile 128x128x4 --strategy streamk:4 --out {}", path.display()));
+        assert!(out.contains("wrote"), "{out}");
+        let svg = std::fs::read_to_string(&path).unwrap();
+        assert!(svg.starts_with("<svg"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn auto_strategy_uses_model() {
+        let out = run("schedule 128 128 16384 --tile 128x128x32 --sms 108 --strategy auto");
+        // The schedule command models with FP64 constants: the tie-broken
+        // minimum for a 512-iteration single tile lands at g = 9.
+        assert!(out.contains("stream-k(g=9)"), "{out}");
+    }
+}

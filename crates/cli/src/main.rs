@@ -1,0 +1,12 @@
+//! The `streamk` binary.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match streamk_cli::run(&argv) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}\n\nrun `streamk help` for usage");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Stream-K-scheduled Conv2d.
+
+use crate::im2col::{filter_matrix, fold_output, patch_matrix};
+use crate::shape::ConvShape;
+use crate::tensor::Tensor4;
+use streamk_core::{CostModel, GridSizeModel};
+use streamk_cpu::CpuExecutor;
+use streamk_matrix::{Promote, Scalar};
+use streamk_types::TileShape;
+
+/// Conv2d execution configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Conv2dConfig {
+    /// Worker threads for the executor.
+    pub threads: usize,
+    /// Blocking factor of the lowered GEMM.
+    pub tile: TileShape,
+    /// Appendix A.1 constants for the launch model (defaults to the
+    /// calibrated A100-FP16 ratios, which only steer grid-size
+    /// selection here).
+    pub cost: CostModel,
+}
+
+impl Default for Conv2dConfig {
+    fn default() -> Self {
+        Self {
+            threads: std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get),
+            tile: TileShape::new(32, 32, 8),
+            cost: CostModel::a100_fp16(),
+        }
+    }
+}
+
+/// Computes the forward convolution by lowering to the implicit GEMM,
+/// letting the grid-size model pick a Stream-K launch, and executing
+/// on the CPU worker pool. Output is NPQK.
+///
+/// Convolutions lower to short, deep GEMMs (`M = N·P·Q` can be small
+/// while `K_acc = C·R·S` is large), the strong-scaling regime where
+/// Stream-K's k-axis parallelism matters (§2, §7).
+///
+/// ```
+/// use streamk_conv::{conv2d, Conv2dConfig, ConvShape, Tensor4};
+/// use streamk_types::TileShape;
+///
+/// let conv = ConvShape::same(1, 4, 8, 8, 3); // 8x8x4 -> 8x8x8, 3x3 filters
+/// let input = Tensor4::<f64>::random::<f64>([1, 8, 8, 4], 1);
+/// let filter = Tensor4::<f64>::random::<f64>([8, 3, 3, 4], 2);
+/// let config = Conv2dConfig { threads: 2, tile: TileShape::new(8, 8, 4), ..Default::default() };
+/// let out: Tensor4<f64> = conv2d(&input, &filter, &conv, &config);
+/// assert_eq!(out.dims(), [1, 8, 8, 8]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the tensors don't match `conv`'s extents.
+#[must_use]
+pub fn conv2d<In, Acc>(
+    input: &Tensor4<In>,
+    filter: &Tensor4<In>,
+    conv: &ConvShape,
+    config: &Conv2dConfig,
+) -> Tensor4<Acc>
+where
+    In: Promote<Acc>,
+    Acc: Scalar,
+{
+    let a = patch_matrix::<In, Acc>(input, conv);
+    let b = filter_matrix::<In, Acc>(filter, conv);
+    let model = GridSizeModel::new(config.cost, config.threads);
+    let decomp = model.decompose(conv.gemm_shape(), config.tile);
+    let exec = CpuExecutor::with_threads(config.threads);
+    let out = exec.gemm::<In, Acc>(&a, &b, &decomp);
+    fold_output(&out, conv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::direct::conv2d_direct;
+
+    fn config(threads: usize) -> Conv2dConfig {
+        Conv2dConfig { threads, tile: TileShape::new(16, 16, 8), ..Conv2dConfig::default() }
+    }
+
+    #[test]
+    fn matches_direct_reference_3x3() {
+        let conv = ConvShape::same(2, 8, 12, 16, 3);
+        let input = Tensor4::<f64>::random::<f64>([conv.n, conv.h, conv.w, conv.c], 10);
+        let filter = Tensor4::<f64>::random::<f64>([conv.k, conv.r, conv.s, conv.c], 11);
+        let got = conv2d::<f64, f64>(&input, &filter, &conv, &config(4));
+        let want = conv2d_direct::<f64, f64>(&input, &filter, &conv);
+        assert!(got.max_abs_diff(&want) < 1e-11, "diff {}", got.max_abs_diff(&want));
+    }
+
+    #[test]
+    fn matches_direct_reference_strided_asymmetric() {
+        let conv = ConvShape::new(1, 5, 9, 11, 7, 3, 2, 1, 1, 2, 3);
+        let input = Tensor4::<f64>::random::<f64>([conv.n, conv.h, conv.w, conv.c], 12);
+        let filter = Tensor4::<f64>::random::<f64>([conv.k, conv.r, conv.s, conv.c], 13);
+        let got = conv2d::<f64, f64>(&input, &filter, &conv, &config(6));
+        let want = conv2d_direct::<f64, f64>(&input, &filter, &conv);
+        assert!(got.max_abs_diff(&want) < 1e-11);
+    }
+
+    #[test]
+    fn pointwise_conv_matches() {
+        let conv = ConvShape::new(2, 32, 7, 7, 24, 1, 1, 0, 0, 1, 1);
+        let input = Tensor4::<f64>::random::<f64>([conv.n, conv.h, conv.w, conv.c], 14);
+        let filter = Tensor4::<f64>::random::<f64>([conv.k, conv.r, conv.s, conv.c], 15);
+        let got = conv2d::<f64, f64>(&input, &filter, &conv, &config(4));
+        let want = conv2d_direct::<f64, f64>(&input, &filter, &conv);
+        assert!(got.max_abs_diff(&want) < 1e-11);
+    }
+
+    #[test]
+    fn mixed_precision_conv() {
+        use streamk_matrix::f16;
+        let conv = ConvShape::same(1, 4, 8, 8, 3);
+        let input = Tensor4::<f16>::random::<f32>([conv.n, conv.h, conv.w, conv.c], 16);
+        let filter = Tensor4::<f16>::random::<f32>([conv.k, conv.r, conv.s, conv.c], 17);
+        let got: Tensor4<f32> = conv2d::<f16, f32>(&input, &filter, &conv, &config(4));
+        let want: Tensor4<f32> = conv2d_direct::<f16, f32>(&input, &filter, &conv);
+        assert!(got.max_abs_diff(&want) < 1e-4);
+    }
+}

@@ -1,0 +1,114 @@
+//! The 7-loop direct convolution reference.
+
+use crate::shape::ConvShape;
+use crate::tensor::Tensor4;
+use streamk_matrix::{Promote, Scalar};
+
+/// Computes the forward convolution directly: for every output
+/// position `(n, p, q, k)`, accumulate
+/// `Σ_{c,r,s} input[n, p·stride+r−pad, q·stride+s−pad, c] · filter[k, r, s, c]`
+/// with zero padding outside the input extents.
+///
+/// Input is NHWC, filters are KRSC, output is NPQK (i.e. NHWC of the
+/// output feature map). Accumulation happens at `Acc` precision in
+/// ascending `(r, s, c)` order — the same order the im2col lowering
+/// flattens patches — so the GEMM path reproduces this reference
+/// bit-for-bit on unsplit tiles.
+///
+/// # Panics
+///
+/// Panics on tensor/geometry mismatches.
+#[must_use]
+pub fn conv2d_direct<In, Acc>(input: &Tensor4<In>, filter: &Tensor4<In>, conv: &ConvShape) -> Tensor4<Acc>
+where
+    In: Promote<Acc>,
+    Acc: Scalar,
+{
+    assert_eq!(input.dims(), [conv.n, conv.h, conv.w, conv.c], "input must be NHWC of {conv}");
+    assert_eq!(filter.dims(), [conv.k, conv.r, conv.s, conv.c], "filter must be KRSC of {conv}");
+    let (p_max, q_max) = (conv.out_h(), conv.out_w());
+    let mut out = Tensor4::<Acc>::zeros([conv.n, p_max, q_max, conv.k]);
+
+    for n in 0..conv.n {
+        for p in 0..p_max {
+            for q in 0..q_max {
+                for k in 0..conv.k {
+                    let mut acc = Acc::ZERO;
+                    for r in 0..conv.r {
+                        for s in 0..conv.s {
+                            // Signed input coordinates before padding.
+                            let ih = (p * conv.stride_h + r) as isize - conv.pad_h as isize;
+                            let iw = (q * conv.stride_w + s) as isize - conv.pad_w as isize;
+                            if ih < 0 || iw < 0 || ih >= conv.h as isize || iw >= conv.w as isize {
+                                continue; // zero padding contributes nothing
+                            }
+                            for c in 0..conv.c {
+                                acc = acc.mac(
+                                    input.get([n, ih as usize, iw as usize, c]).promote(),
+                                    filter.get([k, r, s, c]).promote(),
+                                );
+                            }
+                        }
+                    }
+                    out.set([n, p, q, k], acc);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_filter_is_identity() {
+        // A single 1x1 filter with weight 1 on one channel copies the
+        // input channel through.
+        let conv = ConvShape::new(1, 1, 3, 3, 1, 1, 1, 0, 0, 1, 1);
+        let input = Tensor4::<f64>::from_fn([1, 3, 3, 1], |_, h, w, _| (h * 3 + w) as f64);
+        let filter = Tensor4::<f64>::from_fn([1, 1, 1, 1], |_, _, _, _| 1.0);
+        let out = conv2d_direct::<f64, f64>(&input, &filter, &conv);
+        for h in 0..3 {
+            for w in 0..3 {
+                assert_eq!(out.get([0, h, w, 0]), (h * 3 + w) as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn box_filter_sums_neighbourhood() {
+        // 3x3 all-ones filter with pad 1: interior outputs are the
+        // 3x3 sum, corners the 2x2 sum.
+        let conv = ConvShape::new(1, 1, 3, 3, 1, 3, 3, 1, 1, 1, 1);
+        let input = Tensor4::<f64>::from_fn([1, 3, 3, 1], |_, _, _, _| 1.0);
+        let filter = Tensor4::<f64>::from_fn([1, 3, 3, 1], |_, _, _, _| 1.0);
+        let out = conv2d_direct::<f64, f64>(&input, &filter, &conv);
+        assert_eq!(out.get([0, 1, 1, 0]), 9.0);
+        assert_eq!(out.get([0, 0, 0, 0]), 4.0);
+        assert_eq!(out.get([0, 0, 1, 0]), 6.0);
+    }
+
+    #[test]
+    fn stride_skips_positions() {
+        let conv = ConvShape::new(1, 1, 4, 4, 1, 1, 1, 0, 0, 2, 2);
+        let input = Tensor4::<f64>::from_fn([1, 4, 4, 1], |_, h, w, _| (h * 4 + w) as f64);
+        let filter = Tensor4::<f64>::from_fn([1, 1, 1, 1], |_, _, _, _| 1.0);
+        let out = conv2d_direct::<f64, f64>(&input, &filter, &conv);
+        assert_eq!(out.dims(), [1, 2, 2, 1]);
+        assert_eq!(out.get([0, 0, 0, 0]), 0.0);
+        assert_eq!(out.get([0, 0, 1, 0]), 2.0);
+        assert_eq!(out.get([0, 1, 0, 0]), 8.0);
+        assert_eq!(out.get([0, 1, 1, 0]), 10.0);
+    }
+
+    #[test]
+    fn channels_accumulate() {
+        let conv = ConvShape::new(1, 3, 1, 1, 1, 1, 1, 0, 0, 1, 1);
+        let input = Tensor4::<f64>::from_fn([1, 1, 1, 3], |_, _, _, c| (c + 1) as f64);
+        let filter = Tensor4::<f64>::from_fn([1, 1, 1, 3], |_, _, _, c| (c + 1) as f64);
+        let out = conv2d_direct::<f64, f64>(&input, &filter, &conv);
+        assert_eq!(out.get([0, 0, 0, 0]), 1.0 + 4.0 + 9.0);
+    }
+}

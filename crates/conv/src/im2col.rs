@@ -1,0 +1,137 @@
+//! The im2col lowering.
+//!
+//! Materializes the convolution's implicit GEMM operands:
+//!
+//! - the *patch matrix* `A` of shape `(N·P·Q) × (R·S·C)`, whose row
+//!   `n·P·Q + p·Q + q` is the (zero-padded) input patch under filter
+//!   position `(p, q)`, flattened in `(r, s, c)` order;
+//! - the *filter matrix* `B` of shape `(R·S·C) × K`, column `k` being
+//!   filter `k` flattened in the same `(r, s, c)` order.
+//!
+//! `A · B` is then exactly the convolution output in NPQK order, and
+//! any Stream-K decomposition of that GEMM schedules the convolution.
+
+use crate::shape::ConvShape;
+use crate::tensor::Tensor4;
+use streamk_matrix::{Matrix, Promote, Scalar};
+use streamk_types::Layout;
+
+/// Builds the patch matrix `A` (`N·P·Q × R·S·C`, row-major).
+///
+/// # Panics
+///
+/// Panics if `input` does not match `conv`'s NHWC extents.
+#[must_use]
+pub fn patch_matrix<In, Acc>(input: &Tensor4<In>, conv: &ConvShape) -> Matrix<In>
+where
+    In: Promote<Acc>,
+    Acc: Scalar,
+{
+    assert_eq!(input.dims(), [conv.n, conv.h, conv.w, conv.c], "input must be NHWC of {conv}");
+    let (p_max, q_max) = (conv.out_h(), conv.out_w());
+    let rows = conv.n * p_max * q_max;
+    let cols = conv.r * conv.s * conv.c;
+    Matrix::from_fn(rows, cols, Layout::RowMajor, |row, col| {
+        let n = row / (p_max * q_max);
+        let p = (row / q_max) % p_max;
+        let q = row % q_max;
+        let r = col / (conv.s * conv.c);
+        let s = (col / conv.c) % conv.s;
+        let c = col % conv.c;
+        let ih = (p * conv.stride_h + r) as isize - conv.pad_h as isize;
+        let iw = (q * conv.stride_w + s) as isize - conv.pad_w as isize;
+        if ih < 0 || iw < 0 || ih >= conv.h as isize || iw >= conv.w as isize {
+            In::default() // zero padding
+        } else {
+            input.get([n, ih as usize, iw as usize, c])
+        }
+    })
+}
+
+/// Builds the filter matrix `B` (`R·S·C × K`, row-major).
+///
+/// # Panics
+///
+/// Panics if `filter` does not match `conv`'s KRSC extents.
+#[must_use]
+pub fn filter_matrix<In, Acc>(filter: &Tensor4<In>, conv: &ConvShape) -> Matrix<In>
+where
+    In: Promote<Acc>,
+    Acc: Scalar,
+{
+    assert_eq!(filter.dims(), [conv.k, conv.r, conv.s, conv.c], "filter must be KRSC of {conv}");
+    let rows = conv.r * conv.s * conv.c;
+    Matrix::from_fn(rows, conv.k, Layout::RowMajor, |row, k| {
+        let r = row / (conv.s * conv.c);
+        let s = (row / conv.c) % conv.s;
+        let c = row % conv.c;
+        filter.get([k, r, s, c])
+    })
+}
+
+/// Reshapes a GEMM result (`N·P·Q × K`) back into the NPQK output
+/// tensor.
+///
+/// # Panics
+///
+/// Panics on a dimension mismatch.
+#[must_use]
+pub fn fold_output<Acc: Scalar>(gemm_out: &Matrix<Acc>, conv: &ConvShape) -> Tensor4<Acc> {
+    let (p_max, q_max) = (conv.out_h(), conv.out_w());
+    assert_eq!(
+        (gemm_out.rows(), gemm_out.cols()),
+        (conv.n * p_max * q_max, conv.k),
+        "GEMM output does not match {conv}"
+    );
+    Tensor4::from_fn([conv.n, p_max, q_max, conv.k], |n, p, q, k| {
+        gemm_out.get(n * p_max * q_max + p * q_max + q, k)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::direct::conv2d_direct;
+    use streamk_matrix::reference::gemm_naive;
+
+    #[test]
+    fn patch_rows_are_padded_windows() {
+        // 3x3 input, 3x3 filter, pad 1: the first patch row has the
+        // top-left window with zeros on two edges.
+        let conv = ConvShape::same(1, 1, 3, 1, 3);
+        let input = Tensor4::<f64>::from_fn([1, 3, 3, 1], |_, h, w, _| (h * 3 + w + 1) as f64);
+        let a = patch_matrix::<f64, f64>(&input, &conv);
+        assert_eq!(a.rows(), 9);
+        assert_eq!(a.cols(), 9);
+        // Patch at output (0,0), (r,s,c) order: rows r=0 fully padded,
+        // then (0,0)=pad, 1, 2, (0) pad, 4, 5 (1-indexed values).
+        let row0: Vec<f64> = (0..9).map(|j| a.get(0, j)).collect();
+        assert_eq!(row0, vec![0.0, 0.0, 0.0, 0.0, 1.0, 2.0, 0.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn gemm_of_lowered_operands_is_the_convolution() {
+        let conv = ConvShape::new(2, 3, 5, 6, 4, 3, 2, 1, 0, 1, 2);
+        let input = Tensor4::<f64>::random::<f64>([conv.n, conv.h, conv.w, conv.c], 1);
+        let filter = Tensor4::<f64>::random::<f64>([conv.k, conv.r, conv.s, conv.c], 2);
+
+        let a = patch_matrix::<f64, f64>(&input, &conv);
+        let b = filter_matrix::<f64, f64>(&filter, &conv);
+        let out = fold_output(&gemm_naive::<f64, f64>(&a, &b), &conv);
+
+        let direct = conv2d_direct::<f64, f64>(&input, &filter, &conv);
+        assert!(out.max_abs_diff(&direct) < 1e-12, "diff {}", out.max_abs_diff(&direct));
+    }
+
+    #[test]
+    fn gemm_shape_matches_lowered_dims() {
+        let conv = ConvShape::same(2, 8, 7, 16, 3);
+        let input = Tensor4::<f64>::random::<f64>([conv.n, conv.h, conv.w, conv.c], 3);
+        let filter = Tensor4::<f64>::random::<f64>([conv.k, conv.r, conv.s, conv.c], 4);
+        let g = conv.gemm_shape();
+        let a = patch_matrix::<f64, f64>(&input, &conv);
+        let b = filter_matrix::<f64, f64>(&filter, &conv);
+        assert_eq!((a.rows(), a.cols()), (g.m, g.k));
+        assert_eq!((b.rows(), b.cols()), (g.k, g.n));
+    }
+}

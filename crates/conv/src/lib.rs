@@ -1,0 +1,34 @@
+//! Convolution as implicit GEMM, scheduled by Stream-K.
+//!
+//! The paper's motivating workloads are deep-learning operators:
+//! "image recognition and computer vision models rely on convolution,
+//! which can be implemented directly as the product of filter and
+//! image datasets" (§2), and §7 proposes Stream-K for "other
+//! GEMM-like workloads that struggle with the same quantization
+//! inefficiencies". Convolutions are the canonical case: their
+//! implied GEMM shapes are often short and deep (few output tiles,
+//! long accumulation over `C·R·S`), precisely the strong-scaling
+//! regime where tile-centric schedules idle most of the processor.
+//!
+//! This crate provides:
+//!
+//! - [`Tensor4`] — a minimal NHWC activation / KRSC filter container;
+//! - [`ConvShape`] — Conv2d geometry (padding, stride) and its
+//!   implied GEMM shape;
+//! - [`direct::conv2d_direct`] — the 7-loop reference;
+//! - [`im2col`] — patch-matrix lowering;
+//! - [`conv2d`] — the production path: im2col + a Stream-K-scheduled
+//!   GEMM on the CPU executor, verified against the reference.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod conv2d;
+pub mod direct;
+pub mod im2col;
+pub mod shape;
+pub mod tensor;
+
+pub use conv2d::{conv2d, Conv2dConfig};
+pub use shape::ConvShape;
+pub use tensor::Tensor4;

@@ -1,0 +1,163 @@
+//! Conv2d geometry.
+
+use std::fmt;
+use streamk_types::GemmShape;
+
+/// The geometry of a 2-D convolution: `N` images of `C × H × W`
+/// (stored NHWC), `K` filters of `C × R × S` (stored KRSC), with
+/// symmetric zero padding and uniform stride.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvShape {
+    /// Batch size.
+    pub n: usize,
+    /// Input channels.
+    pub c: usize,
+    /// Input height.
+    pub h: usize,
+    /// Input width.
+    pub w: usize,
+    /// Output channels (filter count).
+    pub k: usize,
+    /// Filter height.
+    pub r: usize,
+    /// Filter width.
+    pub s: usize,
+    /// Zero padding on each vertical edge.
+    pub pad_h: usize,
+    /// Zero padding on each horizontal edge.
+    pub pad_w: usize,
+    /// Vertical stride.
+    pub stride_h: usize,
+    /// Horizontal stride.
+    pub stride_w: usize,
+}
+
+impl ConvShape {
+    /// A convenience constructor for square filters with "same-ish"
+    /// semantics: `pad = r/2`, stride 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero extents or if the output would be empty.
+    #[must_use]
+    pub fn same(n: usize, c: usize, hw: usize, k: usize, rs: usize) -> Self {
+        Self::new(n, c, hw, hw, k, rs, rs, rs / 2, rs / 2, 1, 1)
+    }
+
+    /// Full constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero extents, zero strides, or an empty output.
+    #[allow(clippy::too_many_arguments)]
+    #[must_use]
+    pub fn new(
+        n: usize,
+        c: usize,
+        h: usize,
+        w: usize,
+        k: usize,
+        r: usize,
+        s: usize,
+        pad_h: usize,
+        pad_w: usize,
+        stride_h: usize,
+        stride_w: usize,
+    ) -> Self {
+        assert!(n > 0 && c > 0 && h > 0 && w > 0 && k > 0 && r > 0 && s > 0, "conv extents must be non-zero");
+        assert!(stride_h > 0 && stride_w > 0, "strides must be non-zero");
+        let shape = Self { n, c, h, w, k, r, s, pad_h, pad_w, stride_h, stride_w };
+        assert!(
+            h + 2 * pad_h >= r && w + 2 * pad_w >= s,
+            "filter larger than padded input: {shape}"
+        );
+        shape
+    }
+
+    /// Output height `P = ⌊(H + 2·pad − R) / stride⌋ + 1`.
+    #[must_use]
+    pub fn out_h(&self) -> usize {
+        (self.h + 2 * self.pad_h - self.r) / self.stride_h + 1
+    }
+
+    /// Output width `Q`.
+    #[must_use]
+    pub fn out_w(&self) -> usize {
+        (self.w + 2 * self.pad_w - self.s) / self.stride_w + 1
+    }
+
+    /// The implied forward-convolution GEMM (the im2col lowering):
+    /// `M = N·P·Q` output positions, `N = K` filters, accumulation
+    /// depth `C·R·S`.
+    #[must_use]
+    pub fn gemm_shape(&self) -> GemmShape {
+        GemmShape::new(self.n * self.out_h() * self.out_w(), self.k, self.c * self.r * self.s)
+    }
+
+    /// Multiply-accumulate count: `N·P·Q·K·C·R·S`.
+    #[must_use]
+    pub fn macs(&self) -> u64 {
+        self.gemm_shape().macs()
+    }
+}
+
+impl fmt::Display for ConvShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n{}c{}h{}w{} k{}r{}s{} pad{}x{} stride{}x{}",
+            self.n, self.c, self.h, self.w, self.k, self.r, self.s, self.pad_h, self.pad_w, self.stride_h, self.stride_w
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_conv_preserves_spatial_dims() {
+        let c = ConvShape::same(2, 64, 56, 128, 3);
+        assert_eq!(c.out_h(), 56);
+        assert_eq!(c.out_w(), 56);
+    }
+
+    #[test]
+    fn strided_conv_downsamples() {
+        // ResNet stem: 7x7 stride 2 pad 3 on 224 -> 112.
+        let c = ConvShape::new(1, 3, 224, 224, 64, 7, 7, 3, 3, 2, 2);
+        assert_eq!(c.out_h(), 112);
+        assert_eq!(c.out_w(), 112);
+    }
+
+    #[test]
+    fn gemm_shape_is_npq_by_k_by_crs() {
+        let c = ConvShape::same(2, 64, 56, 128, 3);
+        let g = c.gemm_shape();
+        assert_eq!(g.m, 2 * 56 * 56);
+        assert_eq!(g.n, 128);
+        assert_eq!(g.k, 64 * 9);
+    }
+
+    #[test]
+    fn pointwise_conv_gemm() {
+        // 1x1 convolution is a plain GEMM over channels.
+        let c = ConvShape::new(1, 256, 14, 14, 512, 1, 1, 0, 0, 1, 1);
+        let g = c.gemm_shape();
+        assert_eq!(g.m, 196);
+        assert_eq!(g.k, 256);
+        assert_eq!(g.n, 512);
+    }
+
+    #[test]
+    fn macs_counts_all_positions() {
+        let c = ConvShape::new(1, 2, 4, 4, 3, 3, 3, 1, 1, 1, 1);
+        assert_eq!(c.macs(), (16 * 3 * 18) as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "filter larger")]
+    fn oversized_filter_panics() {
+        let _ = ConvShape::new(1, 1, 4, 4, 1, 7, 7, 0, 0, 1, 1);
+    }
+}

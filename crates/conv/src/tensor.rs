@@ -1,0 +1,154 @@
+//! A minimal 4-D tensor.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use streamk_matrix::{Promote, Scalar};
+
+/// An owned dense rank-4 tensor in `(d0, d1, d2, d3)` order with the
+/// last axis contiguous. Activations use it as NHWC, filters as KRSC.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor4<T> {
+    dims: [usize; 4],
+    data: Vec<T>,
+}
+
+impl<T: Copy + Default> Tensor4<T> {
+    /// A zero-filled tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    #[must_use]
+    pub fn zeros(dims: [usize; 4]) -> Self {
+        assert!(dims.iter().all(|&d| d > 0), "tensor dimensions must be non-zero: {dims:?}");
+        Self { dims, data: vec![T::default(); dims.iter().product()] }
+    }
+
+    /// A tensor whose element at `[i, j, k, l]` is `f(i, j, k, l)`.
+    #[must_use]
+    pub fn from_fn(dims: [usize; 4], mut f: impl FnMut(usize, usize, usize, usize) -> T) -> Self {
+        let mut t = Self::zeros(dims);
+        for i0 in 0..dims[0] {
+            for i1 in 0..dims[1] {
+                for i2 in 0..dims[2] {
+                    for i3 in 0..dims[3] {
+                        t.set([i0, i1, i2, i3], f(i0, i1, i2, i3));
+                    }
+                }
+            }
+        }
+        t
+    }
+
+    /// Uniform random values in `[-1, 1)`, demoted to the element's
+    /// storage precision, from a seeded generator.
+    #[must_use]
+    pub fn random<Acc>(dims: [usize; 4], seed: u64) -> Self
+    where
+        Acc: Scalar,
+        T: Promote<Acc>,
+    {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = Self::zeros(dims);
+        for v in &mut t.data {
+            *v = T::demote_from_f64(rng.random_range(-1.0..1.0));
+        }
+        t
+    }
+
+    /// The dimensions.
+    #[must_use]
+    pub fn dims(&self) -> [usize; 4] {
+        self.dims
+    }
+
+    #[inline]
+    fn offset(&self, idx: [usize; 4]) -> usize {
+        for (i, (&x, &d)) in idx.iter().zip(&self.dims).enumerate() {
+            assert!(x < d, "index {x} out of bounds for axis {i} of extent {d}");
+        }
+        ((idx[0] * self.dims[1] + idx[1]) * self.dims[2] + idx[2]) * self.dims[3] + idx[3]
+    }
+
+    /// Element access.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds indices.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, idx: [usize; 4]) -> T {
+        self.data[self.offset(idx)]
+    }
+
+    /// Element store.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds indices.
+    #[inline]
+    pub fn set(&mut self, idx: [usize; 4], value: T) {
+        let o = self.offset(idx);
+        self.data[o] = value;
+    }
+
+    /// The backing storage.
+    #[must_use]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+}
+
+impl<T: Scalar> Tensor4<T> {
+    /// The largest absolute elementwise difference.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a dimension mismatch.
+    #[must_use]
+    pub fn max_abs_diff(&self, other: &Self) -> f64 {
+        assert_eq!(self.dims, other.dims, "dimension mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| (a.to_f64() - b.to_f64()).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_is_last_axis_contiguous() {
+        let t = Tensor4::<f64>::from_fn([2, 3, 4, 5], |a, b, c, d| (a * 1000 + b * 100 + c * 10 + d) as f64);
+        assert_eq!(t.get([0, 0, 0, 0]), 0.0);
+        assert_eq!(t.get([1, 2, 3, 4]), 1234.0);
+        // Last axis stride 1.
+        let base = t.as_slice().iter().position(|&v| v == 1230.0).unwrap();
+        assert_eq!(t.as_slice()[base + 4], 1234.0);
+    }
+
+    #[test]
+    fn random_is_deterministic() {
+        let a = Tensor4::<f64>::random::<f64>([2, 2, 2, 2], 9);
+        let b = Tensor4::<f64>::random::<f64>([2, 2, 2, 2], 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn max_abs_diff_detects_change() {
+        let a = Tensor4::<f64>::zeros([1, 2, 3, 4]);
+        let mut b = a.clone();
+        b.set([0, 1, 2, 3], 0.5);
+        assert_eq!(a.max_abs_diff(&b), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_panics() {
+        let t = Tensor4::<f64>::zeros([1, 1, 1, 1]);
+        let _ = t.get([0, 0, 0, 1]);
+    }
+}

@@ -1,0 +1,290 @@
+//! Batched GEMM — Stream-K for "other GEMM-like workloads" (§7).
+//!
+//! A batched GEMM computes `C_b = A_b · B_b` for `b ∈ [0, batch)`,
+//! every instance sharing one shape. Deep-learning inference issues
+//! these constantly (per-head attention products, grouped
+//! convolutions lowered to GEMM), and small-instance batches suffer
+//! exactly the quantization inefficiency the paper targets: each
+//! instance's few output tiles quantize badly on a wide processor,
+//! and per-instance kernel launches serialize.
+//!
+//! Stream-K generalizes directly: extend the m→n→k linearization with
+//! an outermost batch axis — `batch → m → n → k` — and split the
+//! aggregate iteration count evenly across one grid of CTAs that
+//! crosses instance boundaries as freely as tile boundaries. All the
+//! machinery (contiguous ranges, unique tile ownership, consecutive
+//! fixup peers) carries over with *global* tile ids
+//! `b · tiles_per_instance + tile`.
+
+use crate::decomposition::balanced_ranges;
+use crate::space::IterSpace;
+use crate::work::{CtaWork, TileFixup};
+use streamk_types::{GemmShape, TileShape};
+
+/// The iteration space of a uniform batch of GEMMs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchedSpace {
+    instance: IterSpace,
+    batch: usize,
+}
+
+impl BatchedSpace {
+    /// Builds the space for `batch` instances of `shape` blocked by
+    /// `tile`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch == 0`.
+    #[must_use]
+    pub fn new(batch: usize, shape: GemmShape, tile: TileShape) -> Self {
+        assert!(batch > 0, "batch must be at least 1");
+        Self { instance: IterSpace::new(shape, tile), batch }
+    }
+
+    /// The per-instance iteration space.
+    #[must_use]
+    pub fn instance(&self) -> &IterSpace {
+        &self.instance
+    }
+
+    /// Number of GEMM instances.
+    #[must_use]
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Output tiles per instance.
+    #[must_use]
+    pub fn tiles_per_instance(&self) -> usize {
+        self.instance.tiles()
+    }
+
+    /// Global output tiles: `batch · tiles_per_instance`.
+    #[must_use]
+    pub fn tiles(&self) -> usize {
+        self.batch * self.instance.tiles()
+    }
+
+    /// MAC-loop iterations per tile (same for every instance).
+    #[must_use]
+    pub fn iters_per_tile(&self) -> usize {
+        self.instance.iters_per_tile()
+    }
+
+    /// Aggregate MAC-loop iterations across the batch.
+    #[must_use]
+    pub fn total_iters(&self) -> usize {
+        self.batch * self.instance.total_iters()
+    }
+
+    /// Splits a global tile id into `(instance, local tile)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `global_tile` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn locate(&self, global_tile: usize) -> (usize, usize) {
+        assert!(global_tile < self.tiles(), "tile {global_tile} out of range");
+        (global_tile / self.instance.tiles(), global_tile % self.instance.tiles())
+    }
+}
+
+/// A Stream-K (or degenerate data-parallel) decomposition of a
+/// batched GEMM.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchedDecomposition {
+    space: BatchedSpace,
+    ctas: Vec<CtaWork>,
+    grid: usize,
+}
+
+impl BatchedDecomposition {
+    /// Stream-K across the whole batch: `grid` CTAs, each receiving an
+    /// even share (within one) of *all* instances' MAC-loop
+    /// iterations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grid == 0`.
+    #[must_use]
+    pub fn stream_k(space: BatchedSpace, grid: usize) -> Self {
+        let ctas = balanced_ranges(space.total_iters(), grid, 0, 0);
+        Self { space, ctas, grid }
+    }
+
+    /// One CTA per global output tile — the batched data-parallel
+    /// baseline (equivalent to Stream-K at `g = batch · t`).
+    #[must_use]
+    pub fn data_parallel(space: BatchedSpace) -> Self {
+        let tiles = space.tiles();
+        Self::stream_k(space, tiles)
+    }
+
+    /// The batched space.
+    #[must_use]
+    pub fn space(&self) -> &BatchedSpace {
+        &self.space
+    }
+
+    /// Grid size.
+    #[must_use]
+    pub fn grid_size(&self) -> usize {
+        self.grid
+    }
+
+    /// Per-CTA assignments over the global iteration space.
+    #[must_use]
+    pub fn ctas(&self) -> &[CtaWork] {
+        &self.ctas
+    }
+
+    /// Consolidation structure over *global* tile ids, computed the
+    /// same way as the single-instance
+    /// [`Decomposition::fixups`](crate::Decomposition::fixups).
+    #[must_use]
+    pub fn fixups(&self) -> Vec<TileFixup> {
+        let ipt = self.space.iters_per_tile();
+        let mut by_tile: Vec<(Option<usize>, Vec<usize>)> = vec![(None, Vec::new()); self.space.tiles()];
+        for cta in &self.ctas {
+            let mut iter = cta.iter_begin;
+            while iter < cta.iter_end {
+                let tile = iter / ipt;
+                let tile_first = tile * ipt;
+                let seg_end = cta.iter_end.min(tile_first + ipt);
+                if iter == tile_first {
+                    by_tile[tile].0 = Some(cta.cta_id);
+                } else {
+                    by_tile[tile].1.push(cta.cta_id);
+                }
+                iter = seg_end;
+            }
+        }
+        by_tile
+            .into_iter()
+            .enumerate()
+            .map(|(tile_idx, (owner, peers))| TileFixup {
+                tile_idx,
+                owner: owner.unwrap_or_else(|| panic!("tile {tile_idx} has no owner")),
+                peers,
+            })
+            .collect()
+    }
+
+    /// Structural validation: contiguous exact cover and dense ids.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut cursor = 0;
+        for (i, cta) in self.ctas.iter().enumerate() {
+            if cta.cta_id != i {
+                return Err(format!("cta at position {i} has id {}", cta.cta_id));
+            }
+            if cta.iter_begin != cursor {
+                return Err(format!("cta {i} begins at {} but coverage ended at {cursor}", cta.iter_begin));
+            }
+            cursor = cta.iter_end;
+        }
+        if cursor != self.space.total_iters() {
+            return Err(format!("coverage ends at {cursor}, expected {}", self.space.total_iters()));
+        }
+        Ok(())
+    }
+
+    /// Iteration imbalance across non-empty CTAs (≤ 1 by
+    /// construction).
+    #[must_use]
+    pub fn iter_imbalance(&self) -> usize {
+        let max = self.ctas.iter().map(CtaWork::len).max().unwrap_or(0);
+        let min = self.ctas.iter().map(CtaWork::len).filter(|&l| l > 0).min().unwrap_or(0);
+        max - min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> BatchedSpace {
+        // 8 instances of a 2x2-tile GEMM with 4 iters/tile:
+        // 32 global tiles, 128 iterations.
+        BatchedSpace::new(8, GemmShape::new(64, 64, 32), TileShape::new(32, 32, 8))
+    }
+
+    #[test]
+    fn space_accounting() {
+        let s = space();
+        assert_eq!(s.tiles_per_instance(), 4);
+        assert_eq!(s.tiles(), 32);
+        assert_eq!(s.iters_per_tile(), 4);
+        assert_eq!(s.total_iters(), 128);
+    }
+
+    #[test]
+    fn locate_splits_global_ids() {
+        let s = space();
+        assert_eq!(s.locate(0), (0, 0));
+        assert_eq!(s.locate(3), (0, 3));
+        assert_eq!(s.locate(4), (1, 0));
+        assert_eq!(s.locate(31), (7, 3));
+    }
+
+    #[test]
+    fn stream_k_covers_whole_batch_evenly() {
+        let d = BatchedDecomposition::stream_k(space(), 6);
+        assert!(d.validate().is_ok());
+        assert_eq!(d.grid_size(), 6);
+        assert!(d.iter_imbalance() <= 1);
+        let total: usize = d.ctas().iter().map(CtaWork::len).sum();
+        assert_eq!(total, 128);
+    }
+
+    #[test]
+    fn ctas_cross_instance_boundaries() {
+        // 128 iterations over 6 CTAs: ~21.3 each; instance boundary at
+        // every 16 iterations — CTAs necessarily straddle them.
+        let d = BatchedDecomposition::stream_k(space(), 6);
+        let straddles = d.ctas().iter().any(|c| {
+            let first_instance = c.iter_begin / 16;
+            let last_instance = (c.iter_end - 1) / 16;
+            first_instance != last_instance
+        });
+        assert!(straddles, "no CTA crossed an instance boundary");
+    }
+
+    #[test]
+    fn fixups_have_unique_owners_and_consecutive_peers() {
+        let d = BatchedDecomposition::stream_k(space(), 7);
+        let fixups = d.fixups();
+        assert_eq!(fixups.len(), 32);
+        for f in &fixups {
+            for (i, &p) in f.peers.iter().enumerate() {
+                assert_eq!(p, f.owner + i + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn data_parallel_is_one_cta_per_global_tile() {
+        let d = BatchedDecomposition::data_parallel(space());
+        assert_eq!(d.grid_size(), 32);
+        assert!(d.fixups().iter().all(|f| f.is_data_parallel()));
+    }
+
+    #[test]
+    fn single_instance_matches_unbatched_stream_k() {
+        let shape = GemmShape::new(96, 96, 64);
+        let tile = TileShape::new(32, 32, 16);
+        let batched = BatchedDecomposition::stream_k(BatchedSpace::new(1, shape, tile), 5);
+        let plain = crate::Decomposition::stream_k(shape, tile, 5);
+        assert_eq!(batched.ctas(), plain.ctas());
+    }
+
+    #[test]
+    #[should_panic(expected = "batch must be")]
+    fn zero_batch_panics() {
+        let _ = BatchedSpace::new(0, GemmShape::new(8, 8, 8), TileShape::new(8, 8, 8));
+    }
+}

@@ -1,0 +1,173 @@
+//! Fallible construction APIs.
+//!
+//! The panicking constructors suit the workspace's internal use
+//! (invalid launch parameters are programming errors), but a library
+//! embedding this crate behind user input — the CLI, a server
+//! endpoint — needs `Result`s. This module provides the typed error
+//! and `try_` counterparts of every `Decomposition` constructor.
+
+use crate::decomposition::{Decomposition, Strategy};
+use std::fmt;
+use streamk_types::{GemmShape, TileShape};
+
+/// Why a decomposition could not be constructed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecomposeError {
+    /// A grid, split or SM count of zero was requested.
+    ZeroParameter(
+        /// Which parameter.
+        &'static str,
+    ),
+    /// The parameter is so large the decomposition would be all-empty
+    /// CTAs beyond any plausible use (guard against resource
+    /// exhaustion from untrusted input).
+    UnreasonableParameter {
+        /// Which parameter.
+        name: &'static str,
+        /// The offending value.
+        value: usize,
+        /// The accepted ceiling.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for DecomposeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecomposeError::ZeroParameter(name) => write!(f, "{name} must be at least 1"),
+            DecomposeError::UnreasonableParameter { name, value, limit } => {
+                write!(f, "{name} = {value} exceeds the accepted limit of {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecomposeError {}
+
+/// A generous ceiling on grids/splits/SM counts accepted through the
+/// fallible API: far beyond any real processor, small enough to bound
+/// allocation from hostile input.
+pub const PARAMETER_LIMIT: usize = 1 << 24;
+
+impl Decomposition {
+    /// Fallible [`stream_k`](Decomposition::stream_k).
+    ///
+    /// # Errors
+    ///
+    /// Rejects `grid == 0` and `grid > PARAMETER_LIMIT`.
+    pub fn try_stream_k(shape: GemmShape, tile: TileShape, grid: usize) -> Result<Self, DecomposeError> {
+        check("grid", grid)?;
+        Ok(Self::stream_k(shape, tile, grid))
+    }
+
+    /// Fallible [`fixed_split`](Decomposition::fixed_split).
+    ///
+    /// # Errors
+    ///
+    /// Rejects `split == 0` and `split > PARAMETER_LIMIT`.
+    pub fn try_fixed_split(shape: GemmShape, tile: TileShape, split: usize) -> Result<Self, DecomposeError> {
+        check("split", split)?;
+        Ok(Self::fixed_split(shape, tile, split))
+    }
+
+    /// Fallible [`two_tile_stream_k_dp`](Decomposition::two_tile_stream_k_dp).
+    ///
+    /// # Errors
+    ///
+    /// Rejects `sms == 0` and `sms > PARAMETER_LIMIT`.
+    pub fn try_two_tile_stream_k_dp(shape: GemmShape, tile: TileShape, sms: usize) -> Result<Self, DecomposeError> {
+        check("sms", sms)?;
+        Ok(Self::two_tile_stream_k_dp(shape, tile, sms))
+    }
+
+    /// Fallible [`dp_one_tile_stream_k`](Decomposition::dp_one_tile_stream_k).
+    ///
+    /// # Errors
+    ///
+    /// Rejects `sms == 0` and `sms > PARAMETER_LIMIT`.
+    pub fn try_dp_one_tile_stream_k(shape: GemmShape, tile: TileShape, sms: usize) -> Result<Self, DecomposeError> {
+        check("sms", sms)?;
+        Ok(Self::dp_one_tile_stream_k(shape, tile, sms))
+    }
+
+    /// Fallible [`from_strategy`](Decomposition::from_strategy).
+    ///
+    /// # Errors
+    ///
+    /// Rejects zero or unreasonable strategy parameters.
+    pub fn try_from_strategy(shape: GemmShape, tile: TileShape, strategy: Strategy) -> Result<Self, DecomposeError> {
+        match strategy {
+            Strategy::DataParallel => Ok(Self::data_parallel(shape, tile)),
+            Strategy::FixedSplit { split } => Self::try_fixed_split(shape, tile, split),
+            Strategy::StreamK { grid } => Self::try_stream_k(shape, tile, grid),
+            Strategy::DpOneTileStreamK { sms } => Self::try_dp_one_tile_stream_k(shape, tile, sms),
+            Strategy::TwoTileStreamKDp { sms } => Self::try_two_tile_stream_k_dp(shape, tile, sms),
+        }
+    }
+}
+
+fn check(name: &'static str, value: usize) -> Result<(), DecomposeError> {
+    if value == 0 {
+        return Err(DecomposeError::ZeroParameter(name));
+    }
+    if value > PARAMETER_LIMIT {
+        return Err(DecomposeError::UnreasonableParameter { name, value, limit: PARAMETER_LIMIT });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SHAPE: GemmShape = GemmShape { m: 256, n: 256, k: 256 };
+    const TILE: TileShape = TileShape { blk_m: 64, blk_n: 64, blk_k: 16 };
+
+    #[test]
+    fn happy_paths_match_panicking_constructors() {
+        let a = Decomposition::try_stream_k(SHAPE, TILE, 7).unwrap();
+        let b = Decomposition::stream_k(SHAPE, TILE, 7);
+        assert_eq!(a, b);
+        let a = Decomposition::try_fixed_split(SHAPE, TILE, 3).unwrap();
+        let b = Decomposition::fixed_split(SHAPE, TILE, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_parameters_are_rejected() {
+        assert_eq!(
+            Decomposition::try_stream_k(SHAPE, TILE, 0),
+            Err(DecomposeError::ZeroParameter("grid"))
+        );
+        assert_eq!(
+            Decomposition::try_fixed_split(SHAPE, TILE, 0),
+            Err(DecomposeError::ZeroParameter("split"))
+        );
+        assert_eq!(
+            Decomposition::try_two_tile_stream_k_dp(SHAPE, TILE, 0),
+            Err(DecomposeError::ZeroParameter("sms"))
+        );
+    }
+
+    #[test]
+    fn unreasonable_parameters_are_rejected() {
+        let err = Decomposition::try_stream_k(SHAPE, TILE, PARAMETER_LIMIT + 1).unwrap_err();
+        assert!(matches!(err, DecomposeError::UnreasonableParameter { name: "grid", .. }));
+        // The message is user-presentable.
+        assert!(err.to_string().contains("exceeds"));
+    }
+
+    #[test]
+    fn try_from_strategy_covers_all_variants() {
+        for strategy in [
+            Strategy::DataParallel,
+            Strategy::FixedSplit { split: 2 },
+            Strategy::StreamK { grid: 5 },
+            Strategy::DpOneTileStreamK { sms: 4 },
+            Strategy::TwoTileStreamKDp { sms: 4 },
+        ] {
+            assert!(Decomposition::try_from_strategy(SHAPE, TILE, strategy).is_ok(), "{strategy}");
+        }
+        assert!(Decomposition::try_from_strategy(SHAPE, TILE, Strategy::StreamK { grid: 0 }).is_err());
+    }
+}

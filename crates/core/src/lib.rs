@@ -1,0 +1,47 @@
+//! The Stream-K work decomposition — the paper's primary contribution.
+//!
+//! A GEMM's aggregate workload is quantized into *MAC-loop iterations*:
+//! `BLK_M × BLK_N × BLK_K` volumes of multiply-accumulate work laid out
+//! in the m→n→k linearization of the problem (tiles in row-major order,
+//! the k-axis innermost). This crate expresses every decomposition the
+//! paper discusses as an assignment of contiguous iteration ranges to
+//! CTAs:
+//!
+//! - **Data-parallel** (Algorithm 2): one CTA per output tile.
+//! - **Fixed-split** (Algorithm 4): `s` CTAs per output tile, splitting
+//!   the k-axis uniformly.
+//! - **Basic Stream-K** (Algorithm 5): a constant-size grid of `g`
+//!   CTAs, each receiving an even share (within one) of *all*
+//!   iterations, crossing tile boundaries as it may.
+//! - **Hybrid schedules** (§5.2): "data-parallel + one-tile Stream-K"
+//!   and the production "two-tile Stream-K + data-parallel".
+//!
+//! The decomposition is *data*: both the GPU simulator
+//! (`streamk-sim`) and the multithreaded CPU executor (`streamk-cpu`)
+//! consume the same [`Decomposition`], so what gets measured is what
+//! gets proved correct.
+//!
+//! The Appendix A.1 analytical model that selects the Stream-K grid
+//! size at kernel-launch time lives in [`model`].
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod batched;
+pub mod decomposition;
+pub mod error;
+pub mod grouped;
+pub mod model;
+pub mod order;
+pub mod skew;
+pub mod space;
+pub mod work;
+
+pub use batched::{BatchedDecomposition, BatchedSpace};
+pub use decomposition::{Decomposition, Strategy};
+pub use error::DecomposeError;
+pub use grouped::{GroupedDecomposition, GroupedSegment, GroupedSpace};
+pub use model::{CostModel, GridSizeModel};
+pub use order::TileOrder;
+pub use space::IterSpace;
+pub use work::{CtaWork, TileFixup, TileSegment};

@@ -1,0 +1,119 @@
+//! Tile-processing skew metrics.
+//!
+//! Basic Stream-K's workload balancing makes different CTAs begin
+//! their first MAC-loop iteration at different k-offsets (§5.2). That
+//! skew can defeat cross-CTA reuse of **A**/**B** fragments in the
+//! GPU's cache: in the paper's Figure 3a example the four CTAs start
+//! at k = 0, 32, 64 and 96 and stay 32 elements apart for the whole
+//! computation. The hybrid schedules exist to bound this skew, and
+//! these metrics quantify it for the ablation benches.
+
+use crate::decomposition::Decomposition;
+
+/// Skew statistics of one decomposition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkewReport {
+    /// Each non-empty CTA's starting k-offset (in elements) within its
+    /// first tile, in CTA order.
+    pub start_k_offsets: Vec<usize>,
+    /// Number of distinct starting offsets. 1 means perfectly aligned
+    /// (pure data-parallel waves); larger values mean cache-unfriendly
+    /// skew.
+    pub distinct_offsets: usize,
+    /// The largest pairwise difference between starting offsets, in
+    /// k-axis elements.
+    pub max_skew_elements: usize,
+    /// Fraction of non-empty CTAs that begin exactly at a tile
+    /// boundary (k = 0).
+    pub aligned_fraction: f64,
+}
+
+/// Computes the skew of `decomp`'s schedule.
+#[must_use]
+pub fn skew_report(decomp: &Decomposition) -> SkewReport {
+    let space = decomp.space();
+    let blk_k = space.tile().blk_k;
+    let start_k_offsets: Vec<usize> = decomp
+        .ctas()
+        .iter()
+        .filter(|c| !c.is_empty())
+        .map(|c| {
+            let first = c
+                .segments(space)
+                .next()
+                .expect("non-empty CTA has at least one segment");
+            first.local_begin * blk_k
+        })
+        .collect();
+
+    let mut distinct: Vec<usize> = start_k_offsets.clone();
+    distinct.sort_unstable();
+    distinct.dedup();
+
+    let max_skew_elements = match (start_k_offsets.iter().max(), start_k_offsets.iter().min()) {
+        (Some(&max), Some(&min)) => max - min,
+        _ => 0,
+    };
+    let aligned = start_k_offsets.iter().filter(|&&o| o == 0).count();
+    let total = start_k_offsets.len().max(1);
+
+    SkewReport {
+        distinct_offsets: distinct.len(),
+        max_skew_elements,
+        aligned_fraction: aligned as f64 / total as f64,
+        start_k_offsets,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamk_types::{GemmShape, TileShape};
+
+    /// Figure 3a: 896×384×128 with 128×128×32 blocking, basic
+    /// Stream-K g=4. 21 tiles × 4 iters = 84 iterations, 21 per CTA;
+    /// CTAs start at local iterations 0, 1, 2, 3 → k-offsets 0, 32,
+    /// 64, 96 — exactly the skew the paper describes.
+    #[test]
+    fn figure3a_skew_offsets() {
+        let shape = GemmShape::new(896, 384, 128);
+        let tile = TileShape::new(128, 128, 32);
+        let d = Decomposition::stream_k(shape, tile, 4);
+        let report = skew_report(&d);
+        assert_eq!(report.start_k_offsets, vec![0, 32, 64, 96]);
+        assert_eq!(report.distinct_offsets, 4);
+        assert_eq!(report.max_skew_elements, 96);
+        assert!((report.aligned_fraction - 0.25).abs() < 1e-12);
+    }
+
+    /// The two-tile hybrid bounds skew to the Stream-K region: its DP
+    /// CTAs are all aligned.
+    #[test]
+    fn two_tile_hybrid_mostly_aligned() {
+        let shape = GemmShape::new(896, 384, 128);
+        let tile = TileShape::new(128, 128, 32);
+        let basic = skew_report(&Decomposition::stream_k(shape, tile, 4));
+        let hybrid = skew_report(&Decomposition::two_tile_stream_k_dp(shape, tile, 4));
+        assert!(hybrid.aligned_fraction > basic.aligned_fraction);
+        // 16 DP CTAs aligned + SK CTA 0 aligned = 17 of 20.
+        assert!((hybrid.aligned_fraction - 17.0 / 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn data_parallel_has_no_skew() {
+        let shape = GemmShape::new(896, 384, 128);
+        let tile = TileShape::new(128, 128, 32);
+        let report = skew_report(&Decomposition::data_parallel(shape, tile));
+        assert_eq!(report.distinct_offsets, 1);
+        assert_eq!(report.max_skew_elements, 0);
+        assert_eq!(report.aligned_fraction, 1.0);
+    }
+
+    #[test]
+    fn fixed_split_offsets_are_split_boundaries() {
+        let shape = GemmShape::new(128, 128, 128);
+        let tile = TileShape::new(128, 128, 32); // 1 tile, 4 iters
+        let report = skew_report(&Decomposition::fixed_split(shape, tile, 2));
+        assert_eq!(report.start_k_offsets, vec![0, 64]);
+    }
+}

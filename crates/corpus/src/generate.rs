@@ -1,0 +1,189 @@
+//! Corpus generation (Figure 4).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use streamk_types::{GemmShape, Precision};
+
+/// Parameters of the sampled problem domain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorpusConfig {
+    /// Number of shapes to draw. The paper's corpus has 32,824.
+    pub count: usize,
+    /// Smallest extent per dimension (inclusive). Paper: 128.
+    pub min_dim: usize,
+    /// Largest extent per dimension (inclusive). Paper: 8192.
+    pub max_dim: usize,
+    /// RNG seed — the corpus is a pure function of its config.
+    pub seed: u64,
+}
+
+impl CorpusConfig {
+    /// The paper's full Figure 4 domain: 32,824 shapes in
+    /// `[128, 8192]³`.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self { count: 32_824, min_dim: 128, max_dim: 8192, seed: 0x5742_EA4B }
+    }
+
+    /// A smaller corpus with the same distribution, for quick runs
+    /// and tests.
+    #[must_use]
+    pub fn smoke(count: usize) -> Self {
+        Self { count, ..Self::paper() }
+    }
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// A deterministic sample of GEMM problem shapes.
+///
+/// ```
+/// use streamk_corpus::{Corpus, CorpusConfig};
+///
+/// let corpus = Corpus::generate(CorpusConfig::smoke(100));
+/// assert_eq!(corpus.len(), 100);
+/// for s in corpus.shapes() {
+///     assert!((128..=8192).contains(&s.m));
+/// }
+/// // Same config, same corpus — experiments are reproducible.
+/// assert_eq!(corpus, Corpus::generate(CorpusConfig::smoke(100)));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Corpus {
+    config: CorpusConfig,
+    shapes: Vec<GemmShape>,
+}
+
+impl Corpus {
+    /// Draws the corpus `config` describes: each of m, n, k
+    /// independently log-uniform over `[min_dim, max_dim]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_dim` is zero or exceeds `max_dim`.
+    #[must_use]
+    pub fn generate(config: CorpusConfig) -> Self {
+        assert!(config.min_dim > 0, "min_dim must be positive");
+        assert!(config.min_dim <= config.max_dim, "min_dim must not exceed max_dim");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let lo = (config.min_dim as f64).ln();
+        let hi = (config.max_dim as f64).ln();
+        let dim = move |rng: &mut StdRng| -> usize {
+            let v: f64 = rng.random_range(lo..=hi);
+            (v.exp().round() as usize).clamp(config.min_dim, config.max_dim)
+        };
+        let shapes = (0..config.count)
+            .map(|_| {
+                let m = dim(&mut rng);
+                let n = dim(&mut rng);
+                let k = dim(&mut rng);
+                GemmShape::new(m, n, k)
+            })
+            .collect();
+        Self { config, shapes }
+    }
+
+    /// The configuration this corpus was drawn from.
+    #[must_use]
+    pub fn config(&self) -> CorpusConfig {
+        self.config
+    }
+
+    /// The sampled shapes.
+    #[must_use]
+    pub fn shapes(&self) -> &[GemmShape] {
+        &self.shapes
+    }
+
+    /// Number of shapes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shapes.len()
+    }
+
+    /// `true` when empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.shapes.is_empty()
+    }
+
+    /// The subset of shapes in `precision`'s compute-bound regime
+    /// (above 150 ops/B for FP64, 400 ops/B for FP16→32 — §6).
+    #[must_use]
+    pub fn compute_bound(&self, precision: Precision) -> Vec<GemmShape> {
+        self.shapes.iter().copied().filter(|s| s.is_compute_bound(precision)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Corpus::generate(CorpusConfig::smoke(100));
+        let b = Corpus::generate(CorpusConfig::smoke(100));
+        assert_eq!(a, b);
+        let c = Corpus::generate(CorpusConfig { seed: 7, ..CorpusConfig::smoke(100) });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn extents_within_domain() {
+        let corpus = Corpus::generate(CorpusConfig::smoke(2000));
+        for s in corpus.shapes() {
+            for d in [s.m, s.n, s.k] {
+                assert!((128..=8192).contains(&d), "{s}");
+            }
+        }
+    }
+
+    #[test]
+    fn log_uniform_median_near_geometric_mean() {
+        // Geometric mean of [128, 8192] is √(128·8192) = 1024; a
+        // log-uniform sample's median must sit near it.
+        let corpus = Corpus::generate(CorpusConfig::smoke(4000));
+        let mut ms: Vec<usize> = corpus.shapes().iter().map(|s| s.m).collect();
+        ms.sort_unstable();
+        let median = ms[ms.len() / 2] as f64;
+        assert!((700.0..1500.0).contains(&median), "median = {median}");
+    }
+
+    #[test]
+    fn volume_spans_six_orders_of_magnitude() {
+        // The paper's domain: flops from 2·128³ ≈ 4.2e6 to
+        // 2·8192³ ≈ 1.1e12.
+        let corpus = Corpus::generate(CorpusConfig::smoke(5000));
+        let min = corpus.shapes().iter().map(|s| s.flops()).min().unwrap();
+        let max = corpus.shapes().iter().map(|s| s.flops()).max().unwrap();
+        assert!(max as f64 / min as f64 > 1e4, "observed span {:.1e}", max as f64 / min as f64);
+    }
+
+    #[test]
+    fn compute_bound_filter_is_strict_subset_fp16() {
+        let corpus = Corpus::generate(CorpusConfig::smoke(500));
+        let cb = corpus.compute_bound(Precision::Fp16To32);
+        assert!(!cb.is_empty());
+        assert!(cb.len() < corpus.len());
+        for s in &cb {
+            assert!(s.arithmetic_intensity(Precision::Fp16To32) > 400.0);
+        }
+    }
+
+    #[test]
+    fn paper_config_counts() {
+        let c = CorpusConfig::paper();
+        assert_eq!(c.count, 32_824);
+        assert_eq!((c.min_dim, c.max_dim), (128, 8192));
+    }
+
+    #[test]
+    #[should_panic(expected = "min_dim")]
+    fn invalid_domain_panics() {
+        let _ = Corpus::generate(CorpusConfig { min_dim: 0, ..CorpusConfig::smoke(1) });
+    }
+}

@@ -1,0 +1,20 @@
+//! The evaluation corpus and its statistics.
+//!
+//! The paper evaluates 32,824 GEMM problem shapes, "log-sampled at
+//! random within a domain of m, n, and k matrix dimensions whose
+//! volume spans six orders of magnitude" — each dimension uniform in
+//! log-space over `[128, 8192]` (Figure 4). [`Corpus`] reproduces
+//! that domain deterministically from a seed; [`stats`] provides the
+//! average / standard deviation / min / max relative-performance
+//! summaries of Tables 1 and 2.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod generate;
+pub mod stats;
+pub mod suites;
+
+pub use generate::{Corpus, CorpusConfig};
+pub use stats::RatioStats;
+pub use suites::Suite;

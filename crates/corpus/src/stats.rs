@@ -1,0 +1,138 @@
+//! Relative-performance statistics (Tables 1-2).
+
+/// Summary statistics of a set of speedup ratios, in the format of
+/// the paper's Tables 1 and 2: average, standard deviation, min, max.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RatioStats {
+    /// Arithmetic mean.
+    pub avg: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+    /// Smallest ratio (worst case for the numerator implementation).
+    pub min: f64,
+    /// Largest ratio (best case).
+    pub max: f64,
+    /// Sample count.
+    pub count: usize,
+}
+
+impl RatioStats {
+    /// Computes the summary of `ratios`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice or non-finite entries — a ratio of
+    /// makespans is always positive and finite, so either indicates a
+    /// harness bug.
+    #[must_use]
+    pub fn of(ratios: &[f64]) -> Self {
+        assert!(!ratios.is_empty(), "no ratios to summarize");
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for &r in ratios {
+            assert!(r.is_finite() && r > 0.0, "invalid ratio {r}");
+            min = min.min(r);
+            max = max.max(r);
+            sum += r;
+        }
+        let avg = sum / ratios.len() as f64;
+        let var = ratios.iter().map(|&r| (r - avg) * (r - avg)).sum::<f64>() / ratios.len() as f64;
+        Self { avg, stddev: var.sqrt(), min, max, count: ratios.len() }
+    }
+
+    /// Fraction of ratios at or above 1.0 — "virtually no instances
+    /// of slowdown" is this number approaching 1 (§6).
+    #[must_use]
+    pub fn win_fraction(ratios: &[f64]) -> f64 {
+        if ratios.is_empty() {
+            return 0.0;
+        }
+        ratios.iter().filter(|&&r| r >= 1.0).count() as f64 / ratios.len() as f64
+    }
+
+    /// One formatted table row: `avg stddev min max`, in the paper's
+    /// `1.23× / 0.45 / 0.77× / 5.63×` style.
+    #[must_use]
+    pub fn table_row(&self) -> String {
+        format!(
+            "avg {:.2}x  stddev {:.2}  min {:.2}x  max {:.2}x  (n={})",
+            self.avg, self.stddev, self.min, self.max, self.count
+        )
+    }
+}
+
+/// Geometric mean — a complementary aggregate for wide-range speedup
+/// distributions (not in the paper's tables, used by the ablation
+/// benches).
+///
+/// # Panics
+///
+/// Panics on an empty slice or non-positive entries.
+#[must_use]
+pub fn geometric_mean(ratios: &[f64]) -> f64 {
+    assert!(!ratios.is_empty(), "no ratios to summarize");
+    let log_sum: f64 = ratios
+        .iter()
+        .map(|&r| {
+            assert!(r > 0.0, "invalid ratio {r}");
+            r.ln()
+        })
+        .sum();
+    (log_sum / ratios.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_summary() {
+        let s = RatioStats::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.avg, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.count, 4);
+        assert!((s.stddev - 1.118_033_988_749_895).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_element() {
+        let s = RatioStats::of(&[1.5]);
+        assert_eq!(s.avg, 1.5);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!((s.min, s.max), (1.5, 1.5));
+    }
+
+    #[test]
+    fn win_fraction_counts_at_least_one() {
+        assert_eq!(RatioStats::win_fraction(&[0.5, 1.0, 1.5, 2.0]), 0.75);
+        assert_eq!(RatioStats::win_fraction(&[]), 0.0);
+    }
+
+    #[test]
+    fn geometric_mean_of_reciprocals_is_one() {
+        let g = geometric_mean(&[2.0, 0.5, 4.0, 0.25]);
+        assert!((g - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_row_formats() {
+        let s = RatioStats::of(&[1.0, 2.0]);
+        let row = s.table_row();
+        assert!(row.contains("avg 1.50x"));
+        assert!(row.contains("n=2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid ratio")]
+    fn rejects_nonfinite() {
+        let _ = RatioStats::of(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no ratios")]
+    fn rejects_empty() {
+        let _ = RatioStats::of(&[]);
+    }
+}

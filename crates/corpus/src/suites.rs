@@ -1,0 +1,121 @@
+//! Named workload suites.
+//!
+//! Beyond the random Figure-4 domain, these are curated shape sets
+//! for targeted studies: the deep-learning GEMMs the paper's
+//! introduction motivates, strong-scaling ladders, and
+//! quantization-adversarial families. The examples and ablation
+//! benches draw from here so workloads are named, not ad hoc.
+
+use streamk_types::GemmShape;
+
+/// A named set of GEMM shapes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suite {
+    /// Suite name (for reports).
+    pub name: &'static str,
+    /// The shapes.
+    pub shapes: Vec<GemmShape>,
+}
+
+/// Transformer-layer GEMMs (hidden size `h`, MLP expansion 4×) across
+/// a ladder of token counts — the inference workloads of §2 where
+/// small batches quantize poorly.
+#[must_use]
+pub fn transformer_suite(hidden: usize) -> Suite {
+    let mut shapes = Vec::new();
+    for tokens in [16usize, 64, 256, 1024, 4096] {
+        shapes.push(GemmShape::new(tokens, 3 * hidden, hidden)); // QKV projection
+        shapes.push(GemmShape::new(tokens, hidden, hidden)); // attention output
+        shapes.push(GemmShape::new(tokens, 4 * hidden, hidden)); // MLP up
+        shapes.push(GemmShape::new(tokens, hidden, 4 * hidden)); // MLP down
+    }
+    Suite { name: "transformer", shapes }
+}
+
+/// The strong-scaling ladder: a fixed small output (`m × n`) with
+/// doubling accumulation depth — Figure 9's regime.
+#[must_use]
+pub fn strong_scaling_suite(m: usize, n: usize) -> Suite {
+    let shapes = (8..=16).map(|p| GemmShape::new(m, n, 1 << p)).collect();
+    Suite { name: "strong-scaling", shapes }
+}
+
+/// Square problems from cache-resident to device-filling.
+#[must_use]
+pub fn square_suite() -> Suite {
+    let shapes = [128usize, 256, 512, 1024, 2048, 4096, 8192]
+        .into_iter()
+        .map(|d| GemmShape::new(d, d, d))
+        .collect();
+    Suite { name: "square", shapes }
+}
+
+/// Quantization-adversarial shapes for a `p`-core processor and a
+/// given blocking edge: tile counts of `w·p ± 1` for several wave
+/// counts — the worst cases for tile-centric decompositions (§1).
+#[must_use]
+pub fn adversarial_suite(p: usize, blk_m: usize, blk_n: usize, k: usize) -> Suite {
+    let mut shapes = Vec::new();
+    for waves in 1..=3usize {
+        for delta in [-1i64, 1] {
+            let tiles = (waves * p) as i64 + delta;
+            if tiles < 1 {
+                continue;
+            }
+            // Factor into a near-square tile grid.
+            let tiles = tiles as usize;
+            let tm = (1..=tiles)
+                .filter(|d| tiles.is_multiple_of(*d))
+                .min_by_key(|&d| (d as i64 - (tiles as f64).sqrt().round() as i64).abs())
+                .unwrap_or(1);
+            let tn = tiles / tm;
+            shapes.push(GemmShape::new(tm * blk_m, tn * blk_n, k));
+        }
+    }
+    Suite { name: "adversarial", shapes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transformer_suite_covers_the_ladder() {
+        let s = transformer_suite(4096);
+        assert_eq!(s.shapes.len(), 20);
+        // MLP down has the deep k.
+        assert!(s.shapes.iter().any(|sh| sh.k == 16384));
+        // Small-token shapes are present (the quantization-hostile
+        // inference end).
+        assert!(s.shapes.iter().any(|sh| sh.m == 16));
+    }
+
+    #[test]
+    fn strong_scaling_doubles_k() {
+        let s = strong_scaling_suite(128, 128);
+        assert_eq!(s.shapes.first().unwrap().k, 256);
+        assert_eq!(s.shapes.last().unwrap().k, 65536);
+        for pair in s.shapes.windows(2) {
+            assert_eq!(pair[1].k, 2 * pair[0].k);
+            assert_eq!(pair[0].m, 128);
+        }
+    }
+
+    #[test]
+    fn square_suite_is_square() {
+        for sh in square_suite().shapes {
+            assert_eq!(sh.m, sh.n);
+            assert_eq!(sh.n, sh.k);
+        }
+    }
+
+    #[test]
+    fn adversarial_tiles_straddle_wave_multiples() {
+        let s = adversarial_suite(108, 128, 128, 4096);
+        assert!(!s.shapes.is_empty());
+        for sh in &s.shapes {
+            let tiles = sh.m.div_ceil(128) * sh.n.div_ceil(128);
+            assert!(tiles % 108 != 0, "{sh} quantizes perfectly, not adversarial");
+        }
+    }
+}

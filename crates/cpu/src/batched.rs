@@ -1,0 +1,217 @@
+//! Batched GEMM execution — one Stream-K grid across many instances.
+//!
+//! Executes a [`BatchedDecomposition`]: a single pool of workers
+//! processes the batch's aggregate iteration space, crossing instance
+//! boundaries exactly as single-GEMM Stream-K crosses tile
+//! boundaries. One launch, one consolidation board, regardless of
+//! batch size.
+
+use crate::executor::CpuExecutor;
+use crate::fixup::FixupBoard;
+use crate::macloop::mac_loop_view;
+use crate::output::TileWriter;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use streamk_core::BatchedDecomposition;
+use streamk_matrix::{Matrix, Promote, Scalar};
+
+impl CpuExecutor {
+    /// Computes `C_b = A_b · B_b` for every instance of the batch by
+    /// executing `decomp`'s single grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand counts or shapes don't match the
+    /// decomposition, or if the fixup structure needs more co-resident
+    /// CTAs than there are workers.
+    #[must_use]
+    pub fn gemm_batched<In, Acc>(
+        &self,
+        a: &[Matrix<In>],
+        b: &[Matrix<In>],
+        decomp: &BatchedDecomposition,
+    ) -> Vec<Matrix<Acc>>
+    where
+        In: Promote<Acc>,
+        Acc: Scalar,
+    {
+        let space = decomp.space();
+        let instance = space.instance();
+        let shape = instance.shape();
+        assert_eq!(a.len(), space.batch(), "need one A per instance");
+        assert_eq!(b.len(), space.batch(), "need one B per instance");
+        for (i, (ai, bi)) in a.iter().zip(b).enumerate() {
+            assert_eq!((ai.rows(), ai.cols()), (shape.m, shape.k), "A[{i}] must be m x k");
+            assert_eq!((bi.rows(), bi.cols()), (shape.k, shape.n), "B[{i}] must be k x n");
+        }
+        decomp.validate().expect("invalid batched decomposition");
+
+        let fixups = decomp.fixups();
+        let max_covering = fixups.iter().map(|f| f.covering_ctas()).max().unwrap_or(1);
+        assert!(
+            max_covering <= self.threads(),
+            "decomposition needs {max_covering} co-resident CTAs but the executor has {} threads",
+            self.threads()
+        );
+        let mut owner_peers: Vec<Vec<usize>> = vec![Vec::new(); decomp.grid_size()];
+        for f in &fixups {
+            if !f.peers.is_empty() {
+                owner_peers[f.owner] = f.peers.clone();
+            }
+        }
+
+        let tile = instance.tile();
+        let mut outputs: Vec<Matrix<Acc>> = (0..space.batch())
+            .map(|i| Matrix::<Acc>::zeros(shape.m, shape.n, a[i].layout()))
+            .collect();
+        let tiles_per_instance = space.tiles_per_instance();
+        let writers: Vec<TileWriter<'_, Acc>> = outputs
+            .iter_mut()
+            .map(|c| {
+                let (rows, cols, layout) = (c.rows(), c.cols(), c.layout());
+                TileWriter::new(c.as_mut_slice(), rows, cols, layout, tiles_per_instance)
+            })
+            .collect();
+
+        let board = FixupBoard::<Acc>::new(decomp.grid_size());
+        let next_cta = AtomicUsize::new(0);
+        let ctas = decomp.ctas();
+        let ipt = space.iters_per_tile();
+
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads() {
+                scope.spawn(|| {
+                    let mut accum = vec![Acc::ZERO; tile.blk_m * tile.blk_n];
+                    loop {
+                        let id = next_cta.fetch_add(1, Ordering::Relaxed);
+                        if id >= ctas.len() {
+                            break;
+                        }
+                        let cta = &ctas[id];
+                        // Walk the CTA's global range tile by tile
+                        // (the batched analogue of Algorithm 5's
+                        // outer loop).
+                        let mut iter = cta.iter_begin;
+                        while iter < cta.iter_end {
+                            let global_tile = iter / ipt;
+                            let tile_first = global_tile * ipt;
+                            let seg_end = cta.iter_end.min(tile_first + ipt);
+                            let (instance_idx, local_tile) = space.locate(global_tile);
+
+                            accum.fill(Acc::ZERO);
+                            mac_loop_view(
+                                &a[instance_idx].view(),
+                                &b[instance_idx].view(),
+                                instance,
+                                local_tile,
+                                iter - tile_first,
+                                seg_end - tile_first,
+                                &mut accum,
+                            );
+
+                            let starts = iter == tile_first;
+                            let ends = seg_end == tile_first + ipt;
+                            if !starts {
+                                board.store_and_signal(cta.cta_id, std::mem::take(&mut accum));
+                                accum = vec![Acc::ZERO; tile.blk_m * tile.blk_n];
+                            } else {
+                                if !ends {
+                                    for &peer in &owner_peers[cta.cta_id] {
+                                        let partial = board.wait_and_take(peer);
+                                        for (acc, p) in accum.iter_mut().zip(partial) {
+                                            *acc += p;
+                                        }
+                                    }
+                                }
+                                let (rows, cols) = instance.tile_extents(local_tile);
+                                writers[instance_idx].store_tile(local_tile, rows, cols, tile.blk_n, &accum);
+                            }
+                            iter = seg_end;
+                        }
+                    }
+                });
+            }
+        });
+        drop(writers);
+        outputs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamk_core::BatchedSpace;
+    use streamk_matrix::reference::gemm_naive;
+    use streamk_types::{GemmShape, Layout, TileShape};
+
+    fn instances(batch: usize, shape: GemmShape, seed: u64) -> (Vec<Matrix<f64>>, Vec<Matrix<f64>>) {
+        let a = (0..batch)
+            .map(|i| Matrix::<f64>::random::<f64>(shape.m, shape.k, Layout::RowMajor, seed + i as u64))
+            .collect();
+        let b = (0..batch)
+            .map(|i| Matrix::<f64>::random::<f64>(shape.k, shape.n, Layout::RowMajor, seed + 100 + i as u64))
+            .collect();
+        (a, b)
+    }
+
+    #[test]
+    fn batched_stream_k_matches_reference_per_instance() {
+        let shape = GemmShape::new(48, 40, 64);
+        let tile = TileShape::new(16, 16, 8);
+        let (a, b) = instances(6, shape, 1);
+        let space = BatchedSpace::new(6, shape, tile);
+        let decomp = BatchedDecomposition::stream_k(space, 7);
+        let c = CpuExecutor::with_threads(7).gemm_batched::<f64, f64>(&a, &b, &decomp);
+        assert_eq!(c.len(), 6);
+        for i in 0..6 {
+            c[i].assert_close(&gemm_naive::<f64, f64>(&a[i], &b[i]), 1e-11);
+        }
+    }
+
+    #[test]
+    fn batched_data_parallel_matches_reference() {
+        let shape = GemmShape::new(32, 32, 40);
+        let tile = TileShape::new(16, 16, 8);
+        let (a, b) = instances(4, shape, 2);
+        let decomp = BatchedDecomposition::data_parallel(BatchedSpace::new(4, shape, tile));
+        let c = CpuExecutor::with_threads(4).gemm_batched::<f64, f64>(&a, &b, &decomp);
+        for i in 0..4 {
+            c[i].assert_close(&gemm_naive::<f64, f64>(&a[i], &b[i]), 1e-12);
+        }
+    }
+
+    #[test]
+    fn tiny_instances_wide_grid() {
+        // Single-tile instances: every split crosses instance
+        // boundaries, the worst case for the global bookkeeping.
+        let shape = GemmShape::new(16, 16, 48);
+        let tile = TileShape::new(16, 16, 8);
+        let (a, b) = instances(5, shape, 3);
+        let decomp = BatchedDecomposition::stream_k(BatchedSpace::new(5, shape, tile), 8);
+        let c = CpuExecutor::with_threads(8).gemm_batched::<f64, f64>(&a, &b, &decomp);
+        for i in 0..5 {
+            c[i].assert_close(&gemm_naive::<f64, f64>(&a[i], &b[i]), 1e-11);
+        }
+    }
+
+    #[test]
+    fn ragged_instances() {
+        let shape = GemmShape::new(19, 23, 31);
+        let tile = TileShape::new(8, 8, 8);
+        let (a, b) = instances(3, shape, 4);
+        let decomp = BatchedDecomposition::stream_k(BatchedSpace::new(3, shape, tile), 6);
+        let c = CpuExecutor::with_threads(6).gemm_batched::<f64, f64>(&a, &b, &decomp);
+        for i in 0..3 {
+            c[i].assert_close(&gemm_naive::<f64, f64>(&a[i], &b[i]), 1e-11);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one A per instance")]
+    fn wrong_batch_count_panics() {
+        let shape = GemmShape::new(16, 16, 16);
+        let tile = TileShape::new(16, 16, 16);
+        let (a, b) = instances(2, shape, 5);
+        let decomp = BatchedDecomposition::stream_k(BatchedSpace::new(3, shape, tile), 3);
+        let _ = CpuExecutor::with_threads(3).gemm_batched::<f64, f64>(&a, &b, &decomp);
+    }
+}

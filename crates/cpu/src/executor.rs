@@ -1,0 +1,421 @@
+//! The grid executor.
+
+use crate::fixup::FixupBoard;
+use crate::macloop::mac_loop_view;
+use crate::microkernel::mac_loop_blocked;
+use crate::output::TileWriter;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use streamk_core::{CtaWork, Decomposition};
+use streamk_matrix::{Matrix, MatrixView, Promote, Scalar};
+
+/// Executor configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecutorConfig {
+    /// Worker threads — the executor's "SM count". Each worker holds
+    /// one CTA at a time and claims the next in id order, exactly
+    /// like the GPU work distributor the simulator models.
+    pub threads: usize,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        let threads = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
+        Self { threads }
+    }
+}
+
+/// Runs decompositions over real matrices on a pool of worker
+/// threads.
+///
+/// ```
+/// use streamk_core::Decomposition;
+/// use streamk_cpu::CpuExecutor;
+/// use streamk_matrix::Matrix;
+/// use streamk_types::{GemmShape, Layout, TileShape};
+///
+/// let shape = GemmShape::new(64, 64, 64);
+/// let tile = TileShape::new(16, 16, 8);
+/// let a = Matrix::<f64>::random::<f64>(64, 64, Layout::RowMajor, 1);
+/// let b = Matrix::<f64>::random::<f64>(64, 64, Layout::RowMajor, 2);
+///
+/// let exec = CpuExecutor::with_threads(4);
+/// let c = exec.gemm::<f64, f64>(&a, &b, &Decomposition::stream_k(shape, tile, 4));
+/// let reference = streamk_matrix::reference::gemm_naive::<f64, f64>(&a, &b);
+/// c.assert_close(&reference, 1e-12);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CpuExecutor {
+    config: ExecutorConfig,
+}
+
+impl CpuExecutor {
+    /// Creates an executor with `config`.
+    #[must_use]
+    pub fn new(config: ExecutorConfig) -> Self {
+        assert!(config.threads > 0, "executor needs at least one thread");
+        Self { config }
+    }
+
+    /// Creates an executor with exactly `threads` workers.
+    #[must_use]
+    pub fn with_threads(threads: usize) -> Self {
+        Self::new(ExecutorConfig { threads })
+    }
+
+    /// The configured worker count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.config.threads
+    }
+
+    /// Computes `C = A · B` by executing `decomp`'s grid.
+    ///
+    /// The result is produced in `a`'s storage layout. Accumulation
+    /// within a tile is in ascending-k order; at split seams partial
+    /// sums combine in peer order, so f64 results at seams may differ
+    /// from the sequential reference by reassociation only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand shapes don't match `decomp`'s problem
+    /// shape, if the decomposition is invalid, or if the grid's fixup
+    /// structure needs more co-resident CTAs than there are workers
+    /// (an owner and all its peers must be resident simultaneously —
+    /// the same residency guarantee the GPU kernels rely on).
+    #[must_use]
+    pub fn gemm<In, Acc>(&self, a: &Matrix<In>, b: &Matrix<In>, decomp: &Decomposition) -> Matrix<Acc>
+    where
+        In: Promote<Acc>,
+        Acc: Scalar,
+    {
+        let shape = decomp.space().shape();
+        let mut c = Matrix::<Acc>::zeros(shape.m, shape.n, a.layout());
+        self.gemm_ex(Acc::ONE, &a.view(), &b.view(), Acc::ZERO, &mut c, decomp);
+        c
+    }
+
+    /// The general BLAS-style entry: `C = α·op(A)·op(B) + β·C`, where
+    /// transposition/striding is expressed through the operand views
+    /// (pass `a.t()` for `op(A) = Aᵀ`, etc.).
+    ///
+    /// With `β = 0` the prior contents of `C` are never read, per
+    /// BLAS convention.
+    ///
+    /// # Panics
+    ///
+    /// As [`gemm`](Self::gemm), plus a shape check on `c`.
+    pub fn gemm_ex<In, Acc>(
+        &self,
+        alpha: Acc,
+        a: &MatrixView<'_, In>,
+        b: &MatrixView<'_, In>,
+        beta: Acc,
+        c: &mut Matrix<Acc>,
+        decomp: &Decomposition,
+    ) where
+        In: Promote<Acc>,
+        Acc: Scalar,
+    {
+        let space = decomp.space();
+        let shape = space.shape();
+        assert_eq!((a.rows(), a.cols()), (shape.m, shape.k), "op(A) must be m x k");
+        assert_eq!((b.rows(), b.cols()), (shape.k, shape.n), "op(B) must be k x n");
+        assert_eq!((c.rows(), c.cols()), (shape.m, shape.n), "C must be m x n");
+        decomp.validate().expect("invalid decomposition");
+
+        // Residency requirement: a waiting owner occupies a worker, so
+        // the largest owner+peers group must fit in the pool (see the
+        // deadlock-freedom argument in this module's tests).
+        let fixups = decomp.fixups();
+        let max_covering = fixups.iter().map(|f| f.covering_ctas()).max().unwrap_or(1);
+        assert!(
+            max_covering <= self.config.threads,
+            "decomposition needs {max_covering} co-resident CTAs but the executor has {} threads",
+            self.config.threads
+        );
+
+        let board = FixupBoard::<Acc>::new(decomp.grid_size());
+        let next_cta = AtomicUsize::new(0);
+        let ctas = decomp.ctas();
+
+        // Per-owner peer lists, indexed by CTA id.
+        let mut owner_peers: Vec<Vec<usize>> = vec![Vec::new(); decomp.grid_size()];
+        for f in &fixups {
+            if !f.peers.is_empty() {
+                owner_peers[f.owner] = f.peers.clone();
+            }
+        }
+
+        let (rows, cols, layout) = (c.rows(), c.cols(), c.layout());
+        let writer = TileWriter::new(c.as_mut_slice(), rows, cols, layout, space.tiles());
+        std::thread::scope(|scope| {
+            for _ in 0..self.config.threads {
+                scope.spawn(|| {
+                    loop {
+                        let id = next_cta.fetch_add(1, Ordering::Relaxed);
+                        if id >= ctas.len() {
+                            break;
+                        }
+                        run_cta(&ctas[id], decomp, a, b, &board, &owner_peers[id], &writer, alpha, beta);
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Executes one CTA: the iteration-processing outer loop of
+/// Algorithm 5.
+#[allow(clippy::too_many_arguments)]
+fn run_cta<In, Acc>(
+    cta: &CtaWork,
+    decomp: &Decomposition,
+    a: &MatrixView<'_, In>,
+    b: &MatrixView<'_, In>,
+    board: &FixupBoard<Acc>,
+    peers: &[usize],
+    writer: &TileWriter<'_, Acc>,
+    alpha: Acc,
+    beta: Acc,
+) where
+    In: Promote<Acc>,
+    Acc: Scalar,
+{
+    let space = decomp.space();
+    let tile = space.tile();
+    let mut accum = vec![Acc::ZERO; tile.blk_m * tile.blk_n];
+
+    let contiguous = a.rows_contiguous() && b.rows_contiguous();
+    for seg in cta.segments(space) {
+        accum.fill(Acc::ZERO);
+        // Register-blocked microkernel on the contiguous fast path;
+        // both kernels accumulate in identical order, so the choice
+        // never changes results.
+        if contiguous {
+            mac_loop_blocked(a, b, space, seg.tile_idx, seg.local_begin, seg.local_end, &mut accum);
+        } else {
+            mac_loop_view(a, b, space, seg.tile_idx, seg.local_begin, seg.local_end, &mut accum);
+        }
+
+        if !seg.starts_tile {
+            // This CTA joined the tile mid-stream: publish partials
+            // for the owner and move on. Partials are exchanged
+            // *unscaled*; the epilogue is applied exactly once, by
+            // the owner at store time.
+            board.store_and_signal(cta.cta_id, std::mem::take(&mut accum));
+            accum = vec![Acc::ZERO; tile.blk_m * tile.blk_n];
+            continue;
+        }
+
+        if !seg.ends_tile {
+            // Owner of a split tile: collect every peer's partials in
+            // ascending order before the store.
+            for &peer in peers {
+                let partial = board.wait_and_take(peer);
+                for (acc, p) in accum.iter_mut().zip(partial) {
+                    *acc += p;
+                }
+            }
+        }
+
+        let (row_range, col_range) = space.tile_extents(seg.tile_idx);
+        writer.store_tile_ex(seg.tile_idx, row_range, col_range, tile.blk_n, &accum, alpha, beta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamk_core::Strategy;
+    use streamk_matrix::reference::gemm_naive;
+    use streamk_matrix::f16;
+    use streamk_types::{GemmShape, Layout, TileShape};
+
+    fn run_f64(shape: GemmShape, tile: TileShape, strategy: Strategy, threads: usize) {
+        let a = Matrix::<f64>::random::<f64>(shape.m, shape.k, Layout::RowMajor, 11);
+        let b = Matrix::<f64>::random::<f64>(shape.k, shape.n, Layout::RowMajor, 12);
+        let decomp = Decomposition::from_strategy(shape, tile, strategy);
+        let c = CpuExecutor::with_threads(threads).gemm::<f64, f64>(&a, &b, &decomp);
+        let reference = gemm_naive::<f64, f64>(&a, &b);
+        c.assert_close(&reference, 1e-12);
+    }
+
+    #[test]
+    fn data_parallel_matches_reference() {
+        run_f64(GemmShape::new(96, 80, 64), TileShape::new(32, 32, 16), Strategy::DataParallel, 4);
+    }
+
+    #[test]
+    fn fixed_split_matches_reference() {
+        run_f64(GemmShape::new(96, 80, 64), TileShape::new(32, 32, 16), Strategy::FixedSplit { split: 3 }, 4);
+    }
+
+    #[test]
+    fn stream_k_matches_reference() {
+        for g in [1, 2, 3, 4, 7, 8] {
+            run_f64(GemmShape::new(96, 80, 64), TileShape::new(32, 32, 16), Strategy::StreamK { grid: g }, 8);
+        }
+    }
+
+    #[test]
+    fn hybrids_match_reference() {
+        let shape = GemmShape::new(224, 96, 64); // 7x3 tiles of 32x32
+        let tile = TileShape::new(32, 32, 16);
+        run_f64(shape, tile, Strategy::DpOneTileStreamK { sms: 4 }, 4);
+        run_f64(shape, tile, Strategy::TwoTileStreamKDp { sms: 4 }, 4);
+    }
+
+    #[test]
+    fn ragged_shapes_match_reference() {
+        // Primes everywhere: every tile is an edge case.
+        run_f64(GemmShape::new(67, 43, 29), TileShape::new(16, 16, 8), Strategy::StreamK { grid: 5 }, 6);
+        run_f64(GemmShape::new(13, 17, 97), TileShape::new(32, 32, 16), Strategy::StreamK { grid: 4 }, 4);
+    }
+
+    #[test]
+    fn single_thread_executes_everything() {
+        // One worker, no waits possible — every strategy with no
+        // cross-CTA groups wider than 1 must still work.
+        run_f64(GemmShape::new(64, 64, 32), TileShape::new(32, 32, 16), Strategy::DataParallel, 1);
+    }
+
+    #[test]
+    fn unsplit_tiles_are_bit_exact() {
+        // A data-parallel run accumulates in exactly the reference
+        // order: results must be identical, not merely close.
+        let shape = GemmShape::new(64, 48, 40);
+        let tile = TileShape::new(16, 16, 8);
+        let a = Matrix::<f64>::random::<f64>(shape.m, shape.k, Layout::RowMajor, 21);
+        let b = Matrix::<f64>::random::<f64>(shape.k, shape.n, Layout::RowMajor, 22);
+        let decomp = Decomposition::data_parallel(shape, tile);
+        let c = CpuExecutor::with_threads(4).gemm::<f64, f64>(&a, &b, &decomp);
+        let reference = gemm_naive::<f64, f64>(&a, &b);
+        assert_eq!(c.max_abs_diff(&reference), 0.0);
+    }
+
+    #[test]
+    fn mixed_precision_stream_k() {
+        let shape = GemmShape::new(64, 64, 96);
+        let tile = TileShape::new(32, 32, 16);
+        let a = Matrix::<f16>::random::<f32>(shape.m, shape.k, Layout::RowMajor, 31);
+        let b = Matrix::<f16>::random::<f32>(shape.k, shape.n, Layout::RowMajor, 32);
+        let decomp = Decomposition::stream_k(shape, tile, 6);
+        let c = CpuExecutor::with_threads(6).gemm::<f16, f32>(&a, &b, &decomp);
+        let reference = gemm_naive::<f16, f32>(&a, &b);
+        // f32 accumulation reassociates at seams; tolerance scaled to
+        // the k-extent.
+        c.assert_close(&reference, 1e-4);
+    }
+
+    #[test]
+    fn col_major_operands() {
+        let shape = GemmShape::new(48, 56, 40);
+        let tile = TileShape::new(16, 16, 8);
+        let a = Matrix::<f64>::random::<f64>(shape.m, shape.k, Layout::ColMajor, 41);
+        let b = Matrix::<f64>::random::<f64>(shape.k, shape.n, Layout::ColMajor, 42);
+        let decomp = Decomposition::stream_k(shape, tile, 4);
+        let c = CpuExecutor::with_threads(4).gemm::<f64, f64>(&a, &b, &decomp);
+        assert_eq!(c.layout(), Layout::ColMajor);
+        c.assert_close(&gemm_naive::<f64, f64>(&a, &b), 1e-12);
+    }
+
+    #[test]
+    fn deep_split_single_tile() {
+        // One tile split 8 ways — the strong-scaling shape of
+        // Figure 9, with the owner accumulating seven peers.
+        let shape = GemmShape::new(16, 16, 1024);
+        let tile = TileShape::new(16, 16, 8);
+        let decomp = Decomposition::stream_k(shape, tile, 8);
+        let a = Matrix::<f64>::random::<f64>(16, 1024, Layout::RowMajor, 51);
+        let b = Matrix::<f64>::random::<f64>(1024, 16, Layout::RowMajor, 52);
+        let c = CpuExecutor::with_threads(8).gemm::<f64, f64>(&a, &b, &decomp);
+        c.assert_close(&gemm_naive::<f64, f64>(&a, &b), 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "co-resident")]
+    fn insufficient_residency_is_rejected() {
+        // 8-way split of one tile needs 8 co-resident CTAs; 2 threads
+        // would deadlock, so the executor must refuse.
+        let shape = GemmShape::new(16, 16, 1024);
+        let tile = TileShape::new(16, 16, 8);
+        let decomp = Decomposition::stream_k(shape, tile, 8);
+        let a = Matrix::<f64>::zeros(16, 1024, Layout::RowMajor);
+        let b = Matrix::<f64>::zeros(1024, 16, Layout::RowMajor);
+        let _ = CpuExecutor::with_threads(2).gemm::<f64, f64>(&a, &b, &decomp);
+    }
+
+    #[test]
+    #[should_panic(expected = "op(A) must be")]
+    fn shape_mismatch_is_rejected() {
+        let decomp = Decomposition::data_parallel(GemmShape::new(32, 32, 32), TileShape::new(16, 16, 16));
+        let a = Matrix::<f64>::zeros(16, 32, Layout::RowMajor);
+        let b = Matrix::<f64>::zeros(32, 32, Layout::RowMajor);
+        let _ = CpuExecutor::default().gemm::<f64, f64>(&a, &b, &decomp);
+    }
+
+    #[test]
+    fn gemm_ex_alpha_beta_epilogue() {
+        use streamk_matrix::gemm_ex_reference;
+        let shape = GemmShape::new(48, 40, 56);
+        let tile = TileShape::new(16, 16, 8);
+        let decomp = Decomposition::stream_k(shape, tile, 5);
+        let a = Matrix::<f64>::random::<f64>(48, 56, Layout::RowMajor, 61);
+        let b = Matrix::<f64>::random::<f64>(56, 40, Layout::RowMajor, 62);
+        let c0 = Matrix::<f64>::random::<f64>(48, 40, Layout::RowMajor, 63);
+
+        let mut c = c0.clone();
+        CpuExecutor::with_threads(5).gemm_ex(1.75, &a.view(), &b.view(), -0.25, &mut c, &decomp);
+
+        let mut expected = c0.clone();
+        gemm_ex_reference(1.75, &a.view(), &b.view(), -0.25, &mut expected);
+        c.assert_close(&expected, 1e-11);
+    }
+
+    #[test]
+    fn gemm_ex_beta_zero_ignores_nan_c() {
+        let shape = GemmShape::new(32, 32, 64);
+        let tile = TileShape::new(16, 16, 8);
+        let decomp = Decomposition::two_tile_stream_k_dp(shape, tile, 4);
+        let a = Matrix::<f64>::random::<f64>(32, 64, Layout::RowMajor, 71);
+        let b = Matrix::<f64>::random::<f64>(64, 32, Layout::RowMajor, 72);
+        let mut c = Matrix::<f64>::from_fn(32, 32, Layout::RowMajor, |_, _| f64::NAN);
+        CpuExecutor::with_threads(4).gemm_ex(1.0, &a.view(), &b.view(), 0.0, &mut c, &decomp);
+        assert!(c.as_slice().iter().all(|v| v.is_finite()));
+        c.assert_close(&gemm_naive::<f64, f64>(&a, &b), 1e-12);
+    }
+
+    #[test]
+    fn gemm_ex_transposed_operands() {
+        use streamk_matrix::gemm_ex_reference;
+        // A stored k x m, B stored n x k: the "tt" variant.
+        let shape = GemmShape::new(40, 48, 32);
+        let tile = TileShape::new(16, 16, 8);
+        let decomp = Decomposition::stream_k(shape, tile, 6);
+        let a_store = Matrix::<f64>::random::<f64>(32, 40, Layout::RowMajor, 81);
+        let b_store = Matrix::<f64>::random::<f64>(48, 32, Layout::RowMajor, 82);
+        let mut c = Matrix::<f64>::zeros(40, 48, Layout::RowMajor);
+        CpuExecutor::with_threads(6).gemm_ex(1.0, &a_store.t(), &b_store.t(), 0.0, &mut c, &decomp);
+
+        let mut expected = Matrix::<f64>::zeros(40, 48, Layout::RowMajor);
+        gemm_ex_reference(1.0, &a_store.t(), &b_store.t(), 0.0, &mut expected);
+        c.assert_close(&expected, 1e-11);
+    }
+
+    #[test]
+    fn gemm_ex_epilogue_applied_once_per_split_tile() {
+        // alpha != 1 with a deeply split single tile: if the scaling
+        // were applied per-partial instead of once at the store, the
+        // error would be gross.
+        let shape = GemmShape::new(16, 16, 512);
+        let tile = TileShape::new(16, 16, 8);
+        let decomp = Decomposition::stream_k(shape, tile, 8);
+        let a = Matrix::<f64>::random::<f64>(16, 512, Layout::RowMajor, 91);
+        let b = Matrix::<f64>::random::<f64>(512, 16, Layout::RowMajor, 92);
+        let mut c = Matrix::<f64>::zeros(16, 16, Layout::RowMajor);
+        CpuExecutor::with_threads(8).gemm_ex(3.0, &a.view(), &b.view(), 0.0, &mut c, &decomp);
+        let naive = gemm_naive::<f64, f64>(&a, &b);
+        let expected = Matrix::<f64>::from_fn(16, 16, Layout::RowMajor, |r, cc| 3.0 * naive.get(r, cc));
+        c.assert_close(&expected, 1e-10);
+    }
+}

@@ -1,0 +1,152 @@
+//! The cross-CTA partial-sum consolidation board.
+//!
+//! Implements `StorePartials` / `Signal` / `Wait` / `LoadPartials` of
+//! Algorithms 4-5. Each CTA owns one slot (it contributes partials to
+//! at most one tile — its first, if it didn't start it), so temporary
+//! storage scales with the grid size `g`, not the problem size: the
+//! O(p) splitting-seam property the paper highlights in §7.
+//!
+//! Synchronization: the partial write happens entirely before the
+//! flag's release-store; the owner's acquire-load on the flag
+//! establishes the happens-before edge that makes reading the
+//! partials safe. The slot contents travel through a `parking_lot`
+//! mutex purely to satisfy the borrow checker — by protocol the lock
+//! is never contended (single writer, then single reader strictly
+//! after the flag).
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Shared consolidation state for one kernel launch: one partials slot
+/// and one flag per CTA.
+pub struct FixupBoard<Acc> {
+    flags: Vec<AtomicU32>,
+    partials: Vec<Mutex<Vec<Acc>>>,
+}
+
+impl<Acc: Send> FixupBoard<Acc> {
+    /// Creates a board for `grid` CTAs.
+    #[must_use]
+    pub fn new(grid: usize) -> Self {
+        Self {
+            flags: (0..grid).map(|_| AtomicU32::new(0)).collect(),
+            partials: (0..grid).map(|_| Mutex::new(Vec::new())).collect(),
+        }
+    }
+
+    /// `StorePartials(partials[cta], accum); Signal(flags[cta])` —
+    /// publishes `accum` as CTA `cta`'s partial record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the CTA signals twice (a protocol violation).
+    pub fn store_and_signal(&self, cta: usize, accum: Vec<Acc>) {
+        *self.partials[cta].lock() = accum;
+        let prev = self.flags[cta].swap(1, Ordering::Release);
+        assert_eq!(prev, 0, "CTA {cta} signaled twice");
+    }
+
+    /// `Wait(flags[peer]); LoadPartials(partials[peer])` — spins until
+    /// `peer` has signaled, then takes its partial record.
+    ///
+    /// The spin mirrors the GPU's flag-polling loop; it yields to the
+    /// OS periodically so oversubscribed test environments still make
+    /// progress.
+    #[must_use]
+    pub fn wait_and_take(&self, peer: usize) -> Vec<Acc> {
+        let mut spins = 0u32;
+        while self.flags[peer].load(Ordering::Acquire) == 0 {
+            spins = spins.wrapping_add(1);
+            if spins.is_multiple_of(64) {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        std::mem::take(&mut *self.partials[peer].lock())
+    }
+
+    /// Whether `cta` has signaled (non-blocking; test/diagnostic use).
+    #[must_use]
+    pub fn has_signaled(&self, cta: usize) -> bool {
+        self.flags[cta].load(Ordering::Acquire) != 0
+    }
+
+    /// The grid size this board was built for.
+    #[must_use]
+    pub fn grid(&self) -> usize {
+        self.flags.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn single_thread_round_trip() {
+        let board = FixupBoard::<f64>::new(4);
+        assert!(!board.has_signaled(2));
+        board.store_and_signal(2, vec![1.0, 2.0]);
+        assert!(board.has_signaled(2));
+        assert_eq!(board.wait_and_take(2), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "signaled twice")]
+    fn double_signal_panics() {
+        let board = FixupBoard::<f64>::new(1);
+        board.store_and_signal(0, vec![1.0]);
+        board.store_and_signal(0, vec![2.0]);
+    }
+
+    /// The owner observes exactly the values the contributor wrote —
+    /// the release/acquire edge at work across real threads.
+    #[test]
+    fn cross_thread_handoff() {
+        let board = Arc::new(FixupBoard::<f64>::new(2));
+        let payload: Vec<f64> = (0..1024).map(f64::from).collect();
+        let expected = payload.clone();
+        let producer = {
+            let board = Arc::clone(&board);
+            std::thread::spawn(move || {
+                // Give the consumer a head start so it genuinely spins.
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                board.store_and_signal(1, payload);
+            })
+        };
+        let got = board.wait_and_take(1);
+        producer.join().unwrap();
+        assert_eq!(got, expected);
+    }
+
+    /// Many contributors, one accumulator — the fixed-split fixup
+    /// shape, hammered to catch ordering bugs.
+    #[test]
+    fn many_contributors_stress() {
+        for _ in 0..20 {
+            let peers = 8;
+            let board = Arc::new(FixupBoard::<f64>::new(peers + 1));
+            let handles: Vec<_> = (1..=peers)
+                .map(|p| {
+                    let board = Arc::clone(&board);
+                    std::thread::spawn(move || {
+                        board.store_and_signal(p, vec![p as f64; 16]);
+                    })
+                })
+                .collect();
+            let mut sum = [0.0f64; 16];
+            for p in 1..=peers {
+                for (s, v) in sum.iter_mut().zip(board.wait_and_take(p)) {
+                    *s += v;
+                }
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            let expected = (1..=peers).map(|p| p as f64).sum::<f64>();
+            assert!(sum.iter().all(|&s| s == expected));
+        }
+    }
+}

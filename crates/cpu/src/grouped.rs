@@ -1,0 +1,222 @@
+//! Grouped GEMM execution — one grid, many problem shapes.
+
+use crate::executor::CpuExecutor;
+use crate::fixup::FixupBoard;
+use crate::macloop::mac_loop_view;
+use crate::microkernel::mac_loop_blocked;
+use crate::output::TileWriter;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use streamk_core::GroupedDecomposition;
+use streamk_matrix::{Matrix, Promote, Scalar};
+
+impl CpuExecutor {
+    /// Computes `C_i = A_i · B_i` for every instance of the group by
+    /// executing `decomp`'s single grid. Instances may have unrelated
+    /// shapes; they share the blocking factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand counts or shapes don't match the
+    /// decomposition, or if the fixup structure needs more co-resident
+    /// CTAs than there are workers.
+    #[must_use]
+    pub fn gemm_grouped<In, Acc>(
+        &self,
+        a: &[Matrix<In>],
+        b: &[Matrix<In>],
+        decomp: &GroupedDecomposition,
+    ) -> Vec<Matrix<Acc>>
+    where
+        In: Promote<Acc>,
+        Acc: Scalar,
+    {
+        let space = decomp.space();
+        assert_eq!(a.len(), space.groups(), "need one A per instance");
+        assert_eq!(b.len(), space.groups(), "need one B per instance");
+        for (i, inst) in space.instances().iter().enumerate() {
+            let shape = inst.shape();
+            assert_eq!((a[i].rows(), a[i].cols()), (shape.m, shape.k), "A[{i}] must be m x k");
+            assert_eq!((b[i].rows(), b[i].cols()), (shape.k, shape.n), "B[{i}] must be k x n");
+        }
+        decomp.validate().expect("invalid grouped decomposition");
+
+        let fixups = decomp.fixups();
+        let max_covering = fixups.iter().map(|f| f.covering_ctas()).max().unwrap_or(1);
+        assert!(
+            max_covering <= self.threads(),
+            "decomposition needs {max_covering} co-resident CTAs but the executor has {} threads",
+            self.threads()
+        );
+        let mut owner_peers: Vec<Vec<usize>> = vec![Vec::new(); decomp.grid_size()];
+        for f in &fixups {
+            if !f.peers.is_empty() {
+                owner_peers[f.owner] = f.peers.clone();
+            }
+        }
+
+        // One blocking factor for all instances — the shared
+        // accumulator size.
+        let tile = space.instances()[0].tile();
+        let mut outputs: Vec<Matrix<Acc>> = space
+            .instances()
+            .iter()
+            .enumerate()
+            .map(|(i, inst)| Matrix::<Acc>::zeros(inst.shape().m, inst.shape().n, a[i].layout()))
+            .collect();
+        let writers: Vec<TileWriter<'_, Acc>> = outputs
+            .iter_mut()
+            .zip(space.instances())
+            .map(|(c, inst)| {
+                let (rows, cols, layout) = (c.rows(), c.cols(), c.layout());
+                TileWriter::new(c.as_mut_slice(), rows, cols, layout, inst.tiles())
+            })
+            .collect();
+
+        let board = FixupBoard::<Acc>::new(decomp.grid_size());
+        let next_cta = AtomicUsize::new(0);
+        let ctas = decomp.ctas();
+        let contiguous: Vec<bool> = a
+            .iter()
+            .zip(b)
+            .map(|(ai, bi)| ai.view().rows_contiguous() && bi.view().rows_contiguous())
+            .collect();
+
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads() {
+                scope.spawn(|| {
+                    let mut accum = vec![Acc::ZERO; tile.blk_m * tile.blk_n];
+                    loop {
+                        let id = next_cta.fetch_add(1, Ordering::Relaxed);
+                        if id >= ctas.len() {
+                            break;
+                        }
+                        let cta = &ctas[id];
+                        for seg in space.segments(cta) {
+                            let inst = &space.instances()[seg.instance];
+                            accum.fill(Acc::ZERO);
+                            let (av, bv) = (a[seg.instance].view(), b[seg.instance].view());
+                            if contiguous[seg.instance] {
+                                mac_loop_blocked(&av, &bv, inst, seg.local_tile, seg.local_begin, seg.local_end, &mut accum);
+                            } else {
+                                mac_loop_view(&av, &bv, inst, seg.local_tile, seg.local_begin, seg.local_end, &mut accum);
+                            }
+
+                            if !seg.starts_tile {
+                                board.store_and_signal(cta.cta_id, std::mem::take(&mut accum));
+                                accum = vec![Acc::ZERO; tile.blk_m * tile.blk_n];
+                                continue;
+                            }
+                            if !seg.ends_tile {
+                                for &peer in &owner_peers[cta.cta_id] {
+                                    let partial = board.wait_and_take(peer);
+                                    for (acc, p) in accum.iter_mut().zip(partial) {
+                                        *acc += p;
+                                    }
+                                }
+                            }
+                            let (rows, cols) = inst.tile_extents(seg.local_tile);
+                            writers[seg.instance].store_tile(seg.local_tile, rows, cols, tile.blk_n, &accum);
+                        }
+                    }
+                });
+            }
+        });
+        drop(writers);
+        outputs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamk_core::GroupedSpace;
+    use streamk_matrix::reference::gemm_naive;
+    use streamk_types::{GemmShape, Layout, TileShape};
+
+    fn operands(shapes: &[GemmShape], seed: u64) -> (Vec<Matrix<f64>>, Vec<Matrix<f64>>) {
+        let a = shapes
+            .iter()
+            .enumerate()
+            .map(|(i, s)| Matrix::<f64>::random::<f64>(s.m, s.k, Layout::RowMajor, seed + i as u64))
+            .collect();
+        let b = shapes
+            .iter()
+            .enumerate()
+            .map(|(i, s)| Matrix::<f64>::random::<f64>(s.k, s.n, Layout::RowMajor, seed + 50 + i as u64))
+            .collect();
+        (a, b)
+    }
+
+    fn verify(shapes: &[GemmShape], tile: TileShape, grid: usize, threads: usize, seed: u64) {
+        let (a, b) = operands(shapes, seed);
+        let space = GroupedSpace::new(shapes, tile);
+        let decomp = GroupedDecomposition::stream_k(space, grid);
+        let c = CpuExecutor::with_threads(threads).gemm_grouped::<f64, f64>(&a, &b, &decomp);
+        for i in 0..shapes.len() {
+            c[i].assert_close(&gemm_naive::<f64, f64>(&a[i], &b[i]), 1e-11);
+        }
+    }
+
+    #[test]
+    fn mixed_shapes_match_reference() {
+        verify(
+            &[GemmShape::new(32, 32, 48), GemmShape::new(48, 16, 96), GemmShape::new(16, 64, 16)],
+            TileShape::new(16, 16, 8),
+            6,
+            6,
+            1,
+        );
+    }
+
+    #[test]
+    fn ragged_mixed_shapes() {
+        verify(
+            &[GemmShape::new(19, 23, 31), GemmShape::new(7, 53, 11), GemmShape::new(41, 13, 67)],
+            TileShape::new(16, 16, 8),
+            5,
+            5,
+            2,
+        );
+    }
+
+    #[test]
+    fn transformer_like_group() {
+        // The four GEMMs of one attention layer at tokens = 24,
+        // hidden = 32: wildly different aspect ratios, one launch.
+        let h = 32;
+        let t = 24;
+        verify(
+            &[
+                GemmShape::new(t, 3 * h, h),
+                GemmShape::new(t, h, h),
+                GemmShape::new(t, 4 * h, h),
+                GemmShape::new(t, h, 4 * h),
+            ],
+            TileShape::new(16, 16, 8),
+            8,
+            8,
+            3,
+        );
+    }
+
+    #[test]
+    fn grouped_data_parallel_matches_reference() {
+        let shapes = [GemmShape::new(32, 32, 16), GemmShape::new(16, 16, 64)];
+        let (a, b) = operands(&shapes, 4);
+        let decomp = GroupedDecomposition::data_parallel(GroupedSpace::new(&shapes, TileShape::new(16, 16, 8)));
+        let c = CpuExecutor::with_threads(4).gemm_grouped::<f64, f64>(&a, &b, &decomp);
+        for i in 0..2 {
+            c[i].assert_close(&gemm_naive::<f64, f64>(&a[i], &b[i]), 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one A per instance")]
+    fn mismatched_group_count_panics() {
+        let shapes = [GemmShape::new(16, 16, 16)];
+        let (a, b) = operands(&shapes, 5);
+        let both = [shapes[0], shapes[0]];
+        let decomp = GroupedDecomposition::stream_k(GroupedSpace::new(&both, TileShape::new(16, 16, 16)), 2);
+        let _ = CpuExecutor::with_threads(2).gemm_grouped::<f64, f64>(&a, &b, &decomp);
+    }
+}

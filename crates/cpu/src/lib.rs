@@ -1,0 +1,41 @@
+//! A multithreaded CPU executor for Stream-K decompositions.
+//!
+//! Where `streamk-sim` *times* a decomposition, this crate *runs* it:
+//! worker threads play the role of SMs, claim CTAs in dispatch order
+//! from a shared counter (the GPU work distributor), execute the
+//! CTA-wide `MacLoop` of Algorithm 3 over real matrices, and carry
+//! out the cross-CTA consolidation protocol of Algorithms 4-5 with
+//! genuine concurrency:
+//!
+//! - a CTA whose first segment does not start its tile stores its
+//!   partial accumulator and `Signal`s an atomic flag
+//!   (release-store);
+//! - the tile-owning CTA `Wait`s on each peer's flag (acquire-load)
+//!   before accumulating the peer's partials and writing the final
+//!   output tile.
+//!
+//! This proves the decomposition + synchronization protocol correct —
+//! every strategy, every grid size, every thread count must produce
+//! the reference result (bit-exact in f64 for unsplit tiles;
+//! reassociation-tolerance at split seams).
+//!
+//! The memory-ordering discipline follows "Rust Atomics and Locks"
+//! ch. 3: the partial-buffer write *happens-before* the flag
+//! release-store, which *synchronizes-with* the owner's acquire-load.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod batched;
+pub mod calibrate;
+pub mod executor;
+pub mod fixup;
+pub mod grouped;
+pub mod macloop;
+pub mod microkernel;
+mod output;
+
+pub use executor::{CpuExecutor, ExecutorConfig};
+pub use fixup::FixupBoard;
+pub use macloop::mac_loop;
+pub use microkernel::mac_loop_blocked;

@@ -1,0 +1,210 @@
+//! Register-blocked inner kernels.
+//!
+//! The paper's `MacLoop` implementations "fully unroll the per-thread
+//! MAC-loop iteration [and] implement additional blocking at the warp
+//! and/or thread levels" (§3.2). This module is the CPU analogue: a
+//! `4 × 4` register-blocked update that keeps sixteen accumulators
+//! live across the k-loop, giving the compiler straight-line code it
+//! can keep in registers and vectorize.
+//!
+//! [`mac_loop_blocked`] is a drop-in replacement for the scalar
+//! [`mac_loop_view`](crate::macloop::mac_loop_view) fast path on
+//! row-contiguous operands: identical accumulation order per output
+//! element (ascending k), so results are bit-identical — property
+//! tests below pin that.
+
+use streamk_core::IterSpace;
+use streamk_matrix::{MatrixView, Promote, Scalar};
+
+/// Register block height (rows of C per inner block).
+pub const MR: usize = 4;
+/// Register block width (columns of C per inner block).
+pub const NR: usize = 4;
+
+/// Executes local MAC-loop iterations `[local_begin, local_end)` of
+/// `tile_idx` with `MR × NR` register blocking, adding into `accum`
+/// (row-major `BLK_M × BLK_N`).
+///
+/// Requires row-contiguous operand views; falls back to the scalar
+/// path for the ragged edges of the tile.
+///
+/// # Panics
+///
+/// Panics if the views are not row-contiguous, `accum` has the wrong
+/// size, or the local range is out of bounds.
+pub fn mac_loop_blocked<In, Acc>(
+    a: &MatrixView<'_, In>,
+    b: &MatrixView<'_, In>,
+    space: &IterSpace,
+    tile_idx: usize,
+    local_begin: usize,
+    local_end: usize,
+    accum: &mut [Acc],
+) where
+    In: Promote<Acc>,
+    Acc: Scalar,
+{
+    assert!(a.rows_contiguous() && b.rows_contiguous(), "blocked microkernel requires row-contiguous operands");
+    let tile = space.tile();
+    assert_eq!(accum.len(), tile.blk_m * tile.blk_n, "accumulator must be BLK_M x BLK_N");
+    assert!(local_end <= space.iters_per_tile(), "local range out of bounds");
+    let (rows, cols) = space.tile_extents(tile_idx);
+    let (r0, c0) = (rows.start, cols.start);
+    let m_extent = rows.end - rows.start;
+    let n_extent = cols.end - cols.start;
+    let m_main = m_extent - m_extent % MR;
+    let n_main = n_extent - n_extent % NR;
+
+    for local in local_begin..local_end {
+        let ks = space.k_extents(local);
+
+        // Main MR x NR blocks.
+        let mut i = 0;
+        while i < m_main {
+            let mut j = 0;
+            while j < n_main {
+                // Sixteen live accumulators.
+                let mut c = [[Acc::ZERO; NR]; MR];
+                for (bi, row) in c.iter_mut().enumerate() {
+                    let base = (i + bi) * tile.blk_n + j;
+                    for (bj, v) in row.iter_mut().enumerate() {
+                        *v = accum[base + bj];
+                    }
+                }
+                for k in ks.clone() {
+                    let a0 = a.row_slice(r0 + i)[k].promote();
+                    let a1 = a.row_slice(r0 + i + 1)[k].promote();
+                    let a2 = a.row_slice(r0 + i + 2)[k].promote();
+                    let a3 = a.row_slice(r0 + i + 3)[k].promote();
+                    let brow = &b.row_slice(k)[c0 + j..c0 + j + NR];
+                    for bj in 0..NR {
+                        let bv = brow[bj].promote();
+                        c[0][bj] = c[0][bj].mac(a0, bv);
+                        c[1][bj] = c[1][bj].mac(a1, bv);
+                        c[2][bj] = c[2][bj].mac(a2, bv);
+                        c[3][bj] = c[3][bj].mac(a3, bv);
+                    }
+                }
+                for (bi, row) in c.iter().enumerate() {
+                    let base = (i + bi) * tile.blk_n + j;
+                    accum[base..base + NR].copy_from_slice(row);
+                }
+                j += NR;
+            }
+            // Right edge of the main rows.
+            for bi in 0..MR {
+                scalar_row(a, b, r0 + i + bi, c0, n_main..n_extent, ks.clone(), &mut accum[(i + bi) * tile.blk_n..]);
+            }
+            i += MR;
+        }
+        // Bottom edge rows.
+        for bi in m_main..m_extent {
+            scalar_row(a, b, r0 + bi, c0, 0..n_extent, ks.clone(), &mut accum[bi * tile.blk_n..]);
+        }
+    }
+}
+
+/// Scalar update of one output row over a column range — the ragged
+/// edge path, same accumulation order as the blocked body.
+fn scalar_row<In, Acc>(
+    a: &MatrixView<'_, In>,
+    b: &MatrixView<'_, In>,
+    row: usize,
+    c0: usize,
+    cols: std::ops::Range<usize>,
+    ks: std::ops::Range<usize>,
+    acc_row: &mut [Acc],
+) where
+    In: Promote<Acc>,
+    Acc: Scalar,
+{
+    if cols.is_empty() {
+        return;
+    }
+    for k in ks {
+        let av = a.row_slice(row)[k].promote();
+        let brow = &b.row_slice(k)[c0 + cols.start..c0 + cols.end];
+        for (acc, &bv) in acc_row[cols.clone()].iter_mut().zip(brow) {
+            *acc = acc.mac(av, bv.promote());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::macloop::mac_loop_view;
+    use streamk_matrix::Matrix;
+    use streamk_types::{GemmShape, Layout, TileShape};
+
+    fn compare(shape: GemmShape, tile: TileShape, seed: u64) {
+        let space = IterSpace::new(shape, tile);
+        let a = Matrix::<f64>::random::<f64>(shape.m, shape.k, Layout::RowMajor, seed);
+        let b = Matrix::<f64>::random::<f64>(shape.k, shape.n, Layout::RowMajor, seed + 1);
+        for tile_idx in 0..space.tiles() {
+            let mut blocked = vec![0.0f64; tile.blk_m * tile.blk_n];
+            let mut scalar = vec![0.0f64; tile.blk_m * tile.blk_n];
+            mac_loop_blocked(&a.view(), &b.view(), &space, tile_idx, 0, space.iters_per_tile(), &mut blocked);
+            mac_loop_view(&a.view(), &b.view(), &space, tile_idx, 0, space.iters_per_tile(), &mut scalar);
+            assert_eq!(blocked, scalar, "tile {tile_idx} of {shape} at {tile}");
+        }
+    }
+
+    #[test]
+    fn matches_scalar_on_aligned_tiles() {
+        compare(GemmShape::new(32, 32, 24), TileShape::new(16, 16, 8), 1);
+    }
+
+    #[test]
+    fn matches_scalar_on_ragged_tiles() {
+        // Edge tiles exercise both the right-edge and bottom-edge
+        // scalar paths (extents not multiples of 4).
+        compare(GemmShape::new(30, 27, 19), TileShape::new(16, 16, 8), 2);
+        compare(GemmShape::new(7, 5, 11), TileShape::new(8, 8, 4), 3);
+        compare(GemmShape::new(13, 14, 15), TileShape::new(13, 14, 5), 4);
+    }
+
+    #[test]
+    fn matches_scalar_on_partial_iter_ranges() {
+        let shape = GemmShape::new(16, 16, 64);
+        let tile = TileShape::new(16, 16, 8);
+        let space = IterSpace::new(shape, tile);
+        let a = Matrix::<f64>::random::<f64>(16, 64, Layout::RowMajor, 5);
+        let b = Matrix::<f64>::random::<f64>(64, 16, Layout::RowMajor, 6);
+        for (lb, le) in [(0usize, 3usize), (3, 8), (2, 5), (7, 8)] {
+            let mut blocked = vec![0.0f64; 256];
+            let mut scalar = vec![0.0f64; 256];
+            mac_loop_blocked(&a.view(), &b.view(), &space, 0, lb, le, &mut blocked);
+            mac_loop_view(&a.view(), &b.view(), &space, 0, lb, le, &mut scalar);
+            assert_eq!(blocked, scalar, "range [{lb},{le})");
+        }
+    }
+
+    #[test]
+    fn accumulates_into_existing_values() {
+        let shape = GemmShape::new(8, 8, 16);
+        let tile = TileShape::new(8, 8, 8);
+        let space = IterSpace::new(shape, tile);
+        let a = Matrix::<f64>::random::<f64>(8, 16, Layout::RowMajor, 7);
+        let b = Matrix::<f64>::random::<f64>(16, 8, Layout::RowMajor, 8);
+        // Split accumulation [0,1) then [1,2) must equal [0,2).
+        let mut whole = vec![0.0f64; 64];
+        mac_loop_blocked(&a.view(), &b.view(), &space, 0, 0, 2, &mut whole);
+        let mut parts = vec![0.0f64; 64];
+        mac_loop_blocked(&a.view(), &b.view(), &space, 0, 0, 1, &mut parts);
+        mac_loop_blocked(&a.view(), &b.view(), &space, 0, 1, 2, &mut parts);
+        assert_eq!(whole, parts);
+    }
+
+    #[test]
+    #[should_panic(expected = "row-contiguous")]
+    fn rejects_strided_views() {
+        let shape = GemmShape::new(8, 8, 8);
+        let tile = TileShape::new(8, 8, 8);
+        let space = IterSpace::new(shape, tile);
+        let a = Matrix::<f64>::zeros(8, 8, Layout::ColMajor);
+        let b = Matrix::<f64>::zeros(8, 8, Layout::RowMajor);
+        let mut acc = vec![0.0f64; 64];
+        mac_loop_blocked(&a.view(), &b.view(), &space, 0, 0, 1, &mut acc);
+    }
+}

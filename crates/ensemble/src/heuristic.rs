@@ -1,0 +1,181 @@
+//! A cuBLAS-like rule-based kernel selector.
+//!
+//! cuBLAS dispatches each GEMM to one of many pre-compiled kernels
+//! using trained heuristics. Those heuristics are good on average but
+//! — as the paper's Figures 5b/6b show — they mis-select on a long
+//! tail of shapes, exhibiting "substantially wider dynamic ranges
+//! than the idealized data-parallel CUTLASS oracle" despite choosing
+//! from the same blocking factors.
+//!
+//! This selector reproduces that behaviour class honestly: hand-coded
+//! rules in the spirit of the MAGMA/cuBLAS size-threshold heuristics
+//! (§2). They are deliberately *static* — based on occupancy targets
+//! and output extents, blind to the exact wave quantization and to
+//! interactions with the k-extent — which is precisely where such
+//! rules go wrong in practice.
+
+use crate::tiles::{TileConfig, TileEnsemble};
+use streamk_core::{Decomposition, Strategy};
+use streamk_types::GemmShape;
+
+/// A rule-based selector over a tile ensemble, standing in for the
+/// cuBLAS kernel-selection heuristics.
+///
+/// ```
+/// use streamk_ensemble::{HeuristicSelector, TileEnsemble};
+/// use streamk_types::GemmShape;
+///
+/// let selector = HeuristicSelector::new(TileEnsemble::fp16t32(), 108);
+/// let (config, decomp) = selector.decompose(GemmShape::new(8192, 8192, 1024));
+/// assert_eq!(config.tile.to_string(), "128x256x32"); // big problem, big tile
+/// assert!(decomp.validate().is_ok());
+/// ```
+#[derive(Debug, Clone)]
+pub struct HeuristicSelector {
+    ensemble: TileEnsemble,
+    /// Processor cores the rules target for occupancy.
+    sms: usize,
+}
+
+impl HeuristicSelector {
+    /// Builds a selector over `ensemble` targeting a `sms`-core
+    /// processor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty ensemble or `sms == 0`.
+    #[must_use]
+    pub fn new(ensemble: TileEnsemble, sms: usize) -> Self {
+        assert!(!ensemble.is_empty(), "selector needs at least one kernel");
+        assert!(sms > 0, "sms must be at least 1");
+        Self { ensemble, sms }
+    }
+
+    /// The underlying ensemble.
+    #[must_use]
+    pub fn ensemble(&self) -> &TileEnsemble {
+        &self.ensemble
+    }
+
+    /// Applies the selection rules to `shape`, returning the chosen
+    /// configuration and decomposition strategy.
+    ///
+    /// Rules (in order):
+    /// 1. Prefer the largest (most efficient) blocking whose output
+    ///    tiling oversubscribes the processor by at least 2 waves —
+    ///    the classic "enough tiles to balance" rule.
+    /// 2. Failing that, prefer the largest blocking that at least
+    ///    fills one wave.
+    /// 3. Failing that (strong-scaling regime), take the *smallest*
+    ///    blocking, and if it still can't fill the processor, apply a
+    ///    power-of-two fixed-split chosen to approach one CTA per
+    ///    core — cuBLAS's split-k kernels.
+    #[must_use]
+    pub fn select(&self, shape: GemmShape) -> (TileConfig, Strategy) {
+        // Rule 1: 2-wave oversubscription with the biggest tile.
+        for &config in &self.ensemble.configs {
+            if config.tile.output_tiles(shape) >= 2 * self.sms {
+                return (config, Strategy::DataParallel);
+            }
+        }
+        // Rule 2: at least one full wave.
+        for &config in &self.ensemble.configs {
+            if config.tile.output_tiles(shape) >= self.sms {
+                return (config, Strategy::DataParallel);
+            }
+        }
+        // Rule 3: strong scaling with the smallest blocking.
+        let config = *self.ensemble.configs.last().expect("non-empty ensemble");
+        let tiles = config.tile.output_tiles(shape);
+        let iters_per_tile = config.tile.iters_per_tile(shape);
+        let mut split = 1usize;
+        while tiles * split * 2 <= self.sms && split * 2 <= iters_per_tile {
+            split *= 2;
+        }
+        let strategy = if split > 1 { Strategy::FixedSplit { split } } else { Strategy::DataParallel };
+        (config, strategy)
+    }
+
+    /// Builds the decomposition the rules select for `shape`.
+    #[must_use]
+    pub fn decompose(&self, shape: GemmShape) -> (TileConfig, Decomposition) {
+        let (config, strategy) = self.select(shape);
+        (config, Decomposition::from_strategy(shape, config.tile, strategy))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamk_types::TileShape;
+
+    fn selector() -> HeuristicSelector {
+        HeuristicSelector::new(TileEnsemble::fp16t32(), 108)
+    }
+
+    #[test]
+    fn big_problems_get_big_tiles() {
+        let (config, strategy) = selector().select(GemmShape::new(8192, 8192, 1024));
+        assert_eq!(config.tile, TileShape::new(128, 256, 32));
+        assert_eq!(strategy, Strategy::DataParallel);
+    }
+
+    #[test]
+    fn mid_problems_step_down_the_ensemble() {
+        // 1024×1024: 128×256 gives 32 tiles (< 108), 128×128 gives 64,
+        // 64×128 gives 128 (≥ 108 but < 216), 64×64 gives 256 (≥ 216).
+        let (config, strategy) = selector().select(GemmShape::new(1024, 1024, 1024));
+        assert_eq!(config.tile, TileShape::new(64, 64, 64));
+        assert_eq!(strategy, Strategy::DataParallel);
+    }
+
+    #[test]
+    fn strong_scaling_gets_fixed_split() {
+        // One 64×64 tile, enormous k: rule 3 with a deep split.
+        let (config, strategy) = selector().select(GemmShape::new(64, 64, 16384));
+        assert_eq!(config.tile, TileShape::new(64, 64, 64));
+        match strategy {
+            Strategy::FixedSplit { split } => {
+                assert!(split >= 16, "split = {split}");
+                assert!(split.is_power_of_two());
+            }
+            other => panic!("expected fixed-split, got {other}"),
+        }
+    }
+
+    #[test]
+    fn split_never_exceeds_iteration_count() {
+        // k = 256 at BLK_K 64 → only 4 iterations per tile: split ≤ 4.
+        let (config, strategy) = selector().select(GemmShape::new(64, 64, 256));
+        assert_eq!(config.tile.blk_k, 64);
+        if let Strategy::FixedSplit { split } = strategy {
+            assert!(split <= 4);
+        }
+    }
+
+    #[test]
+    fn decompose_is_always_valid() {
+        let s = selector();
+        for (m, n, k) in [(128, 128, 128), (8192, 128, 8192), (333, 777, 1111), (64, 64, 8192)] {
+            let (_, d) = s.decompose(GemmShape::new(m, n, k));
+            assert!(d.validate().is_ok(), "{m}x{n}x{k}");
+        }
+    }
+
+    /// The defining weakness: the rules are blind to wave
+    /// quantization. A shape that produces 2·sms + 1 tiles at the
+    /// biggest blocking passes rule 1 and eats a nearly empty third
+    /// wave — the oracle would have stepped down.
+    #[test]
+    fn heuristic_accepts_bad_quantization() {
+        let s = HeuristicSelector::new(TileEnsemble::fp16t32(), 108);
+        // 217 tiles of 128×256 → 31×7: m = 31·128 = 3968, n = 7·256 = 1792.
+        let shape = GemmShape::new(3968, 1792, 1024);
+        let (config, _) = s.select(shape);
+        assert_eq!(config.tile, TileShape::new(128, 256, 32));
+        let tiles = config.tile.output_tiles(shape);
+        assert_eq!(tiles, 217);
+        // Third wave is 1/108 full: utilization ceiling 217/324 ≈ 67%.
+        assert!(streamk_types::quantization_efficiency(tiles, 108) < 0.70);
+    }
+}

@@ -1,0 +1,32 @@
+//! Kernel ensembles and selection baselines.
+//!
+//! The paper compares its single-kernel Stream-K against three
+//! tile-centric alternatives (§6 "Methodology"):
+//!
+//! 1. the default *data-parallel* CUTLASS kernel at the same blocking
+//!    factor ([`runners::run_dp_single`]);
+//! 2. the cuBLAS ensemble, whose trained heuristics choose among many
+//!    pre-compiled kernels — reproduced here as a rule-based
+//!    [`HeuristicSelector`] over the same ensemble (imperfect by
+//!    construction, as the paper observes of cuBLAS);
+//! 3. an idealized [`Oracle`] that always picks the
+//!    highest-performing *data-parallel* blocking factor for each
+//!    problem.
+//!
+//! The ensembles themselves ([`TileEnsemble`]) are the paper's
+//! published CUTLASS specialization lists, with per-configuration
+//! sustained-efficiency ceilings: smaller blockings expose fewer
+//! instructions for latency hiding and a higher memory-op proportion,
+//! so they cannot reach peak (§3.2).
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod heuristic;
+pub mod oracle;
+pub mod runners;
+pub mod tiles;
+
+pub use heuristic::HeuristicSelector;
+pub use oracle::Oracle;
+pub use tiles::{TileConfig, TileEnsemble};

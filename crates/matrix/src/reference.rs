@@ -1,0 +1,123 @@
+//! Ground-truth naive GEMM.
+//!
+//! The simplest possible triple loop, used as the oracle every other
+//! implementation in the workspace is verified against. It accumulates
+//! in the accumulator type `Acc` after promoting each input element,
+//! exactly as the paper's mixed-precision pipeline does.
+
+use crate::matrix::Matrix;
+use crate::scalar::{Promote, Scalar};
+use streamk_types::GemmShape;
+
+/// Computes `C = A · B` with a naive `m × n × k` triple loop.
+///
+/// * `a` is `m × k`, `b` is `k × n`; the result is `m × n` in `a`'s
+///   layout.
+/// * Accumulation order is the canonical ascending-k order, which the
+///   blocked and parallel implementations match *except* at tile-split
+///   seams (where addition reassociates — tolerance-checked in tests).
+///
+/// # Panics
+///
+/// Panics if the operand dimensions are not conformant.
+#[must_use]
+pub fn gemm_naive<In, Acc>(a: &Matrix<In>, b: &Matrix<In>) -> Matrix<Acc>
+where
+    In: Promote<Acc>,
+    Acc: Scalar,
+{
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree: A is {}x{}, B is {}x{}", a.rows(), a.cols(), b.rows(), b.cols());
+    let (m, n, k) = (a.rows(), b.cols(), a.cols());
+    let mut c = Matrix::<Acc>::zeros(m, n, a.layout());
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = Acc::ZERO;
+            for p in 0..k {
+                acc = acc.mac(a.get(i, p).promote(), b.get(p, j).promote());
+            }
+            c.set(i, j, acc);
+        }
+    }
+    c
+}
+
+/// The [`GemmShape`] of the product `a · b`.
+///
+/// # Panics
+///
+/// Panics if the operands are not conformant.
+#[must_use]
+pub fn product_shape<In>(a: &Matrix<In>, b: &Matrix<In>) -> GemmShape {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    GemmShape::new(a.rows(), b.cols(), a.cols())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::half::f16;
+    use streamk_types::Layout;
+
+    #[test]
+    fn identity_times_anything() {
+        let eye = Matrix::<f64>::from_fn(3, 3, Layout::RowMajor, |r, c| if r == c { 1.0 } else { 0.0 });
+        let b = Matrix::<f64>::random::<f64>(3, 5, Layout::RowMajor, 1);
+        let c = gemm_naive::<f64, f64>(&eye, &b);
+        c.assert_close(&b, 0.0);
+    }
+
+    #[test]
+    fn known_2x2() {
+        let a = Matrix::<f64>::from_fn(2, 2, Layout::RowMajor, |r, c| (r * 2 + c + 1) as f64); // [[1,2],[3,4]]
+        let b = Matrix::<f64>::from_fn(2, 2, Layout::RowMajor, |r, c| (r * 2 + c + 5) as f64); // [[5,6],[7,8]]
+        let c = gemm_naive::<f64, f64>(&a, &b);
+        assert_eq!(c.get(0, 0), 19.0);
+        assert_eq!(c.get(0, 1), 22.0);
+        assert_eq!(c.get(1, 0), 43.0);
+        assert_eq!(c.get(1, 1), 50.0);
+    }
+
+    #[test]
+    fn layout_invariance() {
+        let a_r = Matrix::<f64>::random::<f64>(7, 5, Layout::RowMajor, 2);
+        let b_r = Matrix::<f64>::random::<f64>(5, 9, Layout::RowMajor, 3);
+        let a_c = a_r.to_layout(Layout::ColMajor);
+        let b_c = b_r.to_layout(Layout::ColMajor);
+        let c_r = gemm_naive::<f64, f64>(&a_r, &b_r);
+        let c_c = gemm_naive::<f64, f64>(&a_c, &b_c);
+        c_r.assert_close(&c_c.to_layout(Layout::RowMajor), 0.0);
+    }
+
+    #[test]
+    fn mixed_precision_accumulates_in_f32() {
+        // With f16 inputs that are exactly representable, a short
+        // accumulation is exact in f32.
+        let a = Matrix::<f16>::patterned::<f32>(4, 6, Layout::RowMajor);
+        let b = Matrix::<f16>::patterned::<f32>(6, 3, Layout::RowMajor);
+        let c = gemm_naive::<f16, f32>(&a, &b);
+        // Cross-check against an all-f64 computation of the same values.
+        let a64 = Matrix::<f64>::from_fn(4, 6, Layout::RowMajor, |r, c| a.get(r, c).to_f64());
+        let b64 = Matrix::<f64>::from_fn(6, 3, Layout::RowMajor, |r, c| b.get(r, c).to_f64());
+        let c64 = gemm_naive::<f64, f64>(&a64, &b64);
+        for r in 0..4 {
+            for cc in 0..3 {
+                assert_eq!(f64::from(c.get(r, cc)), c64.get(r, cc));
+            }
+        }
+    }
+
+    #[test]
+    fn product_shape_reports_mnk() {
+        let a = Matrix::<f64>::zeros(4, 7, Layout::RowMajor);
+        let b = Matrix::<f64>::zeros(7, 3, Layout::RowMajor);
+        assert_eq!(product_shape(&a, &b), GemmShape::new(4, 3, 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn nonconformant_panics() {
+        let a = Matrix::<f64>::zeros(4, 7, Layout::RowMajor);
+        let b = Matrix::<f64>::zeros(6, 3, Layout::RowMajor);
+        let _ = gemm_naive::<f64, f64>(&a, &b);
+    }
+}

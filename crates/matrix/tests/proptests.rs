@@ -1,0 +1,109 @@
+//! Property tests for the numerical substrate.
+
+use proptest::prelude::*;
+use streamk_matrix::blocked::gemm_blocked;
+use streamk_matrix::gemm_ex::gemm_ex_reference;
+use streamk_matrix::reference::gemm_naive;
+use streamk_matrix::{f16, Matrix};
+use streamk_types::{Layout, TileShape};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// f16 conversion round-trips within half-precision epsilon for
+    /// values in the normal range.
+    #[test]
+    fn f16_round_trip_error_bound(v in -60000.0f32..60000.0) {
+        let h = f16::from_f32(v);
+        let back = h.to_f32();
+        let err = (back - v).abs();
+        // Round-to-nearest guarantees err <= ulp/2 <= |v|·2^-11 for
+        // normal values (subnormals have absolute bound 2^-25).
+        let bound = (v.abs() * 2.0f32.powi(-11)).max(2.0f32.powi(-25));
+        prop_assert!(err <= bound, "v={v}, back={back}, err={err}, bound={bound}");
+    }
+
+    /// Conversion is monotone over random pairs.
+    #[test]
+    fn f16_conversion_monotone(a in -65000.0f32..65000.0, b in -65000.0f32..65000.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(f16::from_f32(lo) <= f16::from_f32(hi));
+    }
+
+    /// The cache-blocked GEMM (Algorithm 1) is bit-identical to the
+    /// naive reference for any blocking of any shape (same
+    /// accumulation order).
+    #[test]
+    fn blocked_gemm_is_bit_exact(
+        m in 1usize..40, n in 1usize..40, k in 1usize..40,
+        bm in 1usize..17, bn in 1usize..17, bk in 1usize..17,
+        seed in 0u64..1000,
+    ) {
+        let a = Matrix::<f64>::random::<f64>(m, k, Layout::RowMajor, seed);
+        let b = Matrix::<f64>::random::<f64>(k, n, Layout::RowMajor, seed + 1);
+        let blocked = gemm_blocked::<f64, f64>(&a, &b, TileShape::new(bm, bn, bk));
+        let naive = gemm_naive::<f64, f64>(&a, &b);
+        prop_assert_eq!(blocked.max_abs_diff(&naive), 0.0);
+    }
+
+    /// View laws: double transpose is the identity; a submatrix of a
+    /// transpose equals the transpose-indexed submatrix.
+    #[test]
+    fn view_transpose_laws(rows in 1usize..20, cols in 1usize..20, seed in 0u64..1000) {
+        let m = Matrix::<f64>::random::<f64>(rows, cols, Layout::RowMajor, seed);
+        let v = m.view();
+        let tt = v.t().t();
+        for r in 0..rows {
+            for c in 0..cols {
+                prop_assert_eq!(tt.get(r, c), v.get(r, c));
+                prop_assert_eq!(v.t().get(c, r), v.get(r, c));
+            }
+        }
+    }
+
+    /// gemm_ex is linear in alpha and affine in beta:
+    /// result(α, β) == α·result(1, 0) + β·C0, elementwise.
+    #[test]
+    fn gemm_ex_alpha_beta_linearity(
+        m in 1usize..12, n in 1usize..12, k in 1usize..12,
+        alpha in -4.0f64..4.0, beta in -4.0f64..4.0,
+        seed in 0u64..1000,
+    ) {
+        let a = Matrix::<f64>::random::<f64>(m, k, Layout::RowMajor, seed);
+        let b = Matrix::<f64>::random::<f64>(k, n, Layout::RowMajor, seed + 1);
+        let c0 = Matrix::<f64>::random::<f64>(m, n, Layout::RowMajor, seed + 2);
+
+        let mut full = c0.clone();
+        gemm_ex_reference(alpha, &a.view(), &b.view(), beta, &mut full);
+
+        let ab = gemm_naive::<f64, f64>(&a, &b);
+        for r in 0..m {
+            for cc in 0..n {
+                let expected = alpha * ab.get(r, cc) + beta * c0.get(r, cc);
+                let got = full.get(r, cc);
+                prop_assert!((got - expected).abs() <= 1e-12 * (1.0 + expected.abs()),
+                    "({r},{cc}): {got} vs {expected}");
+            }
+        }
+    }
+
+    /// Mixed-precision naive GEMM equals an all-f64 computation of the
+    /// promoted values when k is small enough for exact f32
+    /// accumulation of half-precision inputs.
+    #[test]
+    fn mixed_precision_matches_promoted_f64(
+        m in 1usize..8, n in 1usize..8, k in 1usize..16,
+    ) {
+        let a = Matrix::<f16>::patterned::<f32>(m, k, Layout::RowMajor);
+        let b = Matrix::<f16>::patterned::<f32>(k, n, Layout::RowMajor);
+        let c = gemm_naive::<f16, f32>(&a, &b);
+        let a64 = Matrix::<f64>::from_fn(m, k, Layout::RowMajor, |r, cc| a.get(r, cc).to_f64());
+        let b64 = Matrix::<f64>::from_fn(k, n, Layout::RowMajor, |r, cc| b.get(r, cc).to_f64());
+        let c64 = gemm_naive::<f64, f64>(&a64, &b64);
+        for r in 0..m {
+            for cc in 0..n {
+                prop_assert_eq!(f64::from(c.get(r, cc)), c64.get(r, cc));
+            }
+        }
+    }
+}

@@ -1,0 +1,422 @@
+//! The event-driven execution engine.
+//!
+//! Dispatch model: CTAs launch in id order onto the
+//! earliest-available SM, one resident CTA per SM — the GPU work
+//! distributor's wave behaviour. Fixup dependencies follow
+//! Algorithm 5:
+//!
+//! - a CTA whose *first* segment does not start its tile is a
+//!   **contributor**: after its MAC iterations it stores a partial
+//!   record (`b`) and signals; its signal time never depends on any
+//!   wait, which is what makes the schedule deadlock-free;
+//! - a CTA whose *last* segment starts but does not end its tile is
+//!   the tile's **owner**: it must wait for each peer's signal, then
+//!   pays `d` per peer for the serial accumulate, then stores the
+//!   tile.
+//!
+//! A waiting owner occupies its SM (GPUs cannot preempt a resident
+//! CTA), so fixup stalls genuinely consume processor time — the effect
+//! the two-tile hybrid exists to hide (§5.2).
+
+use crate::cost::{CtaCosts, DEFAULT_MAC_EFFICIENCY};
+use crate::gpu::GpuSpec;
+use crate::report::{CtaSpan, SimReport};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use streamk_core::{CtaWork, Decomposition, TileFixup};
+use streamk_types::Precision;
+
+/// Simulates `decomp` on `gpu` at `precision`, with the blocking
+/// factor running at the default 99%-of-peak MAC efficiency.
+///
+/// ```
+/// use streamk_core::Decomposition;
+/// use streamk_sim::{simulate, GpuSpec};
+/// use streamk_types::{GemmShape, Precision, TileShape};
+///
+/// // Figure 1a: nine large tiles on four SMs cap at 75%.
+/// let d = Decomposition::data_parallel(GemmShape::new(384, 384, 128), TileShape::new(128, 128, 128));
+/// let r = simulate(&d, &GpuSpec::hypothetical_4sm(), Precision::Fp64);
+/// assert!((r.quantization_efficiency() - 0.75).abs() < 1e-9);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the decomposition is structurally invalid (debug builds
+/// validate it) or if its dependency graph deadlocks — which no
+/// decomposition produced by `streamk-core` can.
+#[must_use]
+pub fn simulate(decomp: &Decomposition, gpu: &GpuSpec, precision: Precision) -> SimReport {
+    simulate_with_efficiency(decomp, gpu, precision, DEFAULT_MAC_EFFICIENCY)
+}
+
+/// [`simulate`] with an explicit MAC efficiency for the blocking
+/// factor (used by the ensemble baselines, whose smaller tiles sustain
+/// a lower fraction of peak).
+#[must_use]
+pub fn simulate_with_efficiency(
+    decomp: &Decomposition,
+    gpu: &GpuSpec,
+    precision: Precision,
+    mac_efficiency: f64,
+) -> SimReport {
+    debug_assert!(decomp.validate().is_ok(), "invalid decomposition: {:?}", decomp.validate());
+    let space = decomp.space();
+    let tile = space.tile();
+    let costs = CtaCosts::derive(gpu, precision, tile, mac_efficiency);
+
+    let grid = GridDesc::from_parts(decomp.ctas(), space.iters_per_tile(), decomp.fixups());
+    let des = run_des(&grid, gpu, &costs);
+
+    let shape = space.shape();
+    finish_report(
+        des,
+        &grid,
+        gpu,
+        precision,
+        tile,
+        space.total_iters(),
+        space.tiles(),
+        // Compulsory floor: each input element read at least once.
+        ((shape.m * shape.k + shape.k * shape.n) * precision.input_bytes()) as f64,
+        shape.flops() as f64,
+    )
+}
+
+/// A simulator-facing description of a grid: per-CTA iteration
+/// ranges plus the derived fixup structure. Built from single-GEMM
+/// and batched decompositions alike.
+pub(crate) struct GridDesc {
+    pub(crate) facts: Vec<CtaFacts>,
+    pub(crate) owner_peers: Vec<Vec<usize>>,
+    pub(crate) partial_records: usize,
+}
+
+/// Per-CTA static facts the DES consumes.
+pub(crate) struct CtaFacts {
+    pub(crate) iters: usize,
+    /// First segment stores a partial (it does not start its tile).
+    pub(crate) contributes: bool,
+    /// Length of that first segment.
+    pub(crate) first_seg_iters: usize,
+}
+
+impl GridDesc {
+    pub(crate) fn from_parts(ctas: &[CtaWork], iters_per_tile: usize, fixups: Vec<TileFixup>) -> Self {
+        let mut owner_peers: Vec<Vec<usize>> = vec![Vec::new(); ctas.len()];
+        let mut partial_records = 0usize;
+        for fixup in fixups {
+            partial_records += fixup.peers.len();
+            if !fixup.peers.is_empty() {
+                owner_peers[fixup.owner] = fixup.peers;
+            }
+        }
+        let facts = ctas
+            .iter()
+            .map(|cta| {
+                if cta.is_empty() {
+                    return CtaFacts { iters: 0, contributes: false, first_seg_iters: 0 };
+                }
+                let tile_first = (cta.iter_begin / iters_per_tile) * iters_per_tile;
+                let first_seg_end = cta.iter_end.min(tile_first + iters_per_tile);
+                CtaFacts {
+                    iters: cta.len(),
+                    contributes: cta.iter_begin != tile_first,
+                    first_seg_iters: first_seg_end - cta.iter_begin,
+                }
+            })
+            .collect();
+        Self { facts, owner_peers, partial_records }
+    }
+}
+
+/// The raw outcome of the event-driven dispatch.
+pub(crate) struct DesOutcome {
+    pub(crate) spans: Vec<CtaSpan>,
+    pub(crate) compute_makespan: f64,
+    pub(crate) mac_busy: f64,
+    pub(crate) total_wait: f64,
+}
+
+/// Runs the event-driven dispatch of `grid` on `gpu` at the given
+/// per-CTA costs.
+pub(crate) fn run_des(grid: &GridDesc, gpu: &GpuSpec, costs: &CtaCosts) -> DesOutcome {
+    let g = grid.facts.len();
+    // Min-heap of (free_time, sm). Non-negative f64 orders correctly
+    // through its bit pattern.
+    let key = |t: f64, sm: usize| Reverse((t.to_bits(), sm));
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = (0..gpu.sms).map(|sm| Reverse((0f64.to_bits(), sm))).collect();
+
+    let mut signal_time: Vec<Option<f64>> = vec![None; g];
+    let mut spans: Vec<CtaSpan> = Vec::with_capacity(g);
+    // Owners blocked on unresolved peer signals: (cta, sm, time after
+    // its own MACs, span index).
+    let mut blocked: Vec<(usize, usize, f64, usize)> = Vec::new();
+    let mut mac_busy = 0.0f64;
+    let mut total_wait = 0.0f64;
+
+    let finish_owner = |t_ready: f64, peers: &[usize], signals: &[Option<f64>]| -> (f64, f64) {
+        // Serial accumulation in peer order: each load can begin only
+        // after that peer has signaled.
+        let mut t = t_ready;
+        let mut waited = 0.0;
+        for &p in peers {
+            let sig = signals[p].expect("peer signal resolved");
+            if sig > t {
+                waited += sig - t;
+                t = sig;
+            }
+            t += costs.d;
+        }
+        (t, waited)
+    };
+
+    for (cta_id, f) in grid.facts.iter().enumerate() {
+        let Reverse((bits, sm)) = heap.pop().unwrap_or_else(|| {
+            panic!("deadlock: all {} SMs blocked while dispatching CTA {cta_id}", gpu.sms)
+        });
+        let start = f64::from_bits(bits);
+        let mut t = start + costs.a;
+
+        if f.contributes {
+            // MACs of the first segment, then partial store + signal.
+            t += costs.c * f.first_seg_iters as f64 + costs.b;
+            signal_time[cta_id] = Some(t);
+            // Remaining segments' MACs.
+            t += costs.c * (f.iters - f.first_seg_iters) as f64;
+        } else {
+            t += costs.c * f.iters as f64;
+        }
+        mac_busy += costs.c * f.iters as f64;
+
+        let span_idx = spans.len();
+        spans.push(CtaSpan { cta_id, sm, start, end: t, iters: f.iters, waited: 0.0 });
+
+        let peers = &grid.owner_peers[cta_id];
+        if peers.is_empty() {
+            heap.push(key(t, sm));
+        } else if peers.iter().all(|&p| signal_time[p].is_some()) {
+            let (end, waited) = finish_owner(t, peers, &signal_time);
+            total_wait += waited;
+            spans[span_idx].end = end;
+            spans[span_idx].waited = waited;
+            heap.push(key(end, sm));
+        } else {
+            blocked.push((cta_id, sm, t, span_idx));
+        }
+
+        // Newly resolved signals may unblock earlier owners.
+        if signal_time[cta_id].is_some() {
+            let mut i = 0;
+            while i < blocked.len() {
+                let (owner, owner_sm, t_ready, span_idx) = blocked[i];
+                if grid.owner_peers[owner].iter().all(|&p| signal_time[p].is_some()) {
+                    let (end, waited) = finish_owner(t_ready, &grid.owner_peers[owner], &signal_time);
+                    total_wait += waited;
+                    spans[span_idx].end = end;
+                    spans[span_idx].waited = waited;
+                    heap.push(key(end, owner_sm));
+                    blocked.swap_remove(i);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    assert!(blocked.is_empty(), "simulation ended with {} CTAs still blocked", blocked.len());
+
+    let compute_makespan = spans.iter().map(|s| s.end).fold(0.0f64, f64::max);
+    DesOutcome { spans, compute_makespan, mac_busy, total_wait }
+}
+
+/// Applies the memory roofline and assembles the report.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn finish_report(
+    des: DesOutcome,
+    grid: &GridDesc,
+    gpu: &GpuSpec,
+    precision: Precision,
+    tile: streamk_types::TileShape,
+    total_iters: usize,
+    tiles: usize,
+    compulsory_input_bytes: f64,
+    useful_flops: f64,
+) -> SimReport {
+    let fragment_traffic = total_iters as f64 * tile.fragment_bytes(precision) as f64 / gpu.l2_reuse;
+    let input_traffic = fragment_traffic.max(compulsory_input_bytes);
+    let output_traffic = (tiles * tile.tile_output_bytes(precision) as usize) as f64;
+    // Each partial record is written once and read once, at
+    // accumulator width. Partials are produced and consumed within
+    // the launch and fit comfortably in L2 (O(g) tile-sized buffers),
+    // so they ride the L2 bandwidth lane, not DRAM.
+    let partial_traffic = 2.0 * grid.partial_records as f64 * tile.tile_output_bytes(precision) as f64;
+    let traffic_bytes = input_traffic + output_traffic + partial_traffic;
+    let dram_time = if gpu.mem_bw.is_finite() { (input_traffic + output_traffic) / gpu.mem_bw } else { 0.0 };
+    let l2_time = if gpu.l2_bw.is_finite() { traffic_bytes / gpu.l2_bw } else { 0.0 };
+    let memory_time = dram_time.max(l2_time);
+
+    let makespan = des.compute_makespan.max(memory_time) + gpu.grid_launch_s;
+
+    SimReport {
+        precision,
+        sms: gpu.sms,
+        peak_flops: gpu.peak_flops(precision),
+        makespan,
+        compute_makespan: des.compute_makespan,
+        memory_time,
+        useful_flops,
+        traffic_bytes,
+        mac_busy: des.mac_busy,
+        total_wait: des.total_wait,
+        spans: des.spans,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamk_types::{GemmShape, TileShape};
+
+    const FIG1_SHAPE: GemmShape = GemmShape { m: 384, n: 384, k: 128 };
+
+    /// Figure 1a: 9 large tiles on 4 SMs, data-parallel → exactly 75%
+    /// quantization efficiency.
+    #[test]
+    fn figure1a_utilization_ceiling() {
+        let d = Decomposition::data_parallel(FIG1_SHAPE, TileShape::new(128, 128, 128));
+        let r = simulate(&d, &GpuSpec::hypothetical_4sm(), Precision::Fp64);
+        assert!((r.quantization_efficiency() - 0.75).abs() < 1e-9, "{}", r.quantization_efficiency());
+    }
+
+    /// Figure 1b: halving BLK_N gives 18 tiles → 90%.
+    #[test]
+    fn figure1b_utilization_ceiling() {
+        let d = Decomposition::data_parallel(FIG1_SHAPE, TileShape::new(128, 64, 128));
+        let r = simulate(&d, &GpuSpec::hypothetical_4sm(), Precision::Fp64);
+        assert!((r.quantization_efficiency() - 0.90).abs() < 1e-9);
+    }
+
+    /// Figure 2a: fixed-split s=2 → 18 CTAs → 90%.
+    #[test]
+    fn figure2a_fixed_split_efficiency() {
+        let d = Decomposition::fixed_split(FIG1_SHAPE, TileShape::new(128, 128, 64), 2);
+        let r = simulate(&d, &GpuSpec::hypothetical_4sm(), Precision::Fp64);
+        assert!((r.quantization_efficiency() - 0.90).abs() < 1e-9);
+    }
+
+    /// Figure 2b: basic Stream-K g=4 → 100% on the overhead-free GPU.
+    #[test]
+    fn figure2b_stream_k_efficiency() {
+        let d = Decomposition::stream_k(FIG1_SHAPE, TileShape::new(128, 128, 4), 4);
+        let r = simulate(&d, &GpuSpec::hypothetical_4sm(), Precision::Fp64);
+        assert!((r.quantization_efficiency() - 1.0).abs() < 1e-9);
+        // And Stream-K beats data-parallel end to end.
+        let dp = Decomposition::data_parallel(FIG1_SHAPE, TileShape::new(128, 128, 128));
+        let dp_r = simulate(&dp, &GpuSpec::hypothetical_4sm(), Precision::Fp64);
+        assert!(r.makespan < dp_r.makespan);
+    }
+
+    /// The fixup dependency is real: on a GPU with overheads, a
+    /// 32-way fixed-split of one tile serializes its reduction in the
+    /// owner.
+    #[test]
+    fn fixed_split_owner_waits() {
+        let shape = GemmShape::new(128, 128, 16384);
+        let tile = TileShape::new(128, 128, 32);
+        let d = Decomposition::fixed_split(shape, tile, 32);
+        let r = simulate(&d, &GpuSpec::a100(), Precision::Fp16To32);
+        // Owner is CTA 0; all 31 peers finish at ~the same time, so
+        // the owner must have stalled.
+        assert!(r.total_wait > 0.0);
+        assert_eq!(r.spans[0].cta_id, 0);
+        assert!(r.spans[0].waited > 0.0);
+    }
+
+    /// Stream-K's temporal skew hides fixup latency: with more tiles
+    /// than CTAs, the owner reaches its wait long after the peer
+    /// signaled, so waits are (near) zero (§4).
+    #[test]
+    fn stream_k_skew_hides_fixup_latency() {
+        let shape = GemmShape::new(1024, 1024, 2048);
+        let tile = TileShape::new(128, 128, 32);
+        let d = Decomposition::stream_k(shape, tile, 8);
+        let r = simulate(&d, &GpuSpec::a100(), Precision::Fp16To32);
+        assert_eq!(r.total_wait, 0.0, "wait = {}", r.total_wait);
+    }
+
+    /// Every span is well-formed and within the makespan; SMs never
+    /// run two CTAs at once.
+    #[test]
+    fn spans_are_consistent() {
+        let shape = GemmShape::new(896, 384, 128);
+        let tile = TileShape::new(128, 128, 32);
+        for d in [
+            Decomposition::data_parallel(shape, tile),
+            Decomposition::stream_k(shape, tile, 4),
+            Decomposition::fixed_split(shape, tile, 3),
+            Decomposition::two_tile_stream_k_dp(shape, tile, 4),
+        ] {
+            let r = simulate(&d, &GpuSpec::a100(), Precision::Fp64);
+            let mut per_sm: Vec<Vec<(f64, f64)>> = vec![Vec::new(); r.sms];
+            for s in &r.spans {
+                assert!(s.end >= s.start);
+                assert!(s.end <= r.compute_makespan + 1e-15);
+                per_sm[s.sm].push((s.start, s.end));
+            }
+            for sm_spans in &mut per_sm {
+                sm_spans.sort_by(|a, b| a.0.total_cmp(&b.0));
+                for pair in sm_spans.windows(2) {
+                    assert!(pair[1].0 >= pair[0].1 - 1e-15, "overlap on an SM: {pair:?}");
+                }
+            }
+        }
+    }
+
+    /// Utilization can never exceed 1 (useful flops ≤ peak · time).
+    #[test]
+    fn utilization_bounded() {
+        let gpu = GpuSpec::a100();
+        for (m, n, k) in [(128, 128, 128), (4096, 4096, 4096), (256, 3584, 8192), (129, 257, 511)] {
+            let shape = GemmShape::new(m, n, k);
+            let tile = TileShape::FP16_STREAMK;
+            let d = Decomposition::two_tile_stream_k_dp(shape, tile, gpu.sms);
+            let r = simulate(&d, &gpu, Precision::Fp16To32);
+            assert!(r.utilization() <= 1.0, "{m}x{n}x{k}: {}", r.utilization());
+            assert!(r.utilization() > 0.0);
+        }
+    }
+
+    /// Large cube problems must land near peak for Stream-K.
+    #[test]
+    fn large_problem_near_peak() {
+        let gpu = GpuSpec::a100();
+        let shape = GemmShape::new(8192, 8192, 8192);
+        let d = Decomposition::two_tile_stream_k_dp(shape, TileShape::FP16_STREAMK, gpu.sms);
+        let r = simulate(&d, &gpu, Precision::Fp16To32);
+        assert!(r.utilization() > 0.90, "utilization = {}", r.utilization());
+    }
+
+    /// Small problems are memory-bound.
+    #[test]
+    fn small_problem_memory_bound() {
+        // A wide, shallow product: 62 flops/byte, far below the
+        // fp16→32 balance point of ~143.
+        let gpu = GpuSpec::a100();
+        let shape = GemmShape::new(4096, 4096, 128);
+        let d = Decomposition::two_tile_stream_k_dp(shape, TileShape::FP16_STREAMK, gpu.sms);
+        let r = simulate(&d, &gpu, Precision::Fp16To32);
+        assert!(r.is_memory_bound());
+    }
+
+    /// Empty CTAs (grid larger than the iteration space) simulate
+    /// without incident.
+    #[test]
+    fn empty_ctas_are_harmless() {
+        let shape = GemmShape::new(64, 64, 32);
+        let tile = TileShape::new(64, 64, 16);
+        let d = Decomposition::stream_k(shape, tile, 7);
+        let r = simulate(&d, &GpuSpec::hypothetical_4sm(), Precision::Fp64);
+        assert_eq!(r.spans.len(), 7);
+        assert!(r.makespan > 0.0);
+    }
+}

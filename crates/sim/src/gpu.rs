@@ -1,0 +1,215 @@
+//! Simulated GPU specifications.
+
+use streamk_core::CostModel;
+use streamk_types::Precision;
+
+/// The physical parameters of a simulated GPU.
+///
+/// Two presets matter for the reproduction: [`GpuSpec::a100`] (the
+/// paper's locked-clock A100) and [`GpuSpec::hypothetical_4sm`] (the
+/// overhead-free four-SM processor of the paper's Figures 1-3 and 9,
+/// where utilization numbers like 75%/90%/100% are exact).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuSpec {
+    /// Human-readable name for reports.
+    pub name: &'static str,
+    /// Streaming multiprocessor count `p`.
+    pub sms: usize,
+    /// Peak FP64 tensor-core throughput, TFLOP/s.
+    pub fp64_tflops: f64,
+    /// Peak FP16→32 tensor-core throughput, TFLOP/s.
+    pub fp16t32_tflops: f64,
+    /// Global-memory bandwidth, bytes/s. `f64::INFINITY` disables the
+    /// memory roofline (useful for pure-quantization studies).
+    pub mem_bw: f64,
+    /// L2-cache bandwidth, bytes/s. Partial-sum fixup records are
+    /// small (`g` tile-sized buffers — a few MB, far below the A100's
+    /// 40 MB L2) and are produced and consumed within the launch, so
+    /// their traffic is served at L2 rather than DRAM speed.
+    pub l2_bw: f64,
+    /// Cross-CTA reuse factor the L2 cache provides on operand
+    /// fragment traffic (≥ 1). Neighbouring CTAs re-read the same
+    /// **A** row-panels / **B** column-panels; a 40 MB A100 L2 absorbs
+    /// roughly this fraction.
+    pub l2_reuse: f64,
+    /// One-time grid launch latency, seconds (added once per launch).
+    pub grid_launch_s: f64,
+    /// Appendix A.1 cost-unit ratios for FP64 kernels (the `c` field
+    /// sets the unit; `a/c`, `b/c`, `d/c` are what the simulator
+    /// uses). Shared with the grid-size selection model so launch
+    /// decisions and simulated outcomes agree.
+    pub fp64_units: CostModel,
+    /// Cost-unit ratios for FP16→32 kernels.
+    pub fp16t32_units: CostModel,
+}
+
+impl GpuSpec {
+    /// The paper's test GPU: NVIDIA A100 with 108 SMs, power locked at
+    /// 400 W and SM clocks at 1005 MHz, giving 13.9 TFLOP/s FP64 and
+    /// 222.3 TFLOP/s FP16→32 tensor-core peaks (§6 "Hardware
+    /// environment"). Memory bandwidth is the A100-80GB HBM2e figure;
+    /// cost-unit ratios are the Figure-8-calibrated constants of
+    /// `streamk_core::CostModel`.
+    #[must_use]
+    pub fn a100() -> Self {
+        GpuSpec {
+            name: "A100-sim (108 SM, locked clocks)",
+            sms: 108,
+            fp64_tflops: 13.9,
+            fp16t32_tflops: 222.3,
+            mem_bw: 1.555e12,
+            l2_bw: 4.5e12,
+            l2_reuse: 4.0,
+            grid_launch_s: 3.0e-6,
+            fp64_units: CostModel::a100_fp64(),
+            fp16t32_units: CostModel::a100_fp16(),
+        }
+    }
+
+    /// The paper's hypothetical four-SM GPU (Figures 1, 2, 3, 9): no
+    /// overheads, no bandwidth ceiling, so schedules show pure
+    /// quantization behaviour and the utilization ceilings quoted in
+    /// the figures (75%, 90%, 100%) are exact.
+    #[must_use]
+    pub fn hypothetical_4sm() -> Self {
+        let zero_overhead = CostModel { a: 0.0, b: 0.0, c: 1.0, d: 0.0 };
+        GpuSpec {
+            name: "hypothetical 4-SM GPU",
+            sms: 4,
+            fp64_tflops: 1.0,
+            fp16t32_tflops: 1.0,
+            mem_bw: f64::INFINITY,
+            l2_bw: f64::INFINITY,
+            l2_reuse: 1.0,
+            grid_launch_s: 0.0,
+            fp64_units: zero_overhead,
+            fp16t32_units: zero_overhead,
+        }
+    }
+
+    /// An overhead-free variant of [`GpuSpec::a100`] for isolating
+    /// quantization effects at A100 scale.
+    #[must_use]
+    pub fn a100_ideal() -> Self {
+        let zero_overhead = CostModel { a: 0.0, b: 0.0, c: 1.0, d: 0.0 };
+        GpuSpec {
+            mem_bw: f64::INFINITY,
+            l2_bw: f64::INFINITY,
+            l2_reuse: 1.0,
+            grid_launch_s: 0.0,
+            name: "A100-sim (ideal, overhead-free)",
+            fp64_units: zero_overhead,
+            fp16t32_units: zero_overhead,
+            ..Self::a100()
+        }
+    }
+
+    /// An H100-SXM-like preset (132 SMs): wider and faster than the
+    /// A100, with proportionally higher bandwidth — used by the
+    /// processor-width studies (the paper's §1: quantization
+    /// inefficiency grows as processors grow).
+    #[must_use]
+    pub fn h100_like() -> Self {
+        GpuSpec {
+            name: "H100-like (132 SM)",
+            sms: 132,
+            fp64_tflops: 67.0,
+            fp16t32_tflops: 989.0,
+            mem_bw: 3.35e12,
+            l2_bw: 9.0e12,
+            ..Self::a100()
+        }
+    }
+
+    /// A V100-like preset (80 SMs): the narrower previous generation,
+    /// where the classic data-parallel decomposition still
+    /// oversubscribes well.
+    #[must_use]
+    pub fn v100_like() -> Self {
+        GpuSpec {
+            name: "V100-like (80 SM)",
+            sms: 80,
+            fp64_tflops: 7.8,
+            fp16t32_tflops: 125.0,
+            mem_bw: 0.9e12,
+            l2_bw: 2.5e12,
+            ..Self::a100()
+        }
+    }
+
+    /// Peak throughput for `precision`, FLOP/s.
+    #[must_use]
+    pub fn peak_flops(&self, precision: Precision) -> f64 {
+        match precision {
+            Precision::Fp64 => self.fp64_tflops * 1e12,
+            Precision::Fp16To32 => self.fp16t32_tflops * 1e12,
+        }
+    }
+
+    /// The Appendix A.1 cost-unit ratios for `precision`.
+    #[must_use]
+    pub fn cost_units(&self, precision: Precision) -> CostModel {
+        match precision {
+            Precision::Fp64 => self.fp64_units,
+            Precision::Fp16To32 => self.fp16t32_units,
+        }
+    }
+
+    /// The machine-balance point for `precision`: the arithmetic
+    /// intensity (FLOP/byte) at which compute and memory rooflines
+    /// cross.
+    #[must_use]
+    pub fn balance_flops_per_byte(&self, precision: Precision) -> f64 {
+        self.peak_flops(precision) / self.mem_bw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a100_matches_paper_environment() {
+        let gpu = GpuSpec::a100();
+        assert_eq!(gpu.sms, 108);
+        assert_eq!(gpu.peak_flops(Precision::Fp64), 13.9e12);
+        assert_eq!(gpu.peak_flops(Precision::Fp16To32), 222.3e12);
+    }
+
+    #[test]
+    fn hypothetical_gpu_is_overhead_free() {
+        let gpu = GpuSpec::hypothetical_4sm();
+        assert_eq!(gpu.sms, 4);
+        assert_eq!(gpu.grid_launch_s, 0.0);
+        assert_eq!(gpu.cost_units(Precision::Fp64).d, 0.0);
+        assert!(gpu.mem_bw.is_infinite());
+    }
+
+    #[test]
+    fn cost_units_match_core_calibration() {
+        let gpu = GpuSpec::a100();
+        assert_eq!(gpu.cost_units(Precision::Fp16To32), CostModel::a100_fp16());
+        assert_eq!(gpu.cost_units(Precision::Fp64), CostModel::a100_fp64());
+    }
+
+    #[test]
+    fn generation_presets_scale_sensibly() {
+        let v100 = GpuSpec::v100_like();
+        let a100 = GpuSpec::a100();
+        let h100 = GpuSpec::h100_like();
+        assert!(v100.sms < a100.sms && a100.sms < h100.sms);
+        assert!(v100.peak_flops(Precision::Fp16To32) < a100.peak_flops(Precision::Fp16To32));
+        assert!(a100.peak_flops(Precision::Fp16To32) < h100.peak_flops(Precision::Fp16To32));
+        assert!(v100.mem_bw < a100.mem_bw && a100.mem_bw < h100.mem_bw);
+    }
+
+    #[test]
+    fn balance_point_is_plausible() {
+        let gpu = GpuSpec::a100();
+        // A100 fp64 balance ≈ 9 flops/byte; fp16→32 ≈ 143.
+        let fp64 = gpu.balance_flops_per_byte(Precision::Fp64);
+        assert!((8.0..10.0).contains(&fp64), "{fp64}");
+        let fp16 = gpu.balance_flops_per_byte(Precision::Fp16To32);
+        assert!((130.0..155.0).contains(&fp16), "{fp16}");
+    }
+}

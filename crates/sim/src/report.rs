@@ -1,0 +1,192 @@
+//! Simulation results.
+
+use streamk_types::Precision;
+
+/// One CTA's residency on an SM.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CtaSpan {
+    /// The CTA.
+    pub cta_id: usize,
+    /// The SM it ran on.
+    pub sm: usize,
+    /// Dispatch time, seconds.
+    pub start: f64,
+    /// Completion time, seconds.
+    pub end: f64,
+    /// MAC-loop iterations it executed.
+    pub iters: usize,
+    /// Time spent stalled waiting for fixup peers' signals, seconds.
+    pub waited: f64,
+}
+
+/// The outcome of simulating one decomposition on one GPU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// The precision simulated.
+    pub precision: Precision,
+    /// SM count of the simulated GPU.
+    pub sms: usize,
+    /// Peak throughput of the simulated GPU at this precision, FLOP/s.
+    pub peak_flops: f64,
+    /// End-to-end runtime: `max(compute makespan, memory floor)` plus
+    /// the grid launch latency, seconds.
+    pub makespan: f64,
+    /// Makespan of the event-driven compute schedule alone, seconds.
+    pub compute_makespan: f64,
+    /// The memory-roofline floor `traffic / bandwidth`, seconds.
+    pub memory_time: f64,
+    /// *Useful* floating-point work: `2mnk` of the original problem
+    /// (padding MACs in edge tiles are executed but not counted).
+    pub useful_flops: f64,
+    /// Modeled global-memory traffic, bytes.
+    pub traffic_bytes: f64,
+    /// Σ over CTAs of pure MAC-iteration time, seconds.
+    pub mac_busy: f64,
+    /// Σ over CTAs of fixup-wait stall time, seconds.
+    pub total_wait: f64,
+    /// Per-CTA residency records, in CTA-id order.
+    pub spans: Vec<CtaSpan>,
+}
+
+impl SimReport {
+    /// Achieved fraction of peak throughput: `useful_flops /
+    /// (makespan · peak)`. The y-axis of the paper's roofline
+    /// landscapes (Figures 5-6).
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        self.useful_flops / (self.makespan * self.peak_flops)
+    }
+
+    /// Achieved throughput in TFLOP/s.
+    #[must_use]
+    pub fn tflops(&self) -> f64 {
+        self.useful_flops / self.makespan / 1e12
+    }
+
+    /// Quantization efficiency of the compute schedule: the fraction
+    /// of SM-time occupied by MAC iterations,
+    /// `mac_busy / (sms · compute_makespan)`. On the overhead-free
+    /// hypothetical GPU this reproduces the paper's 75% / 90% / 100%
+    /// figures exactly.
+    #[must_use]
+    pub fn quantization_efficiency(&self) -> f64 {
+        if self.compute_makespan == 0.0 {
+            return 1.0;
+        }
+        self.mac_busy / (self.sms as f64 * self.compute_makespan)
+    }
+
+    /// `true` when the memory roofline, not the compute schedule,
+    /// determined the makespan.
+    #[must_use]
+    pub fn is_memory_bound(&self) -> bool {
+        self.memory_time > self.compute_makespan
+    }
+
+    /// Speedup of this run relative to `baseline` (same problem
+    /// assumed): `baseline.makespan / self.makespan`.
+    #[must_use]
+    pub fn speedup_over(&self, baseline: &SimReport) -> f64 {
+        baseline.makespan / self.makespan
+    }
+
+    /// Idle time per SM within the compute schedule: the gap between
+    /// each SM's busy span total and the makespan, in seconds, indexed
+    /// by SM. The tail-wave idle of Figure 1 shows up here as three
+    /// SMs with one tile-duration of idle each.
+    #[must_use]
+    pub fn idle_per_sm(&self) -> Vec<f64> {
+        let mut busy = vec![0.0f64; self.sms];
+        for s in &self.spans {
+            busy[s.sm] += s.end - s.start;
+        }
+        busy.iter().map(|&b| (self.compute_makespan - b).max(0.0)).collect()
+    }
+
+    /// The number of SMs busy at each of `samples` uniformly spaced
+    /// instants of the compute schedule — the occupancy curve a
+    /// profiler timeline would show.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples == 0`.
+    #[must_use]
+    pub fn occupancy_curve(&self, samples: usize) -> Vec<usize> {
+        assert!(samples > 0, "need at least one sample");
+        let makespan = self.compute_makespan.max(f64::MIN_POSITIVE);
+        (0..samples)
+            .map(|i| {
+                // Sample at the interval midpoint to avoid boundary
+                // double-counting.
+                let t = makespan * (i as f64 + 0.5) / samples as f64;
+                self.spans.iter().filter(|s| s.start <= t && t < s.end).count()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(makespan: f64, useful: f64) -> SimReport {
+        SimReport {
+            precision: Precision::Fp64,
+            sms: 4,
+            peak_flops: 1e12,
+            makespan,
+            compute_makespan: makespan,
+            memory_time: 0.0,
+            useful_flops: useful,
+            traffic_bytes: 0.0,
+            mac_busy: 0.0,
+            total_wait: 0.0,
+            spans: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn utilization_and_tflops() {
+        let r = report(1.0, 0.5e12);
+        assert!((r.utilization() - 0.5).abs() < 1e-12);
+        assert!((r.tflops() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_is_ratio_of_makespans() {
+        let fast = report(1.0, 1e12);
+        let slow = report(4.0, 1e12);
+        assert!((fast.speedup_over(&slow) - 4.0).abs() < 1e-12);
+        assert!((slow.speedup_over(&fast) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memory_bound_flag() {
+        let mut r = report(2.0, 1e12);
+        r.memory_time = 3.0;
+        assert!(r.is_memory_bound());
+        r.memory_time = 1.0;
+        assert!(!r.is_memory_bound());
+    }
+
+    #[test]
+    fn idle_and_occupancy_of_partial_wave() {
+        // 2 SMs, makespan 2: SM0 busy [0,2), SM1 busy [0,1).
+        let mut r = report(2.0, 1e12);
+        r.sms = 2;
+        r.spans = vec![
+            CtaSpan { cta_id: 0, sm: 0, start: 0.0, end: 2.0, iters: 2, waited: 0.0 },
+            CtaSpan { cta_id: 1, sm: 1, start: 0.0, end: 1.0, iters: 1, waited: 0.0 },
+        ];
+        let idle = r.idle_per_sm();
+        assert_eq!(idle, vec![0.0, 1.0]);
+        let occ = r.occupancy_curve(4);
+        assert_eq!(occ, vec![2, 2, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn occupancy_rejects_zero_samples() {
+        let _ = report(1.0, 1e12).occupancy_curve(0);
+    }
+}

@@ -1,0 +1,94 @@
+//! ASCII Gantt rendering of execution schedules.
+//!
+//! Reproduces the schedule illustrations of the paper's Figures 1-3
+//! and 9 as terminal output: one row per SM, CTAs as labeled blocks,
+//! time flowing left to right.
+
+use crate::report::SimReport;
+
+/// Renders `report`'s schedule as an ASCII Gantt chart `width`
+/// characters wide. Each SM is one row; each CTA appears as a block
+/// of its (last two digits of) id, with `·` marking idle time and `~`
+/// marking fixup-wait stalls at the end of a CTA's span.
+///
+/// Intended for the small hypothetical-GPU schedules; rendering a
+/// 108-SM report works but is mostly useful piped to a file.
+#[must_use]
+pub fn render_gantt(report: &SimReport, width: usize) -> String {
+    let width = width.max(10);
+    let makespan = report.compute_makespan.max(f64::MIN_POSITIVE);
+    let scale = width as f64 / makespan;
+
+    let mut rows: Vec<Vec<char>> = vec![vec!['·'; width]; report.sms];
+    for span in &report.spans {
+        let c0 = ((span.start * scale) as usize).min(width - 1);
+        let c1 = (((span.end * scale).ceil()) as usize).clamp(c0 + 1, width);
+        let label: Vec<char> = format!("{:02}", span.cta_id % 100).chars().collect();
+        let wait_cols = ((span.waited * scale).round() as usize).min(c1 - c0);
+        let row = &mut rows[span.sm];
+        for (i, cell) in row[c0..c1].iter_mut().enumerate() {
+            let pos = c1 - c0 - 1 - i; // distance from the right edge
+            *cell = if pos < wait_cols {
+                '~'
+            } else if i == 0 {
+                '['
+            } else if i == c1 - c0 - 1 {
+                ']'
+            } else {
+                label[(i - 1) % label.len()]
+            };
+        }
+    }
+
+    let mut out = String::new();
+    for (sm, row) in rows.iter().enumerate() {
+        out.push_str(&format!("SM{sm:<3}|"));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "      makespan {:.3e}s  quantization {:.1}%  utilization {:.1}%\n",
+        report.compute_makespan,
+        report.quantization_efficiency() * 100.0,
+        report.utilization() * 100.0
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::simulate;
+    use crate::gpu::GpuSpec;
+    use streamk_core::Decomposition;
+    use streamk_types::{GemmShape, Precision, TileShape};
+
+    #[test]
+    fn renders_one_row_per_sm() {
+        let d = Decomposition::data_parallel(GemmShape::new(384, 384, 128), TileShape::new(128, 128, 128));
+        let r = simulate(&d, &GpuSpec::hypothetical_4sm(), Precision::Fp64);
+        let g = render_gantt(&r, 60);
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 5); // 4 SMs + footer
+        assert!(lines[0].starts_with("SM0"));
+        assert!(lines[4].contains("quantization 75.0%"));
+    }
+
+    #[test]
+    fn idle_time_is_visible_for_partial_waves() {
+        let d = Decomposition::data_parallel(GemmShape::new(384, 384, 128), TileShape::new(128, 128, 128));
+        let r = simulate(&d, &GpuSpec::hypothetical_4sm(), Precision::Fp64);
+        let g = render_gantt(&r, 60);
+        // 9 tiles on 4 SMs: three SMs idle in the last wave.
+        assert!(g.contains('·'));
+    }
+
+    #[test]
+    fn full_stream_k_schedule_has_no_idle() {
+        let d = Decomposition::stream_k(GemmShape::new(384, 384, 128), TileShape::new(128, 128, 4), 4);
+        let r = simulate(&d, &GpuSpec::hypothetical_4sm(), Precision::Fp64);
+        let g = render_gantt(&r, 64);
+        let body: String = g.lines().take(4).collect();
+        assert!(!body.contains('·'), "unexpected idle cells:\n{g}");
+    }
+}

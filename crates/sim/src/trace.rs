@@ -1,0 +1,108 @@
+//! Chrome trace export.
+//!
+//! Serializes a schedule as a Trace Event Format JSON array — load it
+//! at `chrome://tracing` or in Perfetto to scrub through the schedule
+//! interactively. Each SM is a "thread"; each CTA a complete event;
+//! fixup-wait stalls appear as nested "wait" events.
+//!
+//! The format needs only objects with
+//! `{name, ph: "X", ts, dur, pid, tid}` (microsecond timestamps);
+//! this writer emits it by hand, keeping the workspace free of JSON
+//! dependencies.
+
+use crate::report::SimReport;
+use std::fmt::Write as _;
+
+/// Renders `report` as Trace Event Format JSON.
+#[must_use]
+pub fn render_chrome_trace(report: &SimReport) -> String {
+    let us = 1e6; // seconds → microseconds
+    let mut out = String::from("[\n");
+    let mut first = true;
+    let push = |s: String, out: &mut String, first: &mut bool| {
+        if !*first {
+            out.push_str(",\n");
+        }
+        out.push_str(&s);
+        *first = false;
+    };
+
+    // Process metadata: name the "process" after the simulated run.
+    push(
+        format!(
+            r#"  {{"name": "process_name", "ph": "M", "pid": 1, "args": {{"name": "streamk-sim ({} SMs, {:.1} TFLOP/s peak)"}}}}"#,
+            report.sms,
+            report.peak_flops / 1e12
+        ),
+        &mut out,
+        &mut first,
+    );
+    for sm in 0..report.sms {
+        push(
+            format!(
+                r#"  {{"name": "thread_name", "ph": "M", "pid": 1, "tid": {sm}, "args": {{"name": "SM{sm}"}}}}"#
+            ),
+            &mut out,
+            &mut first,
+        );
+    }
+
+    for span in &report.spans {
+        let ts = span.start * us;
+        let dur = (span.end - span.start) * us;
+        push(
+            format!(
+                r#"  {{"name": "CTA {}", "ph": "X", "ts": {ts:.3}, "dur": {dur:.3}, "pid": 1, "tid": {}, "args": {{"iters": {}}}}}"#,
+                span.cta_id, span.sm, span.iters
+            ),
+            &mut out,
+            &mut first,
+        );
+        if span.waited > 0.0 {
+            let wts = (span.end - span.waited) * us;
+            push(
+                format!(
+                    r#"  {{"name": "wait", "ph": "X", "ts": {wts:.3}, "dur": {:.3}, "pid": 1, "tid": {}}}"#,
+                    span.waited * us,
+                    span.sm
+                ),
+                &mut out,
+                &mut first,
+            );
+        }
+    }
+    let _ = write!(out, "\n]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::simulate;
+    use crate::gpu::GpuSpec;
+    use streamk_core::Decomposition;
+    use streamk_types::{GemmShape, Precision, TileShape};
+
+    #[test]
+    fn emits_one_event_per_cta_plus_metadata() {
+        let d = Decomposition::stream_k(GemmShape::new(384, 384, 128), TileShape::new(128, 128, 4), 4);
+        let r = simulate(&d, &GpuSpec::hypothetical_4sm(), Precision::Fp64);
+        let json = render_chrome_trace(&r);
+        assert!(json.starts_with("[\n"));
+        assert!(json.trim_end().ends_with(']'));
+        assert_eq!(json.matches(r#""ph": "X""#).count(), 4);
+        assert_eq!(json.matches("thread_name").count(), 4);
+        // Commas between events, none trailing.
+        assert!(!json.contains(",\n]"));
+    }
+
+    #[test]
+    fn wait_events_appear_for_stalled_owners() {
+        let shape = GemmShape::new(128, 128, 16384);
+        let d = Decomposition::fixed_split(shape, TileShape::new(128, 128, 32), 16);
+        let r = simulate(&d, &GpuSpec::a100(), Precision::Fp16To32);
+        assert!(r.total_wait > 0.0);
+        let json = render_chrome_trace(&r);
+        assert!(json.contains(r#""name": "wait""#));
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests for the simulator's conservation laws.
+
+use proptest::prelude::*;
+use streamk_core::Decomposition;
+use streamk_core::Strategy as Decomp;
+use streamk_sim::{simulate, GpuSpec};
+use streamk_types::{GemmShape, Precision, TileShape};
+
+fn shapes() -> impl proptest::strategy::Strategy<Value = GemmShape> {
+    (1usize..700, 1usize..700, 1usize..900).prop_map(|(m, n, k)| GemmShape::new(m, n, k))
+}
+
+fn tiles() -> impl proptest::strategy::Strategy<Value = TileShape> {
+    (
+        prop_oneof![Just(32usize), Just(64), Just(128), Just(48)],
+        prop_oneof![Just(32usize), Just(64), Just(128)],
+        prop_oneof![Just(8usize), Just(16), Just(32)],
+    )
+        .prop_map(|(m, n, k)| TileShape::new(m, n, k))
+}
+
+fn strategies() -> impl proptest::strategy::Strategy<Value = Decomp> {
+    prop_oneof![
+        Just(Decomp::DataParallel),
+        (1usize..8).prop_map(|split| Decomp::FixedSplit { split }),
+        (1usize..200).prop_map(|grid| Decomp::StreamK { grid }),
+        (1usize..130).prop_map(|sms| Decomp::DpOneTileStreamK { sms }),
+        (1usize..130).prop_map(|sms| Decomp::TwoTileStreamKDp { sms }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any decomposition simulates on any GPU without deadlock, and
+    /// the report obeys the conservation laws: spans fit within the
+    /// makespan, per-SM spans never overlap, utilization and
+    /// quantization efficiency are proper fractions, and every
+    /// iteration is accounted for.
+    #[test]
+    fn report_conservation_laws(
+        shape in shapes(),
+        tile in tiles(),
+        strategy in strategies(),
+        precision in prop_oneof![Just(Precision::Fp64), Just(Precision::Fp16To32)],
+        gpu in prop_oneof![
+            Just(GpuSpec::a100()),
+            Just(GpuSpec::a100_ideal()),
+            Just(GpuSpec::hypothetical_4sm()),
+            Just(GpuSpec::h100_like()),
+            Just(GpuSpec::v100_like()),
+        ],
+    ) {
+        let d = Decomposition::from_strategy(shape, tile, strategy);
+        let r = simulate(&d, &gpu, precision);
+
+        prop_assert!(r.makespan.is_finite() && r.makespan > 0.0);
+        prop_assert!(r.makespan + 1e-18 >= r.compute_makespan.max(r.memory_time));
+        prop_assert!(r.utilization() > 0.0 && r.utilization() <= 1.0 + 1e-9, "util {}", r.utilization());
+        prop_assert!(r.quantization_efficiency() <= 1.0 + 1e-9);
+
+        // Iteration accounting.
+        let span_iters: usize = r.spans.iter().map(|s| s.iters).sum();
+        prop_assert_eq!(span_iters, d.space().total_iters());
+
+        // Per-SM spans must not overlap.
+        let mut per_sm: Vec<Vec<(f64, f64)>> = vec![Vec::new(); r.sms];
+        for s in &r.spans {
+            prop_assert!(s.end >= s.start);
+            prop_assert!(s.end <= r.compute_makespan + 1e-15);
+            per_sm[s.sm].push((s.start, s.end));
+        }
+        for sm_spans in &mut per_sm {
+            sm_spans.sort_by(|a, b| a.0.total_cmp(&b.0));
+            for pair in sm_spans.windows(2) {
+                prop_assert!(pair[1].0 >= pair[0].1 - 1e-15, "SM overlap: {pair:?}");
+            }
+        }
+    }
+
+    /// On an overhead-free GPU the quantization efficiency equals the
+    /// analytic value total_iters / (waves · p · max_share)... more
+    /// robustly: Stream-K with g = p·k (perfect split) reaches 100%.
+    #[test]
+    fn stream_k_full_grid_is_perfect_on_ideal_gpu(
+        tiles_m in 1usize..12,
+        tiles_n in 1usize..12,
+        iters in 1usize..40,
+        waves in 1usize..4,
+    ) {
+        // Construct a problem whose iteration count divides evenly by
+        // the grid: total = tiles·iters, grid = total / waves (when it
+        // divides).
+        let tile = TileShape::new(32, 32, 8);
+        let shape = GemmShape::new(tiles_m * 32, tiles_n * 32, iters * 8);
+        let total = tiles_m * tiles_n * iters;
+        prop_assume!(total % waves == 0);
+        let g = total / waves;
+        let mut gpu = GpuSpec::hypothetical_4sm();
+        gpu.sms = g.max(1);
+        let d = Decomposition::stream_k(shape, tile, g);
+        let r = simulate(&d, &gpu, Precision::Fp64);
+        prop_assert!((r.quantization_efficiency() - 1.0).abs() < 1e-9,
+            "qe = {}", r.quantization_efficiency());
+    }
+
+    /// Monotonicity: on the ideal GPU, Stream-K at g = p never loses
+    /// to data-parallel of the same blocking (it can only balance
+    /// better).
+    #[test]
+    fn ideal_stream_k_never_loses_to_dp(shape in shapes(), tile in tiles()) {
+        let gpu = GpuSpec::a100_ideal();
+        let sk = simulate(&Decomposition::stream_k(shape, tile, gpu.sms), &gpu, Precision::Fp64);
+        let dp = simulate(&Decomposition::data_parallel(shape, tile), &gpu, Precision::Fp64);
+        prop_assert!(sk.makespan <= dp.makespan * (1.0 + 1e-9),
+            "sk {} > dp {}", sk.makespan, dp.makespan);
+    }
+}

@@ -1,0 +1,127 @@
+//! MAGMA-style ensemble distillation.
+//!
+//! §2: MAGMA "evaluated these variants to distill a small ensemble of
+//! typically three to five kernels that collectively perform well
+//! across a diversity of problem shapes". This module reproduces that
+//! process with greedy forward selection: starting from nothing,
+//! repeatedly add the candidate configuration that most improves the
+//! training corpus's geometric-mean best-of-ensemble runtime.
+
+use crate::space::{candidate_tiles, estimated_efficiency};
+use streamk_core::Decomposition;
+use streamk_ensemble::{TileConfig, TileEnsemble};
+use streamk_sim::{simulate_with_efficiency, GpuSpec};
+use streamk_types::{GemmShape, Precision};
+
+/// Distills an ensemble of at most `size` data-parallel kernel
+/// configurations from the candidate space, trained on `corpus`.
+///
+/// Returns the ensemble ordered by selection (first pick = best
+/// single configuration).
+///
+/// # Panics
+///
+/// Panics if `corpus` is empty or `size == 0`.
+#[must_use]
+pub fn distill_ensemble(
+    corpus: &[GemmShape],
+    precision: Precision,
+    gpu: &GpuSpec,
+    size: usize,
+) -> TileEnsemble {
+    assert!(!corpus.is_empty(), "training corpus must be non-empty");
+    assert!(size > 0, "ensemble size must be at least 1");
+
+    // Precompute the full (candidate × shape) runtime matrix.
+    let candidates: Vec<TileConfig> = candidate_tiles(precision)
+        .into_iter()
+        .map(|tile| TileConfig { tile, mac_efficiency: estimated_efficiency(tile, precision) })
+        .collect();
+    let runtimes: Vec<Vec<f64>> = candidates
+        .iter()
+        .map(|config| {
+            corpus
+                .iter()
+                .map(|&shape| {
+                    let d = Decomposition::data_parallel(shape, config.tile);
+                    simulate_with_efficiency(&d, gpu, precision, config.mac_efficiency).makespan
+                })
+                .collect()
+        })
+        .collect();
+
+    // Greedy forward selection on log-mean best-of-ensemble runtime.
+    let mut chosen: Vec<usize> = Vec::new();
+    let mut best_per_shape = vec![f64::INFINITY; corpus.len()];
+    for _ in 0..size {
+        let mut best_candidate: Option<(usize, f64)> = None;
+        for (ci, times) in runtimes.iter().enumerate() {
+            if chosen.contains(&ci) {
+                continue;
+            }
+            let score: f64 = times
+                .iter()
+                .zip(&best_per_shape)
+                .map(|(&t, &b)| t.min(b).ln())
+                .sum();
+            if best_candidate.is_none_or(|(_, s)| score < s) {
+                best_candidate = Some((ci, score));
+            }
+        }
+        let (ci, _) = best_candidate.expect("candidates remain");
+        for (b, &t) in best_per_shape.iter_mut().zip(&runtimes[ci]) {
+            *b = b.min(t);
+        }
+        chosen.push(ci);
+    }
+
+    TileEnsemble { precision, configs: chosen.into_iter().map(|ci| candidates[ci]).collect() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamk_corpus::{Corpus, CorpusConfig};
+    use streamk_ensemble::Oracle;
+
+    fn training_corpus(n: usize) -> Vec<GemmShape> {
+        Corpus::generate(CorpusConfig::smoke(n)).shapes().to_vec()
+    }
+
+    #[test]
+    fn first_pick_is_a_large_tile() {
+        // Over a broad corpus the single best configuration is a
+        // high-efficiency large blocking.
+        let gpu = GpuSpec::a100();
+        let e = distill_ensemble(&training_corpus(60), Precision::Fp16To32, &gpu, 1);
+        assert_eq!(e.len(), 1);
+        assert!(e.configs[0].mac_efficiency > 0.9, "picked {}", e.configs[0].tile);
+    }
+
+    #[test]
+    fn ensemble_members_are_distinct_and_ordered() {
+        let gpu = GpuSpec::a100();
+        let e = distill_ensemble(&training_corpus(40), Precision::Fp64, &gpu, 4);
+        assert_eq!(e.len(), 4);
+        for i in 0..e.len() {
+            for j in (i + 1)..e.len() {
+                assert_ne!(e.configs[i].tile, e.configs[j].tile);
+            }
+        }
+    }
+
+    /// Distillation must help: the 3-member ensemble's oracle beats
+    /// the best single configuration on the training corpus.
+    #[test]
+    fn ensemble_oracle_beats_single_config() {
+        let gpu = GpuSpec::a100();
+        let corpus = training_corpus(50);
+        let single = distill_ensemble(&corpus, Precision::Fp16To32, &gpu, 1);
+        let trio = distill_ensemble(&corpus, Precision::Fp16To32, &gpu, 3);
+        let total = |e: &TileEnsemble| -> f64 {
+            let oracle = Oracle::new(e.clone());
+            corpus.iter().map(|&s| oracle.select(s, &gpu).1.makespan).sum()
+        };
+        assert!(total(&trio) < total(&single), "trio {} vs single {}", total(&trio), total(&single));
+    }
+}

@@ -1,0 +1,29 @@
+//! Auto-tuning machinery — the world the paper argues against.
+//!
+//! §2 surveys how tile-centric libraries cope with diverse problem
+//! shapes: MAGMA generates hundreds of data-parallel variants and
+//! distills "a small ensemble of typically three to five kernels";
+//! ISAAC predicts a tiling per shape with machine learning; cuBLAS
+//! ships dozens of pre-compiled kernels behind trained selection
+//! heuristics. This crate rebuilds that machinery against the
+//! simulator so the reproduction can quantify what Stream-K's
+//! single-kernel approach gives up (§6: almost nothing) and what the
+//! ensembles cost (code size, selection complexity):
+//!
+//! - [`space::candidate_tiles`] — the MAGMA-style constrained
+//!   parameter sweep;
+//! - [`tuner::AutoTuner`] — per-shape exhaustive tuning (an upper
+//!   bound on what any selection heuristic can achieve);
+//! - [`distill::distill_ensemble`] — greedy MAGMA-style distillation
+//!   of a small ensemble from a training corpus.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod distill;
+pub mod space;
+pub mod tuner;
+
+pub use distill::distill_ensemble;
+pub use space::{candidate_tiles, estimated_efficiency};
+pub use tuner::{AutoTuner, TunedConfig};

@@ -1,0 +1,103 @@
+//! The candidate search space.
+
+use streamk_types::{Precision, TileShape};
+
+/// The MAGMA-style constrained tile sweep: power-of-two extents over
+/// a plausible range, filtered to shapes a real kernel could stage
+/// through shared memory (bounded tile area and accumulation depth).
+///
+/// The result is deliberately much larger than the shipped ensembles
+/// (§2: MAGMA generated "several hundred data-parallel variants" and
+/// distilled them) — [`distill_ensemble`](crate::distill_ensemble)
+/// does the distillation.
+#[must_use]
+pub fn candidate_tiles(precision: Precision) -> Vec<TileShape> {
+    let (blk_mn, blk_k): (&[usize], &[usize]) = match precision {
+        Precision::Fp64 => (&[16, 32, 64, 128], &[8, 16, 32]),
+        Precision::Fp16To32 => (&[32, 64, 128, 256], &[16, 32, 64]),
+    };
+    let mut out = Vec::new();
+    for &m in blk_mn {
+        for &n in blk_mn {
+            for &k in blk_k {
+                let tile = TileShape::new(m, n, k);
+                // Shared-memory plausibility: per-iteration fragments
+                // and the accumulator tile must stay modest.
+                let frag_elems = (m + n) * k;
+                let accum_elems = m * n;
+                if frag_elems <= 16 * 1024 && (1024..=64 * 1024).contains(&accum_elems) {
+                    out.push(tile);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Estimated sustained fraction of peak for an arbitrary blocking
+/// factor.
+///
+/// A smooth interpolation anchored at the measured ensemble points
+/// (DESIGN.md §4): the precision's default blocking sustains 0.99 of
+/// peak (§5.1), and efficiency falls as `(area / default_area)^0.65`
+/// below it — at one quarter of the default area this gives 0.40,
+/// matching the calibrated 64×64×64 FP16 ensemble entry. Larger-than-
+/// default tiles stay at the 0.99 ceiling.
+#[must_use]
+pub fn estimated_efficiency(tile: TileShape, precision: Precision) -> f64 {
+    let default = TileShape::streamk_default(precision);
+    let ratio = tile.tile_elements() as f64 / default.tile_elements() as f64;
+    (0.99 * ratio.powf(0.65)).clamp(0.05, 0.99)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn candidate_space_is_substantial() {
+        for p in Precision::ALL {
+            let tiles = candidate_tiles(p);
+            assert!(tiles.len() >= 20, "{p}: only {} candidates", tiles.len());
+            // The shipped default is in the space.
+            assert!(tiles.contains(&TileShape::streamk_default(p)), "{p}");
+        }
+    }
+
+    #[test]
+    fn candidates_respect_resource_bounds() {
+        for tile in candidate_tiles(Precision::Fp16To32) {
+            assert!((tile.blk_m + tile.blk_n) * tile.blk_k <= 16 * 1024);
+            assert!(tile.tile_elements() <= 64 * 1024);
+        }
+    }
+
+    #[test]
+    fn efficiency_anchored_at_default() {
+        for p in Precision::ALL {
+            let e = estimated_efficiency(TileShape::streamk_default(p), p);
+            assert!((e - 0.99).abs() < 1e-12, "{p}: {e}");
+        }
+    }
+
+    #[test]
+    fn efficiency_matches_calibrated_ensemble_points() {
+        // Quarter-area fp16 tile: the calibrated 64x64 entry is 0.40.
+        let e = estimated_efficiency(TileShape::new(64, 64, 64), Precision::Fp16To32);
+        assert!((e - 0.40).abs() < 0.02, "{e}");
+        // Half-area: calibrated 64x128 is 0.55; the smooth curve gives ~0.63.
+        let e = estimated_efficiency(TileShape::new(64, 128, 32), Precision::Fp16To32);
+        assert!((0.5..0.7).contains(&e), "{e}");
+    }
+
+    #[test]
+    fn efficiency_monotone_in_area() {
+        let small = estimated_efficiency(TileShape::new(32, 32, 16), Precision::Fp16To32);
+        let mid = estimated_efficiency(TileShape::new(64, 64, 16), Precision::Fp16To32);
+        let big = estimated_efficiency(TileShape::new(128, 128, 16), Precision::Fp16To32);
+        assert!(small < mid && mid < big);
+        // Above the default area the ceiling holds.
+        let huge = estimated_efficiency(TileShape::new(256, 256, 16), Precision::Fp16To32);
+        assert!((huge - 0.99).abs() < 1e-12);
+    }
+}

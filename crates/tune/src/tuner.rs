@@ -1,0 +1,143 @@
+//! Per-shape exhaustive tuning.
+
+use crate::space::{candidate_tiles, estimated_efficiency};
+use streamk_core::{Decomposition, Strategy};
+use streamk_sim::{simulate_with_efficiency, GpuSpec, SimReport};
+use streamk_types::{GemmShape, Precision, TileShape};
+
+/// The outcome of tuning one shape: the winning configuration and its
+/// simulated report.
+#[derive(Debug, Clone)]
+pub struct TunedConfig {
+    /// Winning blocking factor.
+    pub tile: TileShape,
+    /// Winning strategy.
+    pub strategy: Strategy,
+    /// Estimated sustained efficiency of the blocking.
+    pub mac_efficiency: f64,
+    /// The winning simulation.
+    pub report: SimReport,
+}
+
+/// Exhaustive per-shape tuner: for every candidate tile, try
+/// data-parallel and a ladder of fixed splits, keep the fastest. This
+/// is the strongest tile-centric configuration a per-shape selector
+/// could ever pick — stronger than the paper's oracle, which is
+/// restricted to the shipped ensemble and to data-parallel schedules.
+#[derive(Debug, Clone)]
+pub struct AutoTuner {
+    precision: Precision,
+    gpu: GpuSpec,
+    splits: Vec<usize>,
+}
+
+impl AutoTuner {
+    /// A tuner for `precision` on `gpu`, trying fixed splits
+    /// {1, 2, 4, 8, 16} like cuBLAS's split-k kernel ladder.
+    #[must_use]
+    pub fn new(precision: Precision, gpu: GpuSpec) -> Self {
+        Self { precision, gpu, splits: vec![1, 2, 4, 8, 16] }
+    }
+
+    /// The candidate count this tuner sweeps per shape (for the
+    /// code-size comparison: one Stream-K kernel vs this many
+    /// specializations).
+    #[must_use]
+    pub fn candidates(&self) -> usize {
+        candidate_tiles(self.precision).len() * self.splits.len()
+    }
+
+    /// Tunes one shape exhaustively.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the candidate space is empty (it never is).
+    #[must_use]
+    pub fn tune(&self, shape: GemmShape) -> TunedConfig {
+        let mut best: Option<TunedConfig> = None;
+        for tile in candidate_tiles(self.precision) {
+            let eff = estimated_efficiency(tile, self.precision);
+            let iters_per_tile = tile.iters_per_tile(shape);
+            for &split in &self.splits {
+                if split > iters_per_tile {
+                    continue;
+                }
+                let strategy = if split == 1 { Strategy::DataParallel } else { Strategy::FixedSplit { split } };
+                let decomp = Decomposition::from_strategy(shape, tile, strategy);
+                let report = simulate_with_efficiency(&decomp, &self.gpu, self.precision, eff);
+                if best.as_ref().is_none_or(|b| report.makespan < b.report.makespan) {
+                    best = Some(TunedConfig { tile, strategy, mac_efficiency: eff, report });
+                }
+            }
+        }
+        best.expect("non-empty candidate space")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamk_ensemble::runners;
+
+    fn tuner() -> AutoTuner {
+        AutoTuner::new(Precision::Fp16To32, GpuSpec::a100())
+    }
+
+    #[test]
+    fn sweeps_a_large_space() {
+        assert!(tuner().candidates() > 100);
+    }
+
+    #[test]
+    fn tuned_beats_or_matches_single_dp() {
+        let t = tuner();
+        for shape in [GemmShape::new(1024, 1024, 1024), GemmShape::new(300, 5000, 700)] {
+            let tuned = t.tune(shape);
+            let dp = runners::run_dp_single(shape, Precision::Fp16To32, &GpuSpec::a100());
+            assert!(
+                tuned.report.makespan <= dp.makespan * 1.0001,
+                "{shape}: tuned {} vs dp {}",
+                tuned.report.makespan,
+                dp.makespan
+            );
+        }
+    }
+
+    #[test]
+    fn strong_scaling_shapes_get_split_or_small_tiles() {
+        // One default-size tile with deep k: a pure data-parallel
+        // default tile wastes the machine; the tuner must do better.
+        let shape = GemmShape::new(128, 128, 16384);
+        let tuned = tuner().tune(shape);
+        let default_dp = runners::run_dp_single(shape, Precision::Fp16To32, &GpuSpec::a100());
+        assert!(tuned.report.makespan < default_dp.makespan / 2.0);
+        // Either it split, or it chose a smaller blocking.
+        let split = matches!(tuned.strategy, Strategy::FixedSplit { .. });
+        let smaller = tuned.tile.tile_elements() < TileShape::FP16_STREAMK.tile_elements();
+        assert!(split || smaller, "tuned to {} {}", tuned.tile, tuned.strategy);
+    }
+
+    /// The paper's comparison, sharpened: even an exhaustive tile-
+    /// centric tuner only matches Stream-K's single kernel on average
+    /// — run over a handful of mixed shapes and compare totals.
+    #[test]
+    fn stream_k_is_competitive_with_exhaustive_tuning() {
+        let gpu = GpuSpec::a100();
+        let t = tuner();
+        let shapes = [
+            GemmShape::new(512, 512, 512),
+            GemmShape::new(3000, 200, 4000),
+            GemmShape::new(2048, 2048, 256),
+            GemmShape::new(160, 8000, 2000),
+        ];
+        let tuned_total: f64 = shapes.iter().map(|&s| t.tune(s).report.makespan).sum();
+        let sk_total: f64 = shapes
+            .iter()
+            .map(|&s| runners::run_stream_k(s, Precision::Fp16To32, &gpu).makespan)
+            .sum();
+        // Stream-K stays within 40% of a tuner that evaluates >100
+        // specializations per shape (and often wins on quantization-
+        // hostile members).
+        assert!(sk_total <= tuned_total * 1.4, "sk {sk_total} vs tuned {tuned_total}");
+    }
+}

@@ -1,0 +1,129 @@
+//! Grid and wave arithmetic.
+//!
+//! A GPU dispatches CTAs onto its `p` streaming multiprocessors in
+//! "waves" of up to `p` concurrent CTAs. When the final wave is only
+//! partially full, the idle SMs wait — the *quantization inefficiency*
+//! that motivates Stream-K (paper §1, Figure 1).
+
+/// Ceiling division: `⌈a / b⌉`.
+///
+/// # Panics
+///
+/// Panics if `b == 0`.
+#[must_use]
+pub fn ceil_div(a: usize, b: usize) -> usize {
+    assert!(b != 0, "ceil_div by zero");
+    a.div_ceil(b)
+}
+
+/// Number of dispatch waves for `grid` CTAs across `p` cores:
+/// `⌈grid / p⌉`. A wave is full when it occupies all `p` cores.
+///
+/// # Panics
+///
+/// Panics if `p == 0`.
+#[must_use]
+pub fn waves(grid: usize, p: usize) -> usize {
+    ceil_div(grid, p)
+}
+
+/// Number of *full* waves: `⌊grid / p⌋` (the `w` of §5.2's hybrid
+/// schedules).
+///
+/// # Panics
+///
+/// Panics if `p == 0`.
+#[must_use]
+pub fn full_waves(grid: usize, p: usize) -> usize {
+    assert!(p != 0, "full_waves with zero cores");
+    grid / p
+}
+
+/// CTAs in the final, possibly partial wave. Zero when the grid
+/// quantizes perfectly (`grid % p == 0` and `grid > 0`).
+///
+/// # Panics
+///
+/// Panics if `p == 0`.
+#[must_use]
+pub fn partial_wave_ctas(grid: usize, p: usize) -> usize {
+    assert!(p != 0, "partial_wave_ctas with zero cores");
+    grid % p
+}
+
+/// The theoretical utilization ceiling of a *data-parallel* schedule
+/// that runs `grid` equal-duration CTAs on `p` cores:
+/// `grid / (waves · p)`.
+///
+/// Figure 1a: 9 tiles on 4 SMs → 9 / (3·4) = 75%.
+/// Figure 1b: 18 tiles on 4 SMs → 18 / (5·4) = 90%.
+///
+/// Returns a value in `(0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `grid == 0` or `p == 0`.
+#[must_use]
+pub fn quantization_efficiency(grid: usize, p: usize) -> f64 {
+    assert!(grid != 0, "quantization efficiency of an empty grid");
+    let w = waves(grid, p);
+    grid as f64 / (w * p) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceil_div_basics() {
+        assert_eq!(ceil_div(0, 4), 0);
+        assert_eq!(ceil_div(1, 4), 1);
+        assert_eq!(ceil_div(4, 4), 1);
+        assert_eq!(ceil_div(5, 4), 2);
+        assert_eq!(ceil_div(8, 4), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero")]
+    fn ceil_div_zero_divisor_panics() {
+        let _ = ceil_div(1, 0);
+    }
+
+    #[test]
+    fn wave_counts() {
+        assert_eq!(waves(9, 4), 3);
+        assert_eq!(full_waves(9, 4), 2);
+        assert_eq!(partial_wave_ctas(9, 4), 1);
+        assert_eq!(partial_wave_ctas(8, 4), 0);
+    }
+
+    /// The exact utilization ceilings quoted for Figure 1.
+    #[test]
+    fn figure1_utilization_ceilings() {
+        assert!((quantization_efficiency(9, 4) - 0.75).abs() < 1e-12);
+        assert!((quantization_efficiency(18, 4) - 0.90).abs() < 1e-12);
+    }
+
+    /// Figure 2a: fixed-split s=2 gives 18 CTAs on 4 SMs → 90%.
+    #[test]
+    fn figure2a_efficiency() {
+        assert!((quantization_efficiency(18, 4) - 0.90).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_quantization_is_one() {
+        assert_eq!(quantization_efficiency(4, 4), 1.0);
+        assert_eq!(quantization_efficiency(108, 108), 1.0);
+        assert_eq!(quantization_efficiency(216, 108), 1.0);
+    }
+
+    #[test]
+    fn efficiency_bounded() {
+        for grid in 1..200 {
+            for p in 1..20 {
+                let e = quantization_efficiency(grid, p);
+                assert!(e > 0.0 && e <= 1.0, "grid={grid} p={p} e={e}");
+            }
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Matrix memory layouts.
+
+use std::fmt;
+
+/// The storage order of a dense matrix.
+///
+/// The paper's kernels support transposed/non-transposed operand
+/// combinations (e.g. `hgemm_tt`); in this reproduction layout is a
+/// property of the matrix container, and the GEMM implementations are
+/// layout-generic through the index math below.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Layout {
+    /// Row-major ("C order"): element `(r, c)` lives at `r · cols + c`.
+    #[default]
+    RowMajor,
+    /// Column-major ("Fortran order"): element `(r, c)` lives at
+    /// `c · rows + r`.
+    ColMajor,
+}
+
+impl Layout {
+    /// Linear offset of element `(row, col)` in a `rows × cols` matrix
+    /// stored in this layout.
+    ///
+    /// Bounds are *not* checked here; the matrix container checks them.
+    #[inline]
+    #[must_use]
+    pub fn index(self, row: usize, col: usize, rows: usize, cols: usize) -> usize {
+        match self {
+            Layout::RowMajor => row * cols + col,
+            Layout::ColMajor => col * rows + row,
+        }
+    }
+
+    /// The leading dimension (stride between consecutive rows for
+    /// row-major, columns for column-major) of a dense `rows × cols`
+    /// matrix.
+    #[inline]
+    #[must_use]
+    pub fn leading_dim(self, rows: usize, cols: usize) -> usize {
+        match self {
+            Layout::RowMajor => cols,
+            Layout::ColMajor => rows,
+        }
+    }
+
+    /// The opposite layout. A matrix reinterpreted in the opposite
+    /// layout is its transpose.
+    #[must_use]
+    pub fn flipped(self) -> Self {
+        match self {
+            Layout::RowMajor => Layout::ColMajor,
+            Layout::ColMajor => Layout::RowMajor,
+        }
+    }
+}
+
+impl fmt::Display for Layout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Layout::RowMajor => write!(f, "row-major"),
+            Layout::ColMajor => write!(f, "col-major"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_major_indexing() {
+        // 2x3 matrix: offsets 0..6 in reading order.
+        let l = Layout::RowMajor;
+        assert_eq!(l.index(0, 0, 2, 3), 0);
+        assert_eq!(l.index(0, 2, 2, 3), 2);
+        assert_eq!(l.index(1, 0, 2, 3), 3);
+        assert_eq!(l.index(1, 2, 2, 3), 5);
+    }
+
+    #[test]
+    fn col_major_indexing() {
+        let l = Layout::ColMajor;
+        assert_eq!(l.index(0, 0, 2, 3), 0);
+        assert_eq!(l.index(1, 0, 2, 3), 1);
+        assert_eq!(l.index(0, 1, 2, 3), 2);
+        assert_eq!(l.index(1, 2, 2, 3), 5);
+    }
+
+    #[test]
+    fn layouts_cover_all_offsets_bijectively() {
+        for layout in [Layout::RowMajor, Layout::ColMajor] {
+            let (rows, cols) = (4, 7);
+            let mut seen = vec![false; rows * cols];
+            for r in 0..rows {
+                for c in 0..cols {
+                    let i = layout.index(r, c, rows, cols);
+                    assert!(!seen[i], "{layout} duplicates offset {i}");
+                    seen[i] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn flip_is_involution() {
+        assert_eq!(Layout::RowMajor.flipped().flipped(), Layout::RowMajor);
+        assert_eq!(Layout::RowMajor.flipped(), Layout::ColMajor);
+    }
+
+    #[test]
+    fn leading_dims() {
+        assert_eq!(Layout::RowMajor.leading_dim(2, 3), 3);
+        assert_eq!(Layout::ColMajor.leading_dim(2, 3), 2);
+    }
+}

@@ -1,0 +1,108 @@
+//! Floating-point precisions evaluated by the paper.
+
+use std::fmt;
+
+/// The two GEMM precisions the paper evaluates (§6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Precision {
+    /// Double-precision GEMM: f64 inputs, f64 accumulation and output.
+    Fp64,
+    /// Mixed-precision GEMM: f16 inputs, f32 accumulation and output
+    /// (written "FP16→32" in the paper).
+    Fp16To32,
+}
+
+impl Precision {
+    /// Both precisions, in the order the paper presents them.
+    pub const ALL: [Precision; 2] = [Precision::Fp64, Precision::Fp16To32];
+
+    /// Bytes per element of the input matrices **A** and **B**.
+    #[must_use]
+    pub fn input_bytes(self) -> usize {
+        match self {
+            Precision::Fp64 => 8,
+            Precision::Fp16To32 => 2,
+        }
+    }
+
+    /// Bytes per element of the output matrix **C** (and of temporary
+    /// partial-sum tiles, which are stored at accumulator width).
+    #[must_use]
+    pub fn output_bytes(self) -> usize {
+        match self {
+            Precision::Fp64 => 8,
+            Precision::Fp16To32 => 4,
+        }
+    }
+
+    /// Tensor-core peak throughput of the paper's locked-clock A100,
+    /// in TFLOP/s (§6 "Hardware environment": 13.9 FP64, 222.3
+    /// FP16→32).
+    #[must_use]
+    pub fn a100_peak_tflops(self) -> f64 {
+        match self {
+            Precision::Fp64 => 13.9,
+            Precision::Fp16To32 => 222.3,
+        }
+    }
+
+    /// The arithmetic-intensity threshold (FLOP/byte) above which the
+    /// paper considers a problem compute-bound for this precision
+    /// (§6: 150 ops/B for FP64, 400 ops/B for FP16→32).
+    #[must_use]
+    pub fn compute_bound_threshold(self) -> f64 {
+        match self {
+            Precision::Fp64 => 150.0,
+            Precision::Fp16To32 => 400.0,
+        }
+    }
+
+    /// Short lowercase label used in experiment output ("fp64",
+    /// "fp16t32").
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Precision::Fp64 => "fp64",
+            Precision::Fp16To32 => "fp16t32",
+        }
+    }
+}
+
+impl fmt::Display for Precision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Precision::Fp64 => write!(f, "FP64"),
+            Precision::Fp16To32 => write!(f, "FP16->32"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn element_widths() {
+        assert_eq!(Precision::Fp64.input_bytes(), 8);
+        assert_eq!(Precision::Fp64.output_bytes(), 8);
+        assert_eq!(Precision::Fp16To32.input_bytes(), 2);
+        assert_eq!(Precision::Fp16To32.output_bytes(), 4);
+    }
+
+    #[test]
+    fn a100_peaks_match_paper() {
+        assert_eq!(Precision::Fp64.a100_peak_tflops(), 13.9);
+        assert_eq!(Precision::Fp16To32.a100_peak_tflops(), 222.3);
+    }
+
+    #[test]
+    fn thresholds_match_paper() {
+        assert_eq!(Precision::Fp64.compute_bound_threshold(), 150.0);
+        assert_eq!(Precision::Fp16To32.compute_bound_threshold(), 400.0);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        assert_ne!(Precision::Fp64.label(), Precision::Fp16To32.label());
+    }
+}

@@ -1,0 +1,185 @@
+//! GEMM problem shapes.
+
+use crate::precision::Precision;
+use std::fmt;
+
+/// The volumetric extents of a GEMM computation `C = A · B`.
+///
+/// An `m × n × k` GEMM consumes an `m × k` input matrix **A** and a
+/// `k × n` input matrix **B**, performs `m · n · k` multiply-accumulate
+/// operations, and produces an `m × n` output matrix **C** (paper §2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GemmShape {
+    /// Rows of **A** and **C**.
+    pub m: usize,
+    /// Columns of **B** and **C**.
+    pub n: usize,
+    /// Columns of **A** / rows of **B** — the accumulation extent.
+    pub k: usize,
+}
+
+impl GemmShape {
+    /// Creates a new shape. All extents must be non-zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any extent is zero; a degenerate GEMM has no
+    /// meaningful decomposition and every caller in this workspace
+    /// treats it as a programming error.
+    #[must_use]
+    pub fn new(m: usize, n: usize, k: usize) -> Self {
+        assert!(m > 0 && n > 0 && k > 0, "GEMM extents must be non-zero: {m}x{n}x{k}");
+        Self { m, n, k }
+    }
+
+    /// Total multiply-accumulate operations: `m · n · k`.
+    #[must_use]
+    pub fn macs(&self) -> u64 {
+        self.m as u64 * self.n as u64 * self.k as u64
+    }
+
+    /// Total floating-point operations, counting one multiply plus one
+    /// add per MAC: `2 · m · n · k`. This is the numerator used by
+    /// every utilization and arithmetic-intensity computation in the
+    /// paper's evaluation.
+    #[must_use]
+    pub fn flops(&self) -> u64 {
+        2 * self.macs()
+    }
+
+    /// Bytes of compulsory global-memory traffic for one pass over the
+    /// problem: read **A** and **B** once, write **C** once, at the
+    /// element widths of `precision`.
+    ///
+    /// Real kernels re-read portions of **A**/**B** when the working
+    /// set exceeds cache; this is the *minimum* traffic and therefore
+    /// the denominator of the paper's ops/byte arithmetic intensity.
+    #[must_use]
+    pub fn min_bytes(&self, precision: Precision) -> u64 {
+        let a = self.m as u64 * self.k as u64 * precision.input_bytes() as u64;
+        let b = self.k as u64 * self.n as u64 * precision.input_bytes() as u64;
+        let c = self.m as u64 * self.n as u64 * precision.output_bytes() as u64;
+        a + b + c
+    }
+
+    /// Arithmetic intensity in FLOP per byte of compulsory traffic.
+    ///
+    /// The paper classifies FP64 problems above 150 ops/B and FP16→32
+    /// problems above 400 ops/B as compute-bound (§6, Figure 7).
+    #[must_use]
+    pub fn arithmetic_intensity(&self, precision: Precision) -> f64 {
+        self.flops() as f64 / self.min_bytes(precision) as f64
+    }
+
+    /// `true` when this problem sits in the compute-bound regime for
+    /// `precision`, per the paper's thresholds.
+    #[must_use]
+    pub fn is_compute_bound(&self, precision: Precision) -> bool {
+        self.arithmetic_intensity(precision) > precision.compute_bound_threshold()
+    }
+
+    /// The `m · n` extent of the output matrix.
+    #[must_use]
+    pub fn output_elements(&self) -> u64 {
+        self.m as u64 * self.n as u64
+    }
+
+    /// Transposes the output: swaps `m` and `n`. Useful when exploring
+    /// symmetric corpora.
+    #[must_use]
+    pub fn transposed(&self) -> Self {
+        Self { m: self.n, n: self.m, k: self.k }
+    }
+}
+
+impl fmt::Display for GemmShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}", self.m, self.n, self.k)
+    }
+}
+
+impl std::str::FromStr for GemmShape {
+    type Err = String;
+
+    /// Parses the `MxNxK` form produced by [`fmt::Display`].
+    fn from_str(s: &str) -> Result<Self, String> {
+        let parts: Vec<&str> = s.split('x').collect();
+        if parts.len() != 3 {
+            return Err(format!("expected MxNxK, got '{s}'"));
+        }
+        let dims: Result<Vec<usize>, _> = parts.iter().map(|p| p.parse::<usize>()).collect();
+        match dims {
+            Ok(d) if d.iter().all(|&x| x > 0) => Ok(GemmShape::new(d[0], d[1], d[2])),
+            _ => Err(format!("expected positive integers in 'MxNxK', got '{s}'")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn macs_and_flops() {
+        let s = GemmShape::new(384, 384, 128);
+        assert_eq!(s.macs(), 384 * 384 * 128);
+        assert_eq!(s.flops(), 2 * 384 * 384 * 128);
+    }
+
+    #[test]
+    fn min_bytes_fp64_counts_all_three_operands() {
+        let s = GemmShape::new(4, 8, 2);
+        // A: 4*2, B: 2*8, C: 4*8 elements, 8 bytes each.
+        assert_eq!(s.min_bytes(Precision::Fp64), (8 + 16 + 32) * 8);
+    }
+
+    #[test]
+    fn min_bytes_fp16_mixed_widths() {
+        let s = GemmShape::new(4, 8, 2);
+        // A and B are f16 (2 bytes), C is f32 (4 bytes).
+        assert_eq!(s.min_bytes(Precision::Fp16To32), (8 + 16) * 2 + 32 * 4);
+    }
+
+    #[test]
+    fn intensity_grows_with_k() {
+        let small = GemmShape::new(128, 128, 128);
+        let large = GemmShape::new(128, 128, 8192);
+        assert!(
+            large.arithmetic_intensity(Precision::Fp64)
+                > small.arithmetic_intensity(Precision::Fp64)
+        );
+    }
+
+    #[test]
+    fn compute_bound_classification() {
+        // A large cube is strongly compute-bound in fp64.
+        assert!(GemmShape::new(4096, 4096, 4096).is_compute_bound(Precision::Fp64));
+        // A tiny rectangle is bandwidth-bound.
+        assert!(!GemmShape::new(128, 128, 128).is_compute_bound(Precision::Fp64));
+    }
+
+    #[test]
+    fn display_formats_as_mxnxk() {
+        assert_eq!(GemmShape::new(1, 2, 3).to_string(), "1x2x3");
+    }
+
+    #[test]
+    fn from_str_round_trips_display() {
+        let s = GemmShape::new(384, 1024, 8192);
+        assert_eq!(s.to_string().parse::<GemmShape>().unwrap(), s);
+        assert!("4x5".parse::<GemmShape>().is_err());
+        assert!("4x0x5".parse::<GemmShape>().is_err());
+        assert!("axbxc".parse::<GemmShape>().is_err());
+    }
+
+    #[test]
+    fn transposed_swaps_m_n() {
+        assert_eq!(GemmShape::new(1, 2, 3).transposed(), GemmShape::new(2, 1, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_extent_panics() {
+        let _ = GemmShape::new(0, 1, 1);
+    }
+}

@@ -1,0 +1,240 @@
+//! CTA blocking factors (output tiling).
+
+use crate::grid::ceil_div;
+use crate::precision::Precision;
+use crate::shape::GemmShape;
+use std::fmt;
+
+/// The CTA-wide blocking factors `BLK_M × BLK_N × BLK_K` of a GEMM
+/// kernel (paper §3.1).
+///
+/// One *MAC-loop iteration* is a `BLK_M × BLK_N × BLK_K` volume of
+/// multiply-accumulate work — the unit of workload quantization that
+/// Stream-K distributes across processor cores (§4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TileShape {
+    /// Output-tile rows.
+    pub blk_m: usize,
+    /// Output-tile columns.
+    pub blk_n: usize,
+    /// Accumulation-axis depth of one MAC-loop iteration.
+    pub blk_k: usize,
+}
+
+impl TileShape {
+    /// The paper's single FP64 Stream-K blocking factor for A100
+    /// (§5.1): 64 × 64 × 16.
+    pub const FP64_STREAMK: TileShape = TileShape { blk_m: 64, blk_n: 64, blk_k: 16 };
+
+    /// The paper's single FP16→32 Stream-K blocking factor for A100
+    /// (§5.1): 128 × 128 × 32.
+    pub const FP16_STREAMK: TileShape = TileShape { blk_m: 128, blk_n: 128, blk_k: 32 };
+
+    /// Creates a new blocking factor. All extents must be non-zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any extent is zero.
+    #[must_use]
+    pub fn new(blk_m: usize, blk_n: usize, blk_k: usize) -> Self {
+        assert!(
+            blk_m > 0 && blk_n > 0 && blk_k > 0,
+            "tile extents must be non-zero: {blk_m}x{blk_n}x{blk_k}"
+        );
+        Self { blk_m, blk_n, blk_k }
+    }
+
+    /// The paper's Stream-K blocking factor for `precision` (§5.1).
+    #[must_use]
+    pub fn streamk_default(precision: Precision) -> Self {
+        match precision {
+            Precision::Fp64 => Self::FP64_STREAMK,
+            Precision::Fp16To32 => Self::FP16_STREAMK,
+        }
+    }
+
+    /// Number of output tiles along the m axis: `⌈m / BLK_M⌉`.
+    #[must_use]
+    pub fn tiles_m(&self, shape: GemmShape) -> usize {
+        ceil_div(shape.m, self.blk_m)
+    }
+
+    /// Number of output tiles along the n axis: `⌈n / BLK_N⌉`.
+    #[must_use]
+    pub fn tiles_n(&self, shape: GemmShape) -> usize {
+        ceil_div(shape.n, self.blk_n)
+    }
+
+    /// Total output tiles `t = ⌈m/BLK_M⌉ · ⌈n/BLK_N⌉` — the grid size
+    /// of the classic data-parallel decomposition (Algorithm 2).
+    #[must_use]
+    pub fn output_tiles(&self, shape: GemmShape) -> usize {
+        self.tiles_m(shape) * self.tiles_n(shape)
+    }
+
+    /// MAC-loop iterations needed to accumulate one output tile:
+    /// `⌈k / BLK_K⌉`.
+    #[must_use]
+    pub fn iters_per_tile(&self, shape: GemmShape) -> usize {
+        ceil_div(shape.k, self.blk_k)
+    }
+
+    /// Aggregate MAC-loop iterations for the whole problem:
+    /// `t · iters_per_tile` — the iteration space Stream-K partitions
+    /// evenly across CTAs (Algorithm 5, line 3).
+    #[must_use]
+    pub fn total_iters(&self, shape: GemmShape) -> usize {
+        self.output_tiles(shape) * self.iters_per_tile(shape)
+    }
+
+    /// MAC operations in a single MAC-loop iteration:
+    /// `BLK_M · BLK_N · BLK_K`.
+    #[must_use]
+    pub fn macs_per_iter(&self) -> u64 {
+        self.blk_m as u64 * self.blk_n as u64 * self.blk_k as u64
+    }
+
+    /// Elements in one output tile: `BLK_M · BLK_N`. This is also the
+    /// size of one temporary partial-sum record exchanged during
+    /// Stream-K fixup.
+    #[must_use]
+    pub fn tile_elements(&self) -> usize {
+        self.blk_m * self.blk_n
+    }
+
+    /// Bytes of global traffic for the input fragments of one MAC-loop
+    /// iteration (an A fragment of `BLK_M × BLK_K` plus a B fragment of
+    /// `BLK_K × BLK_N` at input width). Used by the simulator's memory
+    /// model.
+    #[must_use]
+    pub fn fragment_bytes(&self, precision: Precision) -> u64 {
+        ((self.blk_m * self.blk_k + self.blk_k * self.blk_n) * precision.input_bytes()) as u64
+    }
+
+    /// Bytes written when storing one output tile at output width.
+    #[must_use]
+    pub fn tile_output_bytes(&self, precision: Precision) -> u64 {
+        (self.tile_elements() * precision.output_bytes()) as u64
+    }
+}
+
+impl fmt::Display for TileShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}", self.blk_m, self.blk_n, self.blk_k)
+    }
+}
+
+impl std::str::FromStr for TileShape {
+    type Err = String;
+
+    /// Parses the `MxNxK` form produced by [`fmt::Display`].
+    fn from_str(s: &str) -> Result<Self, String> {
+        let parts: Vec<&str> = s.split('x').collect();
+        if parts.len() != 3 {
+            return Err(format!("expected MxNxK, got '{s}'"));
+        }
+        let dims: Result<Vec<usize>, _> = parts.iter().map(|p| p.parse::<usize>()).collect();
+        match dims {
+            Ok(d) if d.iter().all(|&x| x > 0) => Ok(TileShape::new(d[0], d[1], d[2])),
+            _ => Err(format!("expected positive integers in 'MxNxK', got '{s}'")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The running example of the paper's Figure 1a: a 384×384×128
+    /// GEMM blocked 128×128×128 gives nine output tiles.
+    #[test]
+    fn figure1a_tile_count() {
+        let shape = GemmShape::new(384, 384, 128);
+        let tile = TileShape::new(128, 128, 128);
+        assert_eq!(tile.output_tiles(shape), 9);
+        assert_eq!(tile.iters_per_tile(shape), 1);
+    }
+
+    /// Figure 1b: halving BLK_N doubles the tile count to 18.
+    #[test]
+    fn figure1b_tile_count() {
+        let shape = GemmShape::new(384, 384, 128);
+        let tile = TileShape::new(128, 64, 128);
+        assert_eq!(tile.output_tiles(shape), 18);
+    }
+
+    /// Figure 2b: with BLK_K = 4 each CTA of a g=4 Stream-K launch gets
+    /// 72 MAC-loop iterations (9 tiles × 32 iters / 4 CTAs).
+    #[test]
+    fn figure2b_iteration_accounting() {
+        let shape = GemmShape::new(384, 384, 128);
+        let tile = TileShape::new(128, 128, 4);
+        assert_eq!(tile.iters_per_tile(shape), 32);
+        assert_eq!(tile.total_iters(shape), 9 * 32);
+        assert_eq!(tile.total_iters(shape) / 4, 72);
+    }
+
+    /// Appendix A.1 Figure 8a: 256×3584×8192 under 128×128×32 blocking
+    /// has 56 output tiles of 256 iterations each.
+    #[test]
+    fn figure8a_accounting() {
+        let shape = GemmShape::new(256, 3584, 8192);
+        let tile = TileShape::FP16_STREAMK;
+        assert_eq!(tile.output_tiles(shape), 56);
+        assert_eq!(tile.iters_per_tile(shape), 256);
+    }
+
+    /// Appendix A.1 Figure 8c: 128×128×16384 is a single tile of 512
+    /// iterations.
+    #[test]
+    fn figure8c_accounting() {
+        let shape = GemmShape::new(128, 128, 16384);
+        let tile = TileShape::FP16_STREAMK;
+        assert_eq!(tile.output_tiles(shape), 1);
+        assert_eq!(tile.iters_per_tile(shape), 512);
+    }
+
+    #[test]
+    fn ragged_edges_round_up() {
+        let shape = GemmShape::new(130, 100, 17);
+        let tile = TileShape::new(64, 64, 16);
+        assert_eq!(tile.tiles_m(shape), 3);
+        assert_eq!(tile.tiles_n(shape), 2);
+        assert_eq!(tile.iters_per_tile(shape), 2);
+        assert_eq!(tile.total_iters(shape), 12);
+    }
+
+    #[test]
+    fn defaults_match_paper() {
+        assert_eq!(
+            TileShape::streamk_default(Precision::Fp64),
+            TileShape::new(64, 64, 16)
+        );
+        assert_eq!(
+            TileShape::streamk_default(Precision::Fp16To32),
+            TileShape::new(128, 128, 32)
+        );
+    }
+
+    #[test]
+    fn fragment_bytes_mixed_precision() {
+        let tile = TileShape::new(128, 128, 32);
+        // (128*32 + 32*128) f16 elements, 2 bytes each.
+        assert_eq!(tile.fragment_bytes(Precision::Fp16To32), 2 * (128 * 32 + 32 * 128));
+        // Output tile written as f32.
+        assert_eq!(tile.tile_output_bytes(Precision::Fp16To32), 4 * 128 * 128);
+    }
+
+    #[test]
+    fn from_str_round_trips_display() {
+        let t = TileShape::new(128, 256, 32);
+        assert_eq!(t.to_string().parse::<TileShape>().unwrap(), t);
+        assert!("128x256".parse::<TileShape>().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_tile_extent_panics() {
+        let _ = TileShape::new(64, 0, 16);
+    }
+}

@@ -1,0 +1,93 @@
+//! Property tests for the foundational arithmetic.
+
+use proptest::prelude::*;
+use streamk_types::{
+    ceil_div, grid, quantization_efficiency, waves, GemmShape, Layout, Precision, TileShape,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// ceil_div is exactly ⌈a/b⌉.
+    #[test]
+    fn ceil_div_definition(a in 0usize..1_000_000, b in 1usize..10_000) {
+        let q = ceil_div(a, b);
+        prop_assert!(q * b >= a);
+        prop_assert!(q == 0 || (q - 1) * b < a);
+    }
+
+    /// Wave arithmetic is self-consistent:
+    /// grid = full_waves·p + partial, waves = full + (partial > 0).
+    #[test]
+    fn wave_identities(g in 0usize..100_000, p in 1usize..1_000) {
+        let full = grid::full_waves(g, p);
+        let partial = grid::partial_wave_ctas(g, p);
+        prop_assert_eq!(full * p + partial, g);
+        prop_assert_eq!(waves(g, p), full + usize::from(partial > 0));
+        prop_assert!(partial < p);
+    }
+
+    /// Quantization efficiency is a proper fraction, equal to 1
+    /// exactly on multiples of p.
+    #[test]
+    fn quantization_efficiency_bounds(g in 1usize..100_000, p in 1usize..1_000) {
+        let e = quantization_efficiency(g, p);
+        prop_assert!(e > 0.0 && e <= 1.0 + 1e-12);
+        if g % p == 0 {
+            prop_assert!((e - 1.0).abs() < 1e-12);
+        }
+    }
+
+    /// Tile accounting: total iterations = tiles · iters_per_tile, and
+    /// tiles cover at least the problem extents.
+    #[test]
+    fn tile_accounting(
+        m in 1usize..10_000, n in 1usize..10_000, k in 1usize..10_000,
+        bm in 1usize..300, bn in 1usize..300, bk in 1usize..300,
+    ) {
+        let shape = GemmShape::new(m, n, k);
+        let tile = TileShape::new(bm, bn, bk);
+        prop_assert_eq!(tile.total_iters(shape), tile.output_tiles(shape) * tile.iters_per_tile(shape));
+        prop_assert!(tile.tiles_m(shape) * bm >= m);
+        prop_assert!((tile.tiles_m(shape) - 1) * bm < m);
+        prop_assert!(tile.tiles_n(shape) * bn >= n);
+    }
+
+    /// Arithmetic intensity increases with k for fixed m, n (more
+    /// reuse per byte of A/B... more precisely more flops per C byte).
+    #[test]
+    fn intensity_monotone_in_k(m in 1usize..2_000, n in 1usize..2_000, k in 1usize..4_000) {
+        let s1 = GemmShape::new(m, n, k);
+        let s2 = GemmShape::new(m, n, k * 2);
+        for p in Precision::ALL {
+            prop_assert!(s2.arithmetic_intensity(p) >= s1.arithmetic_intensity(p) * 0.999);
+        }
+    }
+
+    /// Layout indexing is a bijection onto [0, rows·cols).
+    #[test]
+    fn layout_bijection(rows in 1usize..60, cols in 1usize..60) {
+        for layout in [Layout::RowMajor, Layout::ColMajor] {
+            let mut seen = vec![false; rows * cols];
+            for r in 0..rows {
+                for c in 0..cols {
+                    let i = layout.index(r, c, rows, cols);
+                    prop_assert!(i < rows * cols);
+                    prop_assert!(!seen[i]);
+                    seen[i] = true;
+                }
+            }
+        }
+    }
+
+    /// min_bytes matches the elementwise definition.
+    #[test]
+    fn min_bytes_definition(m in 1usize..3_000, n in 1usize..3_000, k in 1usize..3_000) {
+        let s = GemmShape::new(m, n, k);
+        for p in Precision::ALL {
+            let expected = (m * k + k * n) as u64 * p.input_bytes() as u64
+                + (m * n) as u64 * p.output_bytes() as u64;
+            prop_assert_eq!(s.min_bytes(p), expected);
+        }
+    }
+}

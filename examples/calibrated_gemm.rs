@@ -1,0 +1,53 @@
+//! The paper's deployment recipe, end to end, on *this machine*:
+//!
+//! 1. microbenchmark the executor to fit the Appendix A.1 constants
+//!    `{a, b, c, d}` ("trivially chosen with empirical measurements…
+//!    once per target architecture", §5.1);
+//! 2. build a grid-size model from the fitted constants;
+//! 3. for a set of problems, let the model pick the launch
+//!    configuration and execute it on worker threads;
+//! 4. verify every result against the sequential reference.
+//!
+//! ```text
+//! cargo run --release --example calibrated_gemm
+//! ```
+
+use streamk::cpu::calibrate::{calibrate, CalibrationConfig};
+use streamk::matrix::reference::gemm_naive;
+use streamk::prelude::*;
+
+fn main() {
+    let threads = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get).min(8);
+    let config = CalibrationConfig::default();
+
+    println!("calibrating the {} microkernel on {threads} threads...", config.tile);
+    let cost = calibrate(&config).expect("calibration fit");
+    println!(
+        "fitted Appendix A.1 constants (seconds): a={:.3e} b={:.3e} c={:.3e} d={:.3e}",
+        cost.a, cost.b, cost.c, cost.d
+    );
+    println!("ratios vs one MAC-loop iteration: a={:.1}c b={:.1}c d={:.1}c\n", cost.a / cost.c, cost.b / cost.c, cost.d / cost.c);
+
+    let model = GridSizeModel::new(cost, threads);
+    let tile = config.tile;
+    let exec = CpuExecutor::with_threads(threads);
+
+    println!("{:<18} {:>6} {:>5} {:>24}", "problem", "tiles", "g*", "strategy");
+    for (m, n, k) in [(64, 64, 2048), (96, 96, 512), (256, 256, 256), (320, 192, 640)] {
+        let shape = GemmShape::new(m, n, k);
+        let decomp = model.decompose(shape, tile);
+        println!(
+            "{:<18} {:>6} {:>5} {:>24}",
+            shape.to_string(),
+            tile.output_tiles(shape),
+            decomp.grid_size(),
+            decomp.strategy().to_string()
+        );
+
+        let a = Matrix::<f64>::random::<f64>(shape.m, shape.k, Layout::RowMajor, 7);
+        let b = Matrix::<f64>::random::<f64>(shape.k, shape.n, Layout::RowMajor, 8);
+        let c = exec.gemm::<f64, f64>(&a, &b, &decomp);
+        c.assert_close(&gemm_naive::<f64, f64>(&a, &b), 1e-10);
+    }
+    println!("\nall model-selected launches verified against the sequential reference.");
+}

@@ -1,0 +1,60 @@
+//! Interactive schedule explorer: print the execution schedule of
+//! every decomposition strategy for a GEMM shape of your choosing on
+//! a hypothetical overhead-free GPU.
+//!
+//! ```text
+//! cargo run --release --example schedule_explorer -- [m n k [sms [blk_m blk_n blk_k]]]
+//! cargo run --release --example schedule_explorer -- 896 384 128 4
+//! ```
+
+use streamk::core::Decomposition;
+use streamk::sim::render_gantt;
+use streamk::prelude::*;
+
+fn main() {
+    let args: Vec<usize> = std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
+    let (m, n, k) = match args[..] {
+        [m, n, k, ..] => (m, n, k),
+        _ => (896, 384, 128),
+    };
+    let sms = args.get(3).copied().unwrap_or(4);
+    let tile = match args[4..] {
+        [bm, bn, bk, ..] => TileShape::new(bm, bn, bk),
+        _ => TileShape::new(128, 128, 32),
+    };
+    let shape = GemmShape::new(m, n, k);
+
+    let mut gpu = GpuSpec::hypothetical_4sm();
+    gpu.sms = sms;
+
+    let tiles = tile.output_tiles(shape);
+    println!("{shape} GEMM, blocking {tile}, {sms}-SM overhead-free GPU");
+    println!(
+        "{tiles} output tiles x {} iterations = {} MAC-loop iterations; {} full + {} partial wave(s)\n",
+        tile.iters_per_tile(shape),
+        tile.total_iters(shape),
+        streamk::types::grid::full_waves(tiles, sms),
+        usize::from(streamk::types::grid::partial_wave_ctas(tiles, sms) > 0),
+    );
+
+    let split = 2;
+    let cases = [
+        ("data-parallel".to_string(), Decomposition::data_parallel(shape, tile)),
+        (format!("fixed-split s={split}"), Decomposition::fixed_split(shape, tile, split)),
+        (format!("basic stream-k g={sms}"), Decomposition::stream_k(shape, tile, sms)),
+        ("dp + one-tile stream-k".to_string(), Decomposition::dp_one_tile_stream_k(shape, tile, sms)),
+        ("two-tile stream-k + dp".to_string(), Decomposition::two_tile_stream_k_dp(shape, tile, sms)),
+    ];
+
+    for (name, decomp) in cases {
+        let report = simulate(&decomp, &gpu, Precision::Fp64);
+        println!(
+            "--- {name}: {} CTAs, {} seams, quantization {:.1}% ---",
+            decomp.grid_size(),
+            decomp.split_tiles(),
+            report.quantization_efficiency() * 100.0
+        );
+        print!("{}", render_gantt(&report, 72));
+        println!();
+    }
+}

@@ -1,0 +1,54 @@
+//! Numerical behaviour of tile splitting.
+//!
+//! Stream-K and fixed-split reassociate the k-axis sum at every
+//! splitting seam. Reassociation is harmless for the paper's
+//! evaluation (GPU tensor cores reassociate internally anyway), but a
+//! library user deserves to see the effect quantified: this example
+//! measures the worst relative deviation from the sequential
+//! reference as the split depth grows, in both f64 and f32
+//! accumulation, and checks the deviation stays within the expected
+//! `O(ε·k)` envelope.
+//!
+//! ```text
+//! cargo run --release --example split_numerics
+//! ```
+
+use streamk::core::Decomposition;
+use streamk::matrix::reference::gemm_naive;
+use streamk::prelude::*;
+
+fn main() {
+    let shape = GemmShape::new(32, 32, 4096);
+    let tile = TileShape::new(32, 32, 8); // 1 tile, 512 iterations
+    let a64 = Matrix::<f64>::random::<f64>(shape.m, shape.k, Layout::RowMajor, 7);
+    let b64 = Matrix::<f64>::random::<f64>(shape.k, shape.n, Layout::RowMajor, 8);
+    let a32 = Matrix::<f32>::random::<f32>(shape.m, shape.k, Layout::RowMajor, 7);
+    let b32 = Matrix::<f32>::random::<f32>(shape.k, shape.n, Layout::RowMajor, 8);
+
+    let ref64 = gemm_naive::<f64, f64>(&a64, &b64);
+    let ref32 = gemm_naive::<f32, f32>(&a32, &b32);
+
+    println!("reassociation error vs sequential reference, {shape} (one output tile)\n");
+    println!("{:>6} | {:>14} | {:>14}", "splits", "f64 max rel", "f32 max rel");
+
+    for splits in [1usize, 2, 4, 8, 16, 32, 64] {
+        let decomp = Decomposition::stream_k(shape, tile, splits);
+        let exec = CpuExecutor::with_threads(splits.max(2));
+
+        let c64 = exec.gemm::<f64, f64>(&a64, &b64, &decomp);
+        let c32 = exec.gemm::<f32, f32>(&a32, &b32, &decomp);
+        let e64 = c64.max_rel_diff(&ref64);
+        let e32 = c32.max_rel_diff(&ref32);
+        println!("{splits:>6} | {e64:>14.3e} | {e32:>14.3e}");
+
+        // Envelope check: the deviation of a k-term sum regrouped into
+        // `splits` chunks is bounded by ~ε·k·max|term| in the worst
+        // case; random ±1 inputs keep it far below that.
+        assert!(e64 < 1e-12, "f64 deviation {e64:.3e} out of envelope at {splits} splits");
+        assert!(e32 < 1e-3, "f32 deviation {e32:.3e} out of envelope at {splits} splits");
+    }
+
+    println!("\nsplits = 1 is bit-exact (same accumulation order as the reference);");
+    println!("deeper splits reassociate at seam boundaries only — the error envelope");
+    println!("stays O(eps * k) and is unaffected by thread count or scheduling.");
+}

@@ -1,0 +1,91 @@
+//! Strong scaling across the accumulation axis — the paper's
+//! Figure 9 regime, executed both in the simulator and for real on
+//! CPU threads.
+//!
+//! A 64×64 output tile with a growing k-extent is the worst case for
+//! the data-parallel decomposition (one CTA does everything) and the
+//! best case for Stream-K (the k-axis parallelism is there for the
+//! taking). We sweep k and report, side by side:
+//!
+//! - simulated A100 speedup of Stream-K over data-parallel, and the
+//!   grid size the Appendix A.1 model selects;
+//! - measured wall-clock speedup of the CPU executor with 8 worker
+//!   threads on this machine.
+//!
+//! ```text
+//! cargo run --release --example strong_scaling
+//! ```
+
+use std::time::Instant;
+use streamk::core::{CostModel, Decomposition};
+use streamk::ensemble::runners;
+use streamk::matrix::reference::gemm_naive;
+use streamk::prelude::*;
+
+fn time_best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            let _ = f();
+            t0.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn main() {
+    let precision = Precision::Fp64;
+    let gpu = GpuSpec::a100();
+    let sim_tile = TileShape::streamk_default(precision);
+
+    // CPU side: small tile so each MAC-loop iteration is quick.
+    let threads = 8;
+    let cpu_tile = TileShape::new(64, 64, 16);
+    let exec = CpuExecutor::with_threads(threads);
+    let model = GridSizeModel::new(CostModel::for_precision(precision), threads);
+
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    println!("strong scaling a single 64x64 output tile across k (FP64)");
+    println!(
+        "note: this host exposes {cores} core(s); the CPU columns show real parallel \
+         speedup only when cores > 1 — on a single core they measure protocol overhead.\n"
+    );
+    println!(
+        "{:>6} | {:>8} {:>12} | {:>10} {:>10} {:>9}",
+        "k", "sim g*", "sim speedup", "cpu dp (s)", "cpu sk (s)", "cpu spdup"
+    );
+
+    for k in [256usize, 512, 1024, 2048, 4096, 8192] {
+        // --- simulated A100 at the paper's blocking ---
+        let sim_shape = GemmShape::new(64, 64, k);
+        let sk_sim = runners::run_stream_k(sim_shape, precision, &gpu);
+        let dp_sim = runners::run_dp_single(sim_shape, precision, &gpu);
+        let a100_model = GridSizeModel::new(CostModel::for_precision(precision), gpu.sms);
+        let g_star = a100_model.best_grid(sim_shape, sim_tile);
+
+        // --- real CPU threads ---
+        let shape = GemmShape::new(64, 64, k);
+        let a = Matrix::<f64>::random::<f64>(shape.m, shape.k, Layout::RowMajor, 1);
+        let b = Matrix::<f64>::random::<f64>(shape.k, shape.n, Layout::RowMajor, 2);
+        let dp = Decomposition::data_parallel(shape, cpu_tile);
+        let sk = Decomposition::stream_k(shape, cpu_tile, model.best_grid(shape, cpu_tile));
+
+        let t_dp = time_best_of(5, || exec.gemm::<f64, f64>(&a, &b, &dp));
+        let t_sk = time_best_of(5, || exec.gemm::<f64, f64>(&a, &b, &sk));
+
+        // Verify the Stream-K result while we're here.
+        let c = exec.gemm::<f64, f64>(&a, &b, &sk);
+        c.assert_close(&gemm_naive::<f64, f64>(&a, &b), 1e-10);
+
+        println!(
+            "{:>6} | {:>8} {:>11.2}x | {:>10.5} {:>10.5} {:>8.2}x",
+            k,
+            g_star,
+            sk_sim.speedup_over(&dp_sim),
+            t_dp,
+            t_sk,
+            t_dp / t_sk
+        );
+    }
+
+    println!("\nall Stream-K results verified against the sequential reference.");
+}

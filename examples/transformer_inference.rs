@@ -1,0 +1,73 @@
+//! Domain scenario: the GEMM shapes of transformer inference.
+//!
+//! The paper's introduction motivates Stream-K with deep-learning
+//! workloads, where "transformer architectures … are almost entirely
+//! limited by the performance of large matrix products" (§2). During
+//! *inference* the batch/sequence dimension is often small, which is
+//! exactly where tile quantization bites: the projection and MLP
+//! GEMMs produce too few output tiles to fill a 108-SM GPU.
+//!
+//! This example walks a GPT-style layer (hidden 4096, MLP 16384,
+//! vocabulary-free) across batch·sequence sizes from 16 to 8192 and
+//! compares the simulated A100 utilization of the single-blocking
+//! data-parallel kernel, the cuBLAS-like ensemble, and Stream-K.
+//!
+//! ```text
+//! cargo run --release --example transformer_inference
+//! ```
+
+use streamk::ensemble::runners;
+use streamk::prelude::*;
+
+struct LayerGemm {
+    name: &'static str,
+    // C = [tokens × out] = [tokens × in] · [in × out]
+    out: usize,
+    inner: usize,
+}
+
+fn main() {
+    let hidden = 4096;
+    let gemms = [
+        LayerGemm { name: "qkv_proj  (h -> 3h)", out: 3 * hidden, inner: hidden },
+        LayerGemm { name: "attn_out  (h -> h) ", out: hidden, inner: hidden },
+        LayerGemm { name: "mlp_up    (h -> 4h)", out: 4 * hidden, inner: hidden },
+        LayerGemm { name: "mlp_down  (4h -> h)", out: hidden, inner: 4 * hidden },
+    ];
+    let gpu = GpuSpec::a100();
+    let precision = Precision::Fp16To32;
+    let tile = TileShape::streamk_default(precision);
+
+    println!("GPT-style layer GEMMs (hidden={hidden}) on the simulated A100, FP16->32");
+    println!("utilization = achieved fraction of the 222.3 TFLOP/s tensor-core peak\n");
+    println!(
+        "{:<22} {:>6} {:>7} {:>7} {:>9} {:>9} {:>9}  {:>9}",
+        "gemm", "tokens", "tiles", "waves", "dp", "cublas~", "stream-k", "sk vs dp"
+    );
+
+    for tokens in [16usize, 128, 512, 1024, 2048, 8192] {
+        for g in &gemms {
+            let shape = GemmShape::new(tokens, g.out, g.inner);
+            let tiles = tile.output_tiles(shape);
+            let dp = runners::run_dp_single(shape, precision, &gpu);
+            let heur = runners::run_heuristic(shape, precision, &gpu);
+            let sk = runners::run_stream_k(shape, precision, &gpu);
+            println!(
+                "{:<22} {:>6} {:>7} {:>7} {:>8.1}% {:>8.1}% {:>8.1}%  {:>8.2}x",
+                g.name,
+                tokens,
+                tiles,
+                streamk::types::waves(tiles, gpu.sms),
+                dp.utilization() * 100.0,
+                heur.utilization() * 100.0,
+                sk.utilization() * 100.0,
+                sk.speedup_over(&dp)
+            );
+        }
+        println!();
+    }
+
+    println!("reading guide: at small token counts the output tiling can't fill 108 SMs,");
+    println!("so the data-parallel kernel idles most of the machine while Stream-K");
+    println!("splits the deep k-axis across it; at large token counts everyone converges.");
+}

@@ -1,0 +1,121 @@
+//! Cross-validation between the three views of a decomposition: the
+//! pure shape math in `streamk-core`, the timing model in
+//! `streamk-sim`, and the real execution in `streamk-cpu`.
+
+use streamk::core::Decomposition;
+use streamk::cpu::CpuExecutor;
+use streamk::matrix::Matrix;
+use streamk::prelude::*;
+use streamk::types::Precision;
+
+/// §4's generalization argument, verified in all three views at once:
+/// Stream-K with g = t is data-parallel — identical CTA ranges,
+/// identical simulated makespan, bit-identical executed output.
+#[test]
+fn stream_k_at_t_is_data_parallel_everywhere() {
+    let shape = GemmShape::new(160, 96, 80);
+    let tile = TileShape::new(32, 32, 16);
+    let t = tile.output_tiles(shape);
+
+    let sk = Decomposition::stream_k(shape, tile, t);
+    let dp = Decomposition::data_parallel(shape, tile);
+    assert_eq!(sk.ctas(), dp.ctas());
+
+    let gpu = GpuSpec::a100();
+    let r_sk = simulate(&sk, &gpu, Precision::Fp64);
+    let r_dp = simulate(&dp, &gpu, Precision::Fp64);
+    assert_eq!(r_sk.makespan, r_dp.makespan);
+
+    let a = Matrix::<f64>::random::<f64>(shape.m, shape.k, Layout::RowMajor, 1);
+    let b = Matrix::<f64>::random::<f64>(shape.k, shape.n, Layout::RowMajor, 2);
+    let exec = CpuExecutor::with_threads(4);
+    let c_sk = exec.gemm::<f64, f64>(&a, &b, &sk);
+    let c_dp = exec.gemm::<f64, f64>(&a, &b, &dp);
+    assert_eq!(c_sk.max_abs_diff(&c_dp), 0.0, "results must be bit-identical");
+}
+
+/// The simulator's MAC accounting matches the decomposition's
+/// iteration accounting exactly: Σ busy = total_iters · c.
+#[test]
+fn simulator_conserves_work() {
+    let gpu = GpuSpec::a100();
+    let shape = GemmShape::new(1000, 700, 900);
+    let tile = TileShape::FP64_STREAMK;
+    for d in [
+        Decomposition::data_parallel(shape, tile),
+        Decomposition::stream_k(shape, tile, 108),
+        Decomposition::two_tile_stream_k_dp(shape, tile, 108),
+        Decomposition::fixed_split(shape, tile, 3),
+    ] {
+        let r = simulate(&d, &gpu, Precision::Fp64);
+        let total_iters: usize = d.ctas().iter().map(|c| c.len()).sum();
+        assert_eq!(total_iters, d.space().total_iters());
+        // mac_busy / c == total iterations (c recovered from a 1-iter
+        // problem would be circular; instead check proportionality
+        // across two strategies).
+        let per_iter = r.mac_busy / total_iters as f64;
+        assert!(per_iter > 0.0);
+        // Same tile, same precision → same per-iteration cost across
+        // strategies.
+        let r2 = simulate(&Decomposition::data_parallel(shape, tile), &gpu, Precision::Fp64);
+        let per_iter2 = r2.mac_busy / d.space().total_iters() as f64;
+        assert!((per_iter - per_iter2).abs() / per_iter < 1e-12);
+    }
+}
+
+/// The simulator's utilization is bounded by the quantization
+/// efficiency of the schedule (you can't beat your own idle time).
+#[test]
+fn utilization_never_exceeds_quantization() {
+    let gpu = GpuSpec::a100_ideal();
+    for (m, n, k) in [(384, 384, 128), (4096, 512, 256), (129, 129, 129)] {
+        let shape = GemmShape::new(m, n, k);
+        let tile = TileShape::FP64_STREAMK;
+        for d in [
+            Decomposition::data_parallel(shape, tile),
+            Decomposition::stream_k(shape, tile, 108),
+        ] {
+            let r = simulate(&d, &gpu, Precision::Fp64);
+            assert!(
+                r.utilization() <= r.quantization_efficiency() + 1e-9,
+                "{m}x{n}x{k}: util {} > quant {}",
+                r.utilization(),
+                r.quantization_efficiency()
+            );
+        }
+    }
+}
+
+/// Executed results are invariant to the thread count (the protocol
+/// is deterministic in its arithmetic, whatever the interleaving).
+#[test]
+fn executor_thread_count_invariance() {
+    let shape = GemmShape::new(96, 96, 160);
+    let tile = TileShape::new(32, 32, 16);
+    let d = Decomposition::stream_k(shape, tile, 5);
+    let a = Matrix::<f64>::random::<f64>(shape.m, shape.k, Layout::RowMajor, 3);
+    let b = Matrix::<f64>::random::<f64>(shape.k, shape.n, Layout::RowMajor, 4);
+
+    let baseline = CpuExecutor::with_threads(5).gemm::<f64, f64>(&a, &b, &d);
+    for threads in [6, 8, 12] {
+        let c = CpuExecutor::with_threads(threads).gemm::<f64, f64>(&a, &b, &d);
+        assert_eq!(c.max_abs_diff(&baseline), 0.0, "threads={threads} changed the result");
+    }
+}
+
+/// Repeated executions are bit-stable (no schedule-dependent
+/// reassociation sneaks in).
+#[test]
+fn executor_is_deterministic_across_runs() {
+    let shape = GemmShape::new(80, 112, 96);
+    let tile = TileShape::new(16, 16, 8);
+    let d = Decomposition::two_tile_stream_k_dp(shape, tile, 6);
+    let a = Matrix::<f64>::random::<f64>(shape.m, shape.k, Layout::RowMajor, 5);
+    let b = Matrix::<f64>::random::<f64>(shape.k, shape.n, Layout::RowMajor, 6);
+    let exec = CpuExecutor::with_threads(6);
+    let first = exec.gemm::<f64, f64>(&a, &b, &d);
+    for _ in 0..10 {
+        let again = exec.gemm::<f64, f64>(&a, &b, &d);
+        assert_eq!(first.max_abs_diff(&again), 0.0);
+    }
+}

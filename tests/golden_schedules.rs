@@ -1,0 +1,80 @@
+//! Golden-output tests: the ASCII schedules of the paper's figures
+//! are pinned character-for-character. Any change to dispatch order,
+//! cost derivation or rendering shows up here first.
+
+use streamk::core::Decomposition;
+use streamk::sim::render_gantt;
+use streamk::prelude::*;
+use streamk::types::Precision;
+
+fn gantt(decomp: &Decomposition, width: usize) -> String {
+    let report = simulate(decomp, &GpuSpec::hypothetical_4sm(), Precision::Fp64);
+    render_gantt(&report, width)
+}
+
+/// Figure 1a, pinned: 9 tiles over 4 SMs in 3 waves, SMs 1-3 idle in
+/// the last.
+#[test]
+fn figure1a_golden() {
+    let d = Decomposition::data_parallel(GemmShape::new(384, 384, 128), TileShape::new(128, 128, 128));
+    let expected = "\
+SM0  |[0000000][0404040][0808080]
+SM1  |[0101010][0505050]·········
+SM2  |[0202020][0606060]·········
+SM3  |[0303030][0707070]·········
+";
+    let got = gantt(&d, 27);
+    let body: Vec<&str> = got.lines().take(4).collect();
+    assert_eq!(body.join("\n") + "\n", expected, "got:\n{got}");
+    assert!(got.contains("quantization 75.0%"));
+}
+
+/// Figure 2b, pinned: four CTAs, one uninterrupted span each.
+#[test]
+fn figure2b_golden() {
+    let d = Decomposition::stream_k(GemmShape::new(384, 384, 128), TileShape::new(128, 128, 4), 4);
+    let got = gantt(&d, 24);
+    let expected = "\
+SM0  |[0000000000000000000000]
+SM1  |[0101010101010101010101]
+SM2  |[0202020202020202020202]
+SM3  |[0303030303030303030303]
+";
+    let body: Vec<&str> = got.lines().take(4).collect();
+    assert_eq!(body.join("\n") + "\n", expected, "got:\n{got}");
+    assert!(got.contains("quantization 100.0%"));
+}
+
+/// Figure 9, pinned: the data-parallel schedule leaves three SMs
+/// completely idle.
+#[test]
+fn figure9_dp_golden() {
+    let d = Decomposition::data_parallel(GemmShape::new(128, 128, 384), TileShape::new(128, 128, 4));
+    let got = gantt(&d, 20);
+    let lines: Vec<&str> = got.lines().collect();
+    assert!(lines[0].starts_with("SM0  |[00"));
+    for line in &lines[1..4] {
+        assert!(line.ends_with(&"·".repeat(20)), "expected fully idle lane: {line}");
+    }
+    assert!(got.contains("quantization 25.0%"));
+}
+
+/// The two-tile hybrid's structure is pinned loosely: SK CTAs 0-3
+/// first (longer spans), then four DP waves.
+#[test]
+fn figure3c_structure_golden() {
+    let d = Decomposition::two_tile_stream_k_dp(GemmShape::new(896, 384, 128), TileShape::new(128, 128, 32), 4);
+    let report = simulate(&d, &GpuSpec::hypothetical_4sm(), Precision::Fp64);
+    // First four spans are the Stream-K CTAs, one per SM, starting at 0.
+    for (i, span) in report.spans[..4].iter().enumerate() {
+        assert_eq!(span.cta_id, i);
+        assert_eq!(span.start, 0.0);
+        assert_eq!(span.iters, 5);
+    }
+    // All DP spans have 4 iterations and start after the SK CTAs of
+    // their SM.
+    for span in &report.spans[4..] {
+        assert_eq!(span.iters, 4);
+        assert!(span.start > 0.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Cross-validation of the Appendix A.1 analytical model against the
+//! event-driven simulator.
+//!
+//! The paper's deployment leans on the model being *good enough* to
+//! pick the launch configuration (§5.1). Since the simulator derives
+//! its costs from the same calibrated constants but additionally
+//! resolves dispatch, skew and wait dependencies, agreement between
+//! "what the model predicts" and "what the engine measures" is a real
+//! consistency check, not a tautology: the model ignores waits and
+//! ceiling effects the engine simulates.
+
+use streamk::core::{CostModel, Decomposition, GridSizeModel};
+use streamk::prelude::*;
+use streamk::sim::CtaCosts;
+use streamk::types::Precision;
+
+fn strong_scaling_shapes() -> Vec<GemmShape> {
+    vec![
+        GemmShape::new(256, 3584, 8192), // Figure 8a
+        GemmShape::new(1024, 1024, 1024), // Figure 8b
+        GemmShape::new(128, 128, 16384), // Figure 8c
+        GemmShape::new(384, 384, 4096),
+        GemmShape::new(128, 512, 2048),
+    ]
+}
+
+/// The model's absolute prediction tracks the simulated makespan
+/// within 2× for single-wave Stream-K launches (it ignores waits and
+/// per-CTA `b` placement, so exact equality is not expected).
+#[test]
+fn modeled_time_tracks_simulated_makespan() {
+    let gpu = GpuSpec::a100();
+    let precision = Precision::Fp16To32;
+    let tile = TileShape::streamk_default(precision);
+    let model = GridSizeModel::new(CostModel::for_precision(precision), gpu.sms);
+    let costs = CtaCosts::derive(&gpu, precision, tile, 0.99);
+
+    for shape in strong_scaling_shapes() {
+        for g in [8usize, 32, 64, 108] {
+            if g > tile.total_iters(shape) {
+                continue;
+            }
+            let modeled_units = model.time_cta(shape, tile, g);
+            let modeled_seconds = modeled_units * costs.c; // c = 1 unit
+            let des = simulate(&Decomposition::stream_k(shape, tile, g), &gpu, precision);
+            let ratio = des.compute_makespan / modeled_seconds;
+            assert!(
+                (0.5..2.0).contains(&ratio),
+                "{shape} g={g}: DES {:.3e} vs model {modeled_seconds:.3e} (ratio {ratio:.2})",
+                des.compute_makespan
+            );
+        }
+    }
+}
+
+/// The model-selected grid is near-optimal *in the simulator's own
+/// terms*: its DES makespan is within 15% of the best candidate grid.
+#[test]
+fn model_selection_is_near_optimal_in_des() {
+    let gpu = GpuSpec::a100();
+    let precision = Precision::Fp16To32;
+    let tile = TileShape::streamk_default(precision);
+    let model = GridSizeModel::new(CostModel::for_precision(precision), gpu.sms);
+
+    for shape in strong_scaling_shapes() {
+        let g_star = model.best_grid(shape, tile);
+        let run = |g: usize| {
+            simulate(&Decomposition::stream_k(shape, tile, g), &gpu, precision).makespan
+        };
+        let starred = run(g_star);
+        let best = (1..=gpu.sms.min(tile.total_iters(shape)))
+            .step_by(1)
+            .map(run)
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            starred <= best * 1.15,
+            "{shape}: model picked g={g_star} at {starred:.3e}, best candidate {best:.3e}"
+        );
+    }
+}
+
+/// Fitted-from-simulation constants recover the configured ones: run
+/// single-wave launches, regress the DES makespans with
+/// `CostModel::fit`, and compare the per-iteration cost against the
+/// known `c` (the microbenchmark loop of §5.1, closed on itself).
+#[test]
+fn fit_from_des_recovers_iteration_cost() {
+    let gpu = GpuSpec::a100();
+    let precision = Precision::Fp16To32;
+    let tile = TileShape::streamk_default(precision);
+    let costs = CtaCosts::derive(&gpu, precision, tile, 0.99);
+    let model = GridSizeModel::new(CostModel::for_precision(precision), gpu.sms);
+
+    let mut samples = Vec::new();
+    // Single-tile problems with varying depth and split: clean
+    // (iters, peers) coverage.
+    for k_iters in [32usize, 64, 128, 256] {
+        let shape = GemmShape::new(128, 128, k_iters * 32);
+        for g in [1usize, 2, 4, 8] {
+            if g > k_iters {
+                continue;
+            }
+            let des = simulate(&Decomposition::stream_k(shape, tile, g), &gpu, precision);
+            samples.push((
+                model.iters_per_cta(shape, tile, g),
+                model.fixup_peers(shape, tile, g),
+                des.compute_makespan,
+            ));
+        }
+    }
+    let fitted = CostModel::fit(&samples).expect("well-determined fit");
+    let rel = (fitted.c - costs.c).abs() / costs.c;
+    assert!(rel < 0.05, "fitted c {:.3e} vs configured {:.3e} ({rel:.3} rel)", fitted.c, costs.c);
+}

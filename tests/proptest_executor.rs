@@ -1,0 +1,84 @@
+//! Property tests spanning the full stack: random problems, random
+//! strategies, random thread counts → the CPU executor must always
+//! reproduce the sequential reference, and the simulator must always
+//! produce a consistent report.
+
+#![allow(ambiguous_glob_imported_traits)]
+
+use proptest::prelude::*;
+use streamk::core::Decomposition;
+use streamk::core::Strategy as Decomp;
+use streamk::cpu::CpuExecutor;
+use streamk::matrix::reference::gemm_naive;
+use streamk::matrix::Matrix;
+use streamk::prelude::*;
+use streamk::types::Precision;
+
+fn small_shapes() -> impl proptest::strategy::Strategy<Value = GemmShape> {
+    (1usize..80, 1usize..80, 1usize..120).prop_map(|(m, n, k)| GemmShape::new(m, n, k))
+}
+
+fn small_tiles() -> impl proptest::strategy::Strategy<Value = TileShape> {
+    (
+        prop_oneof![Just(8usize), Just(16), Just(13)],
+        prop_oneof![Just(8usize), Just(16), Just(11)],
+        prop_oneof![Just(4usize), Just(8), Just(7)],
+    )
+        .prop_map(|(m, n, k)| TileShape::new(m, n, k))
+}
+
+fn strategies() -> impl proptest::strategy::Strategy<Value = Decomp> {
+    prop_oneof![
+        Just(Decomp::DataParallel),
+        (1usize..5).prop_map(|split| Decomp::FixedSplit { split }),
+        (1usize..9).prop_map(|grid| Decomp::StreamK { grid }),
+        (1usize..9).prop_map(|sms| Decomp::DpOneTileStreamK { sms }),
+        (1usize..9).prop_map(|sms| Decomp::TwoTileStreamKDp { sms }),
+    ]
+}
+
+proptest! {
+    // Thread spawning makes these pricier than pure-math proptests;
+    // 48 cases still covers a wide cross-section every run.
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The headline whole-stack property: execute any decomposition
+    /// on real threads, get the reference GEMM.
+    #[test]
+    fn executor_always_matches_reference(
+        shape in small_shapes(),
+        tile in small_tiles(),
+        strategy in strategies(),
+    ) {
+        let decomp = Decomposition::from_strategy(shape, tile, strategy);
+        // The executor requires every owner+peers group to fit in the
+        // worker pool.
+        let residency = decomp.fixups().iter().map(|f| f.covering_ctas()).max().unwrap_or(1);
+        let threads = residency.max(4);
+        let a = Matrix::<f64>::random::<f64>(shape.m, shape.k, Layout::RowMajor, 0xA);
+        let b = Matrix::<f64>::random::<f64>(shape.k, shape.n, Layout::RowMajor, 0xB);
+        let c = CpuExecutor::with_threads(threads).gemm::<f64, f64>(&a, &b, &decomp);
+        let reference = gemm_naive::<f64, f64>(&a, &b);
+        let err = c.max_rel_diff(&reference);
+        prop_assert!(err < 1e-10, "{strategy} on {shape}/{tile}: err {err:.3e}");
+    }
+
+    /// The simulator accepts anything the decomposition layer
+    /// produces and reports self-consistent numbers.
+    #[test]
+    fn simulator_report_is_consistent(
+        shape in small_shapes(),
+        tile in small_tiles(),
+        strategy in strategies(),
+    ) {
+        let decomp = Decomposition::from_strategy(shape, tile, strategy);
+        let r = simulate(&decomp, &GpuSpec::a100(), Precision::Fp64);
+        prop_assert!(r.makespan > 0.0);
+        prop_assert!(r.makespan + 1e-18 >= r.compute_makespan.max(r.memory_time));
+        prop_assert!(r.utilization() > 0.0 && r.utilization() <= 1.0 + 1e-9);
+        prop_assert!(r.quantization_efficiency() > 0.0 && r.quantization_efficiency() <= 1.0 + 1e-9);
+        prop_assert_eq!(r.spans.len(), decomp.grid_size());
+        let iters: usize = r.spans.iter().map(|s| s.iters).sum();
+        prop_assert_eq!(iters, decomp.space().total_iters());
+    }
+}
