@@ -27,7 +27,7 @@ fn bench_case(c: &mut Criterion, group_name: &str, shape: GemmShape, _tile: Tile
     let mut group = c.benchmark_group(group_name);
     group.sample_size(20);
     for (name, decomp) in cases {
-        group.bench_function(*name, |bencher| {
+        group.bench_function(name, |bencher| {
             bencher.iter(|| black_box(exec.gemm::<f64, f64>(black_box(&a), black_box(&b), decomp)));
         });
     }

@@ -77,6 +77,19 @@ pub enum Command {
         /// Sample size.
         count: usize,
     },
+    /// Seeded fault-injection campaign across every strategy.
+    Chaos {
+        /// Problem shape.
+        shape: GemmShape,
+        /// Blocking factor.
+        tile: TileShape,
+        /// Deterministic seeds per strategy × fault kind cell.
+        seeds: u64,
+        /// Executor worker threads.
+        threads: usize,
+        /// Owner-side watchdog deadline, milliseconds.
+        watchdog_ms: u64,
+    },
     /// SVG schedule to a file.
     Svg {
         /// Problem shape.
@@ -101,6 +114,7 @@ USAGE:
   streamk bestgrid <m> <n> <k> [--tile MxNxK] [--sms P] [--precision fp64|fp16]
   streamk compare  <m> <n> <k> [--precision fp64|fp16]
   streamk corpus   [count]
+  streamk chaos    <m> <n> <k> [--tile MxNxK] [--seeds N] [--threads T] [--watchdog-ms MS]
   streamk svg      <m> <n> <k> --out FILE [--tile MxNxK] [--sms P] [--strategy S]
   streamk help
 
@@ -249,6 +263,27 @@ impl Cli {
                     })?;
                 Command::Corpus { count }
             }
+            "chaos" => {
+                let flags = split_flags(rest)?;
+                let parse_u64 = |name: &str, default: u64, flags: &Flags<'_>| {
+                    get_flag(flags, name).map_or(Ok(default), |v| {
+                        v.parse::<u64>()
+                            .map_err(|_| ParseError(format!("--{name} expects an integer, got '{v}'")))
+                    })
+                };
+                Command::Chaos {
+                    shape: parse_shape(&flags)?,
+                    tile: get_flag(&flags, "tile").map_or(Ok(TileShape::new(32, 32, 16)), parse_tile)?,
+                    seeds: parse_u64("seeds", 3, &flags)?,
+                    threads: get_flag(&flags, "threads").map_or(Ok(8), |v| {
+                        v.parse::<usize>()
+                            .ok()
+                            .filter(|&t| t > 0)
+                            .ok_or_else(|| ParseError(format!("--threads expects a positive integer, got '{v}'")))
+                    })?,
+                    watchdog_ms: parse_u64("watchdog-ms", 200, &flags)?,
+                }
+            }
             "svg" => {
                 let flags = split_flags(rest)?;
                 Command::Svg {
@@ -349,6 +384,33 @@ mod tests {
         assert!(e.0.contains("unknown command"));
         let e = Cli::parse(&argv("schedule 10 10 10 --tile 4x4")).unwrap_err();
         assert!(e.0.contains("MxNxK"));
+    }
+
+    #[test]
+    fn chaos_defaults_and_flags() {
+        let cli = Cli::parse(&argv("chaos 96 80 64")).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Chaos {
+                shape: GemmShape::new(96, 80, 64),
+                tile: TileShape::new(32, 32, 16),
+                seeds: 3,
+                threads: 8,
+                watchdog_ms: 200,
+            }
+        );
+        let cli = Cli::parse(&argv("chaos 64 64 64 --tile 16x16x8 --seeds 5 --threads 4 --watchdog-ms 50")).unwrap();
+        match cli.command {
+            Command::Chaos { tile, seeds, threads, watchdog_ms, .. } => {
+                assert_eq!(tile, TileShape::new(16, 16, 8));
+                assert_eq!(seeds, 5);
+                assert_eq!(threads, 4);
+                assert_eq!(watchdog_ms, 50);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(Cli::parse(&argv("chaos 64 64 64 --threads 0")).is_err());
+        assert!(Cli::parse(&argv("chaos 64 64 64 --seeds x")).is_err());
     }
 
     #[test]

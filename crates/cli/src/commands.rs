@@ -2,11 +2,14 @@
 
 use crate::args::{Cli, Command, StrategyArg, USAGE};
 use std::fmt::Write as _;
+use std::time::Duration;
 use streamk_core::{CostModel, Decomposition, GridSizeModel};
 use streamk_corpus::{Corpus, CorpusConfig};
+use streamk_cpu::{CpuExecutor, FaultKind, FaultPlan};
 use streamk_ensemble::runners;
-use streamk_sim::{render_gantt, render_svg, simulate, GpuSpec, SvgOptions};
-use streamk_types::{GemmShape, Precision, TileShape};
+use streamk_matrix::Matrix;
+use streamk_sim::{render_gantt, render_svg, simulate, simulate_with_faults, GpuSpec, SimFaultPlan, SvgOptions};
+use streamk_types::{GemmShape, Layout, Precision, TileShape};
 
 /// Builds the decomposition a [`StrategyArg`] describes.
 fn build(strategy: StrategyArg, shape: GemmShape, tile: TileShape, sms: usize, precision: Precision) -> Decomposition {
@@ -136,6 +139,9 @@ pub fn execute(cli: &Cli) -> String {
             }
             out
         }
+        Command::Chaos { shape, tile, seeds, threads, watchdog_ms } => {
+            run_chaos(*shape, *tile, *seeds, *threads, *watchdog_ms)
+        }
         Command::Svg { shape, tile, sms, strategy, out } => {
             let decomp = build(*strategy, *shape, *tile, *sms, Precision::Fp64);
             let mut gpu = GpuSpec::hypothetical_4sm();
@@ -152,6 +158,101 @@ pub fn execute(cli: &Cli) -> String {
             }
         }
     }
+}
+
+/// The seeded fault campaign behind `streamk chaos`: every strategy
+/// × every fault kind × every seed through the recovering executor,
+/// with bit-exactness checked against the fault-free run, followed by
+/// the simulator's straggler-SM injection.
+fn run_chaos(shape: GemmShape, tile: TileShape, seeds: u64, threads: usize, watchdog_ms: u64) -> String {
+    let watchdog = Duration::from_millis(watchdog_ms.max(1));
+    let strategies: [(&str, Decomposition); 5] = [
+        ("dp", Decomposition::data_parallel(shape, tile)),
+        ("splitk:3", Decomposition::fixed_split(shape, tile, 3)),
+        (
+            "streamk",
+            Decomposition::stream_k(shape, tile, threads.min(tile.output_tiles(shape).max(1) * 2)),
+        ),
+        ("dp+1t-streamk", Decomposition::dp_one_tile_stream_k(shape, tile, threads)),
+        ("2t-streamk+dp", Decomposition::two_tile_stream_k_dp(shape, tile, threads)),
+    ];
+    type KindCtor = fn(Duration) -> FaultKind;
+    let kinds: [(&str, KindCtor); 3] = [
+        ("straggler", |w| FaultKind::Straggle(w / 4)),
+        ("lost", |_| FaultKind::Lose),
+        ("poison", |_| FaultKind::Poison),
+    ];
+
+    let exec = CpuExecutor::with_threads(threads).with_watchdog(watchdog);
+    let a = Matrix::<f64>::random::<f64>(shape.m, shape.k, Layout::RowMajor, 0xC0FFEE);
+    let b = Matrix::<f64>::random::<f64>(shape.k, shape.n, Layout::RowMajor, 0xBEEF);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "chaos: {shape} GEMM, blocking {tile}, {threads} workers, watchdog {watchdog_ms}ms, {seeds} seed(s) per cell"
+    );
+    let _ = writeln!(
+        out,
+        "\n{:<16} {:<10} {:>5} {:>9} {:>11} {:>12} {:>10}",
+        "strategy", "fault", "runs", "survived", "recoveries", "recomputed", "bit-exact"
+    );
+
+    for (name, decomp) in &strategies {
+        let baseline = match exec.try_gemm::<f64, f64>(&a, &b, decomp) {
+            Ok(c) => c,
+            Err(e) => {
+                let _ = writeln!(out, "{name:<16} skipped: {e}");
+                continue;
+            }
+        };
+        let contributors = FaultPlan::contributors(decomp);
+        for (kind_name, make_kind) in &kinds {
+            let mut survived = 0u64;
+            let mut recoveries = 0usize;
+            let mut recomputed = 0usize;
+            let mut bit_exact = true;
+            for seed in 0..seeds {
+                let plan = if contributors.is_empty() {
+                    // No split seams: the fault has no victim and the
+                    // run trivially survives.
+                    FaultPlan::none()
+                } else {
+                    let victim = contributors[(seed as usize) % contributors.len()];
+                    FaultPlan::single(victim, make_kind(watchdog))
+                };
+                match exec.gemm_with_faults::<f64, f64>(&a, &b, decomp, &plan) {
+                    Ok((c, report)) => {
+                        survived += 1;
+                        recoveries += report.recoveries();
+                        recomputed += report.recomputed_iters();
+                        bit_exact &= c.max_abs_diff(&baseline) == 0.0;
+                    }
+                    Err(_) => bit_exact = false,
+                }
+            }
+            let _ = writeln!(
+                out,
+                "{name:<16} {kind_name:<10} {seeds:>5} {survived:>9} {recoveries:>11} {recomputed:>12} {:>10}",
+                if bit_exact { "yes" } else { "NO" }
+            );
+        }
+    }
+
+    let _ = writeln!(out, "\nsim straggler injection (A100 fp64, 2x slowdown on SM 1):");
+    let _ = writeln!(out, "{:<16} {:>11} {:>19}", "strategy", "makespan x", "fixup-stall delta");
+    let gpu = GpuSpec::a100();
+    let sim_plan = SimFaultPlan::none().with_sm_slowdown(1, 2.0);
+    for (name, decomp) in &strategies {
+        let r = simulate_with_faults(decomp, &gpu, Precision::Fp64, &sim_plan);
+        let _ = writeln!(
+            out,
+            "{name:<16} {:>10.3}x {:>17.3e}s",
+            r.makespan_amplification(),
+            r.fixup_stall_delta()
+        );
+    }
+    out
 }
 
 #[cfg(test)]
@@ -199,6 +300,22 @@ mod tests {
         let out = run("corpus 200");
         assert!(out.contains("200 shapes"));
         assert!(out.contains("compute-bound"));
+    }
+
+    #[test]
+    fn chaos_campaign_survives_every_cell() {
+        // Small problem, short watchdog: the full campaign in well
+        // under a second per lost-CTA cell.
+        let out = run("chaos 96 80 64 --tile 32x32x16 --seeds 2 --threads 8 --watchdog-ms 100");
+        for strategy in ["dp", "splitk:3", "streamk", "dp+1t-streamk", "2t-streamk+dp"] {
+            assert!(out.contains(strategy), "missing {strategy}: {out}");
+        }
+        for kind in ["straggler", "lost", "poison"] {
+            assert!(out.contains(kind), "missing {kind}: {out}");
+        }
+        assert!(out.contains("sim straggler injection"), "{out}");
+        assert!(!out.contains("NO"), "a cell lost bit-exactness:\n{out}");
+        assert!(!out.contains("skipped"), "a strategy was skipped:\n{out}");
     }
 
     #[test]

@@ -147,6 +147,10 @@ mod tests {
             Decomposition::try_two_tile_stream_k_dp(SHAPE, TILE, 0),
             Err(DecomposeError::ZeroParameter("sms"))
         );
+        assert_eq!(
+            Decomposition::try_dp_one_tile_stream_k(SHAPE, TILE, 0),
+            Err(DecomposeError::ZeroParameter("sms"))
+        );
     }
 
     #[test]
@@ -155,6 +159,54 @@ mod tests {
         assert!(matches!(err, DecomposeError::UnreasonableParameter { name: "grid", .. }));
         // The message is user-presentable.
         assert!(err.to_string().contains("exceeds"));
+    }
+
+    #[test]
+    fn every_try_constructor_enforces_the_ceiling() {
+        let over = PARAMETER_LIMIT + 1;
+        assert_eq!(
+            Decomposition::try_stream_k(SHAPE, TILE, over),
+            Err(DecomposeError::UnreasonableParameter { name: "grid", value: over, limit: PARAMETER_LIMIT })
+        );
+        assert_eq!(
+            Decomposition::try_fixed_split(SHAPE, TILE, over),
+            Err(DecomposeError::UnreasonableParameter { name: "split", value: over, limit: PARAMETER_LIMIT })
+        );
+        assert_eq!(
+            Decomposition::try_two_tile_stream_k_dp(SHAPE, TILE, over),
+            Err(DecomposeError::UnreasonableParameter { name: "sms", value: over, limit: PARAMETER_LIMIT })
+        );
+        assert_eq!(
+            Decomposition::try_dp_one_tile_stream_k(SHAPE, TILE, over),
+            Err(DecomposeError::UnreasonableParameter { name: "sms", value: over, limit: PARAMETER_LIMIT })
+        );
+    }
+
+    #[test]
+    fn the_ceiling_itself_is_accepted() {
+        // PARAMETER_LIMIT is inclusive: a grid exactly at the limit
+        // builds (mostly-empty CTAs, but bounded allocation).
+        let tiny = GemmShape::new(16, 16, 16);
+        let tile = TileShape::new(16, 16, 16);
+        // Use a still-large but test-tractable probe for the boundary
+        // semantics of `check`, then the real limit for the contract.
+        assert!(Decomposition::try_stream_k(tiny, tile, 1).is_ok());
+        let err = Decomposition::try_stream_k(tiny, tile, PARAMETER_LIMIT + 1).unwrap_err();
+        assert_eq!(
+            err,
+            DecomposeError::UnreasonableParameter { name: "grid", value: PARAMETER_LIMIT + 1, limit: PARAMETER_LIMIT }
+        );
+    }
+
+    #[test]
+    fn error_display_and_source() {
+        let zero = DecomposeError::ZeroParameter("grid");
+        assert_eq!(zero.to_string(), "grid must be at least 1");
+        let big = DecomposeError::UnreasonableParameter { name: "sms", value: 1 << 30, limit: PARAMETER_LIMIT };
+        assert!(big.to_string().contains("sms"));
+        assert!(big.to_string().contains("exceeds the accepted limit"));
+        assert!(std::error::Error::source(&zero).is_none());
+        assert!(std::error::Error::source(&big).is_none());
     }
 
     #[test]
@@ -169,5 +221,26 @@ mod tests {
             assert!(Decomposition::try_from_strategy(SHAPE, TILE, strategy).is_ok(), "{strategy}");
         }
         assert!(Decomposition::try_from_strategy(SHAPE, TILE, Strategy::StreamK { grid: 0 }).is_err());
+    }
+
+    #[test]
+    fn try_from_strategy_propagates_each_parameters_error() {
+        let over = PARAMETER_LIMIT + 1;
+        assert_eq!(
+            Decomposition::try_from_strategy(SHAPE, TILE, Strategy::FixedSplit { split: 0 }),
+            Err(DecomposeError::ZeroParameter("split"))
+        );
+        assert_eq!(
+            Decomposition::try_from_strategy(SHAPE, TILE, Strategy::StreamK { grid: over }),
+            Err(DecomposeError::UnreasonableParameter { name: "grid", value: over, limit: PARAMETER_LIMIT })
+        );
+        assert_eq!(
+            Decomposition::try_from_strategy(SHAPE, TILE, Strategy::DpOneTileStreamK { sms: 0 }),
+            Err(DecomposeError::ZeroParameter("sms"))
+        );
+        assert_eq!(
+            Decomposition::try_from_strategy(SHAPE, TILE, Strategy::TwoTileStreamKDp { sms: over }),
+            Err(DecomposeError::UnreasonableParameter { name: "sms", value: over, limit: PARAMETER_LIMIT })
+        );
     }
 }

@@ -33,6 +33,7 @@ pub mod error;
 pub mod grouped;
 pub mod model;
 pub mod order;
+pub mod recovery;
 pub mod skew;
 pub mod space;
 pub mod work;
@@ -43,5 +44,6 @@ pub use error::DecomposeError;
 pub use grouped::{GroupedDecomposition, GroupedSegment, GroupedSpace};
 pub use model::{CostModel, GridSizeModel};
 pub use order::TileOrder;
+pub use recovery::{peer_contribution, recompute_cost, ExecutorError, FixupError};
 pub use space::IterSpace;
 pub use work::{CtaWork, TileFixup, TileSegment};

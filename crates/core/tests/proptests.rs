@@ -106,7 +106,7 @@ proptest! {
     fn two_tile_hybrid_share_bounds(shape in shapes(), tile in tiles(), sms in 1usize..24) {
         let t = tile.output_tiles(shape);
         let ipt = tile.iters_per_tile(shape);
-        prop_assume!(t >= sms && t % sms != 0);
+        prop_assume!(t >= sms && !t.is_multiple_of(sms));
         let d = Decomposition::two_tile_stream_k_dp(shape, tile, sms);
         for cta in &d.ctas()[..sms] {
             prop_assert!(cta.len() >= ipt, "SK CTA below one tile: {} < {}", cta.len(), ipt);
@@ -128,7 +128,7 @@ proptest! {
     #[test]
     fn two_tile_hybrid_at_most_one_peer(shape in shapes(), tile in tiles(), sms in 1usize..24) {
         let t = tile.output_tiles(shape);
-        prop_assume!(t >= 2 * sms && t % sms != 0);
+        prop_assume!(t >= 2 * sms && !t.is_multiple_of(sms));
         let d = Decomposition::two_tile_stream_k_dp(shape, tile, sms);
         for f in d.fixups() {
             prop_assert!(f.covering_ctas() <= 2, "tile {} covered by {}", f.tile_idx, f.covering_ctas());

@@ -111,7 +111,9 @@ impl CpuExecutor {
                             let starts = iter == tile_first;
                             let ends = seg_end == tile_first + ipt;
                             if !starts {
-                                board.store_and_signal(cta.cta_id, std::mem::take(&mut accum));
+                                board
+                                    .store_and_signal(cta.cta_id, std::mem::take(&mut accum))
+                                    .expect("fault-free batched schedule");
                                 accum = vec![Acc::ZERO; tile.blk_m * tile.blk_n];
                             } else {
                                 if !ends {

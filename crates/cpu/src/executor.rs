@@ -1,11 +1,30 @@
 //! The grid executor.
+//!
+//! Three entry tiers share one grid loop:
+//!
+//! - [`CpuExecutor::gemm`] / [`CpuExecutor::gemm_ex`] — the legacy
+//!   panicking surface (validation bugs are programmer errors);
+//! - [`CpuExecutor::try_gemm`] / [`CpuExecutor::try_gemm_ex`] — the
+//!   same execution with typed [`ExecutorError`]s instead of panics;
+//! - [`CpuExecutor::gemm_with_faults`] — runs a [`FaultPlan`] against
+//!   the fixup protocol and *recovers*: when a peer's signal times out
+//!   under the watchdog or its record is poisoned, the tile owner
+//!   recomputes the peer's exact contribution from its static
+//!   [`CtaWork`] descriptor ([`streamk_core::peer_contribution`]) and
+//!   carries on. The recomputation runs the same MAC kernel over the
+//!   same local range and is accumulated at the same point in peer
+//!   order, so the recovered output is bit-identical to the
+//!   fault-free run.
 
-use crate::fixup::FixupBoard;
+use crate::fault::{FaultKind, FaultPlan};
+use crate::fixup::{FixupBoard, WaitOutcome, WaitPolicy};
 use crate::macloop::mac_loop_view;
 use crate::microkernel::mac_loop_blocked;
 use crate::output::TileWriter;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use streamk_core::{CtaWork, Decomposition};
+use std::sync::Mutex;
+use std::time::Duration;
+use streamk_core::{peer_contribution, CtaWork, Decomposition, ExecutorError, FixupError};
 use streamk_matrix::{Matrix, MatrixView, Promote, Scalar};
 
 /// Executor configuration.
@@ -15,12 +34,80 @@ pub struct ExecutorConfig {
     /// one CTA at a time and claims the next in id order, exactly
     /// like the GPU work distributor the simulator models.
     pub threads: usize,
+    /// Watchdog deadline for each owner-side `Wait`: a peer that has
+    /// not signaled within this budget is treated as lost.
+    pub watchdog: Duration,
 }
 
 impl Default for ExecutorConfig {
     fn default() -> Self {
         let threads = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
-        Self { threads }
+        Self { threads, watchdog: WaitPolicy::DEFAULT_WATCHDOG }
+    }
+}
+
+/// Why a tile owner recomputed a peer's contribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryCause {
+    /// The peer never signaled within the watchdog budget.
+    Timeout(
+        /// How long the owner waited before giving up.
+        Duration,
+    ),
+    /// The peer's record was poisoned (lost or corrupted in flight).
+    Poisoned,
+}
+
+/// One recovery action: an owner recomputing one peer's contribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryEvent {
+    /// The peer whose record was missing.
+    pub peer: usize,
+    /// The tile being consolidated.
+    pub tile_idx: usize,
+    /// Why the record was missing.
+    pub cause: RecoveryCause,
+    /// MAC-loop iterations re-executed to reconstruct it.
+    pub recomputed_iters: usize,
+}
+
+/// What fault recovery did during one execution.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Every recovery action, in the order owners performed them.
+    pub events: Vec<RecoveryEvent>,
+}
+
+impl RecoveryReport {
+    /// Total recovery actions.
+    #[must_use]
+    pub fn recoveries(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Recoveries triggered by a watchdog timeout (lost/straggling
+    /// peer that missed the deadline).
+    #[must_use]
+    pub fn timeouts(&self) -> usize {
+        self.events.iter().filter(|e| matches!(e.cause, RecoveryCause::Timeout(_))).count()
+    }
+
+    /// Recoveries triggered by a poisoned record.
+    #[must_use]
+    pub fn poisonings(&self) -> usize {
+        self.events.iter().filter(|e| e.cause == RecoveryCause::Poisoned).count()
+    }
+
+    /// Total MAC-loop iterations re-executed by recovery.
+    #[must_use]
+    pub fn recomputed_iters(&self) -> usize {
+        self.events.iter().map(|e| e.recomputed_iters).sum()
+    }
+
+    /// `true` when execution never needed recovery.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.events.is_empty()
     }
 }
 
@@ -59,13 +146,27 @@ impl CpuExecutor {
     /// Creates an executor with exactly `threads` workers.
     #[must_use]
     pub fn with_threads(threads: usize) -> Self {
-        Self::new(ExecutorConfig { threads })
+        Self::new(ExecutorConfig { threads, ..ExecutorConfig::default() })
+    }
+
+    /// Returns this executor with the owner-side watchdog set to
+    /// `watchdog`.
+    #[must_use]
+    pub fn with_watchdog(mut self, watchdog: Duration) -> Self {
+        self.config.watchdog = watchdog;
+        self
     }
 
     /// The configured worker count.
     #[must_use]
     pub fn threads(&self) -> usize {
         self.config.threads
+    }
+
+    /// The configured watchdog deadline.
+    #[must_use]
+    pub fn watchdog(&self) -> Duration {
+        self.config.watchdog
     }
 
     /// Computes `C = A · B` by executing `decomp`'s grid.
@@ -88,10 +189,7 @@ impl CpuExecutor {
         In: Promote<Acc>,
         Acc: Scalar,
     {
-        let shape = decomp.space().shape();
-        let mut c = Matrix::<Acc>::zeros(shape.m, shape.n, a.layout());
-        self.gemm_ex(Acc::ONE, &a.view(), &b.view(), Acc::ZERO, &mut c, decomp);
-        c
+        self.try_gemm(a, b, decomp).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The general BLAS-style entry: `C = α·op(A)·op(B) + β·C`, where
@@ -116,27 +214,122 @@ impl CpuExecutor {
         In: Promote<Acc>,
         Acc: Scalar,
     {
+        self.try_gemm_ex(alpha, a, b, beta, c, decomp).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible [`gemm`](Self::gemm): every validation failure and
+    /// protocol breakdown is a typed [`ExecutorError`].
+    ///
+    /// # Errors
+    ///
+    /// [`ExecutorError::ShapeMismatch`] for operand dimension errors,
+    /// [`ExecutorError::InvalidDecomposition`] if `decomp` fails
+    /// structural validation, [`ExecutorError::InsufficientResidency`]
+    /// if the widest owner+peers group cannot be co-resident, and
+    /// [`ExecutorError::Fixup`] if the protocol fails at run time
+    /// (e.g. a watchdog timeout with recovery disabled).
+    pub fn try_gemm<In, Acc>(
+        &self,
+        a: &Matrix<In>,
+        b: &Matrix<In>,
+        decomp: &Decomposition,
+    ) -> Result<Matrix<Acc>, ExecutorError>
+    where
+        In: Promote<Acc>,
+        Acc: Scalar,
+    {
+        let shape = decomp.space().shape();
+        let mut c = Matrix::<Acc>::zeros(shape.m, shape.n, a.layout());
+        self.try_gemm_ex(Acc::ONE, &a.view(), &b.view(), Acc::ZERO, &mut c, decomp)?;
+        Ok(c)
+    }
+
+    /// Fallible [`gemm_ex`](Self::gemm_ex).
+    ///
+    /// # Errors
+    ///
+    /// As [`try_gemm`](Self::try_gemm), plus a shape check on `c`.
+    pub fn try_gemm_ex<In, Acc>(
+        &self,
+        alpha: Acc,
+        a: &MatrixView<'_, In>,
+        b: &MatrixView<'_, In>,
+        beta: Acc,
+        c: &mut Matrix<Acc>,
+        decomp: &Decomposition,
+    ) -> Result<(), ExecutorError>
+    where
+        In: Promote<Acc>,
+        Acc: Scalar,
+    {
+        self.run_grid(alpha, a, b, beta, c, decomp, &FaultPlan::none(), false).map(|_| ())
+    }
+
+    /// Computes `C = A · B` while injecting `plan`'s faults into the
+    /// fixup protocol, recovering from each: a straggling signal is
+    /// absorbed by the bounded wait; a lost or poisoned record is
+    /// reconstructed by the tile owner recomputing the peer's k-range.
+    ///
+    /// The returned [`RecoveryReport`] says what recovery had to do.
+    /// The output matrix is bit-identical to the fault-free
+    /// [`gemm`](Self::gemm) result for every plan.
+    ///
+    /// # Errors
+    ///
+    /// As [`try_gemm`](Self::try_gemm); with recovery active, runtime
+    /// fixup errors only surface for unmaskable protocol violations.
+    pub fn gemm_with_faults<In, Acc>(
+        &self,
+        a: &Matrix<In>,
+        b: &Matrix<In>,
+        decomp: &Decomposition,
+        plan: &FaultPlan,
+    ) -> Result<(Matrix<Acc>, RecoveryReport), ExecutorError>
+    where
+        In: Promote<Acc>,
+        Acc: Scalar,
+    {
+        let shape = decomp.space().shape();
+        let mut c = Matrix::<Acc>::zeros(shape.m, shape.n, a.layout());
+        let report = self.run_grid(Acc::ONE, &a.view(), &b.view(), Acc::ZERO, &mut c, decomp, plan, true)?;
+        Ok((c, report))
+    }
+
+    /// The one grid loop behind every public entry.
+    #[allow(clippy::too_many_arguments)]
+    fn run_grid<In, Acc>(
+        &self,
+        alpha: Acc,
+        a: &MatrixView<'_, In>,
+        b: &MatrixView<'_, In>,
+        beta: Acc,
+        c: &mut Matrix<Acc>,
+        decomp: &Decomposition,
+        plan: &FaultPlan,
+        recover: bool,
+    ) -> Result<RecoveryReport, ExecutorError>
+    where
+        In: Promote<Acc>,
+        Acc: Scalar,
+    {
         let space = decomp.space();
         let shape = space.shape();
-        assert_eq!((a.rows(), a.cols()), (shape.m, shape.k), "op(A) must be m x k");
-        assert_eq!((b.rows(), b.cols()), (shape.k, shape.n), "op(B) must be k x n");
-        assert_eq!((c.rows(), c.cols()), (shape.m, shape.n), "C must be m x n");
-        decomp.validate().expect("invalid decomposition");
+        check_shape("op(A)", (shape.m, shape.k), (a.rows(), a.cols()))?;
+        check_shape("op(B)", (shape.k, shape.n), (b.rows(), b.cols()))?;
+        check_shape("C", (shape.m, shape.n), (c.rows(), c.cols()))?;
+        decomp.validate().map_err(|e| ExecutorError::InvalidDecomposition(e.to_string()))?;
 
         // Residency requirement: a waiting owner occupies a worker, so
         // the largest owner+peers group must fit in the pool (see the
         // deadlock-freedom argument in this module's tests).
         let fixups = decomp.fixups();
         let max_covering = fixups.iter().map(|f| f.covering_ctas()).max().unwrap_or(1);
-        assert!(
-            max_covering <= self.config.threads,
-            "decomposition needs {max_covering} co-resident CTAs but the executor has {} threads",
-            self.config.threads
-        );
-
-        let board = FixupBoard::<Acc>::new(decomp.grid_size());
-        let next_cta = AtomicUsize::new(0);
-        let ctas = decomp.ctas();
+        if max_covering > self.config.threads {
+            return Err(ExecutorError::InsufficientResidency {
+                needed: max_covering,
+                threads: self.config.threads,
+            });
+        }
 
         // Per-owner peer lists, indexed by CTA id.
         let mut owner_peers: Vec<Vec<usize>> = vec![Vec::new(); decomp.grid_size()];
@@ -146,6 +339,19 @@ impl CpuExecutor {
             }
         }
 
+        let ctx = GridCtx {
+            decomp,
+            ctas: decomp.ctas(),
+            owner_peers,
+            board: FixupBoard::<Acc>::new(decomp.grid_size()),
+            plan,
+            policy: WaitPolicy::with_watchdog(self.config.watchdog),
+            recover,
+            events: Mutex::new(Vec::new()),
+            error: Mutex::new(None),
+        };
+
+        let next_cta = AtomicUsize::new(0);
         let (rows, cols, layout) = (c.rows(), c.cols(), c.layout());
         let writer = TileWriter::new(c.as_mut_slice(), rows, cols, layout, space.tiles());
         std::thread::scope(|scope| {
@@ -153,82 +359,180 @@ impl CpuExecutor {
                 scope.spawn(|| {
                     loop {
                         let id = next_cta.fetch_add(1, Ordering::Relaxed);
-                        if id >= ctas.len() {
+                        if id >= ctx.ctas.len() {
                             break;
                         }
-                        run_cta(&ctas[id], decomp, a, b, &board, &owner_peers[id], &writer, alpha, beta);
+                        if let Err(e) = run_cta(&ctx, id, a, b, &writer, alpha, beta) {
+                            let mut slot =
+                                ctx.error.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                            slot.get_or_insert(e);
+                            // Stop claiming work; peers of CTAs this
+                            // worker would have run will hit their own
+                            // watchdogs, so the pool still terminates.
+                            break;
+                        }
                     }
                 });
             }
         });
+
+        if let Some(e) = ctx.error.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner) {
+            return Err(e);
+        }
+        let events = ctx.events.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner);
+        Ok(RecoveryReport { events })
     }
 }
 
+fn check_shape(
+    operand: &'static str,
+    expected: (usize, usize),
+    got: (usize, usize),
+) -> Result<(), ExecutorError> {
+    if expected == got {
+        Ok(())
+    } else {
+        Err(ExecutorError::ShapeMismatch { operand, expected, got })
+    }
+}
+
+/// Shared per-launch state every worker reads.
+struct GridCtx<'a, Acc> {
+    decomp: &'a Decomposition,
+    ctas: &'a [CtaWork],
+    owner_peers: Vec<Vec<usize>>,
+    board: FixupBoard<Acc>,
+    plan: &'a FaultPlan,
+    policy: WaitPolicy,
+    recover: bool,
+    events: Mutex<Vec<RecoveryEvent>>,
+    error: Mutex<Option<ExecutorError>>,
+}
+
 /// Executes one CTA: the iteration-processing outer loop of
-/// Algorithm 5.
-#[allow(clippy::too_many_arguments)]
+/// Algorithm 5, with fault injection on the contributor side and
+/// recovery on the owner side.
 fn run_cta<In, Acc>(
-    cta: &CtaWork,
-    decomp: &Decomposition,
+    ctx: &GridCtx<'_, Acc>,
+    id: usize,
     a: &MatrixView<'_, In>,
     b: &MatrixView<'_, In>,
-    board: &FixupBoard<Acc>,
-    peers: &[usize],
     writer: &TileWriter<'_, Acc>,
     alpha: Acc,
     beta: Acc,
-) where
+) -> Result<(), ExecutorError>
+where
     In: Promote<Acc>,
     Acc: Scalar,
 {
-    let space = decomp.space();
+    let cta = &ctx.ctas[id];
+    let space = ctx.decomp.space();
     let tile = space.tile();
     let mut accum = vec![Acc::ZERO; tile.blk_m * tile.blk_n];
 
     let contiguous = a.rows_contiguous() && b.rows_contiguous();
-    for seg in cta.segments(space) {
-        accum.fill(Acc::ZERO);
+    let kernel = |tile_idx: usize, begin: usize, end: usize, out: &mut [Acc]| {
         // Register-blocked microkernel on the contiguous fast path;
         // both kernels accumulate in identical order, so the choice
         // never changes results.
         if contiguous {
-            mac_loop_blocked(a, b, space, seg.tile_idx, seg.local_begin, seg.local_end, &mut accum);
+            mac_loop_blocked(a, b, space, tile_idx, begin, end, out);
         } else {
-            mac_loop_view(a, b, space, seg.tile_idx, seg.local_begin, seg.local_end, &mut accum);
+            mac_loop_view(a, b, space, tile_idx, begin, end, out);
         }
+    };
+
+    for seg in cta.segments(space) {
+        accum.fill(Acc::ZERO);
+        kernel(seg.tile_idx, seg.local_begin, seg.local_end, &mut accum);
 
         if !seg.starts_tile {
             // This CTA joined the tile mid-stream: publish partials
             // for the owner and move on. Partials are exchanged
             // *unscaled*; the epilogue is applied exactly once, by
             // the owner at store time.
-            board.store_and_signal(cta.cta_id, std::mem::take(&mut accum));
-            accum = vec![Acc::ZERO; tile.blk_m * tile.blk_n];
+            match ctx.plan.fault_for(cta.cta_id) {
+                None => {
+                    ctx.board.store_and_signal(cta.cta_id, std::mem::take(&mut accum))?;
+                    accum = vec![Acc::ZERO; tile.blk_m * tile.blk_n];
+                }
+                Some(FaultKind::Straggle(delay)) => {
+                    std::thread::sleep(delay);
+                    ctx.board.store_and_signal(cta.cta_id, std::mem::take(&mut accum))?;
+                    accum = vec![Acc::ZERO; tile.blk_m * tile.blk_n];
+                }
+                Some(FaultKind::Lose) => {
+                    // The consolidation message vanishes: no signal,
+                    // ever. The owner's watchdog must fire.
+                }
+                Some(FaultKind::Poison) => {
+                    // The record arrives detectably corrupted.
+                    ctx.board.poison(cta.cta_id)?;
+                }
+            }
             continue;
         }
 
         if !seg.ends_tile {
             // Owner of a split tile: collect every peer's partials in
             // ascending order before the store.
-            for &peer in peers {
-                let partial = board.wait_and_take(peer);
-                for (acc, p) in accum.iter_mut().zip(partial) {
+            for &peer in &ctx.owner_peers[id] {
+                let cause = match ctx.board.wait_with(peer, &ctx.policy) {
+                    WaitOutcome::Signaled(partial) => {
+                        for (acc, p) in accum.iter_mut().zip(partial) {
+                            *acc += p;
+                        }
+                        continue;
+                    }
+                    WaitOutcome::Poisoned => RecoveryCause::Poisoned,
+                    WaitOutcome::TimedOut { waited } => {
+                        if !ctx.recover {
+                            return Err(FixupError::WatchdogTimeout { peer, waited }.into());
+                        }
+                        RecoveryCause::Timeout(waited)
+                    }
+                };
+                if !ctx.recover {
+                    return Err(FixupError::PoisonedPartials { cta: peer }.into());
+                }
+                // Recovery: reconstruct the peer's contribution from
+                // its static work descriptor. Recomputing the same
+                // local range with the same kernel and accumulating at
+                // the same point in peer order keeps the final output
+                // bit-identical to the fault-free run.
+                let seg_p = peer_contribution(&ctx.ctas[peer], space, seg.tile_idx).ok_or_else(|| {
+                    ExecutorError::InvalidDecomposition(format!(
+                        "fixup lists CTA {peer} as a peer of tile {} but it contributes nothing",
+                        seg.tile_idx
+                    ))
+                })?;
+                let mut recomputed = vec![Acc::ZERO; tile.blk_m * tile.blk_n];
+                kernel(seg.tile_idx, seg_p.local_begin, seg_p.local_end, &mut recomputed);
+                for (acc, p) in accum.iter_mut().zip(recomputed) {
                     *acc += p;
                 }
+                let mut events = ctx.events.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                events.push(RecoveryEvent {
+                    peer,
+                    tile_idx: seg.tile_idx,
+                    cause,
+                    recomputed_iters: seg_p.len(),
+                });
             }
         }
 
         let (row_range, col_range) = space.tile_extents(seg.tile_idx);
         writer.store_tile_ex(seg.tile_idx, row_range, col_range, tile.blk_n, &accum, alpha, beta);
     }
+    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use streamk_core::Strategy;
-    use streamk_matrix::reference::gemm_naive;
     use streamk_matrix::f16;
+    use streamk_matrix::reference::gemm_naive;
     use streamk_types::{GemmShape, Layout, TileShape};
 
     fn run_f64(shape: GemmShape, tile: TileShape, strategy: Strategy, threads: usize) {
@@ -355,6 +659,25 @@ mod tests {
     }
 
     #[test]
+    fn try_gemm_returns_typed_errors() {
+        let decomp = Decomposition::stream_k(GemmShape::new(16, 16, 1024), TileShape::new(16, 16, 8), 8);
+        let a = Matrix::<f64>::zeros(16, 1024, Layout::RowMajor);
+        let b = Matrix::<f64>::zeros(1024, 16, Layout::RowMajor);
+        match CpuExecutor::with_threads(2).try_gemm::<f64, f64>(&a, &b, &decomp) {
+            Err(ExecutorError::InsufficientResidency { needed: 8, threads: 2 }) => {}
+            other => panic!("expected residency error, got {other:?}"),
+        }
+
+        let dp = Decomposition::data_parallel(GemmShape::new(32, 32, 32), TileShape::new(16, 16, 16));
+        let bad_a = Matrix::<f64>::zeros(16, 32, Layout::RowMajor);
+        let ok_b = Matrix::<f64>::zeros(32, 32, Layout::RowMajor);
+        match CpuExecutor::default().try_gemm::<f64, f64>(&bad_a, &ok_b, &dp) {
+            Err(ExecutorError::ShapeMismatch { operand: "op(A)", expected: (32, 32), got: (16, 32) }) => {}
+            other => panic!("expected shape error, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn gemm_ex_alpha_beta_epilogue() {
         use streamk_matrix::gemm_ex_reference;
         let shape = GemmShape::new(48, 40, 56);
@@ -417,5 +740,107 @@ mod tests {
         let naive = gemm_naive::<f64, f64>(&a, &b);
         let expected = Matrix::<f64>::from_fn(16, 16, Layout::RowMajor, |r, cc| 3.0 * naive.get(r, cc));
         c.assert_close(&expected, 1e-10);
+    }
+
+    // ---- fault injection + recovery ------------------------------------
+
+    /// The standard chaos fixture: a Stream-K launch with several
+    /// split seams and a short watchdog so lost-peer tests are quick.
+    fn chaos_fixture() -> (Matrix<f64>, Matrix<f64>, Decomposition, CpuExecutor) {
+        let shape = GemmShape::new(96, 80, 64);
+        let tile = TileShape::new(32, 32, 16);
+        let a = Matrix::<f64>::random::<f64>(shape.m, shape.k, Layout::RowMajor, 101);
+        let b = Matrix::<f64>::random::<f64>(shape.k, shape.n, Layout::RowMajor, 102);
+        let decomp = Decomposition::stream_k(shape, tile, 7);
+        let exec = CpuExecutor::with_threads(8).with_watchdog(Duration::from_millis(200));
+        (a, b, decomp, exec)
+    }
+
+    #[test]
+    fn fault_free_plan_is_clean_and_bit_exact() {
+        let (a, b, decomp, exec) = chaos_fixture();
+        let baseline = exec.gemm::<f64, f64>(&a, &b, &decomp);
+        let (c, report) = exec.gemm_with_faults::<f64, f64>(&a, &b, &decomp, &FaultPlan::none()).unwrap();
+        assert!(report.is_clean());
+        assert_eq!(c.max_abs_diff(&baseline), 0.0);
+    }
+
+    #[test]
+    fn lost_peer_is_recovered_bit_exact() {
+        let (a, b, decomp, exec) = chaos_fixture();
+        let baseline = exec.gemm::<f64, f64>(&a, &b, &decomp);
+        let victim = FaultPlan::contributors(&decomp)[0];
+        let plan = FaultPlan::single(victim, FaultKind::Lose);
+        let (c, report) = exec.gemm_with_faults::<f64, f64>(&a, &b, &decomp, &plan).unwrap();
+        assert_eq!(report.timeouts(), 1, "{report:?}");
+        assert_eq!(report.events[0].peer, victim);
+        assert!(report.recomputed_iters() > 0);
+        assert_eq!(c.max_abs_diff(&baseline), 0.0);
+    }
+
+    #[test]
+    fn poisoned_peer_is_recovered_bit_exact() {
+        let (a, b, decomp, exec) = chaos_fixture();
+        let baseline = exec.gemm::<f64, f64>(&a, &b, &decomp);
+        let victim = *FaultPlan::contributors(&decomp).last().unwrap();
+        let plan = FaultPlan::single(victim, FaultKind::Poison);
+        let (c, report) = exec.gemm_with_faults::<f64, f64>(&a, &b, &decomp, &plan).unwrap();
+        assert_eq!(report.poisonings(), 1, "{report:?}");
+        assert_eq!(c.max_abs_diff(&baseline), 0.0);
+    }
+
+    #[test]
+    fn straggler_within_watchdog_needs_no_recovery() {
+        let (a, b, decomp, exec) = chaos_fixture();
+        let baseline = exec.gemm::<f64, f64>(&a, &b, &decomp);
+        let victim = FaultPlan::contributors(&decomp)[0];
+        let plan = FaultPlan::single(victim, FaultKind::Straggle(Duration::from_millis(30)));
+        let (c, report) = exec.gemm_with_faults::<f64, f64>(&a, &b, &decomp, &plan).unwrap();
+        assert!(report.is_clean(), "a straggler inside the watchdog is absorbed: {report:?}");
+        assert_eq!(c.max_abs_diff(&baseline), 0.0);
+    }
+
+    #[test]
+    fn lost_peer_without_recovery_is_a_watchdog_error() {
+        // try_gemm has no fault injection, so force the equivalent: a
+        // 2-way fixed split run with recovery off and a watchdog so
+        // short the peer cannot make it... instead, verify through the
+        // fault path that recovery disabled surfaces the timeout.
+        let (a, b, decomp, exec) = chaos_fixture();
+        let victim = FaultPlan::contributors(&decomp)[0];
+        let plan = FaultPlan::single(victim, FaultKind::Lose);
+        let err = exec
+            .run_grid(
+                1.0f64,
+                &a.view(),
+                &b.view(),
+                0.0,
+                &mut Matrix::<f64>::zeros(96, 80, Layout::RowMajor),
+                &decomp,
+                &plan,
+                false,
+            )
+            .unwrap_err();
+        match err {
+            ExecutorError::Fixup(FixupError::WatchdogTimeout { peer, .. }) => assert_eq!(peer, victim),
+            other => panic!("expected watchdog timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_fault_plan_recovers_every_victim() {
+        let (a, b, decomp, exec) = chaos_fixture();
+        let baseline = exec.gemm::<f64, f64>(&a, &b, &decomp);
+        let contributors = FaultPlan::contributors(&decomp);
+        let mut plan = FaultPlan::none();
+        for (i, &cta) in contributors.iter().enumerate() {
+            plan = plan.with_fault(
+                cta,
+                if i % 2 == 0 { FaultKind::Lose } else { FaultKind::Poison },
+            );
+        }
+        let (c, report) = exec.gemm_with_faults::<f64, f64>(&a, &b, &decomp, &plan).unwrap();
+        assert_eq!(report.recoveries(), contributors.len(), "{report:?}");
+        assert_eq!(c.max_abs_diff(&baseline), 0.0);
     }
 }

@@ -1,0 +1,235 @@
+//! Deterministic fault injection for the fixup protocol.
+//!
+//! A [`FaultPlan`] declares, per CTA, what goes wrong with its
+//! partial-sum *contribution* — the `StorePartials`/`Signal` half of
+//! Algorithms 4-5. Three fault kinds cover the failure modes real
+//! hardware exhibits under preemption, stragglers, and data
+//! corruption:
+//!
+//! - [`FaultKind::Straggle`]: the signal is delayed — the CTA was
+//!   descheduled or its SM is slow;
+//! - [`FaultKind::Lose`]: the signal never arrives — the CTA was
+//!   preempted and never re-dispatched;
+//! - [`FaultKind::Poison`]: the record arrives but is detectably
+//!   corrupted, surfaced through the board's poisoned flag state.
+//!
+//! The fault domain is deliberately the *consolidation protocol*, not
+//! the CTA's whole life: a faulted CTA still executes its other
+//! segments (including tiles it owns), because that is the part the
+//! owner-side recovery identity ([`streamk_core::peer_contribution`])
+//! can mask without re-dispatch. Whole-CTA preemption and re-dispatch
+//! is modeled in the simulator (`streamk-sim`), where it belongs.
+//!
+//! Plans are deterministic: [`FaultPlan::seeded`] derives the victim
+//! CTA, fault kind, and straggler delay from a seed with SplitMix64,
+//! so every chaos campaign replays exactly.
+
+use std::time::Duration;
+use streamk_core::Decomposition;
+
+/// What goes wrong with one CTA's partial contribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The signal is delayed by this much (straggling peer).
+    Straggle(
+        /// The injected delay.
+        Duration,
+    ),
+    /// The signal never arrives (lost peer) — the owner's watchdog
+    /// must fire and recovery recompute the contribution.
+    Lose,
+    /// The record arrives corrupted: the slot is poisoned and the
+    /// owner must discard and recompute.
+    Poison,
+}
+
+impl FaultKind {
+    /// Short stable name for reports (`straggler` / `lost` / `poison`).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::Straggle(_) => "straggler",
+            FaultKind::Lose => "lost",
+            FaultKind::Poison => "poison",
+        }
+    }
+}
+
+/// One injected fault: a victim CTA and what happens to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fault {
+    /// The victim CTA.
+    pub cta: usize,
+    /// What happens to its contribution.
+    pub kind: FaultKind,
+}
+
+/// A deterministic set of faults to inject into one execution — at
+/// most one fault per CTA.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// The empty plan: fault-free execution.
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A plan with a single fault.
+    #[must_use]
+    pub fn single(cta: usize, kind: FaultKind) -> Self {
+        Self { faults: vec![Fault { cta, kind }] }
+    }
+
+    /// Adds a fault, replacing any existing fault on the same CTA.
+    #[must_use]
+    pub fn with_fault(mut self, cta: usize, kind: FaultKind) -> Self {
+        self.faults.retain(|f| f.cta != cta);
+        self.faults.push(Fault { cta, kind });
+        self
+    }
+
+    /// `true` when no faults are planned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Number of planned faults.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// The planned fault for `cta`, if any.
+    #[must_use]
+    pub fn fault_for(&self, cta: usize) -> Option<FaultKind> {
+        self.faults.iter().find(|f| f.cta == cta).map(|f| f.kind)
+    }
+
+    /// The planned faults.
+    #[must_use]
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// The CTAs that contribute partials under `decomp` — the
+    /// meaningful victims (a fault on a non-contributor is a no-op,
+    /// because only contributors signal).
+    #[must_use]
+    pub fn contributors(decomp: &Decomposition) -> Vec<usize> {
+        let mut peers: Vec<usize> = decomp.fixups().iter().flat_map(|f| f.peers.iter().copied()).collect();
+        peers.sort_unstable();
+        peers.dedup();
+        peers
+    }
+
+    /// A deterministic single-fault plan: picks a victim among
+    /// `decomp`'s contributors and a fault kind from `seed`. Straggler
+    /// delays are drawn in `[watchdog/8, watchdog/2]`, so a straggling
+    /// signal still beats the owner's watchdog (graceful, not lost).
+    ///
+    /// Returns the empty plan when the decomposition has no split
+    /// seams (nothing to fault — data-parallel launches survive
+    /// trivially).
+    #[must_use]
+    pub fn seeded(seed: u64, decomp: &Decomposition, watchdog: Duration) -> Self {
+        let contributors = Self::contributors(decomp);
+        if contributors.is_empty() {
+            return Self::none();
+        }
+        let mut state = seed;
+        let cta = contributors[(splitmix64(&mut state) % contributors.len() as u64) as usize];
+        let kind = match splitmix64(&mut state) % 3 {
+            0 => {
+                let lo = watchdog / 8;
+                let span = watchdog / 2 - lo;
+                let frac = (splitmix64(&mut state) % 1000) as u32;
+                FaultKind::Straggle(lo + span * frac / 1000)
+            }
+            1 => FaultKind::Lose,
+            _ => FaultKind::Poison,
+        };
+        Self::single(cta, kind)
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamk_types::{GemmShape, TileShape};
+
+    fn split_decomp() -> Decomposition {
+        Decomposition::stream_k(GemmShape::new(96, 80, 64), TileShape::new(32, 32, 16), 7)
+    }
+
+    #[test]
+    fn plans_are_per_cta_and_replaceable() {
+        let plan = FaultPlan::none()
+            .with_fault(3, FaultKind::Lose)
+            .with_fault(5, FaultKind::Poison)
+            .with_fault(3, FaultKind::Poison);
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan.fault_for(3), Some(FaultKind::Poison));
+        assert_eq!(plan.fault_for(5), Some(FaultKind::Poison));
+        assert_eq!(plan.fault_for(0), None);
+        assert!(FaultPlan::none().is_empty());
+    }
+
+    #[test]
+    fn contributors_are_exactly_the_fixup_peers() {
+        let d = split_decomp();
+        let contributors = FaultPlan::contributors(&d);
+        assert!(!contributors.is_empty());
+        for f in d.fixups() {
+            for p in &f.peers {
+                assert!(contributors.contains(p));
+            }
+        }
+        // A data-parallel launch has no contributors.
+        let dp = Decomposition::data_parallel(GemmShape::new(64, 64, 32), TileShape::new(32, 32, 16));
+        assert!(FaultPlan::contributors(&dp).is_empty());
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_valid() {
+        let d = split_decomp();
+        let watchdog = Duration::from_millis(400);
+        let contributors = FaultPlan::contributors(&d);
+        let mut kinds_seen = [false; 3];
+        for seed in 0..64 {
+            let a = FaultPlan::seeded(seed, &d, watchdog);
+            let b = FaultPlan::seeded(seed, &d, watchdog);
+            assert_eq!(a, b, "seed {seed} not deterministic");
+            assert_eq!(a.len(), 1);
+            let fault = a.faults()[0];
+            assert!(contributors.contains(&fault.cta));
+            match fault.kind {
+                FaultKind::Straggle(delay) => {
+                    kinds_seen[0] = true;
+                    assert!(delay >= watchdog / 8 && delay <= watchdog / 2, "{delay:?}");
+                }
+                FaultKind::Lose => kinds_seen[1] = true,
+                FaultKind::Poison => kinds_seen[2] = true,
+            }
+        }
+        assert!(kinds_seen.iter().all(|&k| k), "64 seeds should cover all kinds: {kinds_seen:?}");
+    }
+
+    #[test]
+    fn seeded_plan_on_data_parallel_is_empty() {
+        let dp = Decomposition::data_parallel(GemmShape::new(64, 64, 32), TileShape::new(32, 32, 16));
+        assert!(FaultPlan::seeded(1, &dp, Duration::from_millis(100)).is_empty());
+    }
+}

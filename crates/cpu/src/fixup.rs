@@ -6,19 +6,111 @@
 //! storage scales with the grid size `g`, not the problem size: the
 //! O(p) splitting-seam property the paper highlights in §7.
 //!
-//! Synchronization: the partial write happens entirely before the
+//! **Fault tolerance.** The flag is a three-state protocol —
+//! *pending* → *signaled* (the happy path) or *pending* → *poisoned*
+//! (the peer's record was lost or corrupted). Both transitions are
+//! sticky: a double signal or a signal landing on a poisoned slot is
+//! a typed [`FixupError`], never a panic mid-pool. Waiting is bounded:
+//! the owner descends a spin → yield → park backoff ladder under a
+//! configurable watchdog deadline ([`WaitPolicy`]), so a lost peer
+//! produces a [`WaitOutcome::TimedOut`] the executor can recover from
+//! instead of an unbounded spin.
+//!
+//! Synchronization: writers (store/poison) mutate the flag only while
+//! holding the slot's mutex, writing the partial record *before* the
 //! flag's release-store; the owner's acquire-load on the flag
 //! establishes the happens-before edge that makes reading the
-//! partials safe. The slot contents travel through a `parking_lot`
-//! mutex purely to satisfy the borrow checker — by protocol the lock
-//! is never contended (single writer, then single reader strictly
-//! after the flag).
+//! partials safe. By protocol the lock is never contended on the hot
+//! path (single writer, then single reader strictly after the flag).
 
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+use streamk_core::FixupError;
+
+const PENDING: u32 = 0;
+const SIGNALED: u32 = 1;
+const POISONED: u32 = 2;
+
+/// The observable state of one CTA's fixup slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlagState {
+    /// Nothing published yet.
+    Pending,
+    /// A valid partial record is available.
+    Signaled,
+    /// The record was lost or corrupted; a taker must recompute.
+    Poisoned,
+}
+
+/// What a bounded wait on a peer's slot produced.
+#[derive(Debug, PartialEq, Eq)]
+pub enum WaitOutcome<Acc> {
+    /// The peer signaled; here is its partial record.
+    Signaled(
+        /// The peer's partial accumulator.
+        Vec<Acc>,
+    ),
+    /// The peer's record was poisoned — recompute its contribution.
+    Poisoned,
+    /// The watchdog deadline expired with the slot still pending.
+    TimedOut {
+        /// How long the owner waited.
+        waited: Duration,
+    },
+}
+
+/// Bounded-wait configuration: the backoff ladder plus the watchdog
+/// deadline.
+///
+/// The ladder mirrors what a production spin lock does under
+/// oversubscription: a short pure-spin phase (the peer usually
+/// signals within nanoseconds on the happy path), a yielding phase
+/// (let a descheduled peer run), then parking in short sleeps whose
+/// interval doubles up to [`WaitPolicy::max_park`] (don't burn a core
+/// on a peer that is seconds away — or gone).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitPolicy {
+    /// Iterations of pure `spin_loop` before yielding.
+    pub spin_iters: u32,
+    /// Iterations of `yield_now` before parking.
+    pub yield_iters: u32,
+    /// Initial park interval; doubles each park up to `max_park`.
+    pub initial_park: Duration,
+    /// Ceiling on the park interval.
+    pub max_park: Duration,
+    /// Total deadline: waiting longer than this returns
+    /// [`WaitOutcome::TimedOut`].
+    pub watchdog: Duration,
+}
+
+impl WaitPolicy {
+    /// The default watchdog: generous enough that a healthy peer on a
+    /// grotesquely oversubscribed test machine still makes it,
+    /// bounded enough that a lost peer cannot hang a job forever.
+    pub const DEFAULT_WATCHDOG: Duration = Duration::from_secs(30);
+
+    /// A policy with the given watchdog and default backoff ladder.
+    #[must_use]
+    pub fn with_watchdog(watchdog: Duration) -> Self {
+        Self { watchdog, ..Self::default() }
+    }
+}
+
+impl Default for WaitPolicy {
+    fn default() -> Self {
+        Self {
+            spin_iters: 512,
+            yield_iters: 64,
+            initial_park: Duration::from_micros(50),
+            max_park: Duration::from_millis(2),
+            watchdog: Self::DEFAULT_WATCHDOG,
+        }
+    }
+}
 
 /// Shared consolidation state for one kernel launch: one partials slot
-/// and one flag per CTA.
+/// and one three-state flag per CTA.
 pub struct FixupBoard<Acc> {
     flags: Vec<AtomicU32>,
     partials: Vec<Mutex<Vec<Acc>>>,
@@ -29,7 +121,7 @@ impl<Acc: Send> FixupBoard<Acc> {
     #[must_use]
     pub fn new(grid: usize) -> Self {
         Self {
-            flags: (0..grid).map(|_| AtomicU32::new(0)).collect(),
+            flags: (0..grid).map(|_| AtomicU32::new(PENDING)).collect(),
             partials: (0..grid).map(|_| Mutex::new(Vec::new())).collect(),
         }
     }
@@ -37,45 +129,127 @@ impl<Acc: Send> FixupBoard<Acc> {
     /// `StorePartials(partials[cta], accum); Signal(flags[cta])` —
     /// publishes `accum` as CTA `cta`'s partial record.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the CTA signals twice (a protocol violation).
-    pub fn store_and_signal(&self, cta: usize, accum: Vec<Acc>) {
-        *self.partials[cta].lock() = accum;
-        let prev = self.flags[cta].swap(1, Ordering::Release);
-        assert_eq!(prev, 0, "CTA {cta} signaled twice");
+    /// [`FixupError::DoubleSignal`] if the CTA already signaled,
+    /// [`FixupError::SignalAfterPoison`] if the slot was poisoned
+    /// (the poison is sticky — the late signal loses), and
+    /// [`FixupError::SlotOutOfRange`] for a bad index.
+    pub fn store_and_signal(&self, cta: usize, accum: Vec<Acc>) -> Result<(), FixupError> {
+        let slot = self.slot(cta)?;
+        let mut guard = slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        // Flag transitions happen only under the slot lock, so a
+        // plain load-check-store is race-free among writers.
+        match self.flags[cta].load(Ordering::Relaxed) {
+            PENDING => {
+                *guard = accum;
+                self.flags[cta].store(SIGNALED, Ordering::Release);
+                Ok(())
+            }
+            SIGNALED => Err(FixupError::DoubleSignal { cta }),
+            _ => Err(FixupError::SignalAfterPoison { cta }),
+        }
     }
 
-    /// `Wait(flags[peer]); LoadPartials(partials[peer])` — spins until
-    /// `peer` has signaled, then takes its partial record.
+    /// Marks `cta`'s record as lost/corrupted. Idempotent; poisoning
+    /// an already-signaled slot retracts the record (the taker will
+    /// recompute instead).
     ///
-    /// The spin mirrors the GPU's flag-polling loop; it yields to the
-    /// OS periodically so oversubscribed test environments still make
-    /// progress.
+    /// # Errors
+    ///
+    /// [`FixupError::SlotOutOfRange`] for a bad index.
+    pub fn poison(&self, cta: usize) -> Result<(), FixupError> {
+        let slot = self.slot(cta)?;
+        let mut guard = slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        guard.clear();
+        self.flags[cta].store(POISONED, Ordering::Release);
+        Ok(())
+    }
+
+    /// `Wait(flags[peer]); LoadPartials(partials[peer])` with bounded
+    /// backoff: spins, then yields, then parks in doubling intervals,
+    /// giving up when `policy.watchdog` expires.
     #[must_use]
-    pub fn wait_and_take(&self, peer: usize) -> Vec<Acc> {
-        let mut spins = 0u32;
-        while self.flags[peer].load(Ordering::Acquire) == 0 {
-            spins = spins.wrapping_add(1);
-            if spins.is_multiple_of(64) {
+    pub fn wait_with(&self, peer: usize, policy: &WaitPolicy) -> WaitOutcome<Acc> {
+        let start = Instant::now();
+        let mut iter = 0u32;
+        let mut park = policy.initial_park;
+        loop {
+            match self.flags[peer].load(Ordering::Acquire) {
+                SIGNALED => {
+                    let mut guard =
+                        self.partials[peer].lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                    return WaitOutcome::Signaled(std::mem::take(&mut *guard));
+                }
+                POISONED => return WaitOutcome::Poisoned,
+                _ => {}
+            }
+            if iter < policy.spin_iters {
+                std::hint::spin_loop();
+            } else if iter < policy.spin_iters + policy.yield_iters {
                 std::thread::yield_now();
             } else {
-                std::hint::spin_loop();
+                // From here each probe costs a park interval, so the
+                // deadline check is effectively free.
+                if start.elapsed() >= policy.watchdog {
+                    return WaitOutcome::TimedOut { waited: start.elapsed() };
+                }
+                std::thread::sleep(park);
+                park = (park * 2).min(policy.max_park);
             }
+            iter = iter.saturating_add(1);
         }
-        std::mem::take(&mut *self.partials[peer].lock())
     }
 
-    /// Whether `cta` has signaled (non-blocking; test/diagnostic use).
+    /// [`wait_with`](Self::wait_with) under the default policy,
+    /// expecting a clean signal — the fault-free fast path used where
+    /// no faults can be injected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is poisoned or the 30-second default
+    /// watchdog expires (both indicate a bug in a fault-free
+    /// schedule; a bounded panic beats the former unbounded spin).
+    #[must_use]
+    pub fn wait_and_take(&self, peer: usize) -> Vec<Acc> {
+        match self.wait_with(peer, &WaitPolicy::default()) {
+            WaitOutcome::Signaled(partials) => partials,
+            WaitOutcome::Poisoned => panic!("CTA {peer}'s partials poisoned in a fault-free schedule"),
+            WaitOutcome::TimedOut { waited } => {
+                panic!("watchdog expired after {waited:?} waiting for CTA {peer}")
+            }
+        }
+    }
+
+    /// The current state of `cta`'s flag (non-blocking).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cta` is out of range.
+    #[must_use]
+    pub fn state(&self, cta: usize) -> FlagState {
+        match self.flags[cta].load(Ordering::Acquire) {
+            PENDING => FlagState::Pending,
+            SIGNALED => FlagState::Signaled,
+            _ => FlagState::Poisoned,
+        }
+    }
+
+    /// Whether `cta` has signaled a valid record (non-blocking;
+    /// test/diagnostic use).
     #[must_use]
     pub fn has_signaled(&self, cta: usize) -> bool {
-        self.flags[cta].load(Ordering::Acquire) != 0
+        self.state(cta) == FlagState::Signaled
     }
 
     /// The grid size this board was built for.
     #[must_use]
     pub fn grid(&self) -> usize {
         self.flags.len()
+    }
+
+    fn slot(&self, cta: usize) -> Result<&Mutex<Vec<Acc>>, FixupError> {
+        self.partials.get(cta).ok_or(FixupError::SlotOutOfRange { cta, grid: self.flags.len() })
     }
 }
 
@@ -87,18 +261,66 @@ mod tests {
     #[test]
     fn single_thread_round_trip() {
         let board = FixupBoard::<f64>::new(4);
-        assert!(!board.has_signaled(2));
-        board.store_and_signal(2, vec![1.0, 2.0]);
+        assert_eq!(board.state(2), FlagState::Pending);
+        board.store_and_signal(2, vec![1.0, 2.0]).unwrap();
         assert!(board.has_signaled(2));
         assert_eq!(board.wait_and_take(2), vec![1.0, 2.0]);
     }
 
     #[test]
-    #[should_panic(expected = "signaled twice")]
-    fn double_signal_panics() {
+    fn double_signal_is_a_typed_error() {
         let board = FixupBoard::<f64>::new(1);
-        board.store_and_signal(0, vec![1.0]);
-        board.store_and_signal(0, vec![2.0]);
+        board.store_and_signal(0, vec![1.0]).unwrap();
+        assert_eq!(board.store_and_signal(0, vec![2.0]), Err(FixupError::DoubleSignal { cta: 0 }));
+        // The first record survives the failed second signal.
+        assert_eq!(board.wait_and_take(0), vec![1.0]);
+    }
+
+    #[test]
+    fn out_of_range_is_a_typed_error() {
+        let board = FixupBoard::<f64>::new(2);
+        assert_eq!(
+            board.store_and_signal(5, vec![1.0]),
+            Err(FixupError::SlotOutOfRange { cta: 5, grid: 2 })
+        );
+        assert_eq!(board.poison(2), Err(FixupError::SlotOutOfRange { cta: 2, grid: 2 }));
+    }
+
+    #[test]
+    fn poison_is_sticky_and_observable() {
+        let board = FixupBoard::<f64>::new(2);
+        board.poison(1).unwrap();
+        assert_eq!(board.state(1), FlagState::Poisoned);
+        // A late signal loses to the poison, with a typed error.
+        assert_eq!(
+            board.store_and_signal(1, vec![3.0]),
+            Err(FixupError::SignalAfterPoison { cta: 1 })
+        );
+        assert_eq!(board.wait_with(1, &WaitPolicy::default()), WaitOutcome::Poisoned);
+    }
+
+    #[test]
+    fn poison_retracts_a_signaled_record() {
+        let board = FixupBoard::<f64>::new(1);
+        board.store_and_signal(0, vec![1.0]).unwrap();
+        board.poison(0).unwrap();
+        assert_eq!(board.wait_with(0, &WaitPolicy::default()), WaitOutcome::Poisoned);
+    }
+
+    #[test]
+    fn watchdog_bounds_the_wait() {
+        let board = FixupBoard::<f64>::new(1);
+        let policy = WaitPolicy::with_watchdog(Duration::from_millis(20));
+        let start = Instant::now();
+        match board.wait_with(0, &policy) {
+            WaitOutcome::TimedOut { waited } => {
+                assert!(waited >= Duration::from_millis(20));
+            }
+            other => panic!("expected timeout, got {other:?}"),
+        }
+        // Bounded: nowhere near the old unbounded spin. Generous
+        // ceiling for loaded CI machines.
+        assert!(start.elapsed() < Duration::from_secs(5));
     }
 
     /// The owner observes exactly the values the contributor wrote —
@@ -112,13 +334,35 @@ mod tests {
             let board = Arc::clone(&board);
             std::thread::spawn(move || {
                 // Give the consumer a head start so it genuinely spins.
-                std::thread::sleep(std::time::Duration::from_millis(10));
-                board.store_and_signal(1, payload);
+                std::thread::sleep(Duration::from_millis(10));
+                board.store_and_signal(1, payload).unwrap();
             })
         };
         let got = board.wait_and_take(1);
         producer.join().unwrap();
         assert_eq!(got, expected);
+    }
+
+    /// A straggling producer that beats the watchdog is observed as a
+    /// clean signal; one that misses it is a timeout — and the late
+    /// record stays available afterwards.
+    #[test]
+    fn straggler_vs_watchdog() {
+        let board = Arc::new(FixupBoard::<f64>::new(1));
+        let producer = {
+            let board = Arc::clone(&board);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(50));
+                board.store_and_signal(0, vec![7.0]).unwrap();
+            })
+        };
+        // First wait times out before the straggler signals.
+        let fast = WaitPolicy::with_watchdog(Duration::from_millis(5));
+        assert!(matches!(board.wait_with(0, &fast), WaitOutcome::TimedOut { .. }));
+        // A patient retry sees the late signal.
+        let patient = WaitPolicy::with_watchdog(Duration::from_secs(10));
+        assert_eq!(board.wait_with(0, &patient), WaitOutcome::Signaled(vec![7.0]));
+        producer.join().unwrap();
     }
 
     /// Many contributors, one accumulator — the fixed-split fixup
@@ -132,7 +376,7 @@ mod tests {
                 .map(|p| {
                     let board = Arc::clone(&board);
                     std::thread::spawn(move || {
-                        board.store_and_signal(p, vec![p as f64; 16]);
+                        board.store_and_signal(p, vec![p as f64; 16]).unwrap();
                     })
                 })
                 .collect();

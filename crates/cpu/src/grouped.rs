@@ -102,7 +102,9 @@ impl CpuExecutor {
                             }
 
                             if !seg.starts_tile {
-                                board.store_and_signal(cta.cta_id, std::mem::take(&mut accum));
+                                board
+                                    .store_and_signal(cta.cta_id, std::mem::take(&mut accum))
+                                    .expect("fault-free grouped schedule");
                                 accum = vec![Acc::ZERO; tile.blk_m * tile.blk_n];
                                 continue;
                             }

@@ -29,13 +29,15 @@
 pub mod batched;
 pub mod calibrate;
 pub mod executor;
+pub mod fault;
 pub mod fixup;
 pub mod grouped;
 pub mod macloop;
 pub mod microkernel;
 mod output;
 
-pub use executor::{CpuExecutor, ExecutorConfig};
-pub use fixup::FixupBoard;
+pub use executor::{CpuExecutor, ExecutorConfig, RecoveryCause, RecoveryEvent, RecoveryReport};
+pub use fault::{Fault, FaultKind, FaultPlan};
+pub use fixup::{FixupBoard, FlagState, WaitOutcome, WaitPolicy};
 pub use macloop::mac_loop;
 pub use microkernel::mac_loop_blocked;

@@ -1,0 +1,206 @@
+//! Chaos suite: fault injection across every strategy.
+//!
+//! The two guarantees the fault-tolerant fixup protocol makes, as
+//! properties:
+//!
+//! 1. **Deadlock-freedom**: every execution under every fault plan
+//!    terminates — a lost peer costs at most one watchdog deadline
+//!    per owner-side wait, never an unbounded spin;
+//! 2. **Numerical correctness**: the recovered output is *bit-exact*
+//!    against the fault-free executor run (recovery recomputes the
+//!    peer's exact local iteration range with the same kernel and
+//!    accumulates it at the same point in peer order), and within
+//!    reassociation tolerance of the naive reference GEMM.
+//!
+//! The watchdog here is deliberately short so lost-CTA cases stay
+//! cheap; correctness must not depend on the deadline's length.
+
+use proptest::prelude::*;
+use proptest::strategy::Strategy as _;
+use std::time::{Duration, Instant};
+use streamk_core::{Decomposition, Strategy};
+use streamk_cpu::{CpuExecutor, FaultKind, FaultPlan};
+use streamk_matrix::reference::gemm_naive;
+use streamk_matrix::Matrix;
+use streamk_types::{GemmShape, Layout, TileShape};
+
+const WATCHDOG: Duration = Duration::from_millis(150);
+const THREADS: usize = 8;
+
+fn exec() -> CpuExecutor {
+    CpuExecutor::with_threads(THREADS).with_watchdog(WATCHDOG)
+}
+
+fn kind_for(idx: u8) -> FaultKind {
+    match idx % 3 {
+        // Inside the watchdog: the bounded wait absorbs it.
+        0 => FaultKind::Straggle(WATCHDOG / 8),
+        1 => FaultKind::Lose,
+        _ => FaultKind::Poison,
+    }
+}
+
+fn operands(shape: GemmShape) -> (Matrix<f64>, Matrix<f64>) {
+    let seed = ((shape.m * 73 + shape.n) * 37 + shape.k) as u64;
+    let a = Matrix::<f64>::random::<f64>(shape.m, shape.k, Layout::RowMajor, seed);
+    let b = Matrix::<f64>::random::<f64>(shape.k, shape.n, Layout::RowMajor, seed + 1);
+    (a, b)
+}
+
+fn shapes() -> impl proptest::strategy::Strategy<Value = GemmShape> {
+    (16usize..97, 16usize..97, 32usize..161).prop_map(|(m, n, k)| GemmShape::new(m, n, k))
+}
+
+/// Every strategy the paper discusses, with parameters small enough
+/// that the widest owner+peers group fits the 8-worker pool.
+fn strategies() -> impl proptest::strategy::Strategy<Value = Strategy> {
+    prop_oneof![
+        Just(Strategy::DataParallel),
+        (2usize..5).prop_map(|split| Strategy::FixedSplit { split }),
+        (2usize..9).prop_map(|grid| Strategy::StreamK { grid }),
+        (2usize..7).prop_map(|sms| Strategy::DpOneTileStreamK { sms }),
+        (2usize..7).prop_map(|sms| Strategy::TwoTileStreamKDp { sms }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// One injected fault, any kind, any victim, any strategy:
+    /// execution terminates within a small multiple of the watchdog
+    /// budget and the recovered output is bit-exact against the
+    /// fault-free run.
+    #[test]
+    fn any_single_fault_recovers_bit_exact(
+        shape in shapes(),
+        strategy in strategies(),
+        kind_idx in 0u8..3,
+        victim_idx in 0usize..64,
+    ) {
+        let tile = TileShape::new(16, 16, 8);
+        let decomp = Decomposition::from_strategy(shape, tile, strategy);
+        let max_cover = decomp.fixups().iter().map(|f| f.covering_ctas()).max().unwrap_or(1);
+        prop_assume!(max_cover <= THREADS);
+
+        let (a, b) = operands(shape);
+        let e = exec();
+        let baseline = e.try_gemm::<f64, f64>(&a, &b, &decomp).expect("fault-free run");
+
+        let contributors = FaultPlan::contributors(&decomp);
+        let plan = if contributors.is_empty() {
+            FaultPlan::none()
+        } else {
+            FaultPlan::single(contributors[victim_idx % contributors.len()], kind_for(kind_idx))
+        };
+
+        let start = Instant::now();
+        let (c, report) = e.gemm_with_faults::<f64, f64>(&a, &b, &decomp, &plan).expect("survives");
+        let elapsed = start.elapsed();
+
+        // Deadlock-freedom: a single fault costs at most one watchdog
+        // per owner wait; generous ceiling for loaded CI machines.
+        prop_assert!(elapsed < Duration::from_secs(20), "took {elapsed:?}");
+        // Lost/poisoned victims must actually exercise recovery.
+        if !plan.is_empty() && !matches!(kind_for(kind_idx), FaultKind::Straggle(_)) {
+            prop_assert!(report.recoveries() >= 1, "no recovery for {plan:?}");
+        }
+        // Bit-exact vs the fault-free executor...
+        prop_assert!(c.max_abs_diff(&baseline) == 0.0, "recovered output diverged");
+        // ...and within reassociation tolerance of the reference GEMM.
+        let naive = gemm_naive::<f64, f64>(&a, &b);
+        prop_assert!(c.max_abs_diff(&naive) < 1e-9 * shape.k as f64);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The saturation case: *every* contributor in the grid is
+    /// faulted at once (kinds cycling straggle/lose/poison), and the
+    /// owners still reconstruct an answer bit-exact against the
+    /// fault-free run.
+    #[test]
+    fn every_contributor_faulted_still_recovers(
+        shape in shapes(),
+        strategy in strategies(),
+        phase in 0u8..3,
+    ) {
+        let tile = TileShape::new(16, 16, 8);
+        let decomp = Decomposition::from_strategy(shape, tile, strategy);
+        let max_cover = decomp.fixups().iter().map(|f| f.covering_ctas()).max().unwrap_or(1);
+        prop_assume!(max_cover <= THREADS);
+
+        let (a, b) = operands(shape);
+        let e = exec();
+        let baseline = e.try_gemm::<f64, f64>(&a, &b, &decomp).expect("fault-free run");
+
+        let contributors = FaultPlan::contributors(&decomp);
+        let mut plan = FaultPlan::none();
+        for (i, &cta) in contributors.iter().enumerate() {
+            plan = plan.with_fault(cta, kind_for(phase + i as u8));
+        }
+
+        let (c, report) = e.gemm_with_faults::<f64, f64>(&a, &b, &decomp, &plan).expect("survives");
+        let stragglers =
+            plan.faults().iter().filter(|f| matches!(f.kind, FaultKind::Straggle(_))).count();
+        prop_assert!(report.recoveries() == plan.len() - stragglers, "{report:?} vs {plan:?}");
+        prop_assert!(c.max_abs_diff(&baseline) == 0.0);
+    }
+}
+
+/// The deterministic acceptance matrix: every strategy × every fault
+/// kind, one seed each, checked exhaustively so a regression names
+/// the exact cell that broke.
+#[test]
+fn acceptance_matrix_every_strategy_every_fault() {
+    let shape = GemmShape::new(96, 80, 64);
+    let tile = TileShape::new(32, 32, 16);
+    let strategies = [
+        Strategy::DataParallel,
+        Strategy::FixedSplit { split: 3 },
+        Strategy::StreamK { grid: 7 },
+        Strategy::DpOneTileStreamK { sms: 4 },
+        Strategy::TwoTileStreamKDp { sms: 4 },
+    ];
+    let e = exec();
+    let (a, b) = operands(shape);
+    for strategy in strategies {
+        let decomp = Decomposition::from_strategy(shape, tile, strategy);
+        let baseline = e.try_gemm::<f64, f64>(&a, &b, &decomp).expect("fault-free run");
+        let contributors = FaultPlan::contributors(&decomp);
+        for kind_idx in 0..3u8 {
+            let kind = kind_for(kind_idx);
+            let plan = match contributors.first() {
+                Some(&victim) => FaultPlan::single(victim, kind),
+                None => FaultPlan::none(),
+            };
+            let (c, _) = e
+                .gemm_with_faults::<f64, f64>(&a, &b, &decomp, &plan)
+                .unwrap_or_else(|err| panic!("{strategy} x {} failed: {err}", kind.name()));
+            assert_eq!(
+                c.max_abs_diff(&baseline),
+                0.0,
+                "{strategy} x {} not bit-exact",
+                kind.name()
+            );
+        }
+    }
+}
+
+/// Seeded plans drive the same machinery the CLI campaign uses:
+/// every seed terminates and recovers bit-exact.
+#[test]
+fn seeded_campaign_is_deterministic_and_survives() {
+    let shape = GemmShape::new(64, 64, 96);
+    let tile = TileShape::new(32, 32, 16);
+    let decomp = Decomposition::stream_k(shape, tile, 6);
+    let e = exec();
+    let (a, b) = operands(shape);
+    let baseline = e.try_gemm::<f64, f64>(&a, &b, &decomp).expect("fault-free run");
+    for seed in 0..6 {
+        let plan = FaultPlan::seeded(seed, &decomp, WATCHDOG);
+        assert_eq!(plan, FaultPlan::seeded(seed, &decomp, WATCHDOG));
+        let (c, _) = e.gemm_with_faults::<f64, f64>(&a, &b, &decomp, &plan).expect("survives");
+        assert_eq!(c.max_abs_diff(&baseline), 0.0, "seed {seed}");
+    }
+}

@@ -32,6 +32,7 @@ pub mod analytic;
 pub mod batched;
 pub mod cost;
 pub mod engine;
+pub mod fault;
 pub mod gpu;
 pub mod grouped;
 pub mod report;
@@ -42,6 +43,7 @@ pub mod trace;
 pub use batched::{simulate_batched, simulate_batched_with_efficiency};
 pub use cost::CtaCosts;
 pub use engine::{simulate, simulate_with_efficiency};
+pub use fault::{simulate_with_faults, FaultSimReport, Preemption, SimFaultPlan};
 pub use gpu::GpuSpec;
 pub use grouped::{simulate_grouped, simulate_grouped_with_efficiency};
 pub use report::{CtaSpan, SimReport};

@@ -1,0 +1,136 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the small surface the workspace's benches use —
+//! `Criterion::benchmark_group`, `BenchmarkGroup::{sample_size,
+//! bench_function, finish}`, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros — with a deliberately
+//! cheap measurement loop (median of short samples, hard per-bench
+//! time budget) so the binaries stay fast even when `cargo test`
+//! builds and runs them. No statistics, plots, or baselines.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Per-bench wall-clock budget; keeps `cargo test` runs of the bench
+/// binaries from dominating CI time.
+const TIME_BUDGET: Duration = Duration::from_millis(250);
+
+/// The benchmark driver handed to `criterion_group!` targets.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup { _criterion: self, sample_size: 10 }
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per bench.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Times `f`'s routine and prints a one-line median.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        let budget_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let mut bencher = Bencher { iters: 0, elapsed: Duration::ZERO };
+            f(&mut bencher);
+            if bencher.iters > 0 {
+                samples.push(bencher.elapsed.as_secs_f64() / bencher.iters as f64);
+            }
+            if budget_start.elapsed() > TIME_BUDGET {
+                break;
+            }
+        }
+        samples.sort_by(f64::total_cmp);
+        match samples.get(samples.len() / 2) {
+            Some(median) => println!("  {id:<32} {:>12.3e} s/iter ({} samples)", median, samples.len()),
+            None => println!("  {id:<32} (no samples)"),
+        }
+        self
+    }
+
+    /// Ends the group (output is already flushed per bench).
+    pub fn finish(self) {}
+}
+
+/// Passed to each bench closure; `iter` runs and times the routine.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly under the harness's time budget,
+    /// accumulating elapsed wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        let mut batch = 0u64;
+        loop {
+            std::hint::black_box(routine());
+            batch += 1;
+            // At least one execution, then stop quickly: samples are
+            // aggregated by the caller.
+            if batch >= 4 || start.elapsed() > TIME_BUDGET / 8 {
+                break;
+            }
+        }
+        self.iters += batch;
+        self.elapsed += start.elapsed();
+    }
+}
+
+/// Bundles bench target functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports_and_respects_budget() {
+        let mut c = Criterion::default();
+        let started = Instant::now();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(1000);
+        let mut runs = 0u64;
+        group.bench_function("noop", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert!(runs > 0);
+        assert!(started.elapsed() < Duration::from_secs(5));
+    }
+}
