@@ -1,10 +1,16 @@
 //! Criterion benches of the inner kernels: scalar `MacLoop` vs the
-//! 4×4 register-blocked microkernel, and the strided (generic) path.
+//! 4×4 register-blocked microkernel vs the packed-panel pipeline, and
+//! the strided (generic) path.
+//!
+//! `packed_vs_blocked_512_f32` is the acceptance bench for the packed
+//! pipeline: a 512×512×512 f32→f32 single-thread sweep where the best
+//! packed variant must beat `mac_loop_blocked` (the `streamk bench`
+//! CLI records the ratio in `BENCH_cpu.json`).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use streamk_core::IterSpace;
-use streamk_cpu::{mac_loop_blocked, macloop::mac_loop_view};
+use streamk_cpu::{mac_loop_blocked, mac_loop_kernel, macloop::mac_loop_view, KernelKind, PackBuffers};
 use streamk_matrix::Matrix;
 use streamk_types::{GemmShape, Layout, TileShape};
 
@@ -34,6 +40,16 @@ fn inner_kernels(c: &mut Criterion) {
             mac_loop_blocked(&a.view(), &b.view(), &space, 0, 0, iters, black_box(&mut accum));
         });
     });
+    for kind in KernelKind::PACKED {
+        group.bench_function(kind.name(), |bencher| {
+            let mut accum = vec![0.0f64; tile.blk_m * tile.blk_n];
+            let mut bufs = PackBuffers::new();
+            bencher.iter(|| {
+                accum.fill(0.0);
+                mac_loop_kernel(kind, &a.view(), &b.view(), &space, 0, 0, iters, black_box(&mut accum), &mut bufs);
+            });
+        });
+    }
     group.bench_function("scalar_strided", |bencher| {
         let mut accum = vec![0.0f64; tile.blk_m * tile.blk_n];
         bencher.iter(|| {
@@ -41,8 +57,55 @@ fn inner_kernels(c: &mut Criterion) {
             mac_loop_view(&a_t.view(), &b_t.view(), &space, 0, 0, iters, black_box(&mut accum));
         });
     });
+    group.bench_function("packed_strided_8x4", |bencher| {
+        // Packing normalizes layout: the strided penalty is paid once
+        // per operand element, not once per MAC.
+        let mut accum = vec![0.0f64; tile.blk_m * tile.blk_n];
+        let mut bufs = PackBuffers::new();
+        bencher.iter(|| {
+            accum.fill(0.0);
+            mac_loop_kernel(
+                KernelKind::Packed8x4,
+                &a_t.view(),
+                &b_t.view(),
+                &space,
+                0,
+                0,
+                iters,
+                black_box(&mut accum),
+                &mut bufs,
+            );
+        });
+    });
     group.finish();
 }
 
-criterion_group!(benches, inner_kernels);
+/// The acceptance bench: full 512³ f32 GEMM, one thread, every tile
+/// through the kernel under test.
+fn packed_vs_blocked_512_f32(c: &mut Criterion) {
+    let shape = GemmShape::new(512, 512, 512);
+    let tile = TileShape::new(64, 64, 16);
+    let space = IterSpace::new(shape, tile);
+    let a = Matrix::<f32>::random::<f32>(shape.m, shape.k, Layout::RowMajor, 3);
+    let b = Matrix::<f32>::random::<f32>(shape.k, shape.n, Layout::RowMajor, 4);
+    let iters = space.iters_per_tile();
+
+    let mut group = c.benchmark_group("gemm_512x512x512_f32_1thread");
+    group.sample_size(10);
+    for kind in [KernelKind::Blocked, KernelKind::Packed8x4, KernelKind::Packed4x8, KernelKind::Packed8x8] {
+        group.bench_function(kind.name(), |bencher| {
+            let mut accum = vec![0.0f32; tile.blk_m * tile.blk_n];
+            let mut bufs = PackBuffers::new();
+            bencher.iter(|| {
+                for t in 0..space.tiles() {
+                    accum.fill(0.0);
+                    mac_loop_kernel(kind, &a.view(), &b.view(), &space, t, 0, iters, black_box(&mut accum), &mut bufs);
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, inner_kernels, packed_vs_blocked_512_f32);
 criterion_main!(benches);

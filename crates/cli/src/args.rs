@@ -90,6 +90,21 @@ pub enum Command {
         /// Owner-side watchdog deadline, milliseconds.
         watchdog_ms: u64,
     },
+    /// CPU kernel benchmark sweep, emitting `BENCH_cpu.json`.
+    Bench {
+        /// Side of the headline `size³` f32 problem.
+        size: usize,
+        /// Blocking factor.
+        tile: TileShape,
+        /// Corpus shapes to sweep in addition to the headline.
+        corpus: usize,
+        /// Timing repetitions per cell; medians are reported.
+        reps: usize,
+        /// Cut the sweep down for CI smoke runs.
+        smoke: bool,
+        /// Output path for the JSON report.
+        out: String,
+    },
     /// SVG schedule to a file.
     Svg {
         /// Problem shape.
@@ -115,6 +130,7 @@ USAGE:
   streamk compare  <m> <n> <k> [--precision fp64|fp16]
   streamk corpus   [count]
   streamk chaos    <m> <n> <k> [--tile MxNxK] [--seeds N] [--threads T] [--watchdog-ms MS]
+  streamk bench    [--size N] [--tile MxNxK] [--corpus C] [--reps R] [--out FILE] [--smoke]
   streamk svg      <m> <n> <k> --out FILE [--tile MxNxK] [--sms P] [--strategy S]
   streamk help
 
@@ -174,6 +190,9 @@ struct Flags<'a> {
     named: Vec<(&'a str, &'a str)>,
 }
 
+/// Flags that take no value; their presence means "true".
+const BOOL_FLAGS: &[&str] = &["smoke"];
+
 fn split_flags(rest: &[String]) -> Result<Flags<'_>, ParseError> {
     let mut positional = Vec::new();
     let mut named = Vec::new();
@@ -181,6 +200,11 @@ fn split_flags(rest: &[String]) -> Result<Flags<'_>, ParseError> {
     while i < rest.len() {
         let a = rest[i].as_str();
         if let Some(name) = a.strip_prefix("--") {
+            if BOOL_FLAGS.contains(&name) {
+                named.push((name, "true"));
+                i += 1;
+                continue;
+            }
             let value = rest
                 .get(i + 1)
                 .ok_or_else(|| ParseError(format!("flag --{name} expects a value")))?;
@@ -282,6 +306,26 @@ impl Cli {
                             .ok_or_else(|| ParseError(format!("--threads expects a positive integer, got '{v}'")))
                     })?,
                     watchdog_ms: parse_u64("watchdog-ms", 200, &flags)?,
+                }
+            }
+            "bench" => {
+                let flags = split_flags(rest)?;
+                let parse_usize = |name: &str, default: usize, flags: &Flags<'_>| {
+                    get_flag(flags, name).map_or(Ok(default), |v| {
+                        v.parse::<usize>()
+                            .ok()
+                            .filter(|&x| x > 0)
+                            .ok_or_else(|| ParseError(format!("--{name} expects a positive integer, got '{v}'")))
+                    })
+                };
+                let smoke = get_flag(&flags, "smoke") == Some("true");
+                Command::Bench {
+                    size: parse_usize("size", if smoke { 128 } else { 512 }, &flags)?,
+                    tile: get_flag(&flags, "tile").map_or(Ok(TileShape::new(64, 64, 16)), parse_tile)?,
+                    corpus: parse_usize("corpus", if smoke { 2 } else { 6 }, &flags)?,
+                    reps: parse_usize("reps", if smoke { 2 } else { 5 }, &flags)?,
+                    smoke,
+                    out: get_flag(&flags, "out").unwrap_or("BENCH_cpu.json").to_string(),
                 }
             }
             "svg" => {
@@ -411,6 +455,48 @@ mod tests {
         }
         assert!(Cli::parse(&argv("chaos 64 64 64 --threads 0")).is_err());
         assert!(Cli::parse(&argv("chaos 64 64 64 --seeds x")).is_err());
+    }
+
+    #[test]
+    fn bench_defaults_and_smoke() {
+        let cli = Cli::parse(&argv("bench")).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Bench {
+                size: 512,
+                tile: TileShape::new(64, 64, 16),
+                corpus: 6,
+                reps: 5,
+                smoke: false,
+                out: "BENCH_cpu.json".into(),
+            }
+        );
+        // --smoke is a boolean flag: it consumes no value and shrinks
+        // the default sweep.
+        let cli = Cli::parse(&argv("bench --smoke --out /tmp/b.json")).unwrap();
+        match cli.command {
+            Command::Bench { size, corpus, reps, smoke, out, .. } => {
+                assert!(smoke);
+                assert_eq!(size, 128);
+                assert_eq!(corpus, 2);
+                assert_eq!(reps, 2);
+                assert_eq!(out, "/tmp/b.json");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Explicit values override the smoke defaults regardless of
+        // flag order.
+        let cli = Cli::parse(&argv("bench --size 256 --smoke --reps 3")).unwrap();
+        match cli.command {
+            Command::Bench { size, reps, smoke, .. } => {
+                assert!(smoke);
+                assert_eq!(size, 256);
+                assert_eq!(reps, 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(Cli::parse(&argv("bench --size 0")).is_err());
+        assert!(Cli::parse(&argv("bench --reps x")).is_err());
     }
 
     #[test]

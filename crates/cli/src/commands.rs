@@ -2,10 +2,13 @@
 
 use crate::args::{Cli, Command, StrategyArg, USAGE};
 use std::fmt::Write as _;
-use std::time::Duration;
-use streamk_core::{CostModel, Decomposition, GridSizeModel};
+use std::time::{Duration, Instant};
+use streamk_core::{CostModel, Decomposition, GridSizeModel, IterSpace};
 use streamk_corpus::{Corpus, CorpusConfig};
-use streamk_cpu::{CpuExecutor, FaultKind, FaultPlan};
+use streamk_cpu::{
+    mac_loop_kernel, select_kernel, CpuExecutor, FaultKind, FaultPlan, KernelKind, PackBuffers,
+};
+use streamk_cpu::macloop::mac_loop_view;
 use streamk_ensemble::runners;
 use streamk_matrix::Matrix;
 use streamk_sim::{render_gantt, render_svg, simulate, simulate_with_faults, GpuSpec, SimFaultPlan, SvgOptions};
@@ -142,6 +145,9 @@ pub fn execute(cli: &Cli) -> String {
         Command::Chaos { shape, tile, seeds, threads, watchdog_ms } => {
             run_chaos(*shape, *tile, *seeds, *threads, *watchdog_ms)
         }
+        Command::Bench { size, tile, corpus, reps, smoke, out } => {
+            run_bench(*size, *tile, *corpus, *reps, *smoke, out)
+        }
         Command::Svg { shape, tile, sms, strategy, out } => {
             let decomp = build(*strategy, *shape, *tile, *sms, Precision::Fp64);
             let mut gpu = GpuSpec::hypothetical_4sm();
@@ -158,6 +164,176 @@ pub fn execute(cli: &Cli) -> String {
             }
         }
     }
+}
+
+/// Times one kernel over every tile of `space` (full local range,
+/// single thread) and returns the median of `reps` wall times.
+fn time_kernel_f32(
+    kind: KernelKind,
+    a: &Matrix<f32>,
+    b: &Matrix<f32>,
+    space: &IterSpace,
+    reps: usize,
+    accum: &mut Vec<f32>,
+    bufs: &mut PackBuffers<f32>,
+) -> f64 {
+    let tile = space.tile();
+    accum.clear();
+    accum.resize(tile.blk_m * tile.blk_n, 0.0);
+    let (av, bv) = (a.view(), b.view());
+    let total = space.iters_per_tile();
+    let run = |acc: &mut [f32], bufs: &mut PackBuffers<f32>| {
+        for t in 0..space.tiles() {
+            acc.fill(0.0);
+            mac_loop_kernel(kind, &av, &bv, space, t, 0, total, acc, bufs);
+        }
+    };
+    run(accum, bufs); // warm-up: grows pack buffers, faults pages in
+    let mut times: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            run(accum, bufs);
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+/// The bit-exactness gate: every kernel's f64 output must be
+/// *identical* to the scalar `mac_loop_view` on a ragged problem.
+/// Returns an error description on the first mismatch.
+fn bit_exact_gate(tile: TileShape) -> Result<(), String> {
+    let shape = GemmShape::new(tile.blk_m * 2 + 5, tile.blk_n * 2 + 3, tile.blk_k * 4 + 7);
+    let space = IterSpace::new(shape, tile);
+    let a = Matrix::<f64>::random::<f64>(shape.m, shape.k, Layout::RowMajor, 0xACC);
+    let b = Matrix::<f64>::random::<f64>(shape.k, shape.n, Layout::RowMajor, 0xB17);
+    let mut bufs = PackBuffers::new();
+    let len = tile.blk_m * tile.blk_n;
+    for t in 0..space.tiles() {
+        let mut reference = vec![0.0f64; len];
+        mac_loop_view(&a.view(), &b.view(), &space, t, 0, space.iters_per_tile(), &mut reference);
+        for kind in KernelKind::ALL {
+            let mut got = vec![0.0f64; len];
+            mac_loop_kernel(kind, &a.view(), &b.view(), &space, t, 0, space.iters_per_tile(), &mut got, &mut bufs);
+            if got != reference {
+                return Err(format!("kernel {kind} diverged from mac_loop_view on tile {t} of {shape}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// JSON object fragment mapping kernel names to timings.
+fn json_timings(timings: &[(KernelKind, f64)]) -> String {
+    let fields: Vec<String> =
+        timings.iter().map(|(k, t)| format!("\"{}\": {t:.6e}", k.name())).collect();
+    format!("{{{}}}", fields.join(", "))
+}
+
+/// The kernel sweep behind `streamk bench`: times scalar vs blocked
+/// vs packed kernels on the headline `size³` f32 problem and a corpus
+/// slice, runs the f64 bit-exactness gate, reports `select_kernel`'s
+/// pick, and writes the whole record to `out` as JSON.
+///
+/// # Panics
+///
+/// Panics if any kernel fails the bit-exactness gate — CI treats that
+/// as a hard failure.
+fn run_bench(size: usize, tile: TileShape, corpus: usize, reps: usize, smoke: bool, out_path: &str) -> String {
+    let mut out = String::new();
+    let mut accum = Vec::new();
+    let mut bufs = PackBuffers::new();
+
+    // Gate first: timings of wrong kernels are worthless.
+    if let Err(e) = bit_exact_gate(tile) {
+        panic!("bit-exactness gate failed: {e}");
+    }
+    let _ = writeln!(out, "bit-exactness gate: every kernel identical to mac_loop_view (f64)");
+
+    // Headline: size³ f32 -> f32, single thread, full kernel sweep.
+    let shape = GemmShape::new(size, size, size);
+    let space = IterSpace::new(shape, tile);
+    let a = Matrix::<f32>::random::<f32>(shape.m, shape.k, Layout::RowMajor, 1);
+    let b = Matrix::<f32>::random::<f32>(shape.k, shape.n, Layout::RowMajor, 2);
+    let flops = shape.flops() as f64;
+    let _ = writeln!(out, "\nheadline {shape} f32, blocking {tile}, single thread, {reps} reps:");
+    let mut headline: Vec<(KernelKind, f64)> = Vec::new();
+    for kind in KernelKind::ALL {
+        let t = time_kernel_f32(kind, &a, &b, &space, reps, &mut accum, &mut bufs);
+        let _ = writeln!(out, "  {:<10} {t:>10.3e} s  {:>7.2} GFLOP/s", kind.name(), flops / t / 1e9);
+        headline.push((kind, t));
+    }
+    let blocked = headline.iter().find(|(k, _)| *k == KernelKind::Blocked).map_or(0.0, |&(_, t)| t);
+    let best_packed = headline
+        .iter()
+        .filter(|(k, _)| k.is_packed())
+        .min_by(|x, y| x.1.total_cmp(&y.1))
+        .copied()
+        .unwrap_or((KernelKind::default(), f64::INFINITY));
+    let speedup = blocked / best_packed.1;
+    let _ = writeln!(
+        out,
+        "  packed vs blocked: {} is {speedup:.2}x the blocked4x4 kernel",
+        best_packed.0.name()
+    );
+
+    // Corpus slice: clamp the log-uniform shapes so the sweep stays
+    // tractable, then time the three kernel generations on each.
+    let cap = if smoke { 128 } else { 320 };
+    let shapes: Vec<GemmShape> = Corpus::generate(CorpusConfig::smoke(corpus.max(1) * 3))
+        .shapes()
+        .iter()
+        .map(|s| GemmShape::new(s.m.min(cap), s.n.min(cap), s.k.min(cap)))
+        .take(corpus)
+        .collect();
+    let corpus_kinds = [KernelKind::Scalar, KernelKind::Blocked, KernelKind::default()];
+    let mut corpus_rows: Vec<(GemmShape, Vec<(KernelKind, f64)>)> = Vec::new();
+    let _ = writeln!(out, "\ncorpus slice ({} shapes, dims clamped to {cap}):", shapes.len());
+    for s in &shapes {
+        let sp = IterSpace::new(*s, tile);
+        let ca = Matrix::<f32>::random::<f32>(s.m, s.k, Layout::RowMajor, 3);
+        let cb = Matrix::<f32>::random::<f32>(s.k, s.n, Layout::RowMajor, 4);
+        let row: Vec<(KernelKind, f64)> = corpus_kinds
+            .iter()
+            .map(|&k| (k, time_kernel_f32(k, &ca, &cb, &sp, reps, &mut accum, &mut bufs)))
+            .collect();
+        let _ = writeln!(
+            out,
+            "  {s}: scalar {:.3e}s  blocked {:.3e}s  {} {:.3e}s",
+            row[0].1,
+            row[1].1,
+            corpus_kinds[2].name(),
+            row[2].1
+        );
+        corpus_rows.push((*s, row));
+    }
+
+    // Calibrated selection: what would ExecutorConfig::kernel get?
+    let sel = select_kernel::<f32, f32>(tile, if smoke { 16 } else { 64 }, reps);
+    let _ = writeln!(out, "\nselect_kernel: best = {} (single-tile deep-k microbenchmark)", sel.best.name());
+
+    let corpus_json: Vec<String> = corpus_rows
+        .iter()
+        .map(|(s, row)| format!("    {{\"shape\": \"{s}\", \"timings_s\": {}}}", json_timings(row)))
+        .collect();
+    let json = format!(
+        "{{\n  \"generated_by\": \"streamk bench\",\n  \"smoke\": {smoke},\n  \"tile\": \"{tile}\",\n  \"bit_exact_f64\": true,\n  \"headline\": {{\n    \"shape\": \"{shape}\",\n    \"dtype\": \"f32\",\n    \"reps\": {reps},\n    \"timings_s\": {},\n    \"best_packed\": \"{}\",\n    \"speedup_packed_vs_blocked\": {speedup:.3}\n  }},\n  \"corpus\": [\n{}\n  ],\n  \"selection\": {{\"best\": \"{}\", \"timings_s\": {}}}\n}}\n",
+        json_timings(&headline),
+        best_packed.0.name(),
+        corpus_json.join(",\n"),
+        sel.best.name(),
+        json_timings(&sel.timings),
+    );
+    match std::fs::write(out_path, &json) {
+        Ok(()) => {
+            let _ = writeln!(out, "wrote {out_path}");
+        }
+        Err(e) => {
+            let _ = writeln!(out, "failed to write {out_path}: {e}");
+        }
+    }
+    out
 }
 
 /// The seeded fault campaign behind `streamk chaos`: every strategy
@@ -316,6 +492,26 @@ mod tests {
         assert!(out.contains("sim straggler injection"), "{out}");
         assert!(!out.contains("NO"), "a cell lost bit-exactness:\n{out}");
         assert!(!out.contains("skipped"), "a strategy was skipped:\n{out}");
+    }
+
+    #[test]
+    fn bench_smoke_writes_json() {
+        let path = std::env::temp_dir().join("streamk_cli_bench_test.json");
+        let out = run(&format!(
+            "bench --smoke --size 96 --tile 32x32x8 --corpus 1 --reps 1 --out {}",
+            path.display()
+        ));
+        assert!(out.contains("bit-exactness gate"), "{out}");
+        assert!(out.contains("packed vs blocked"), "{out}");
+        assert!(out.contains("select_kernel"), "{out}");
+        assert!(out.contains("wrote"), "{out}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"bit_exact_f64\": true"), "{json}");
+        assert!(json.contains("\"speedup_packed_vs_blocked\""), "{json}");
+        for name in ["scalar", "blocked4x4", "packed8x4", "packed4x8"] {
+            assert!(json.contains(name), "missing {name}: {json}");
+        }
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

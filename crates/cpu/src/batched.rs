@@ -8,8 +8,9 @@
 
 use crate::executor::CpuExecutor;
 use crate::fixup::FixupBoard;
-use crate::macloop::mac_loop_view;
+use crate::microkernel::mac_loop_kernel;
 use crate::output::TileWriter;
+use crate::workspace::Workspace;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use streamk_core::BatchedDecomposition;
 use streamk_matrix::{Matrix, Promote, Scalar};
@@ -77,10 +78,14 @@ impl CpuExecutor {
         let ctas = decomp.ctas();
         let ipt = space.iters_per_tile();
 
+        let kind = self.kernel();
         std::thread::scope(|scope| {
             for _ in 0..self.threads() {
                 scope.spawn(|| {
-                    let mut accum = vec![Acc::ZERO; tile.blk_m * tile.blk_n];
+                    // Per-worker arena: accumulator, pack panels, and
+                    // the fixup-partial pool are recycled across every
+                    // segment this worker runs.
+                    let mut ws = Workspace::<In, Acc>::new(tile.blk_m * tile.blk_n);
                     loop {
                         let id = next_cta.fetch_add(1, Ordering::Relaxed);
                         if id >= ctas.len() {
@@ -97,35 +102,48 @@ impl CpuExecutor {
                             let seg_end = cta.iter_end.min(tile_first + ipt);
                             let (instance_idx, local_tile) = space.locate(global_tile);
 
-                            accum.fill(Acc::ZERO);
-                            mac_loop_view(
-                                &a[instance_idx].view(),
-                                &b[instance_idx].view(),
-                                instance,
-                                local_tile,
-                                iter - tile_first,
-                                seg_end - tile_first,
-                                &mut accum,
-                            );
-
                             let starts = iter == tile_first;
                             let ends = seg_end == tile_first + ipt;
                             if !starts {
+                                let mut partial = ws.take_partial();
+                                mac_loop_kernel(
+                                    kind,
+                                    &a[instance_idx].view(),
+                                    &b[instance_idx].view(),
+                                    instance,
+                                    local_tile,
+                                    iter - tile_first,
+                                    seg_end - tile_first,
+                                    &mut partial,
+                                    &mut ws.pack,
+                                );
                                 board
-                                    .store_and_signal(cta.cta_id, std::mem::take(&mut accum))
+                                    .store_and_signal(cta.cta_id, partial)
                                     .expect("fault-free batched schedule");
-                                accum = vec![Acc::ZERO; tile.blk_m * tile.blk_n];
                             } else {
+                                ws.reset_accum();
+                                mac_loop_kernel(
+                                    kind,
+                                    &a[instance_idx].view(),
+                                    &b[instance_idx].view(),
+                                    instance,
+                                    local_tile,
+                                    iter - tile_first,
+                                    seg_end - tile_first,
+                                    &mut ws.accum,
+                                    &mut ws.pack,
+                                );
                                 if !ends {
                                     for &peer in &owner_peers[cta.cta_id] {
                                         let partial = board.wait_and_take(peer);
-                                        for (acc, p) in accum.iter_mut().zip(partial) {
-                                            *acc += p;
+                                        for (acc, p) in ws.accum.iter_mut().zip(&partial) {
+                                            *acc += *p;
                                         }
+                                        ws.recycle_partial(partial);
                                     }
                                 }
                                 let (rows, cols) = instance.tile_extents(local_tile);
-                                writers[instance_idx].store_tile(local_tile, rows, cols, tile.blk_n, &accum);
+                                writers[instance_idx].store_tile(local_tile, rows, cols, tile.blk_n, &ws.accum);
                             }
                             iter = seg_end;
                         }

@@ -14,9 +14,10 @@
 //! `calibrated_gemm` example.
 
 use crate::executor::CpuExecutor;
+use crate::microkernel::{mac_loop_kernel, KernelKind, PackBuffers};
 use std::time::Instant;
-use streamk_core::{CostModel, Decomposition, GridSizeModel};
-use streamk_matrix::Matrix;
+use streamk_core::{CostModel, Decomposition, GridSizeModel, IterSpace};
+use streamk_matrix::{Matrix, Promote, Scalar};
 use streamk_types::{GemmShape, Layout, TileShape};
 
 /// Calibration settings.
@@ -91,6 +92,83 @@ pub fn calibrated_grid_model(threads: usize) -> Option<GridSizeModel> {
     calibrate(&CalibrationConfig::default()).map(|cost| GridSizeModel::new(cost, threads))
 }
 
+/// Outcome of [`select_kernel`]: the fastest kernel for this machine
+/// plus every candidate's median time.
+#[derive(Debug, Clone)]
+pub struct KernelSelection {
+    /// The fastest candidate.
+    pub best: KernelKind,
+    /// `(kernel, median seconds per run)` for every candidate, in the
+    /// order tried.
+    pub timings: Vec<(KernelKind, f64)>,
+}
+
+impl KernelSelection {
+    /// Median time of `kind`, if it was a candidate.
+    #[must_use]
+    pub fn time_of(&self, kind: KernelKind) -> Option<f64> {
+        self.timings.iter().find(|(k, _)| *k == kind).map(|&(_, t)| t)
+    }
+
+    /// `best`'s speedup over the [`KernelKind::Blocked`] baseline
+    /// (`> 1.0` means the packed pipeline won), if both were timed.
+    #[must_use]
+    pub fn speedup_vs_blocked(&self) -> Option<f64> {
+        let blocked = self.time_of(KernelKind::Blocked)?;
+        let best = self.time_of(self.best)?;
+        (best > 0.0).then(|| blocked / best)
+    }
+}
+
+/// Empirically picks the fastest MAC-loop kernel for `tile` on this
+/// machine — the microarchitectural sibling of [`calibrate`]: where
+/// that fits the A.1 constants `{a, b, c, d}` for the *grid* model,
+/// this measures the per-iteration constant `c` under each register
+/// blocking and returns the winner to plug into
+/// [`ExecutorConfig::kernel`](crate::ExecutorConfig).
+///
+/// Candidates are [`KernelKind::Blocked`] plus every
+/// [`KernelKind::PACKED`] variant, timed single-threaded over a
+/// single-tile, deep-k problem (`k = blk_k · iters`) so the measured
+/// quantity is the inner loop itself, not decomposition overhead.
+#[must_use]
+pub fn select_kernel<In, Acc>(tile: TileShape, iters: usize, reps: usize) -> KernelSelection
+where
+    In: Promote<Acc>,
+    Acc: Scalar,
+{
+    let shape = GemmShape::new(tile.blk_m, tile.blk_n, tile.blk_k * iters.max(1));
+    let space = IterSpace::new(shape, tile);
+    let a = Matrix::<In>::random::<Acc>(shape.m, shape.k, Layout::RowMajor, 7);
+    let b = Matrix::<In>::random::<Acc>(shape.k, shape.n, Layout::RowMajor, 8);
+    let (av, bv) = (a.view(), b.view());
+    let mut bufs = PackBuffers::new();
+    let mut accum = vec![Acc::ZERO; tile.blk_m * tile.blk_n];
+    let total = space.iters_per_tile();
+
+    let mut timings = Vec::new();
+    for kind in std::iter::once(KernelKind::Blocked).chain(KernelKind::PACKED) {
+        // Warm-up grows the pack buffers and faults pages in.
+        accum.fill(Acc::ZERO);
+        mac_loop_kernel(kind, &av, &bv, &space, 0, 0, total, &mut accum, &mut bufs);
+        let mut times: Vec<f64> = (0..reps.max(1))
+            .map(|_| {
+                accum.fill(Acc::ZERO);
+                let t0 = Instant::now();
+                mac_loop_kernel(kind, &av, &bv, &space, 0, 0, total, &mut accum, &mut bufs);
+                t0.elapsed().as_secs_f64()
+            })
+            .collect();
+        times.sort_by(f64::total_cmp);
+        timings.push((kind, times[times.len() / 2]));
+    }
+    let best = timings
+        .iter()
+        .min_by(|x, y| x.1.total_cmp(&y.1))
+        .map_or(KernelKind::default(), |&(k, _)| k);
+    KernelSelection { best, timings }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,5 +192,17 @@ mod tests {
         let grid_model = GridSizeModel::new(model, 8);
         let g = grid_model.best_grid(GemmShape::new(32, 32, 8 * 64), config.tile);
         assert!((1..=8).contains(&g));
+    }
+
+    #[test]
+    fn select_kernel_times_every_candidate() {
+        let sel = select_kernel::<f32, f32>(TileShape::new(32, 32, 8), 16, 3);
+        assert_eq!(sel.timings.len(), 1 + KernelKind::PACKED.len());
+        assert!(sel.timings.iter().all(|&(_, t)| t >= 0.0));
+        assert!(sel.time_of(KernelKind::Blocked).is_some());
+        assert!(sel.time_of(sel.best).is_some());
+        // The winner is the minimum of the recorded timings.
+        let min = sel.timings.iter().min_by(|x, y| x.1.total_cmp(&y.1)).unwrap().0;
+        assert_eq!(sel.best, min);
     }
 }

@@ -18,9 +18,9 @@
 
 use crate::fault::{FaultKind, FaultPlan};
 use crate::fixup::{FixupBoard, WaitOutcome, WaitPolicy};
-use crate::macloop::mac_loop_view;
-use crate::microkernel::mac_loop_blocked;
+use crate::microkernel::{mac_loop_kernel, KernelKind};
 use crate::output::TileWriter;
+use crate::workspace::Workspace;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
@@ -37,12 +37,17 @@ pub struct ExecutorConfig {
     /// Watchdog deadline for each owner-side `Wait`: a peer that has
     /// not signaled within this budget is treated as lost.
     pub watchdog: Duration,
+    /// Inner MAC-loop kernel every worker runs. All [`KernelKind`]s
+    /// are bit-exact against each other, so this is a pure speed
+    /// knob; [`crate::calibrate::select_kernel`] can pick it
+    /// empirically.
+    pub kernel: KernelKind,
 }
 
 impl Default for ExecutorConfig {
     fn default() -> Self {
         let threads = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
-        Self { threads, watchdog: WaitPolicy::DEFAULT_WATCHDOG }
+        Self { threads, watchdog: WaitPolicy::DEFAULT_WATCHDOG, kernel: KernelKind::default() }
     }
 }
 
@@ -157,10 +162,23 @@ impl CpuExecutor {
         self
     }
 
+    /// Returns this executor with the inner kernel set to `kernel`.
+    #[must_use]
+    pub fn with_kernel(mut self, kernel: KernelKind) -> Self {
+        self.config.kernel = kernel;
+        self
+    }
+
     /// The configured worker count.
     #[must_use]
     pub fn threads(&self) -> usize {
         self.config.threads
+    }
+
+    /// The configured inner kernel.
+    #[must_use]
+    pub fn kernel(&self) -> KernelKind {
+        self.config.kernel
     }
 
     /// The configured watchdog deadline.
@@ -346,6 +364,7 @@ impl CpuExecutor {
             board: FixupBoard::<Acc>::new(decomp.grid_size()),
             plan,
             policy: WaitPolicy::with_watchdog(self.config.watchdog),
+            kernel: self.config.kernel,
             recover,
             events: Mutex::new(Vec::new()),
             error: Mutex::new(None),
@@ -354,15 +373,20 @@ impl CpuExecutor {
         let next_cta = AtomicUsize::new(0);
         let (rows, cols, layout) = (c.rows(), c.cols(), c.layout());
         let writer = TileWriter::new(c.as_mut_slice(), rows, cols, layout, space.tiles());
+        let tile = space.tile();
         std::thread::scope(|scope| {
             for _ in 0..self.config.threads {
                 scope.spawn(|| {
+                    // One arena per worker: pack panels, accumulator
+                    // tile, recovery scratch, and the fixup partial
+                    // pool all live for the worker's whole run.
+                    let mut ws = Workspace::<In, Acc>::new(tile.blk_m * tile.blk_n);
                     loop {
                         let id = next_cta.fetch_add(1, Ordering::Relaxed);
                         if id >= ctx.ctas.len() {
                             break;
                         }
-                        if let Err(e) = run_cta(&ctx, id, a, b, &writer, alpha, beta) {
+                        if let Err(e) = run_cta(&ctx, id, a, b, &writer, alpha, beta, &mut ws) {
                             let mut slot =
                                 ctx.error.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
                             slot.get_or_insert(e);
@@ -404,6 +428,7 @@ struct GridCtx<'a, Acc> {
     board: FixupBoard<Acc>,
     plan: &'a FaultPlan,
     policy: WaitPolicy,
+    kernel: KernelKind,
     recover: bool,
     events: Mutex<Vec<RecoveryEvent>>,
     error: Mutex<Option<ExecutorError>>,
@@ -412,6 +437,12 @@ struct GridCtx<'a, Acc> {
 /// Executes one CTA: the iteration-processing outer loop of
 /// Algorithm 5, with fault injection on the contributor side and
 /// recovery on the owner side.
+///
+/// All scratch comes from the worker's [`Workspace`]: the tile
+/// accumulator, the packed operand panels, and every partial-sum
+/// buffer handed to the fixup board are pooled and recycled, so the
+/// steady-state loop performs no heap allocation.
+#[allow(clippy::too_many_arguments)]
 fn run_cta<In, Acc>(
     ctx: &GridCtx<'_, Acc>,
     id: usize,
@@ -420,6 +451,7 @@ fn run_cta<In, Acc>(
     writer: &TileWriter<'_, Acc>,
     alpha: Acc,
     beta: Acc,
+    ws: &mut Workspace<In, Acc>,
 ) -> Result<(), ExecutorError>
 where
     In: Promote<Acc>,
@@ -428,50 +460,42 @@ where
     let cta = &ctx.ctas[id];
     let space = ctx.decomp.space();
     let tile = space.tile();
-    let mut accum = vec![Acc::ZERO; tile.blk_m * tile.blk_n];
-
-    let contiguous = a.rows_contiguous() && b.rows_contiguous();
-    let kernel = |tile_idx: usize, begin: usize, end: usize, out: &mut [Acc]| {
-        // Register-blocked microkernel on the contiguous fast path;
-        // both kernels accumulate in identical order, so the choice
-        // never changes results.
-        if contiguous {
-            mac_loop_blocked(a, b, space, tile_idx, begin, end, out);
-        } else {
-            mac_loop_view(a, b, space, tile_idx, begin, end, out);
-        }
-    };
+    // All KernelKinds accumulate in identical ascending-k order, so
+    // the choice never changes results (Blocked falls back to the
+    // scalar path internally when operands are not row-contiguous).
+    let kind = ctx.kernel;
 
     for seg in cta.segments(space) {
-        accum.fill(Acc::ZERO);
-        kernel(seg.tile_idx, seg.local_begin, seg.local_end, &mut accum);
-
         if !seg.starts_tile {
             // This CTA joined the tile mid-stream: publish partials
             // for the owner and move on. Partials are exchanged
             // *unscaled*; the epilogue is applied exactly once, by
-            // the owner at store time.
+            // the owner at store time. The buffer comes from the
+            // pool; ownership passes through the board to the owner.
+            let mut partial = ws.take_partial();
+            mac_loop_kernel(kind, a, b, space, seg.tile_idx, seg.local_begin, seg.local_end, &mut partial, &mut ws.pack);
             match ctx.plan.fault_for(cta.cta_id) {
-                None => {
-                    ctx.board.store_and_signal(cta.cta_id, std::mem::take(&mut accum))?;
-                    accum = vec![Acc::ZERO; tile.blk_m * tile.blk_n];
-                }
+                None => ctx.board.store_and_signal(cta.cta_id, partial)?,
                 Some(FaultKind::Straggle(delay)) => {
                     std::thread::sleep(delay);
-                    ctx.board.store_and_signal(cta.cta_id, std::mem::take(&mut accum))?;
-                    accum = vec![Acc::ZERO; tile.blk_m * tile.blk_n];
+                    ctx.board.store_and_signal(cta.cta_id, partial)?;
                 }
                 Some(FaultKind::Lose) => {
                     // The consolidation message vanishes: no signal,
                     // ever. The owner's watchdog must fire.
+                    ws.recycle_partial(partial);
                 }
                 Some(FaultKind::Poison) => {
                     // The record arrives detectably corrupted.
+                    ws.recycle_partial(partial);
                     ctx.board.poison(cta.cta_id)?;
                 }
             }
             continue;
         }
+
+        ws.reset_accum();
+        mac_loop_kernel(kind, a, b, space, seg.tile_idx, seg.local_begin, seg.local_end, &mut ws.accum, &mut ws.pack);
 
         if !seg.ends_tile {
             // Owner of a split tile: collect every peer's partials in
@@ -479,9 +503,13 @@ where
             for &peer in &ctx.owner_peers[id] {
                 let cause = match ctx.board.wait_with(peer, &ctx.policy) {
                     WaitOutcome::Signaled(partial) => {
-                        for (acc, p) in accum.iter_mut().zip(partial) {
-                            *acc += p;
+                        for (acc, p) in ws.accum.iter_mut().zip(&partial) {
+                            *acc += *p;
                         }
+                        // The peer's buffer now feeds this worker's
+                        // pool — cross-thread traffic still converges
+                        // to an allocation-free steady state.
+                        ws.recycle_partial(partial);
                         continue;
                     }
                     WaitOutcome::Poisoned => RecoveryCause::Poisoned,
@@ -506,10 +534,10 @@ where
                         seg.tile_idx
                     ))
                 })?;
-                let mut recomputed = vec![Acc::ZERO; tile.blk_m * tile.blk_n];
-                kernel(seg.tile_idx, seg_p.local_begin, seg_p.local_end, &mut recomputed);
-                for (acc, p) in accum.iter_mut().zip(recomputed) {
-                    *acc += p;
+                ws.reset_scratch();
+                mac_loop_kernel(kind, a, b, space, seg.tile_idx, seg_p.local_begin, seg_p.local_end, &mut ws.scratch, &mut ws.pack);
+                for (acc, p) in ws.accum.iter_mut().zip(&ws.scratch) {
+                    *acc += *p;
                 }
                 let mut events = ctx.events.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
                 events.push(RecoveryEvent {
@@ -522,7 +550,7 @@ where
         }
 
         let (row_range, col_range) = space.tile_extents(seg.tile_idx);
-        writer.store_tile_ex(seg.tile_idx, row_range, col_range, tile.blk_n, &accum, alpha, beta);
+        writer.store_tile_ex(seg.tile_idx, row_range, col_range, tile.blk_n, &ws.accum, alpha, beta);
     }
     Ok(())
 }

@@ -2,9 +2,9 @@
 
 use crate::executor::CpuExecutor;
 use crate::fixup::FixupBoard;
-use crate::macloop::mac_loop_view;
-use crate::microkernel::mac_loop_blocked;
+use crate::microkernel::mac_loop_kernel;
 use crate::output::TileWriter;
+use crate::workspace::Workspace;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use streamk_core::GroupedDecomposition;
 use streamk_matrix::{Matrix, Promote, Scalar};
@@ -75,16 +75,15 @@ impl CpuExecutor {
         let board = FixupBoard::<Acc>::new(decomp.grid_size());
         let next_cta = AtomicUsize::new(0);
         let ctas = decomp.ctas();
-        let contiguous: Vec<bool> = a
-            .iter()
-            .zip(b)
-            .map(|(ai, bi)| ai.view().rows_contiguous() && bi.view().rows_contiguous())
-            .collect();
+        let kind = self.kernel();
 
         std::thread::scope(|scope| {
             for _ in 0..self.threads() {
                 scope.spawn(|| {
-                    let mut accum = vec![Acc::ZERO; tile.blk_m * tile.blk_n];
+                    // Per-worker arena; the dispatcher handles each
+                    // instance's layout (packed kernels normalize it,
+                    // Blocked falls back to scalar when strided).
+                    let mut ws = Workspace::<In, Acc>::new(tile.blk_m * tile.blk_n);
                     loop {
                         let id = next_cta.fetch_add(1, Ordering::Relaxed);
                         if id >= ctas.len() {
@@ -93,31 +92,29 @@ impl CpuExecutor {
                         let cta = &ctas[id];
                         for seg in space.segments(cta) {
                             let inst = &space.instances()[seg.instance];
-                            accum.fill(Acc::ZERO);
                             let (av, bv) = (a[seg.instance].view(), b[seg.instance].view());
-                            if contiguous[seg.instance] {
-                                mac_loop_blocked(&av, &bv, inst, seg.local_tile, seg.local_begin, seg.local_end, &mut accum);
-                            } else {
-                                mac_loop_view(&av, &bv, inst, seg.local_tile, seg.local_begin, seg.local_end, &mut accum);
-                            }
 
                             if !seg.starts_tile {
+                                let mut partial = ws.take_partial();
+                                mac_loop_kernel(kind, &av, &bv, inst, seg.local_tile, seg.local_begin, seg.local_end, &mut partial, &mut ws.pack);
                                 board
-                                    .store_and_signal(cta.cta_id, std::mem::take(&mut accum))
+                                    .store_and_signal(cta.cta_id, partial)
                                     .expect("fault-free grouped schedule");
-                                accum = vec![Acc::ZERO; tile.blk_m * tile.blk_n];
                                 continue;
                             }
+                            ws.reset_accum();
+                            mac_loop_kernel(kind, &av, &bv, inst, seg.local_tile, seg.local_begin, seg.local_end, &mut ws.accum, &mut ws.pack);
                             if !seg.ends_tile {
                                 for &peer in &owner_peers[cta.cta_id] {
                                     let partial = board.wait_and_take(peer);
-                                    for (acc, p) in accum.iter_mut().zip(partial) {
-                                        *acc += p;
+                                    for (acc, p) in ws.accum.iter_mut().zip(&partial) {
+                                        *acc += *p;
                                     }
+                                    ws.recycle_partial(partial);
                                 }
                             }
                             let (rows, cols) = inst.tile_extents(seg.local_tile);
-                            writers[seg.instance].store_tile(seg.local_tile, rows, cols, tile.blk_n, &accum);
+                            writers[seg.instance].store_tile(seg.local_tile, rows, cols, tile.blk_n, &ws.accum);
                         }
                     }
                 });

@@ -35,9 +35,12 @@ pub mod grouped;
 pub mod macloop;
 pub mod microkernel;
 mod output;
+pub mod workspace;
 
+pub use calibrate::{select_kernel, KernelSelection};
 pub use executor::{CpuExecutor, ExecutorConfig, RecoveryCause, RecoveryEvent, RecoveryReport};
 pub use fault::{Fault, FaultKind, FaultPlan};
 pub use fixup::{FixupBoard, FlagState, WaitOutcome, WaitPolicy};
 pub use macloop::mac_loop;
-pub use microkernel::mac_loop_blocked;
+pub use microkernel::{mac_loop_blocked, mac_loop_kernel, mac_loop_packed, KernelKind, PackBuffers};
+pub use workspace::Workspace;

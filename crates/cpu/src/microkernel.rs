@@ -2,24 +2,288 @@
 //!
 //! The paper's `MacLoop` implementations "fully unroll the per-thread
 //! MAC-loop iteration [and] implement additional blocking at the warp
-//! and/or thread levels" (§3.2). This module is the CPU analogue: a
-//! `4 × 4` register-blocked update that keeps sixteen accumulators
-//! live across the k-loop, giving the compiler straight-line code it
-//! can keep in registers and vectorize.
+//! and/or thread levels" (§3.2). This module is the CPU analogue, in
+//! two generations:
 //!
-//! [`mac_loop_blocked`] is a drop-in replacement for the scalar
-//! [`mac_loop_view`](crate::macloop::mac_loop_view) fast path on
-//! row-contiguous operands: identical accumulation order per output
-//! element (ascending k), so results are bit-identical — property
-//! tests below pin that.
+//! - [`mac_loop_blocked`] — a `4 × 4` register-blocked update over
+//!   *unpacked* row-contiguous views, with a scalar edge path;
+//! - [`mac_loop_packed`] — the packed-panel pipeline: operands are
+//!   first copied into BLIS-style `MR`/`NR` panels
+//!   ([`streamk_matrix::pack`]), then a const-generic `MR × NR`
+//!   register block walks both panels with unit stride. Ragged edges
+//!   are zero-padded at pack time, so there is no scalar edge path —
+//!   padded lanes are computed and discarded.
+//!
+//! Every kernel accumulates each output element in ascending-k order,
+//! so all of them — and the scalar
+//! [`mac_loop_view`](crate::macloop::mac_loop_view) — produce
+//! bit-identical results; property tests pin that. [`KernelKind`]
+//! names each variant for runtime selection (see
+//! [`crate::calibrate::select_kernel`]), and [`mac_loop_kernel`] is
+//! the one dispatch point the executors call.
 
+use std::fmt;
 use streamk_core::IterSpace;
-use streamk_matrix::{MatrixView, Promote, Scalar};
+use streamk_matrix::{pack_a_into, pack_b_into, MatrixView, Promote, Scalar};
 
-/// Register block height (rows of C per inner block).
+use crate::macloop::mac_loop_view;
+
+/// Register block height of the legacy unpacked kernel.
 pub const MR: usize = 4;
-/// Register block width (columns of C per inner block).
+/// Register block width of the legacy unpacked kernel.
 pub const NR: usize = 4;
+
+/// Reusable staging buffers for packed operands — one pair per
+/// worker, grown once and reused for every segment thereafter.
+#[derive(Debug, Default)]
+pub struct PackBuffers<In> {
+    /// A packed into `MR`-row panels.
+    pub a: Vec<In>,
+    /// B packed into `NR`-column panels.
+    pub b: Vec<In>,
+}
+
+impl<In> PackBuffers<In> {
+    /// Empty buffers; they grow to the high-water mark on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { a: Vec::new(), b: Vec::new() }
+    }
+}
+
+/// The inner-kernel implementations the executors can run.
+///
+/// All variants are bit-exact against each other (identical
+/// ascending-k accumulation per output element); they differ only in
+/// speed. `Blocked` requires row-contiguous operands and silently
+/// falls back to `Scalar` otherwise; the packed variants normalize
+/// any operand layout at pack time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelKind {
+    /// The scalar `MacLoop` ([`mac_loop_view`]); works on any strides.
+    Scalar,
+    /// The legacy unpacked `4 × 4` register block.
+    Blocked,
+    /// Packed panels with a `4 × 4` register block.
+    Packed4x4,
+    /// Packed panels with an `8 × 4` register block (the default).
+    #[default]
+    Packed8x4,
+    /// Packed panels with a `4 × 8` register block.
+    Packed4x8,
+    /// Packed panels with an `8 × 8` register block.
+    Packed8x8,
+}
+
+impl KernelKind {
+    /// Every selectable kernel.
+    pub const ALL: [KernelKind; 6] = [
+        KernelKind::Scalar,
+        KernelKind::Blocked,
+        KernelKind::Packed4x4,
+        KernelKind::Packed8x4,
+        KernelKind::Packed4x8,
+        KernelKind::Packed8x8,
+    ];
+
+    /// The packed-panel variants, the candidates `calibrate` ranks.
+    pub const PACKED: [KernelKind; 4] =
+        [KernelKind::Packed4x4, KernelKind::Packed8x4, KernelKind::Packed4x8, KernelKind::Packed8x8];
+
+    /// Stable lowercase name (used by the CLI and `BENCH_cpu.json`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelKind::Scalar => "scalar",
+            KernelKind::Blocked => "blocked4x4",
+            KernelKind::Packed4x4 => "packed4x4",
+            KernelKind::Packed8x4 => "packed8x4",
+            KernelKind::Packed4x8 => "packed4x8",
+            KernelKind::Packed8x8 => "packed8x8",
+        }
+    }
+
+    /// Parses [`name`](Self::name)'s output back into a kind.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|k| k.name() == s)
+    }
+
+    /// Whether this variant runs the packed-panel pipeline.
+    #[must_use]
+    pub fn is_packed(self) -> bool {
+        matches!(
+            self,
+            KernelKind::Packed4x4 | KernelKind::Packed8x4 | KernelKind::Packed4x8 | KernelKind::Packed8x8
+        )
+    }
+
+    /// Register block `(MR, NR)` of the packed variants.
+    #[must_use]
+    pub fn register_block(self) -> Option<(usize, usize)> {
+        match self {
+            KernelKind::Packed4x4 => Some((4, 4)),
+            KernelKind::Packed8x4 => Some((8, 4)),
+            KernelKind::Packed4x8 => Some((4, 8)),
+            KernelKind::Packed8x8 => Some((8, 8)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for KernelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Executes local MAC-loop iterations `[local_begin, local_end)` of
+/// `tile_idx` with `kind`'s kernel, adding into `accum` (row-major
+/// `BLK_M × BLK_N`). The one dispatch point behind every executor.
+///
+/// `bufs` is the caller's pack staging; untouched by the unpacked
+/// variants. [`KernelKind::Blocked`] falls back to the scalar path on
+/// non-row-contiguous operands.
+///
+/// # Panics
+///
+/// Panics if `accum` has the wrong size or the local range is out of
+/// bounds.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+pub fn mac_loop_kernel<In, Acc>(
+    kind: KernelKind,
+    a: &MatrixView<'_, In>,
+    b: &MatrixView<'_, In>,
+    space: &IterSpace,
+    tile_idx: usize,
+    local_begin: usize,
+    local_end: usize,
+    accum: &mut [Acc],
+    bufs: &mut PackBuffers<In>,
+) where
+    In: Promote<Acc>,
+    Acc: Scalar,
+{
+    match kind {
+        KernelKind::Scalar => mac_loop_view(a, b, space, tile_idx, local_begin, local_end, accum),
+        KernelKind::Blocked => {
+            if a.rows_contiguous() && b.rows_contiguous() {
+                mac_loop_blocked(a, b, space, tile_idx, local_begin, local_end, accum);
+            } else {
+                mac_loop_view(a, b, space, tile_idx, local_begin, local_end, accum);
+            }
+        }
+        KernelKind::Packed4x4 => {
+            mac_loop_packed::<In, Acc, 4, 4>(a, b, space, tile_idx, local_begin, local_end, accum, bufs);
+        }
+        KernelKind::Packed8x4 => {
+            mac_loop_packed::<In, Acc, 8, 4>(a, b, space, tile_idx, local_begin, local_end, accum, bufs);
+        }
+        KernelKind::Packed4x8 => {
+            mac_loop_packed::<In, Acc, 4, 8>(a, b, space, tile_idx, local_begin, local_end, accum, bufs);
+        }
+        KernelKind::Packed8x8 => {
+            mac_loop_packed::<In, Acc, 8, 8>(a, b, space, tile_idx, local_begin, local_end, accum, bufs);
+        }
+    }
+}
+
+/// Executes local MAC-loop iterations `[local_begin, local_end)` of
+/// `tile_idx` through the packed-panel pipeline with an `MR × NR`
+/// register block, adding into `accum` (row-major `BLK_M × BLK_N`).
+///
+/// Both operands are first packed (zero-padded) into `bufs`; the
+/// register block then walks the panels with unit stride and no edge
+/// path. Works on any operand strides. Accumulation per output
+/// element is ascending-k with only genuine operand values, so the
+/// result is bit-identical to [`mac_loop_view`].
+///
+/// # Panics
+///
+/// Panics if `accum` has the wrong size or the local range is out of
+/// bounds.
+#[allow(clippy::too_many_arguments)]
+pub fn mac_loop_packed<In, Acc, const MR_: usize, const NR_: usize>(
+    a: &MatrixView<'_, In>,
+    b: &MatrixView<'_, In>,
+    space: &IterSpace,
+    tile_idx: usize,
+    local_begin: usize,
+    local_end: usize,
+    accum: &mut [Acc],
+    bufs: &mut PackBuffers<In>,
+) where
+    In: Promote<Acc>,
+    Acc: Scalar,
+{
+    let tile = space.tile();
+    assert_eq!(accum.len(), tile.blk_m * tile.blk_n, "accumulator must be BLK_M x BLK_N");
+    assert!(local_end <= space.iters_per_tile(), "local range out of bounds");
+    if local_begin >= local_end {
+        return;
+    }
+    let (rows, cols) = space.tile_extents(tile_idx);
+    let (m_extent, n_extent) = (rows.len(), cols.len());
+    // Local iterations are contiguous k-chunks, so their union is one
+    // contiguous k-range (the last chunk clamped to the problem's k).
+    let k_begin = space.k_extents(local_begin).start;
+    let k_end = space.k_extents(local_end - 1).end;
+    let kc = k_end - k_begin;
+
+    pack_a_into(a, rows, k_begin..k_end, MR_, &mut bufs.a);
+    pack_b_into(b, k_begin..k_end, cols, NR_, &mut bufs.b);
+
+    let a_panel = kc * MR_;
+    let b_panel = kc * NR_;
+    for p in 0..m_extent.div_ceil(MR_) {
+        let apanel = &bufs.a[p * a_panel..(p + 1) * a_panel];
+        let ih = MR_.min(m_extent - p * MR_);
+        for q in 0..n_extent.div_ceil(NR_) {
+            let bpanel = &bufs.b[q * b_panel..(q + 1) * b_panel];
+            let jw = NR_.min(n_extent - q * NR_);
+
+            // MR × NR live accumulators; padded lanes start at zero
+            // and are never stored.
+            let mut c = [[Acc::ZERO; NR_]; MR_];
+            for (i, crow) in c.iter_mut().enumerate().take(ih) {
+                let base = (p * MR_ + i) * tile.blk_n + q * NR_;
+                crow[..jw].copy_from_slice(&accum[base..base + jw]);
+            }
+            packed_block::<In, Acc, MR_, NR_>(apanel, bpanel, kc, &mut c);
+            for (i, crow) in c.iter().enumerate().take(ih) {
+                let base = (p * MR_ + i) * tile.blk_n + q * NR_;
+                accum[base..base + jw].copy_from_slice(&crow[..jw]);
+            }
+        }
+    }
+}
+
+/// The register-resident core: one `MR × NR` block over `kc` packed
+/// k-steps, both panels walked with unit stride.
+#[inline]
+fn packed_block<In, Acc, const MR_: usize, const NR_: usize>(
+    apanel: &[In],
+    bpanel: &[In],
+    kc: usize,
+    c: &mut [[Acc; NR_]; MR_],
+) where
+    In: Promote<Acc>,
+    Acc: Scalar,
+{
+    // chunks_exact tells LLVM each k-step's operand slices are
+    // exactly MR/NR long: no bounds checks survive in the inner
+    // loop, and the NR-wide update vectorizes.
+    for (acol, brow) in apanel.chunks_exact(MR_).zip(bpanel.chunks_exact(NR_)).take(kc) {
+        let av: [Acc; MR_] = std::array::from_fn(|i| acol[i].promote());
+        let bv: [Acc; NR_] = std::array::from_fn(|j| brow[j].promote());
+        for (crow, &ai) in c.iter_mut().zip(&av) {
+            for (cv, &bj) in crow.iter_mut().zip(&bv) {
+                *cv = cv.mac(ai, bj);
+            }
+        }
+    }
+}
 
 /// Executes local MAC-loop iterations `[local_begin, local_end)` of
 /// `tile_idx` with `MR × NR` register blocking, adding into `accum`
@@ -32,6 +296,7 @@ pub const NR: usize = 4;
 ///
 /// Panics if the views are not row-contiguous, `accum` has the wrong
 /// size, or the local range is out of bounds.
+#[inline]
 pub fn mac_loop_blocked<In, Acc>(
     a: &MatrixView<'_, In>,
     b: &MatrixView<'_, In>,
@@ -105,7 +370,10 @@ pub fn mac_loop_blocked<In, Acc>(
 }
 
 /// Scalar update of one output row over a column range — the ragged
-/// edge path, same accumulation order as the blocked body.
+/// edge path, same accumulation order as the blocked body. A's row
+/// slice and the accumulator window are hoisted out of the k-loop so
+/// the inner loop carries no per-iteration bounds re-derivation.
+#[inline]
 fn scalar_row<In, Acc>(
     a: &MatrixView<'_, In>,
     b: &MatrixView<'_, In>,
@@ -121,11 +389,14 @@ fn scalar_row<In, Acc>(
     if cols.is_empty() {
         return;
     }
+    let arow = a.row_slice(row);
+    let (b0, b1) = (c0 + cols.start, c0 + cols.end);
+    let acc = &mut acc_row[cols];
     for k in ks {
-        let av = a.row_slice(row)[k].promote();
-        let brow = &b.row_slice(k)[c0 + cols.start..c0 + cols.end];
-        for (acc, &bv) in acc_row[cols.clone()].iter_mut().zip(brow) {
-            *acc = acc.mac(av, bv.promote());
+        let av = arow[k].promote();
+        let brow = &b.row_slice(k)[b0..b1];
+        for (cv, &bv) in acc.iter_mut().zip(brow) {
+            *cv = cv.mac(av, bv.promote());
         }
     }
 }
@@ -141,43 +412,87 @@ mod tests {
         let space = IterSpace::new(shape, tile);
         let a = Matrix::<f64>::random::<f64>(shape.m, shape.k, Layout::RowMajor, seed);
         let b = Matrix::<f64>::random::<f64>(shape.k, shape.n, Layout::RowMajor, seed + 1);
+        let mut bufs = PackBuffers::new();
         for tile_idx in 0..space.tiles() {
-            let mut blocked = vec![0.0f64; tile.blk_m * tile.blk_n];
             let mut scalar = vec![0.0f64; tile.blk_m * tile.blk_n];
-            mac_loop_blocked(&a.view(), &b.view(), &space, tile_idx, 0, space.iters_per_tile(), &mut blocked);
             mac_loop_view(&a.view(), &b.view(), &space, tile_idx, 0, space.iters_per_tile(), &mut scalar);
-            assert_eq!(blocked, scalar, "tile {tile_idx} of {shape} at {tile}");
+            for kind in KernelKind::ALL {
+                let mut got = vec![0.0f64; tile.blk_m * tile.blk_n];
+                mac_loop_kernel(kind, &a.view(), &b.view(), &space, tile_idx, 0, space.iters_per_tile(), &mut got, &mut bufs);
+                assert_eq!(got, scalar, "{kind} tile {tile_idx} of {shape} at {tile}");
+            }
         }
     }
 
     #[test]
-    fn matches_scalar_on_aligned_tiles() {
+    fn every_kernel_matches_scalar_on_aligned_tiles() {
         compare(GemmShape::new(32, 32, 24), TileShape::new(16, 16, 8), 1);
     }
 
     #[test]
-    fn matches_scalar_on_ragged_tiles() {
-        // Edge tiles exercise both the right-edge and bottom-edge
-        // scalar paths (extents not multiples of 4).
+    fn every_kernel_matches_scalar_on_ragged_tiles() {
+        // Edge tiles exercise the blocked kernel's scalar edge path
+        // and the packed kernels' zero-padded panels.
         compare(GemmShape::new(30, 27, 19), TileShape::new(16, 16, 8), 2);
         compare(GemmShape::new(7, 5, 11), TileShape::new(8, 8, 4), 3);
         compare(GemmShape::new(13, 14, 15), TileShape::new(13, 14, 5), 4);
     }
 
     #[test]
-    fn matches_scalar_on_partial_iter_ranges() {
+    fn every_kernel_matches_scalar_on_partial_iter_ranges() {
         let shape = GemmShape::new(16, 16, 64);
         let tile = TileShape::new(16, 16, 8);
         let space = IterSpace::new(shape, tile);
         let a = Matrix::<f64>::random::<f64>(16, 64, Layout::RowMajor, 5);
         let b = Matrix::<f64>::random::<f64>(64, 16, Layout::RowMajor, 6);
-        for (lb, le) in [(0usize, 3usize), (3, 8), (2, 5), (7, 8)] {
-            let mut blocked = vec![0.0f64; 256];
+        let mut bufs = PackBuffers::new();
+        for (lb, le) in [(0usize, 3usize), (3, 8), (2, 5), (7, 8), (4, 4)] {
             let mut scalar = vec![0.0f64; 256];
-            mac_loop_blocked(&a.view(), &b.view(), &space, 0, lb, le, &mut blocked);
             mac_loop_view(&a.view(), &b.view(), &space, 0, lb, le, &mut scalar);
-            assert_eq!(blocked, scalar, "range [{lb},{le})");
+            for kind in KernelKind::ALL {
+                let mut got = vec![0.0f64; 256];
+                mac_loop_kernel(kind, &a.view(), &b.view(), &space, 0, lb, le, &mut got, &mut bufs);
+                assert_eq!(got, scalar, "{kind} range [{lb},{le})");
+            }
         }
+    }
+
+    #[test]
+    fn packed_handles_strided_operands() {
+        // The packed pipeline normalizes layout at pack time — no
+        // scalar fallback for col-major or transposed views.
+        let shape = GemmShape::new(20, 18, 26);
+        let tile = TileShape::new(16, 16, 8);
+        let space = IterSpace::new(shape, tile);
+        let a = Matrix::<f64>::random::<f64>(20, 26, Layout::ColMajor, 7);
+        let b = Matrix::<f64>::random::<f64>(26, 18, Layout::ColMajor, 8);
+        let mut bufs = PackBuffers::new();
+        for tile_idx in 0..space.tiles() {
+            let mut scalar = vec![0.0f64; tile.blk_m * tile.blk_n];
+            mac_loop_view(&a.view(), &b.view(), &space, tile_idx, 0, space.iters_per_tile(), &mut scalar);
+            for kind in KernelKind::PACKED {
+                let mut got = vec![0.0f64; tile.blk_m * tile.blk_n];
+                mac_loop_kernel(kind, &a.view(), &b.view(), &space, tile_idx, 0, space.iters_per_tile(), &mut got, &mut bufs);
+                assert_eq!(got, scalar, "{kind} tile {tile_idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_accumulates_into_existing_values() {
+        let shape = GemmShape::new(8, 8, 16);
+        let tile = TileShape::new(8, 8, 8);
+        let space = IterSpace::new(shape, tile);
+        let a = Matrix::<f64>::random::<f64>(8, 16, Layout::RowMajor, 7);
+        let b = Matrix::<f64>::random::<f64>(16, 8, Layout::RowMajor, 8);
+        let mut bufs = PackBuffers::new();
+        // Split accumulation [0,1) then [1,2) must equal [0,2).
+        let mut whole = vec![0.0f64; 64];
+        mac_loop_packed::<f64, f64, 8, 4>(&a.view(), &b.view(), &space, 0, 0, 2, &mut whole, &mut bufs);
+        let mut parts = vec![0.0f64; 64];
+        mac_loop_packed::<f64, f64, 8, 4>(&a.view(), &b.view(), &space, 0, 0, 1, &mut parts, &mut bufs);
+        mac_loop_packed::<f64, f64, 8, 4>(&a.view(), &b.view(), &space, 0, 1, 2, &mut parts, &mut bufs);
+        assert_eq!(whole, parts);
     }
 
     #[test]
@@ -194,6 +509,19 @@ mod tests {
         mac_loop_blocked(&a.view(), &b.view(), &space, 0, 0, 1, &mut parts);
         mac_loop_blocked(&a.view(), &b.view(), &space, 0, 1, 2, &mut parts);
         assert_eq!(whole, parts);
+    }
+
+    #[test]
+    fn kernel_kind_names_round_trip() {
+        for kind in KernelKind::ALL {
+            assert_eq!(KernelKind::parse(kind.name()), Some(kind), "{kind}");
+        }
+        assert_eq!(KernelKind::parse("bogus"), None);
+        assert_eq!(KernelKind::default(), KernelKind::Packed8x4);
+        assert!(KernelKind::Packed4x8.is_packed());
+        assert!(!KernelKind::Blocked.is_packed());
+        assert_eq!(KernelKind::Packed8x4.register_block(), Some((8, 4)));
+        assert_eq!(KernelKind::Scalar.register_block(), None);
     }
 
     #[test]

@@ -1,0 +1,180 @@
+//! Per-worker scratch arena for the executor hot path.
+//!
+//! Every CTA segment used to build fresh heap allocations: an
+//! accumulator tile per CTA, a new partial-sum vector after each
+//! `store_and_signal` (which takes its buffer by value), and a
+//! recomputation tile per recovery. [`Workspace`] owns all of that
+//! per worker thread and recycles it, so once each buffer reaches its
+//! high-water mark the steady-state hot path performs **zero heap
+//! allocation** — pack panels, accumulator tiles, and fixup partials
+//! are all pool-and-recycle.
+//!
+//! Lifecycle per worker:
+//!
+//! 1. [`Workspace::new`] once, sized to the decomposition's tile.
+//! 2. Per segment: kernels write into [`accum`](Workspace::accum)
+//!    (reset via [`reset_accum`](Workspace::reset_accum)), packing
+//!    goes through [`pack`](Workspace::pack).
+//! 3. A contributor CTA computes into a pooled buffer from
+//!    [`take_partial`](Workspace::take_partial) and hands it to the
+//!    fixup board (ownership transfers to the waiting owner).
+//! 4. An owner CTA receives peers' partial vectors from the board,
+//!    folds them in, and returns them to its own pool via
+//!    [`recycle_partial`](Workspace::recycle_partial) — the pool
+//!    refills from traffic, so cross-thread transfer still converges
+//!    to allocation-free steady state.
+//!
+//! [`fresh_allocs`](Workspace::fresh_allocs) counts pool misses so
+//! tests can pin the "allocation-free after warm-up" property.
+
+use streamk_matrix::Scalar;
+
+use crate::microkernel::PackBuffers;
+
+/// Reusable per-worker buffers: pack panels, accumulator tile,
+/// recovery scratch, and a pool of fixup partial buffers.
+#[derive(Debug)]
+pub struct Workspace<In, Acc> {
+    /// Operand pack staging shared by every packed-kernel call.
+    pub pack: PackBuffers<In>,
+    /// The tile accumulator (`BLK_M × BLK_N`) kernels add into.
+    pub accum: Vec<Acc>,
+    /// Recovery scratch for recomputing a lost peer's contribution.
+    pub scratch: Vec<Acc>,
+    pool: Vec<Vec<Acc>>,
+    tile_len: usize,
+    fresh_allocs: usize,
+}
+
+impl<In, Acc: Scalar> Workspace<In, Acc> {
+    /// A workspace for tiles of `tile_len = BLK_M · BLK_N` elements.
+    /// `accum` and `scratch` are allocated eagerly (they are always
+    /// needed); the partial pool starts empty and grows on demand.
+    #[must_use]
+    pub fn new(tile_len: usize) -> Self {
+        Self {
+            pack: PackBuffers::new(),
+            accum: vec![Acc::ZERO; tile_len],
+            scratch: vec![Acc::ZERO; tile_len],
+            pool: Vec::new(),
+            tile_len,
+            fresh_allocs: 2,
+        }
+    }
+
+    /// Tile length this workspace was sized for.
+    #[must_use]
+    pub fn tile_len(&self) -> usize {
+        self.tile_len
+    }
+
+    /// Zeroes the accumulator tile for the next CTA.
+    pub fn reset_accum(&mut self) {
+        self.accum.fill(Acc::ZERO);
+    }
+
+    /// Zeroes the recovery scratch tile.
+    pub fn reset_scratch(&mut self) {
+        self.scratch.fill(Acc::ZERO);
+    }
+
+    /// A zeroed tile-sized buffer, drawn from the pool when possible.
+    /// The caller keeps ownership (typically handing it to the fixup
+    /// board); return buffers with [`recycle_partial`].
+    #[must_use]
+    pub fn take_partial(&mut self) -> Vec<Acc> {
+        match self.pool.pop() {
+            Some(mut buf) => {
+                buf.fill(Acc::ZERO);
+                buf
+            }
+            None => {
+                self.fresh_allocs += 1;
+                vec![Acc::ZERO; self.tile_len]
+            }
+        }
+    }
+
+    /// Returns a tile-sized buffer (ours or one received from a peer
+    /// through the fixup board) to the pool. Buffers of any other
+    /// length are dropped — they belong to a different decomposition.
+    pub fn recycle_partial(&mut self, buf: Vec<Acc>) {
+        if buf.len() == self.tile_len {
+            self.pool.push(buf);
+        }
+    }
+
+    /// Number of heap allocations performed since construction
+    /// (including the eager `accum`/`scratch` pair). A warmed-up
+    /// workspace stops incrementing this.
+    #[must_use]
+    pub fn fresh_allocs(&self) -> usize {
+        self.fresh_allocs
+    }
+
+    /// Buffers currently parked in the partial pool.
+    #[must_use]
+    pub fn pooled(&self) -> usize {
+        self.pool.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Ws = Workspace<f32, f64>;
+
+    #[test]
+    fn take_recycle_reaches_allocation_free_steady_state() {
+        let mut ws = Ws::new(16);
+        // Warm-up: two buffers in flight at once.
+        let a = ws.take_partial();
+        let b = ws.take_partial();
+        ws.recycle_partial(a);
+        ws.recycle_partial(b);
+        let after_warmup = ws.fresh_allocs();
+        for _ in 0..100 {
+            let x = ws.take_partial();
+            let y = ws.take_partial();
+            assert!(x.iter().all(|v| *v == 0.0) && y.iter().all(|v| *v == 0.0));
+            ws.recycle_partial(x);
+            ws.recycle_partial(y);
+        }
+        assert_eq!(ws.fresh_allocs(), after_warmup, "steady state must not allocate");
+        assert_eq!(ws.pooled(), 2);
+    }
+
+    #[test]
+    fn recycled_buffers_are_zeroed_on_reuse() {
+        let mut ws = Ws::new(4);
+        let mut buf = ws.take_partial();
+        buf.fill(3.5);
+        ws.recycle_partial(buf);
+        assert_eq!(ws.take_partial(), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn foreign_sized_buffers_are_dropped_not_pooled() {
+        let mut ws = Ws::new(4);
+        ws.recycle_partial(vec![0.0; 8]);
+        assert_eq!(ws.pooled(), 0);
+        ws.recycle_partial(vec![0.0; 4]);
+        assert_eq!(ws.pooled(), 1);
+    }
+
+    #[test]
+    fn reset_helpers_zero_in_place() {
+        let mut ws = Ws::new(4);
+        ws.accum.fill(1.0);
+        ws.scratch.fill(2.0);
+        let (ap, sp) = (ws.accum.as_ptr(), ws.scratch.as_ptr());
+        ws.reset_accum();
+        ws.reset_scratch();
+        assert_eq!(ws.accum, vec![0.0; 4]);
+        assert_eq!(ws.scratch, vec![0.0; 4]);
+        assert_eq!(ws.accum.as_ptr(), ap);
+        assert_eq!(ws.scratch.as_ptr(), sp);
+        assert_eq!(ws.tile_len(), 4);
+    }
+}

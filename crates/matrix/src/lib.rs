@@ -15,6 +15,9 @@
 //! - [`reference::gemm_naive`] — the ground-truth triple loop.
 //! - [`blocked::gemm_blocked`] — the sequential cache-blocked GEMM of
 //!   the paper's Algorithm 1.
+//! - [`pack`] — BLIS-style operand packing into `MR`/`NR` panels, the
+//!   cache-blocked layout the packed microkernel pipeline walks with
+//!   unit stride.
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
@@ -24,12 +27,14 @@ pub mod blocked;
 pub mod gemm_ex;
 mod half;
 pub mod matrix;
+pub mod pack;
 pub mod reference;
 pub mod scalar;
 pub mod view;
 
 pub use bhalf::bf16;
 pub use half::f16;
+pub use pack::{pack_a_into, pack_b_into, packed_a_len, packed_b_len};
 pub use matrix::Matrix;
 pub use scalar::{Promote, Scalar};
 pub use view::{MatOp, MatrixView};

@@ -1,0 +1,240 @@
+//! BLIS-style operand packing.
+//!
+//! The packed-panel microkernel pipeline copies each operand block
+//! into a cache-friendly panel layout before the MAC loop touches it:
+//!
+//! - **A** is packed into *row panels* of `MR` rows. Within a panel
+//!   the storage is k-major: for each k the `MR` elements of the
+//!   panel's rows sit contiguously (`panel[k·MR + i] = A[r0+p·MR+i, k]`),
+//!   so the microkernel loads one unit-stride `MR`-column of A per
+//!   k-step.
+//! - **B** is packed into *column panels* of `NR` columns, also
+//!   k-major (`panel[k·NR + j] = B[k, c0+q·NR+j]`): one unit-stride
+//!   `NR`-row of B per k-step.
+//!
+//! Ragged edges are **zero-padded** to the full `MR`/`NR` width, so
+//! the microkernel needs no scalar edge path — padded lanes compute
+//! garbage-free zeros that the caller simply never stores. Because
+//! the pad only ever fills *lanes that are discarded*, the stored
+//! lanes see exactly the same ascending-k operand sequence as the
+//! unpacked kernels: results stay bit-identical.
+//!
+//! Packing reads through [`MatrixView`], so transposed and strided
+//! operands are normalized to the same panel layout — after packing,
+//! the microkernel no longer cares how the operand was stored.
+
+use crate::view::MatrixView;
+use std::ops::Range;
+
+/// Length in elements of A packed over `rows × ks` with panel height
+/// `mr`: `⌈rows/mr⌉` panels of `ks · mr` elements each.
+#[inline]
+#[must_use]
+pub fn packed_a_len(rows: usize, ks: usize, mr: usize) -> usize {
+    rows.div_ceil(mr) * ks * mr
+}
+
+/// Length in elements of B packed over `ks × cols` with panel width
+/// `nr`: `⌈cols/nr⌉` panels of `ks · nr` elements each.
+#[inline]
+#[must_use]
+pub fn packed_b_len(ks: usize, cols: usize, nr: usize) -> usize {
+    cols.div_ceil(nr) * ks * nr
+}
+
+/// Packs `a[rows, ks]` into `MR`-row panels, k-major within each
+/// panel, zero-padding the final panel's missing rows. `out` is
+/// cleared and reused — steady-state callers pay no allocation once
+/// the buffer has grown to its high-water mark.
+///
+/// # Panics
+///
+/// Panics if `rows`/`ks` exceed the view or `mr == 0`.
+pub fn pack_a_into<T: Copy + Default>(
+    a: &MatrixView<'_, T>,
+    rows: Range<usize>,
+    ks: Range<usize>,
+    mr: usize,
+    out: &mut Vec<T>,
+) {
+    assert!(mr > 0, "panel height must be positive");
+    assert!(rows.end <= a.rows() && ks.end <= a.cols(), "pack_a range out of bounds");
+    let kc = ks.len();
+    out.clear();
+    out.reserve(packed_a_len(rows.len(), kc, mr));
+    let zero = T::default();
+
+    if a.rows_contiguous() {
+        // Fast path: gather each panel's row slices once, then write
+        // the k-major panel with unit-stride output.
+        let mut r = rows.start;
+        while r < rows.end {
+            let height = mr.min(rows.end - r);
+            for k in ks.clone() {
+                for i in 0..height {
+                    out.push(a.row_slice(r + i)[k]);
+                }
+                for _ in height..mr {
+                    out.push(zero);
+                }
+            }
+            r += mr;
+        }
+    } else {
+        let mut r = rows.start;
+        while r < rows.end {
+            let height = mr.min(rows.end - r);
+            for k in ks.clone() {
+                for i in 0..height {
+                    out.push(a.get(r + i, k));
+                }
+                for _ in height..mr {
+                    out.push(zero);
+                }
+            }
+            r += mr;
+        }
+    }
+}
+
+/// Packs `b[ks, cols]` into `NR`-column panels, k-major within each
+/// panel, zero-padding the final panel's missing columns. `out` is
+/// cleared and reused like [`pack_a_into`].
+///
+/// # Panics
+///
+/// Panics if `ks`/`cols` exceed the view or `nr == 0`.
+pub fn pack_b_into<T: Copy + Default>(
+    b: &MatrixView<'_, T>,
+    ks: Range<usize>,
+    cols: Range<usize>,
+    nr: usize,
+    out: &mut Vec<T>,
+) {
+    assert!(nr > 0, "panel width must be positive");
+    assert!(ks.end <= b.rows() && cols.end <= b.cols(), "pack_b range out of bounds");
+    let kc = ks.len();
+    out.clear();
+    out.reserve(packed_b_len(kc, cols.len(), nr));
+    let zero = T::default();
+
+    if b.rows_contiguous() {
+        let mut c = cols.start;
+        while c < cols.end {
+            let width = nr.min(cols.end - c);
+            for k in ks.clone() {
+                let brow = &b.row_slice(k)[c..c + width];
+                out.extend_from_slice(brow);
+                for _ in width..nr {
+                    out.push(zero);
+                }
+            }
+            c += nr;
+        }
+    } else {
+        let mut c = cols.start;
+        while c < cols.end {
+            let width = nr.min(cols.end - c);
+            for k in ks.clone() {
+                for j in 0..width {
+                    out.push(b.get(k, c + j));
+                }
+                for _ in width..nr {
+                    out.push(zero);
+                }
+            }
+            c += nr;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+    use streamk_types::Layout;
+
+    fn counting(rows: usize, cols: usize, layout: Layout) -> Matrix<f64> {
+        Matrix::from_fn(rows, cols, layout, |r, c| (r * 100 + c) as f64)
+    }
+
+    #[test]
+    fn a_panels_are_k_major() {
+        let a = counting(6, 4, Layout::RowMajor);
+        let mut out = Vec::new();
+        pack_a_into(&a.view(), 0..6, 0..4, 4, &mut out);
+        assert_eq!(out.len(), packed_a_len(6, 4, 4));
+        // Panel 0, k = 0: rows 0..4 of column 0.
+        assert_eq!(&out[0..4], &[0.0, 100.0, 200.0, 300.0]);
+        // Panel 0, k = 3: rows 0..4 of column 3.
+        assert_eq!(&out[12..16], &[3.0, 103.0, 203.0, 303.0]);
+        // Panel 1 (rows 4..6, zero-padded to 4), k = 0.
+        assert_eq!(&out[16..20], &[400.0, 500.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn b_panels_are_k_major() {
+        let b = counting(3, 6, Layout::RowMajor);
+        let mut out = Vec::new();
+        pack_b_into(&b.view(), 0..3, 0..6, 4, &mut out);
+        assert_eq!(out.len(), packed_b_len(3, 6, 4));
+        // Panel 0, k = 0: cols 0..4 of row 0.
+        assert_eq!(&out[0..4], &[0.0, 1.0, 2.0, 3.0]);
+        // Panel 0, k = 2.
+        assert_eq!(&out[8..12], &[200.0, 201.0, 202.0, 203.0]);
+        // Panel 1 (cols 4..6, zero-padded), k = 1.
+        assert_eq!(&out[16..20], &[104.0, 105.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn sub_ranges_offset_correctly() {
+        let a = counting(8, 8, Layout::RowMajor);
+        let mut out = Vec::new();
+        pack_a_into(&a.view(), 2..5, 3..6, 2, &mut out);
+        // Panel 0 rows 2..4, k = 3..6; first entry is A[2,3].
+        assert_eq!(out[0], 203.0);
+        assert_eq!(out[1], 303.0);
+        // Panel 1 row 4 (padded), k = 3.
+        assert_eq!(&out[6..8], &[403.0, 0.0]);
+    }
+
+    #[test]
+    fn strided_views_normalize_to_the_same_panels() {
+        let row = counting(7, 5, Layout::RowMajor);
+        let col = row.to_layout(Layout::ColMajor);
+        let (mut pr, mut pc) = (Vec::new(), Vec::new());
+        pack_a_into(&row.view(), 0..7, 0..5, 4, &mut pr);
+        pack_a_into(&col.view(), 0..7, 0..5, 4, &mut pc);
+        assert_eq!(pr, pc);
+        pack_b_into(&row.view(), 0..7, 0..5, 4, &mut pr);
+        pack_b_into(&col.view(), 0..7, 0..5, 4, &mut pc);
+        assert_eq!(pr, pc);
+        // A transposed view packs the logical (not stored) element.
+        let mut pt = Vec::new();
+        pack_a_into(&row.t(), 0..5, 0..7, 4, &mut pt);
+        assert_eq!(pt[0], row.get(0, 0));
+        assert_eq!(pt[1], row.get(0, 1)); // logical row 1 of Aᵀ
+    }
+
+    #[test]
+    fn buffers_are_reused_without_reallocation() {
+        let a = counting(16, 16, Layout::RowMajor);
+        let mut out = Vec::new();
+        pack_a_into(&a.view(), 0..16, 0..16, 8, &mut out);
+        let cap = out.capacity();
+        let ptr = out.as_ptr();
+        for _ in 0..10 {
+            pack_a_into(&a.view(), 0..16, 0..16, 8, &mut out);
+        }
+        assert_eq!(out.capacity(), cap);
+        assert_eq!(out.as_ptr(), ptr);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oversized_pack_range_panics() {
+        let a = counting(4, 4, Layout::RowMajor);
+        let mut out = Vec::new();
+        pack_a_into(&a.view(), 0..5, 0..4, 4, &mut out);
+    }
+}
