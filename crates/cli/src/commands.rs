@@ -6,7 +6,8 @@ use std::time::{Duration, Instant};
 use streamk_core::{CostModel, Decomposition, GridSizeModel, IterSpace};
 use streamk_corpus::{Corpus, CorpusConfig};
 use streamk_cpu::{
-    mac_loop_kernel, select_kernel, CpuExecutor, FaultKind, FaultPlan, KernelKind, PackBuffers,
+    mac_loop_kernel, mac_loop_kernel_cached, select_kernel_on, CpuExecutor, FaultKind, FaultPlan,
+    KernelKind, PackBuffers, PackCache, SimdLevel, WaitPolicy,
 };
 use streamk_cpu::macloop::mac_loop_view;
 use streamk_ensemble::runners;
@@ -168,8 +169,15 @@ pub fn execute(cli: &Cli) -> String {
 
 /// Times one kernel over every tile of `space` (full local range,
 /// single thread) and returns the median of `reps` wall times.
+///
+/// With `cached`, each run builds a fresh [`PackCache`] and drives the
+/// tiles through the cached dispatcher — panels are packed once per
+/// run instead of once per tile, which is exactly what the executor's
+/// grid does. Kernels without a register block ignore the flag.
+#[allow(clippy::too_many_arguments)]
 fn time_kernel_f32(
     kind: KernelKind,
+    cached: bool,
     a: &Matrix<f32>,
     b: &Matrix<f32>,
     space: &IterSpace,
@@ -183,9 +191,10 @@ fn time_kernel_f32(
     let (av, bv) = (a.view(), b.view());
     let total = space.iters_per_tile();
     let run = |acc: &mut [f32], bufs: &mut PackBuffers<f32>| {
+        let cache = if cached { PackCache::for_kernel(space, kind, WaitPolicy::default()) } else { None };
         for t in 0..space.tiles() {
             acc.fill(0.0);
-            mac_loop_kernel(kind, &av, &bv, space, t, 0, total, acc, bufs);
+            mac_loop_kernel_cached(kind, cache.as_ref(), &av, &bv, space, t, 0, total, acc, bufs);
         }
     };
     run(accum, bufs); // warm-up: grows pack buffers, faults pages in
@@ -200,7 +209,8 @@ fn time_kernel_f32(
     times[times.len() / 2]
 }
 
-/// The bit-exactness gate: every kernel's f64 output must be
+/// The bit-exactness gate, layer 1: every kernel's f64 output —
+/// privately packed *and* through a shared [`PackCache`] — must be
 /// *identical* to the scalar `mac_loop_view` on a ragged problem.
 /// Returns an error description on the first mismatch.
 fn bit_exact_gate(tile: TileShape) -> Result<(), String> {
@@ -210,15 +220,66 @@ fn bit_exact_gate(tile: TileShape) -> Result<(), String> {
     let b = Matrix::<f64>::random::<f64>(shape.k, shape.n, Layout::RowMajor, 0xB17);
     let mut bufs = PackBuffers::new();
     let len = tile.blk_m * tile.blk_n;
-    for t in 0..space.tiles() {
-        let mut reference = vec![0.0f64; len];
-        mac_loop_view(&a.view(), &b.view(), &space, t, 0, space.iters_per_tile(), &mut reference);
-        for kind in KernelKind::ALL {
+    for kind in KernelKind::ALL {
+        let cache = PackCache::for_kernel(&space, kind, WaitPolicy::default());
+        for t in 0..space.tiles() {
+            let mut reference = vec![0.0f64; len];
+            mac_loop_view(&a.view(), &b.view(), &space, t, 0, space.iters_per_tile(), &mut reference);
             let mut got = vec![0.0f64; len];
             mac_loop_kernel(kind, &a.view(), &b.view(), &space, t, 0, space.iters_per_tile(), &mut got, &mut bufs);
             if got != reference {
                 return Err(format!("kernel {kind} diverged from mac_loop_view on tile {t} of {shape}"));
             }
+            let mut cached = vec![0.0f64; len];
+            mac_loop_kernel_cached(kind, cache.as_ref(), &a.view(), &b.view(), &space, t, 0, space.iters_per_tile(), &mut cached, &mut bufs);
+            if cached != reference {
+                return Err(format!("kernel {kind} through the pack cache diverged on tile {t} of {shape}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The bit-exactness gate, layer 2: the *executor* must produce
+/// byte-identical f64 output with the pack cache on and off, across
+/// thread counts, and through a fault-recovery run. Returns an error
+/// description on the first divergence.
+fn executor_exact_gate(tile: TileShape) -> Result<(), String> {
+    let shape = GemmShape::new(tile.blk_m * 2 + 5, tile.blk_n * 2 + 3, tile.blk_k * 4 + 7);
+    let a = Matrix::<f64>::random::<f64>(shape.m, shape.k, Layout::RowMajor, 0xE8A);
+    let b = Matrix::<f64>::random::<f64>(shape.k, shape.n, Layout::RowMajor, 0xE8B);
+    let decomp = Decomposition::stream_k(shape, tile, 6);
+    let baseline = CpuExecutor::with_threads(6)
+        .with_pack_cache(false)
+        .gemm::<f64, f64>(&a, &b, &decomp);
+    // The grid's split seams need two co-resident CTAs, so two
+    // workers is the floor.
+    for threads in [2usize, 6] {
+        for cache in [false, true] {
+            let c = CpuExecutor::with_threads(threads)
+                .with_pack_cache(cache)
+                .gemm::<f64, f64>(&a, &b, &decomp);
+            if c.max_abs_diff(&baseline) != 0.0 {
+                return Err(format!("executor diverged at {threads} threads, pack_cache={cache}"));
+            }
+        }
+    }
+    // Fault recovery with the cache active: a lost contributor must
+    // still recover to the identical answer.
+    let contributors = FaultPlan::contributors(&decomp);
+    if let Some(&victim) = contributors.first() {
+        let plan = FaultPlan::single(victim, FaultKind::Lose);
+        let exec = CpuExecutor::with_threads(6).with_watchdog(Duration::from_millis(100));
+        match exec.gemm_with_faults::<f64, f64>(&a, &b, &decomp, &plan) {
+            Ok((c, report)) => {
+                if c.max_abs_diff(&baseline) != 0.0 {
+                    return Err("fault recovery with pack cache diverged".into());
+                }
+                if report.recoveries() == 0 {
+                    return Err("fault plan injected but no recovery happened".into());
+                }
+            }
+            Err(e) => return Err(format!("fault recovery failed under pack cache: {e}")),
         }
     }
     Ok(())
@@ -231,27 +292,37 @@ fn json_timings(timings: &[(KernelKind, f64)]) -> String {
     format!("{{{}}}", fields.join(", "))
 }
 
-/// The kernel sweep behind `streamk bench`: times scalar vs blocked
-/// vs packed kernels on the headline `size³` f32 problem and a corpus
-/// slice, runs the f64 bit-exactness gate, reports `select_kernel`'s
-/// pick, and writes the whole record to `out` as JSON.
+/// The kernel sweep behind `streamk bench`: times every kernel
+/// generation (scalar, blocked, packed, SIMD) on the headline `size³`
+/// f32 problem — privately packed and through the shared
+/// [`PackCache`] — plus a corpus slice and a thread-scaling sweep,
+/// runs the two-layer f64 bit-exactness gate, reports
+/// `select_kernel_on`'s pick and the shape it was calibrated on, and
+/// writes the whole record to `out` as JSON.
 ///
 /// # Panics
 ///
-/// Panics if any kernel fails the bit-exactness gate — CI treats that
-/// as a hard failure.
+/// Panics if any kernel or executor configuration fails the
+/// bit-exactness gates — CI treats that as a hard failure.
 fn run_bench(size: usize, tile: TileShape, corpus: usize, reps: usize, smoke: bool, out_path: &str) -> String {
     let mut out = String::new();
     let mut accum = Vec::new();
     let mut bufs = PackBuffers::new();
+    let simd_level = SimdLevel::detect();
 
-    // Gate first: timings of wrong kernels are worthless.
+    // Gates first: timings of wrong kernels are worthless.
     if let Err(e) = bit_exact_gate(tile) {
         panic!("bit-exactness gate failed: {e}");
     }
-    let _ = writeln!(out, "bit-exactness gate: every kernel identical to mac_loop_view (f64)");
+    if let Err(e) = executor_exact_gate(tile) {
+        panic!("executor bit-exactness gate failed: {e}");
+    }
+    let _ = writeln!(out, "bit-exactness gate: every kernel (packed + cached) identical to mac_loop_view (f64)");
+    let _ = writeln!(out, "executor gate: pack cache on/off, 2..6 threads, and fault recovery all bit-identical (f64)");
+    let _ = writeln!(out, "simd level: {simd_level}");
 
-    // Headline: size³ f32 -> f32, single thread, full kernel sweep.
+    // Headline: size³ f32 -> f32, single thread, full kernel sweep,
+    // private per-tile packing vs one shared pack per GEMM.
     let shape = GemmShape::new(size, size, size);
     let space = IterSpace::new(shape, tile);
     let a = Matrix::<f32>::random::<f32>(shape.m, shape.k, Layout::RowMajor, 1);
@@ -259,11 +330,27 @@ fn run_bench(size: usize, tile: TileShape, corpus: usize, reps: usize, smoke: bo
     let flops = shape.flops() as f64;
     let _ = writeln!(out, "\nheadline {shape} f32, blocking {tile}, single thread, {reps} reps:");
     let mut headline: Vec<(KernelKind, f64)> = Vec::new();
+    let mut headline_cached: Vec<(KernelKind, f64)> = Vec::new();
     for kind in KernelKind::ALL {
-        let t = time_kernel_f32(kind, &a, &b, &space, reps, &mut accum, &mut bufs);
-        let _ = writeln!(out, "  {:<10} {t:>10.3e} s  {:>7.2} GFLOP/s", kind.name(), flops / t / 1e9);
+        let t = time_kernel_f32(kind, false, &a, &b, &space, reps, &mut accum, &mut bufs);
+        // Kernels without panels take the identical path either way —
+        // don't time them twice.
+        let tc = if kind.uses_panels() {
+            time_kernel_f32(kind, true, &a, &b, &space, reps, &mut accum, &mut bufs)
+        } else {
+            t
+        };
+        let _ = writeln!(
+            out,
+            "  {:<10} private {t:>10.3e} s ({:>6.2} GF/s)   cached {tc:>10.3e} s ({:>6.2} GF/s)",
+            kind.name(),
+            flops / t / 1e9,
+            flops / tc / 1e9
+        );
         headline.push((kind, t));
+        headline_cached.push((kind, tc));
     }
+    let scalar = headline.iter().find(|(k, _)| *k == KernelKind::Scalar).map_or(0.0, |&(_, t)| t);
     let blocked = headline.iter().find(|(k, _)| *k == KernelKind::Blocked).map_or(0.0, |&(_, t)| t);
     let best_packed = headline
         .iter()
@@ -271,15 +358,27 @@ fn run_bench(size: usize, tile: TileShape, corpus: usize, reps: usize, smoke: bo
         .min_by(|x, y| x.1.total_cmp(&y.1))
         .copied()
         .unwrap_or((KernelKind::default(), f64::INFINITY));
+    let best_simd = headline_cached
+        .iter()
+        .filter(|(k, _)| k.is_simd())
+        .min_by(|x, y| x.1.total_cmp(&y.1))
+        .copied()
+        .unwrap_or((KernelKind::default(), f64::INFINITY));
     let speedup = blocked / best_packed.1;
+    let simd_speedup = scalar / best_simd.1;
     let _ = writeln!(
         out,
         "  packed vs blocked: {} is {speedup:.2}x the blocked4x4 kernel",
         best_packed.0.name()
     );
+    let _ = writeln!(
+        out,
+        "  simd vs scalar: {} (cached) is {simd_speedup:.2}x the scalar kernel",
+        best_simd.0.name()
+    );
 
     // Corpus slice: clamp the log-uniform shapes so the sweep stays
-    // tractable, then time the three kernel generations on each.
+    // tractable, then time the kernel generations on each.
     let cap = if smoke { 128 } else { 320 };
     let shapes: Vec<GemmShape> = Corpus::generate(CorpusConfig::smoke(corpus.max(1) * 3))
         .shapes()
@@ -287,7 +386,7 @@ fn run_bench(size: usize, tile: TileShape, corpus: usize, reps: usize, smoke: bo
         .map(|s| GemmShape::new(s.m.min(cap), s.n.min(cap), s.k.min(cap)))
         .take(corpus)
         .collect();
-    let corpus_kinds = [KernelKind::Scalar, KernelKind::Blocked, KernelKind::default()];
+    let corpus_kinds = [KernelKind::Scalar, KernelKind::Blocked, KernelKind::Packed8x8, KernelKind::default()];
     let mut corpus_rows: Vec<(GemmShape, Vec<(KernelKind, f64)>)> = Vec::new();
     let _ = writeln!(out, "\ncorpus slice ({} shapes, dims clamped to {cap}):", shapes.len());
     for s in &shapes {
@@ -296,33 +395,87 @@ fn run_bench(size: usize, tile: TileShape, corpus: usize, reps: usize, smoke: bo
         let cb = Matrix::<f32>::random::<f32>(s.k, s.n, Layout::RowMajor, 4);
         let row: Vec<(KernelKind, f64)> = corpus_kinds
             .iter()
-            .map(|&k| (k, time_kernel_f32(k, &ca, &cb, &sp, reps, &mut accum, &mut bufs)))
+            .map(|&k| (k, time_kernel_f32(k, k.uses_panels(), &ca, &cb, &sp, reps, &mut accum, &mut bufs)))
             .collect();
         let _ = writeln!(
             out,
-            "  {s}: scalar {:.3e}s  blocked {:.3e}s  {} {:.3e}s",
+            "  {s}: scalar {:.3e}s  blocked {:.3e}s  packed8x8 {:.3e}s  {} {:.3e}s",
             row[0].1,
             row[1].1,
-            corpus_kinds[2].name(),
-            row[2].1
+            row[2].1,
+            corpus_kinds[3].name(),
+            row[3].1
         );
         corpus_rows.push((*s, row));
     }
 
-    // Calibrated selection: what would ExecutorConfig::kernel get?
-    let sel = select_kernel::<f32, f32>(tile, if smoke { 16 } else { 64 }, reps);
-    let _ = writeln!(out, "\nselect_kernel: best = {} (single-tile deep-k microbenchmark)", sel.best.name());
+    // Calibrated selection on the *headline* shape — the selection is
+    // only meaningful for the blocking it will actually run with, so
+    // the recorded calibration shape matches the configured tile.
+    let sel = select_kernel_on::<f32, f32>(tile, shape, reps);
+    let _ = writeln!(
+        out,
+        "\nselect_kernel_on {}: best = {} ({:.2} GFLOP/s)",
+        sel.shape,
+        sel.best.name(),
+        sel.gflops_of(sel.best).unwrap_or(0.0)
+    );
+
+    // Thread-scaling sweep: the executor's grid at 1/2/4/N workers,
+    // best SIMD kernel, pack cache on vs off. Grid = worker count
+    // (one CTA per worker, the Stream-K ideal).
+    let nproc = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut thread_counts = vec![1usize, 2, 4, nproc];
+    thread_counts.sort_unstable();
+    thread_counts.dedup();
+    let _ = writeln!(out, "\nthread scaling ({shape} f32, kernel {}, grid = workers):", best_simd.0.name());
+    let _ = writeln!(out, "  threads   private(s)    cached(s)   cache speedup");
+    let mut sweep_rows: Vec<(usize, f64, f64)> = Vec::new();
+    for &threads in &thread_counts {
+        let decomp = Decomposition::stream_k(shape, tile, threads);
+        let time_exec = |cache: bool| -> f64 {
+            let exec = CpuExecutor::with_threads(threads).with_kernel(best_simd.0).with_pack_cache(cache);
+            let _ = exec.gemm::<f32, f32>(&a, &b, &decomp); // warm-up
+            let mut times: Vec<f64> = (0..reps.max(1))
+                .map(|_| {
+                    let t0 = Instant::now();
+                    let _ = exec.gemm::<f32, f32>(&a, &b, &decomp);
+                    t0.elapsed().as_secs_f64()
+                })
+                .collect();
+            times.sort_by(f64::total_cmp);
+            times[times.len() / 2]
+        };
+        let private = time_exec(false);
+        let cached = time_exec(true);
+        let _ = writeln!(out, "  {threads:>7} {private:>12.3e} {cached:>12.3e} {:>14.2}x", private / cached);
+        sweep_rows.push((threads, private, cached));
+    }
 
     let corpus_json: Vec<String> = corpus_rows
         .iter()
         .map(|(s, row)| format!("    {{\"shape\": \"{s}\", \"timings_s\": {}}}", json_timings(row)))
         .collect();
+    let sweep_json: Vec<String> = sweep_rows
+        .iter()
+        .map(|(t, p, c)| {
+            format!(
+                "    {{\"threads\": {t}, \"private_s\": {p:.6e}, \"cached_s\": {c:.6e}, \"cache_speedup\": {:.3}}}",
+                p / c
+            )
+        })
+        .collect();
     let json = format!(
-        "{{\n  \"generated_by\": \"streamk bench\",\n  \"smoke\": {smoke},\n  \"tile\": \"{tile}\",\n  \"bit_exact_f64\": true,\n  \"headline\": {{\n    \"shape\": \"{shape}\",\n    \"dtype\": \"f32\",\n    \"reps\": {reps},\n    \"timings_s\": {},\n    \"best_packed\": \"{}\",\n    \"speedup_packed_vs_blocked\": {speedup:.3}\n  }},\n  \"corpus\": [\n{}\n  ],\n  \"selection\": {{\"best\": \"{}\", \"timings_s\": {}}}\n}}\n",
+        "{{\n  \"generated_by\": \"streamk bench\",\n  \"smoke\": {smoke},\n  \"tile\": \"{tile}\",\n  \"simd_level\": \"{simd_level}\",\n  \"bit_exact_f64\": true,\n  \"headline\": {{\n    \"shape\": \"{shape}\",\n    \"dtype\": \"f32\",\n    \"reps\": {reps},\n    \"timings_s\": {},\n    \"cached_timings_s\": {},\n    \"best_packed\": \"{}\",\n    \"speedup_packed_vs_blocked\": {speedup:.3},\n    \"best_simd\": \"{}\",\n    \"best_simd_gflops\": {:.2},\n    \"speedup_simd_vs_scalar\": {simd_speedup:.3}\n  }},\n  \"thread_scaling\": [\n{}\n  ],\n  \"corpus\": [\n{}\n  ],\n  \"selection\": {{\"best\": \"{}\", \"shape\": \"{}\", \"timings_s\": {}}}\n}}\n",
         json_timings(&headline),
+        json_timings(&headline_cached),
         best_packed.0.name(),
+        best_simd.0.name(),
+        flops / best_simd.1 / 1e9,
+        sweep_json.join(",\n"),
         corpus_json.join(",\n"),
         sel.best.name(),
+        sel.shape,
         json_timings(&sel.timings),
     );
     match std::fs::write(out_path, &json) {
@@ -502,13 +655,24 @@ mod tests {
             path.display()
         ));
         assert!(out.contains("bit-exactness gate"), "{out}");
+        assert!(out.contains("executor gate"), "{out}");
         assert!(out.contains("packed vs blocked"), "{out}");
-        assert!(out.contains("select_kernel"), "{out}");
+        assert!(out.contains("simd vs scalar"), "{out}");
+        assert!(out.contains("select_kernel_on"), "{out}");
+        assert!(out.contains("thread scaling"), "{out}");
         assert!(out.contains("wrote"), "{out}");
         let json = std::fs::read_to_string(&path).unwrap();
         assert!(json.contains("\"bit_exact_f64\": true"), "{json}");
         assert!(json.contains("\"speedup_packed_vs_blocked\""), "{json}");
-        for name in ["scalar", "blocked4x4", "packed8x4", "packed4x8"] {
+        assert!(json.contains("\"speedup_simd_vs_scalar\""), "{json}");
+        assert!(json.contains("\"cached_timings_s\""), "{json}");
+        assert!(json.contains("\"thread_scaling\""), "{json}");
+        assert!(json.contains("\"simd_level\""), "{json}");
+        assert!(json.contains("\"cache_speedup\""), "{json}");
+        // The selection records the shape it calibrated on.
+        assert!(json.contains("\"selection\": {\"best\""), "{json}");
+        assert!(json.contains("\"shape\": \"96x96x96\""), "{json}");
+        for name in ["scalar", "blocked4x4", "packed8x4", "packed4x8", "simd4x16", "simd8x32"] {
             assert!(json.contains(name), "missing {name}: {json}");
         }
         let _ = std::fs::remove_file(&path);

@@ -7,9 +7,9 @@
 //! batch size.
 
 use crate::executor::CpuExecutor;
-use crate::fixup::FixupBoard;
-use crate::microkernel::mac_loop_kernel;
+use crate::fixup::{FixupBoard, WaitPolicy};
 use crate::output::TileWriter;
+use crate::packcache::{mac_loop_kernel_cached, PackCache};
 use crate::workspace::Workspace;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use streamk_core::BatchedDecomposition;
@@ -79,6 +79,16 @@ impl CpuExecutor {
         let ipt = space.iters_per_tile();
 
         let kind = self.kernel();
+        // One pack cache per instance (instances have distinct
+        // operands); empty when caching is off or the kernel does not
+        // consume panels, in which case `get` hands the dispatcher
+        // `None` and it packs privately.
+        let policy = WaitPolicy::with_watchdog(self.watchdog());
+        let caches: Vec<PackCache<In>> = if self.pack_cache() {
+            (0..space.batch()).filter_map(|_| PackCache::for_kernel(instance, kind, policy)).collect()
+        } else {
+            Vec::new()
+        };
         std::thread::scope(|scope| {
             for _ in 0..self.threads() {
                 scope.spawn(|| {
@@ -106,8 +116,9 @@ impl CpuExecutor {
                             let ends = seg_end == tile_first + ipt;
                             if !starts {
                                 let mut partial = ws.take_partial();
-                                mac_loop_kernel(
+                                mac_loop_kernel_cached(
                                     kind,
+                                    caches.get(instance_idx),
                                     &a[instance_idx].view(),
                                     &b[instance_idx].view(),
                                     instance,
@@ -122,8 +133,9 @@ impl CpuExecutor {
                                     .expect("fault-free batched schedule");
                             } else {
                                 ws.reset_accum();
-                                mac_loop_kernel(
+                                mac_loop_kernel_cached(
                                     kind,
+                                    caches.get(instance_idx),
                                     &a[instance_idx].view(),
                                     &b[instance_idx].view(),
                                     instance,

@@ -18,8 +18,9 @@
 
 use crate::fault::{FaultKind, FaultPlan};
 use crate::fixup::{FixupBoard, WaitOutcome, WaitPolicy};
-use crate::microkernel::{mac_loop_kernel, KernelKind};
+use crate::microkernel::KernelKind;
 use crate::output::TileWriter;
+use crate::packcache::{mac_loop_kernel_cached, PackCache};
 use crate::workspace::Workspace;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -42,12 +43,23 @@ pub struct ExecutorConfig {
     /// knob; [`crate::calibrate::select_kernel`] can pick it
     /// empirically.
     pub kernel: KernelKind,
+    /// Serve packed panels from the grid-shared [`PackCache`] (each
+    /// panel packed exactly once per launch) instead of re-packing
+    /// per CTA segment. Results are bit-identical either way; this is
+    /// a pure speed knob. Ignored by kernels that do not consume
+    /// panels.
+    pub pack_cache: bool,
 }
 
 impl Default for ExecutorConfig {
     fn default() -> Self {
         let threads = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
-        Self { threads, watchdog: WaitPolicy::DEFAULT_WATCHDOG, kernel: KernelKind::default() }
+        Self {
+            threads,
+            watchdog: WaitPolicy::DEFAULT_WATCHDOG,
+            kernel: KernelKind::default(),
+            pack_cache: true,
+        }
     }
 }
 
@@ -169,6 +181,14 @@ impl CpuExecutor {
         self
     }
 
+    /// Returns this executor with the grid-shared pack cache enabled
+    /// or disabled (enabled by default).
+    #[must_use]
+    pub fn with_pack_cache(mut self, enabled: bool) -> Self {
+        self.config.pack_cache = enabled;
+        self
+    }
+
     /// The configured worker count.
     #[must_use]
     pub fn threads(&self) -> usize {
@@ -185,6 +205,12 @@ impl CpuExecutor {
     #[must_use]
     pub fn watchdog(&self) -> Duration {
         self.config.watchdog
+    }
+
+    /// Whether the grid-shared pack cache is enabled.
+    #[must_use]
+    pub fn pack_cache(&self) -> bool {
+        self.config.pack_cache
     }
 
     /// Computes `C = A · B` by executing `decomp`'s grid.
@@ -357,14 +383,23 @@ impl CpuExecutor {
             }
         }
 
+        let policy = WaitPolicy::with_watchdog(self.config.watchdog);
+        // One shared panel table per launch: every CTA touching a
+        // tile row/column reuses the first claimer's packing work.
+        let cache = if self.config.pack_cache {
+            PackCache::for_kernel(space, self.config.kernel, policy)
+        } else {
+            None
+        };
         let ctx = GridCtx {
             decomp,
             ctas: decomp.ctas(),
             owner_peers,
             board: FixupBoard::<Acc>::new(decomp.grid_size()),
             plan,
-            policy: WaitPolicy::with_watchdog(self.config.watchdog),
+            policy,
             kernel: self.config.kernel,
+            cache,
             recover,
             events: Mutex::new(Vec::new()),
             error: Mutex::new(None),
@@ -421,7 +456,7 @@ fn check_shape(
 }
 
 /// Shared per-launch state every worker reads.
-struct GridCtx<'a, Acc> {
+struct GridCtx<'a, In, Acc> {
     decomp: &'a Decomposition,
     ctas: &'a [CtaWork],
     owner_peers: Vec<Vec<usize>>,
@@ -429,6 +464,7 @@ struct GridCtx<'a, Acc> {
     plan: &'a FaultPlan,
     policy: WaitPolicy,
     kernel: KernelKind,
+    cache: Option<PackCache<In>>,
     recover: bool,
     events: Mutex<Vec<RecoveryEvent>>,
     error: Mutex<Option<ExecutorError>>,
@@ -444,7 +480,7 @@ struct GridCtx<'a, Acc> {
 /// steady-state loop performs no heap allocation.
 #[allow(clippy::too_many_arguments)]
 fn run_cta<In, Acc>(
-    ctx: &GridCtx<'_, Acc>,
+    ctx: &GridCtx<'_, In, Acc>,
     id: usize,
     a: &MatrixView<'_, In>,
     b: &MatrixView<'_, In>,
@@ -464,6 +500,7 @@ where
     // the choice never changes results (Blocked falls back to the
     // scalar path internally when operands are not row-contiguous).
     let kind = ctx.kernel;
+    let cache = ctx.cache.as_ref();
 
     for seg in cta.segments(space) {
         if !seg.starts_tile {
@@ -473,7 +510,7 @@ where
             // the owner at store time. The buffer comes from the
             // pool; ownership passes through the board to the owner.
             let mut partial = ws.take_partial();
-            mac_loop_kernel(kind, a, b, space, seg.tile_idx, seg.local_begin, seg.local_end, &mut partial, &mut ws.pack);
+            mac_loop_kernel_cached(kind, cache, a, b, space, seg.tile_idx, seg.local_begin, seg.local_end, &mut partial, &mut ws.pack);
             match ctx.plan.fault_for(cta.cta_id) {
                 None => ctx.board.store_and_signal(cta.cta_id, partial)?,
                 Some(FaultKind::Straggle(delay)) => {
@@ -495,7 +532,7 @@ where
         }
 
         ws.reset_accum();
-        mac_loop_kernel(kind, a, b, space, seg.tile_idx, seg.local_begin, seg.local_end, &mut ws.accum, &mut ws.pack);
+        mac_loop_kernel_cached(kind, cache, a, b, space, seg.tile_idx, seg.local_begin, seg.local_end, &mut ws.accum, &mut ws.pack);
 
         if !seg.ends_tile {
             // Owner of a split tile: collect every peer's partials in
@@ -535,7 +572,7 @@ where
                     ))
                 })?;
                 ws.reset_scratch();
-                mac_loop_kernel(kind, a, b, space, seg.tile_idx, seg_p.local_begin, seg_p.local_end, &mut ws.scratch, &mut ws.pack);
+                mac_loop_kernel_cached(kind, cache, a, b, space, seg.tile_idx, seg_p.local_begin, seg_p.local_end, &mut ws.scratch, &mut ws.pack);
                 for (acc, p) in ws.accum.iter_mut().zip(&ws.scratch) {
                     *acc += *p;
                 }

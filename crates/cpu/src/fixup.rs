@@ -95,6 +95,43 @@ impl WaitPolicy {
     pub fn with_watchdog(watchdog: Duration) -> Self {
         Self { watchdog, ..Self::default() }
     }
+
+    /// Runs the spin → yield → park backoff ladder until `probe`
+    /// returns `Some`, or the watchdog deadline expires.
+    ///
+    /// This is the one ladder implementation in the crate: the fixup
+    /// board's owner-side `Wait` and the pack cache's
+    /// publish-flag wait both descend it, so backoff behaviour under
+    /// oversubscription is identical everywhere.
+    ///
+    /// # Errors
+    ///
+    /// Returns the elapsed wait as `Err` when the watchdog expires
+    /// with `probe` still yielding `None`.
+    pub fn wait_until<T>(&self, mut probe: impl FnMut() -> Option<T>) -> Result<T, Duration> {
+        let start = Instant::now();
+        let mut iter = 0u32;
+        let mut park = self.initial_park;
+        loop {
+            if let Some(hit) = probe() {
+                return Ok(hit);
+            }
+            if iter < self.spin_iters {
+                std::hint::spin_loop();
+            } else if iter < self.spin_iters + self.yield_iters {
+                std::thread::yield_now();
+            } else {
+                // From here each probe costs a park interval, so the
+                // deadline check is effectively free.
+                if start.elapsed() >= self.watchdog {
+                    return Err(start.elapsed());
+                }
+                std::thread::sleep(park);
+                park = (park * 2).min(self.max_park);
+            }
+            iter = iter.saturating_add(1);
+        }
+    }
 }
 
 impl Default for WaitPolicy {
@@ -171,33 +208,18 @@ impl<Acc: Send> FixupBoard<Acc> {
     /// giving up when `policy.watchdog` expires.
     #[must_use]
     pub fn wait_with(&self, peer: usize, policy: &WaitPolicy) -> WaitOutcome<Acc> {
-        let start = Instant::now();
-        let mut iter = 0u32;
-        let mut park = policy.initial_park;
-        loop {
-            match self.flags[peer].load(Ordering::Acquire) {
-                SIGNALED => {
-                    let mut guard =
-                        self.partials[peer].lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-                    return WaitOutcome::Signaled(std::mem::take(&mut *guard));
-                }
-                POISONED => return WaitOutcome::Poisoned,
-                _ => {}
+        let probed = policy.wait_until(|| match self.flags[peer].load(Ordering::Acquire) {
+            SIGNALED => {
+                let mut guard =
+                    self.partials[peer].lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                Some(WaitOutcome::Signaled(std::mem::take(&mut *guard)))
             }
-            if iter < policy.spin_iters {
-                std::hint::spin_loop();
-            } else if iter < policy.spin_iters + policy.yield_iters {
-                std::thread::yield_now();
-            } else {
-                // From here each probe costs a park interval, so the
-                // deadline check is effectively free.
-                if start.elapsed() >= policy.watchdog {
-                    return WaitOutcome::TimedOut { waited: start.elapsed() };
-                }
-                std::thread::sleep(park);
-                park = (park * 2).min(policy.max_park);
-            }
-            iter = iter.saturating_add(1);
+            POISONED => Some(WaitOutcome::Poisoned),
+            _ => None,
+        });
+        match probed {
+            Ok(outcome) => outcome,
+            Err(waited) => WaitOutcome::TimedOut { waited },
         }
     }
 

@@ -1,9 +1,9 @@
 //! Grouped GEMM execution — one grid, many problem shapes.
 
 use crate::executor::CpuExecutor;
-use crate::fixup::FixupBoard;
-use crate::microkernel::mac_loop_kernel;
+use crate::fixup::{FixupBoard, WaitPolicy};
 use crate::output::TileWriter;
+use crate::packcache::{mac_loop_kernel_cached, PackCache};
 use crate::workspace::Workspace;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use streamk_core::GroupedDecomposition;
@@ -76,6 +76,17 @@ impl CpuExecutor {
         let next_cta = AtomicUsize::new(0);
         let ctas = decomp.ctas();
         let kind = self.kernel();
+        // One pack cache per instance, keyed by that instance's own
+        // iteration space (grouped instances have unrelated shapes).
+        // Empty when caching is off or the kernel doesn't consume
+        // panels; `get` then yields `None` and the dispatcher packs
+        // privately.
+        let policy = WaitPolicy::with_watchdog(self.watchdog());
+        let caches: Vec<PackCache<In>> = if self.pack_cache() {
+            space.instances().iter().filter_map(|inst| PackCache::for_kernel(inst, kind, policy)).collect()
+        } else {
+            Vec::new()
+        };
 
         std::thread::scope(|scope| {
             for _ in 0..self.threads() {
@@ -96,14 +107,14 @@ impl CpuExecutor {
 
                             if !seg.starts_tile {
                                 let mut partial = ws.take_partial();
-                                mac_loop_kernel(kind, &av, &bv, inst, seg.local_tile, seg.local_begin, seg.local_end, &mut partial, &mut ws.pack);
+                                mac_loop_kernel_cached(kind, caches.get(seg.instance), &av, &bv, inst, seg.local_tile, seg.local_begin, seg.local_end, &mut partial, &mut ws.pack);
                                 board
                                     .store_and_signal(cta.cta_id, partial)
                                     .expect("fault-free grouped schedule");
                                 continue;
                             }
                             ws.reset_accum();
-                            mac_loop_kernel(kind, &av, &bv, inst, seg.local_tile, seg.local_begin, seg.local_end, &mut ws.accum, &mut ws.pack);
+                            mac_loop_kernel_cached(kind, caches.get(seg.instance), &av, &bv, inst, seg.local_tile, seg.local_begin, seg.local_end, &mut ws.accum, &mut ws.pack);
                             if !seg.ends_tile {
                                 for &peer in &owner_peers[cta.cta_id] {
                                     let partial = board.wait_and_take(peer);

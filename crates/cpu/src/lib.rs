@@ -35,12 +35,23 @@ pub mod grouped;
 pub mod macloop;
 pub mod microkernel;
 mod output;
+pub mod packcache;
+// The one module allowed to hold unsafe code: the `std::arch` SIMD
+// kernels plus the TypeId-guarded slice casts that feed them. Every
+// unsafe block carries its safety argument inline.
+#[allow(unsafe_code)]
+pub mod simd;
 pub mod workspace;
 
-pub use calibrate::{select_kernel, KernelSelection};
+pub use calibrate::{select_kernel, select_kernel_on, KernelSelection};
 pub use executor::{CpuExecutor, ExecutorConfig, RecoveryCause, RecoveryEvent, RecoveryReport};
 pub use fault::{Fault, FaultKind, FaultPlan};
 pub use fixup::{FixupBoard, FlagState, WaitOutcome, WaitPolicy};
 pub use macloop::mac_loop;
-pub use microkernel::{mac_loop_blocked, mac_loop_kernel, mac_loop_packed, KernelKind, PackBuffers};
+pub use microkernel::{
+    mac_loop_blocked, mac_loop_cached, mac_loop_kernel, mac_loop_packed, mac_loop_simd, KernelKind,
+    PackBuffers,
+};
+pub use packcache::{mac_loop_kernel_cached, PackCache, PanelGuard};
+pub use simd::SimdLevel;
 pub use workspace::Workspace;

@@ -3,7 +3,7 @@
 //! The paper's `MacLoop` implementations "fully unroll the per-thread
 //! MAC-loop iteration [and] implement additional blocking at the warp
 //! and/or thread levels" (§3.2). This module is the CPU analogue, in
-//! two generations:
+//! three generations:
 //!
 //! - [`mac_loop_blocked`] — a `4 × 4` register-blocked update over
 //!   *unpacked* row-contiguous views, with a scalar edge path;
@@ -12,7 +12,14 @@
 //!   ([`streamk_matrix::pack`]), then a const-generic `MR × NR`
 //!   register block walks both panels with unit stride. Ragged edges
 //!   are zero-padded at pack time, so there is no scalar edge path —
-//!   padded lanes are computed and discarded.
+//!   padded lanes are computed and discarded;
+//! - [`mac_loop_simd`] — the same panel walk with the inner block
+//!   dispatched to runtime-detected AVX-512F/AVX2 kernels
+//!   ([`crate::simd`]); unfused multiply-then-add per lane keeps it
+//!   bit-exact with every other generation. [`mac_loop_cached`] is
+//!   the variant that consumes pre-packed full-k panels from the
+//!   grid-shared [`crate::packcache::PackCache`] instead of packing
+//!   per segment.
 //!
 //! Every kernel accumulates each output element in ascending-k order,
 //! so all of them — and the scalar
@@ -27,6 +34,7 @@ use streamk_core::IterSpace;
 use streamk_matrix::{pack_a_into, pack_b_into, MatrixView, Promote, Scalar};
 
 use crate::macloop::mac_loop_view;
+use crate::simd::{simd_block, SimdLevel};
 
 /// Register block height of the legacy unpacked kernel.
 pub const MR: usize = 4;
@@ -66,29 +74,47 @@ pub enum KernelKind {
     Blocked,
     /// Packed panels with a `4 × 4` register block.
     Packed4x4,
-    /// Packed panels with an `8 × 4` register block (the default).
-    #[default]
+    /// Packed panels with an `8 × 4` register block.
     Packed8x4,
     /// Packed panels with a `4 × 8` register block.
     Packed4x8,
     /// Packed panels with an `8 × 8` register block.
     Packed8x8,
+    /// SIMD `4 × 16` block (one AVX-512 / two AVX2 vectors wide).
+    Simd4x16,
+    /// SIMD `8 × 16` block (eight accumulator vectors on AVX-512).
+    Simd8x16,
+    /// SIMD `8 × 32` block (sixteen AVX-512 accumulator vectors —
+    /// the default: enough independent accumulation chains to cover
+    /// the add latency of both FP ports, and the widest measured
+    /// throughput on AVX-512 hosts; non-x86 builds fall back to the
+    /// scalar block at the same shape).
+    #[default]
+    Simd8x32,
 }
 
 impl KernelKind {
     /// Every selectable kernel.
-    pub const ALL: [KernelKind; 6] = [
+    pub const ALL: [KernelKind; 9] = [
         KernelKind::Scalar,
         KernelKind::Blocked,
         KernelKind::Packed4x4,
         KernelKind::Packed8x4,
         KernelKind::Packed4x8,
         KernelKind::Packed8x8,
+        KernelKind::Simd4x16,
+        KernelKind::Simd8x16,
+        KernelKind::Simd8x32,
     ];
 
-    /// The packed-panel variants, the candidates `calibrate` ranks.
+    /// The scalar packed-panel variants.
     pub const PACKED: [KernelKind; 4] =
         [KernelKind::Packed4x4, KernelKind::Packed8x4, KernelKind::Packed4x8, KernelKind::Packed8x8];
+
+    /// The SIMD packed-panel variants (scalar fallback on hosts
+    /// without the vector unit or for unsupported element types).
+    pub const SIMD: [KernelKind; 3] =
+        [KernelKind::Simd4x16, KernelKind::Simd8x16, KernelKind::Simd8x32];
 
     /// Stable lowercase name (used by the CLI and `BENCH_cpu.json`).
     #[must_use]
@@ -100,6 +126,9 @@ impl KernelKind {
             KernelKind::Packed8x4 => "packed8x4",
             KernelKind::Packed4x8 => "packed4x8",
             KernelKind::Packed8x8 => "packed8x8",
+            KernelKind::Simd4x16 => "simd4x16",
+            KernelKind::Simd8x16 => "simd8x16",
+            KernelKind::Simd8x32 => "simd8x32",
         }
     }
 
@@ -109,7 +138,7 @@ impl KernelKind {
         Self::ALL.into_iter().find(|k| k.name() == s)
     }
 
-    /// Whether this variant runs the packed-panel pipeline.
+    /// Whether this variant runs the scalar packed-panel pipeline.
     #[must_use]
     pub fn is_packed(self) -> bool {
         matches!(
@@ -118,7 +147,21 @@ impl KernelKind {
         )
     }
 
-    /// Register block `(MR, NR)` of the packed variants.
+    /// Whether this variant runs the SIMD packed-panel pipeline.
+    #[must_use]
+    pub fn is_simd(self) -> bool {
+        matches!(self, KernelKind::Simd4x16 | KernelKind::Simd8x16 | KernelKind::Simd8x32)
+    }
+
+    /// Whether this variant consumes packed panels at all — i.e.
+    /// whether the grid-shared [`crate::packcache::PackCache`] can
+    /// serve it.
+    #[must_use]
+    pub fn uses_panels(self) -> bool {
+        self.is_packed() || self.is_simd()
+    }
+
+    /// Register block `(MR, NR)` of the panel-consuming variants.
     #[must_use]
     pub fn register_block(self) -> Option<(usize, usize)> {
         match self {
@@ -126,6 +169,9 @@ impl KernelKind {
             KernelKind::Packed8x4 => Some((8, 4)),
             KernelKind::Packed4x8 => Some((4, 8)),
             KernelKind::Packed8x8 => Some((8, 8)),
+            KernelKind::Simd4x16 => Some((4, 16)),
+            KernelKind::Simd8x16 => Some((8, 16)),
+            KernelKind::Simd8x32 => Some((8, 32)),
             _ => None,
         }
     }
@@ -186,6 +232,15 @@ pub fn mac_loop_kernel<In, Acc>(
         KernelKind::Packed8x8 => {
             mac_loop_packed::<In, Acc, 8, 8>(a, b, space, tile_idx, local_begin, local_end, accum, bufs);
         }
+        KernelKind::Simd4x16 => {
+            mac_loop_simd::<In, Acc, 4, 16>(a, b, space, tile_idx, local_begin, local_end, accum, bufs);
+        }
+        KernelKind::Simd8x16 => {
+            mac_loop_simd::<In, Acc, 8, 16>(a, b, space, tile_idx, local_begin, local_end, accum, bufs);
+        }
+        KernelKind::Simd8x32 => {
+            mac_loop_simd::<In, Acc, 8, 32>(a, b, space, tile_idx, local_begin, local_end, accum, bufs);
+        }
     }
 }
 
@@ -217,6 +272,64 @@ pub fn mac_loop_packed<In, Acc, const MR_: usize, const NR_: usize>(
     In: Promote<Acc>,
     Acc: Scalar,
 {
+    mac_loop_panels::<In, Acc, MR_, NR_>(None, a, b, space, tile_idx, local_begin, local_end, accum, bufs);
+}
+
+/// [`mac_loop_packed`] with the inner block handed to the host's
+/// SIMD unit ([`crate::simd`]) when a vector kernel exists for this
+/// `(instruction set, element type, MR, NR)` combination; the scalar
+/// block otherwise. Bit-exact either way.
+///
+/// # Panics
+///
+/// As [`mac_loop_packed`].
+#[allow(clippy::too_many_arguments)]
+pub fn mac_loop_simd<In, Acc, const MR_: usize, const NR_: usize>(
+    a: &MatrixView<'_, In>,
+    b: &MatrixView<'_, In>,
+    space: &IterSpace,
+    tile_idx: usize,
+    local_begin: usize,
+    local_end: usize,
+    accum: &mut [Acc],
+    bufs: &mut PackBuffers<In>,
+) where
+    In: Promote<Acc>,
+    Acc: Scalar,
+{
+    let level = SimdLevel::detect();
+    mac_loop_panels::<In, Acc, MR_, NR_>(
+        Some(level),
+        a,
+        b,
+        space,
+        tile_idx,
+        local_begin,
+        local_end,
+        accum,
+        bufs,
+    );
+}
+
+/// The shared packed-panel walk: packs the segment's operand block
+/// into `bufs`, then runs one register block per `MR × NR` sub-tile —
+/// vectorized when `level` is `Some` and a SIMD kernel matches,
+/// scalar otherwise.
+#[allow(clippy::too_many_arguments)]
+fn mac_loop_panels<In, Acc, const MR_: usize, const NR_: usize>(
+    level: Option<SimdLevel>,
+    a: &MatrixView<'_, In>,
+    b: &MatrixView<'_, In>,
+    space: &IterSpace,
+    tile_idx: usize,
+    local_begin: usize,
+    local_end: usize,
+    accum: &mut [Acc],
+    bufs: &mut PackBuffers<In>,
+) where
+    In: Promote<Acc>,
+    Acc: Scalar,
+{
     let tile = space.tile();
     assert_eq!(accum.len(), tile.blk_m * tile.blk_n, "accumulator must be BLK_M x BLK_N");
     assert!(local_end <= space.iters_per_tile(), "local range out of bounds");
@@ -236,26 +349,121 @@ pub fn mac_loop_packed<In, Acc, const MR_: usize, const NR_: usize>(
 
     let a_panel = kc * MR_;
     let b_panel = kc * NR_;
-    for p in 0..m_extent.div_ceil(MR_) {
-        let apanel = &bufs.a[p * a_panel..(p + 1) * a_panel];
-        let ih = MR_.min(m_extent - p * MR_);
-        for q in 0..n_extent.div_ceil(NR_) {
-            let bpanel = &bufs.b[q * b_panel..(q + 1) * b_panel];
-            let jw = NR_.min(n_extent - q * NR_);
-
-            // MR × NR live accumulators; padded lanes start at zero
-            // and are never stored.
-            let mut c = [[Acc::ZERO; NR_]; MR_];
-            for (i, crow) in c.iter_mut().enumerate().take(ih) {
-                let base = (p * MR_ + i) * tile.blk_n + q * NR_;
-                crow[..jw].copy_from_slice(&accum[base..base + jw]);
-            }
-            packed_block::<In, Acc, MR_, NR_>(apanel, bpanel, kc, &mut c);
-            for (i, crow) in c.iter().enumerate().take(ih) {
-                let base = (p * MR_ + i) * tile.blk_n + q * NR_;
-                accum[base..base + jw].copy_from_slice(&crow[..jw]);
-            }
+    // q-outer / p-inner, as in `mac_loop_cached`: keeps the B
+    // sub-panel L1-resident across the column of blocks.
+    for q in 0..n_extent.div_ceil(NR_) {
+        let bpanel = &bufs.b[q * b_panel..(q + 1) * b_panel];
+        let jw = NR_.min(n_extent - q * NR_);
+        for p in 0..m_extent.div_ceil(MR_) {
+            let apanel = &bufs.a[p * a_panel..(p + 1) * a_panel];
+            let ih = MR_.min(m_extent - p * MR_);
+            apply_block::<In, Acc, MR_, NR_>(level, apanel, bpanel, kc, ih, jw, p, q, tile.blk_n, accum);
         }
+    }
+}
+
+/// Runs local MAC-loop iterations `[local_begin, local_end)` of
+/// `tile_idx` against *pre-packed full-k panels* — the
+/// [`crate::packcache::PackCache`] fast path. `a_panels` is the
+/// tile's A row-panel (every `MR` sub-panel spanning the problem's
+/// whole k-extent) and `b_panels` its B column-panel; the segment's
+/// k-sub-range is a contiguous slice of each sub-panel because the
+/// panel layout is k-major. No packing happens here — that is the
+/// point.
+///
+/// Accumulation order is identical to [`mac_loop_packed`], so caching
+/// never changes results.
+///
+/// # Panics
+///
+/// Panics if `accum` or either panel has the wrong size, or the local
+/// range is out of bounds.
+#[allow(clippy::too_many_arguments)]
+pub fn mac_loop_cached<In, Acc, const MR_: usize, const NR_: usize>(
+    level: Option<SimdLevel>,
+    a_panels: &[In],
+    b_panels: &[In],
+    space: &IterSpace,
+    tile_idx: usize,
+    local_begin: usize,
+    local_end: usize,
+    accum: &mut [Acc],
+) where
+    In: Promote<Acc>,
+    Acc: Scalar,
+{
+    let tile = space.tile();
+    assert_eq!(accum.len(), tile.blk_m * tile.blk_n, "accumulator must be BLK_M x BLK_N");
+    assert!(local_end <= space.iters_per_tile(), "local range out of bounds");
+    if local_begin >= local_end {
+        return;
+    }
+    let (rows, cols) = space.tile_extents(tile_idx);
+    let (m_extent, n_extent) = (rows.len(), cols.len());
+    let k_total = space.shape().k;
+    let k_begin = space.k_extents(local_begin).start;
+    let k_end = space.k_extents(local_end - 1).end;
+    let kc = k_end - k_begin;
+
+    // Full-k panels: sub-panel p/q strides cover the whole k-extent;
+    // this segment reads the k-major slice [k_begin, k_end) of each.
+    let a_stride = k_total * MR_;
+    let b_stride = k_total * NR_;
+    assert_eq!(a_panels.len(), m_extent.div_ceil(MR_) * a_stride, "A panel table size");
+    assert_eq!(b_panels.len(), n_extent.div_ceil(NR_) * b_stride, "B panel table size");
+
+    // q-outer / p-inner: the B sub-panel (the operand every k-step
+    // loads a fresh vector from) stays hot in L1 across the whole
+    // column of register blocks; only the narrower A sub-panels
+    // stream. Block order does not affect results — each output
+    // element's k-accumulation happens inside a single block call.
+    for q in 0..n_extent.div_ceil(NR_) {
+        let bpanel = &b_panels[q * b_stride + k_begin * NR_..q * b_stride + k_end * NR_];
+        let jw = NR_.min(n_extent - q * NR_);
+        for p in 0..m_extent.div_ceil(MR_) {
+            let apanel = &a_panels[p * a_stride + k_begin * MR_..p * a_stride + k_end * MR_];
+            let ih = MR_.min(m_extent - p * MR_);
+            apply_block::<In, Acc, MR_, NR_>(level, apanel, bpanel, kc, ih, jw, p, q, tile.blk_n, accum);
+        }
+    }
+}
+
+/// Loads the live `ih × jw` window of one `MR × NR` sub-tile into a
+/// register-block accumulator, runs the SIMD or scalar block, and
+/// stores the live window back. Padded lanes start at zero and are
+/// never stored.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn apply_block<In, Acc, const MR_: usize, const NR_: usize>(
+    level: Option<SimdLevel>,
+    apanel: &[In],
+    bpanel: &[In],
+    kc: usize,
+    ih: usize,
+    jw: usize,
+    p: usize,
+    q: usize,
+    blk_n: usize,
+    accum: &mut [Acc],
+) where
+    In: Promote<Acc>,
+    Acc: Scalar,
+{
+    let mut c = [[Acc::ZERO; NR_]; MR_];
+    for (i, crow) in c.iter_mut().enumerate().take(ih) {
+        let base = (p * MR_ + i) * blk_n + q * NR_;
+        crow[..jw].copy_from_slice(&accum[base..base + jw]);
+    }
+    let vectorized = match level {
+        Some(lv) => simd_block::<In, Acc, MR_, NR_>(lv, apanel, bpanel, kc, &mut c),
+        None => false,
+    };
+    if !vectorized {
+        packed_block::<In, Acc, MR_, NR_>(apanel, bpanel, kc, &mut c);
+    }
+    for (i, crow) in c.iter().enumerate().take(ih) {
+        let base = (p * MR_ + i) * blk_n + q * NR_;
+        accum[base..base + jw].copy_from_slice(&crow[..jw]);
     }
 }
 
@@ -336,11 +544,17 @@ pub fn mac_loop_blocked<In, Acc>(
                         *v = accum[base + bj];
                     }
                 }
-                for k in ks.clone() {
-                    let a0 = a.row_slice(r0 + i)[k].promote();
-                    let a1 = a.row_slice(r0 + i + 1)[k].promote();
-                    let a2 = a.row_slice(r0 + i + 2)[k].promote();
-                    let a3 = a.row_slice(r0 + i + 3)[k].promote();
+                // A's four row windows are hoisted out of the k-loop:
+                // re-deriving them per k-step costs four stride
+                // multiplies and slice bounds checks per iteration,
+                // which is what made this kernel lose to the plain
+                // scalar loop.
+                let ar: [&[In]; MR] = std::array::from_fn(|bi| &a.row_slice(r0 + i + bi)[ks.clone()]);
+                for (kk, k) in ks.clone().enumerate() {
+                    let a0 = ar[0][kk].promote();
+                    let a1 = ar[1][kk].promote();
+                    let a2 = ar[2][kk].promote();
+                    let a3 = ar[3][kk].promote();
                     let brow = &b.row_slice(k)[c0 + j..c0 + j + NR];
                     for bj in 0..NR {
                         let bv = brow[bj].promote();
@@ -517,10 +731,14 @@ mod tests {
             assert_eq!(KernelKind::parse(kind.name()), Some(kind), "{kind}");
         }
         assert_eq!(KernelKind::parse("bogus"), None);
-        assert_eq!(KernelKind::default(), KernelKind::Packed8x4);
+        assert_eq!(KernelKind::default(), KernelKind::Simd8x32);
         assert!(KernelKind::Packed4x8.is_packed());
         assert!(!KernelKind::Blocked.is_packed());
+        assert!(KernelKind::Simd8x16.is_simd() && !KernelKind::Simd8x16.is_packed());
+        assert!(KernelKind::Simd4x16.uses_panels() && KernelKind::Packed8x8.uses_panels());
+        assert!(!KernelKind::Scalar.uses_panels() && !KernelKind::Blocked.uses_panels());
         assert_eq!(KernelKind::Packed8x4.register_block(), Some((8, 4)));
+        assert_eq!(KernelKind::Simd8x32.register_block(), Some((8, 32)));
         assert_eq!(KernelKind::Scalar.register_block(), None);
     }
 

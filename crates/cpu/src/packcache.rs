@@ -1,0 +1,390 @@
+//! Grid-shared operand panel cache: pack each panel once per GEMM.
+//!
+//! Stream-K deliberately makes many CTAs traverse the same output
+//! tile's k-iterations (that is the whole fixup story of Algorithms
+//! 4-5), and every CTA in a tile *row* reads the same A row-panel
+//! while every CTA in a tile *column* reads the same B column-panel.
+//! The per-worker [`PackBuffers`] pipeline therefore re-packs each
+//! panel once per CTA segment. [`PackCache`] hoists that work to the
+//! launch level: one lazily-packed, full-k panel per tile row of A
+//! and per tile column of B, shared by every worker.
+//!
+//! **Claim/publish protocol.** Each panel slot carries a three-state
+//! atomic flag, a sibling of the fixup board's:
+//!
+//! - *empty* → *packing*: the first CTA to touch the panel wins a CAS
+//!   and packs into the slot (under its write lock);
+//! - *packing* → *ready*: the packer publishes with a release-store;
+//!   later CTAs acquire-load the flag and read the shared panel —
+//!   the same happens-before edge the fixup `Signal`/`Wait` uses.
+//! - A CTA that loses the claim race descends the *same*
+//!   spin → yield → park backoff ladder as the fixup wait
+//!   ([`WaitPolicy::wait_until`]). If the packer stalls past the
+//!   watchdog (it shares the executor's deadline), the waiter falls
+//!   back to private per-CTA packing — the cache is a pure
+//!   optimization and can never deadlock a launch or change results.
+//!
+//! Panels span the problem's **full k-extent** and are k-major, so a
+//! segment's `[k_begin, k_end)` sub-range is one contiguous slice of
+//! each `MR`/`NR` sub-panel — no per-segment copying at all
+//! ([`mac_loop_cached`]). [`PackCache::packs`] counts actual pack
+//! executions so tests can pin the pack-exactly-once property.
+
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::{RwLock, RwLockReadGuard};
+
+use streamk_core::IterSpace;
+use streamk_matrix::{pack_a_into, pack_b_into, MatrixView, Promote, Scalar};
+
+use crate::fixup::WaitPolicy;
+use crate::microkernel::{mac_loop_cached, mac_loop_kernel, KernelKind, PackBuffers};
+use crate::simd::SimdLevel;
+
+const EMPTY: u32 = 0;
+const PACKING: u32 = 1;
+const READY: u32 = 2;
+
+/// One lazily-packed panel: the publish flag plus the panel storage.
+#[derive(Debug)]
+struct PanelSlot<In> {
+    state: AtomicU32,
+    data: RwLock<Vec<In>>,
+}
+
+impl<In> PanelSlot<In> {
+    fn new() -> Self {
+        Self { state: AtomicU32::new(EMPTY), data: RwLock::new(Vec::new()) }
+    }
+}
+
+/// A read-locked view of one published panel.
+pub struct PanelGuard<'c, In>(RwLockReadGuard<'c, Vec<In>>);
+
+impl<In> std::ops::Deref for PanelGuard<'_, In> {
+    type Target = [In];
+
+    fn deref(&self) -> &[In] {
+        &self.0
+    }
+}
+
+/// Per-launch shared tables of packed operand panels: one full-k A
+/// row-panel per tile row, one full-k B column-panel per tile column,
+/// each packed exactly once by whichever CTA claims it first.
+#[derive(Debug)]
+pub struct PackCache<In> {
+    space: IterSpace,
+    mr: usize,
+    nr: usize,
+    a: Vec<PanelSlot<In>>,
+    b: Vec<PanelSlot<In>>,
+    policy: WaitPolicy,
+    packs: AtomicUsize,
+    fallbacks: AtomicUsize,
+}
+
+impl<In: Copy + Default> PackCache<In> {
+    /// A cache for `space` with register block `(mr, nr)`; waiters on
+    /// an in-flight pack follow `policy`'s backoff ladder and give up
+    /// (falling back to private packing) at its watchdog.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mr` or `nr` is zero.
+    #[must_use]
+    pub fn new(space: &IterSpace, mr: usize, nr: usize, policy: WaitPolicy) -> Self {
+        assert!(mr > 0 && nr > 0, "register block must be positive");
+        Self {
+            space: space.clone(),
+            mr,
+            nr,
+            a: (0..space.tiles_m()).map(|_| PanelSlot::new()).collect(),
+            b: (0..space.tiles_n()).map(|_| PanelSlot::new()).collect(),
+            policy,
+            packs: AtomicUsize::new(0),
+            fallbacks: AtomicUsize::new(0),
+        }
+    }
+
+    /// A cache serving `kind`'s register block, or `None` for kernels
+    /// that do not consume packed panels (scalar / blocked).
+    #[must_use]
+    pub fn for_kernel(space: &IterSpace, kind: KernelKind, policy: WaitPolicy) -> Option<Self> {
+        kind.register_block().map(|(mr, nr)| Self::new(space, mr, nr, policy))
+    }
+
+    /// The register block this cache packs for.
+    #[must_use]
+    pub fn register_block(&self) -> (usize, usize) {
+        (self.mr, self.nr)
+    }
+
+    /// Number of panels actually packed so far (A and B combined).
+    /// After a launch that used the cache for every segment this
+    /// equals [`panels`](Self::panels) — each packed exactly once.
+    #[must_use]
+    pub fn packs(&self) -> usize {
+        self.packs.load(Ordering::Relaxed)
+    }
+
+    /// Number of watchdog-expired waits that fell back to private
+    /// packing (expected to be zero outside fault scenarios).
+    #[must_use]
+    pub fn fallbacks(&self) -> usize {
+        self.fallbacks.load(Ordering::Relaxed)
+    }
+
+    /// Total panels this cache manages: `tiles_m + tiles_n`.
+    #[must_use]
+    pub fn panels(&self) -> usize {
+        self.a.len() + self.b.len()
+    }
+
+    /// The A row-panel for tile row `tm`, packing it first if this
+    /// caller wins the claim. `None` when a competing packer stalled
+    /// past the watchdog — the caller must pack privately.
+    pub fn a_panel<'c>(&'c self, a: &MatrixView<'_, In>, tm: usize) -> Option<PanelGuard<'c, In>> {
+        let shape = self.space.shape();
+        let blk_m = self.space.tile().blk_m;
+        let rows = tm * blk_m..shape.m.min((tm + 1) * blk_m);
+        let mr = self.mr;
+        self.fetch(&self.a[tm], |out| pack_a_into(a, rows, 0..shape.k, mr, out))
+    }
+
+    /// The B column-panel for tile column `tn`; as
+    /// [`a_panel`](Self::a_panel).
+    pub fn b_panel<'c>(&'c self, b: &MatrixView<'_, In>, tn: usize) -> Option<PanelGuard<'c, In>> {
+        let shape = self.space.shape();
+        let blk_n = self.space.tile().blk_n;
+        let cols = tn * blk_n..shape.n.min((tn + 1) * blk_n);
+        let nr = self.nr;
+        self.fetch(&self.b[tn], |out| pack_b_into(b, 0..shape.k, cols, nr, out))
+    }
+
+    /// The claim/publish core shared by both operand tables.
+    fn fetch<'c>(
+        &'c self,
+        slot: &'c PanelSlot<In>,
+        pack: impl FnOnce(&mut Vec<In>),
+    ) -> Option<PanelGuard<'c, In>> {
+        // Fast path: already published. The acquire-load pairs with
+        // the packer's release-store, making the panel data visible.
+        if slot.state.load(Ordering::Acquire) == READY {
+            return Some(Self::read(slot));
+        }
+        if slot.state.compare_exchange(EMPTY, PACKING, Ordering::AcqRel, Ordering::Acquire).is_ok() {
+            // This CTA won the claim: pack, then publish.
+            {
+                let mut guard =
+                    slot.data.write().unwrap_or_else(std::sync::PoisonError::into_inner);
+                pack(&mut guard);
+            }
+            self.packs.fetch_add(1, Ordering::Relaxed);
+            slot.state.store(READY, Ordering::Release);
+            return Some(Self::read(slot));
+        }
+        // Lost the race: another CTA is packing (or just published).
+        // Descend the fixup board's backoff ladder on the flag.
+        match self
+            .policy
+            .wait_until(|| (slot.state.load(Ordering::Acquire) == READY).then_some(()))
+        {
+            Ok(()) => Some(Self::read(slot)),
+            Err(_) => {
+                self.fallbacks.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn read<'c>(slot: &'c PanelSlot<In>) -> PanelGuard<'c, In> {
+        // By protocol no writer touches a READY slot again, so this
+        // read lock is uncontended.
+        PanelGuard(slot.data.read().unwrap_or_else(std::sync::PoisonError::into_inner))
+    }
+}
+
+/// [`mac_loop_kernel`] with the packed panels served from `cache`
+/// when possible. The one cached dispatch point behind the executors:
+///
+/// - kernels that do not consume panels (scalar / blocked), a `None`
+///   cache, a register-block mismatch, or a watchdog-expired panel
+///   wait all fall back to [`mac_loop_kernel`]'s private-pack path;
+/// - otherwise the segment runs [`mac_loop_cached`] over the shared
+///   full-k panels, packing nothing.
+///
+/// Either way the accumulation order is identical, so the result is
+/// bit-exact with the uncached pipeline.
+///
+/// # Panics
+///
+/// As [`mac_loop_kernel`].
+#[allow(clippy::too_many_arguments)]
+pub fn mac_loop_kernel_cached<In, Acc>(
+    kind: KernelKind,
+    cache: Option<&PackCache<In>>,
+    a: &MatrixView<'_, In>,
+    b: &MatrixView<'_, In>,
+    space: &IterSpace,
+    tile_idx: usize,
+    local_begin: usize,
+    local_end: usize,
+    accum: &mut [Acc],
+    bufs: &mut PackBuffers<In>,
+) where
+    In: Promote<Acc>,
+    Acc: Scalar,
+{
+    let fallback = |accum: &mut [Acc], bufs: &mut PackBuffers<In>| {
+        mac_loop_kernel(kind, a, b, space, tile_idx, local_begin, local_end, accum, bufs);
+    };
+    let (Some(cache), Some(block)) = (cache, kind.register_block()) else {
+        return fallback(accum, bufs);
+    };
+    if block != cache.register_block() {
+        return fallback(accum, bufs);
+    }
+    let (tm, tn) = space.tile_coords(tile_idx);
+    let (Some(ap), Some(bp)) = (cache.a_panel(a, tm), cache.b_panel(b, tn)) else {
+        return fallback(accum, bufs);
+    };
+    let level = kind.is_simd().then(SimdLevel::detect);
+    match kind {
+        KernelKind::Packed4x4 => {
+            mac_loop_cached::<In, Acc, 4, 4>(level, &ap, &bp, space, tile_idx, local_begin, local_end, accum);
+        }
+        KernelKind::Packed8x4 => {
+            mac_loop_cached::<In, Acc, 8, 4>(level, &ap, &bp, space, tile_idx, local_begin, local_end, accum);
+        }
+        KernelKind::Packed4x8 => {
+            mac_loop_cached::<In, Acc, 4, 8>(level, &ap, &bp, space, tile_idx, local_begin, local_end, accum);
+        }
+        KernelKind::Packed8x8 => {
+            mac_loop_cached::<In, Acc, 8, 8>(level, &ap, &bp, space, tile_idx, local_begin, local_end, accum);
+        }
+        KernelKind::Simd4x16 => {
+            mac_loop_cached::<In, Acc, 4, 16>(level, &ap, &bp, space, tile_idx, local_begin, local_end, accum);
+        }
+        KernelKind::Simd8x16 => {
+            mac_loop_cached::<In, Acc, 8, 16>(level, &ap, &bp, space, tile_idx, local_begin, local_end, accum);
+        }
+        KernelKind::Simd8x32 => {
+            mac_loop_cached::<In, Acc, 8, 32>(level, &ap, &bp, space, tile_idx, local_begin, local_end, accum);
+        }
+        // register_block() returned Some above, so Scalar/Blocked
+        // cannot reach here.
+        KernelKind::Scalar | KernelKind::Blocked => unreachable!("non-panel kernels fall back"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamk_matrix::Matrix;
+    use streamk_types::{GemmShape, Layout, TileShape};
+
+    fn fixture(shape: GemmShape, tile: TileShape) -> (IterSpace, Matrix<f64>, Matrix<f64>) {
+        let space = IterSpace::new(shape, tile);
+        let a = Matrix::<f64>::random::<f64>(shape.m, shape.k, Layout::RowMajor, 3);
+        let b = Matrix::<f64>::random::<f64>(shape.k, shape.n, Layout::RowMajor, 4);
+        (space, a, b)
+    }
+
+    #[test]
+    fn panels_pack_once_and_match_private_packing() {
+        let (space, a, b) = fixture(GemmShape::new(40, 36, 24), TileShape::new(16, 16, 8));
+        let cache = PackCache::new(&space, 8, 4, WaitPolicy::default());
+        assert_eq!(cache.panels(), space.tiles_m() + space.tiles_n());
+
+        let mut private = Vec::new();
+        for tm in 0..space.tiles_m() {
+            let panel = cache.a_panel(&a.view(), tm).expect("no contention");
+            let rows = tm * 16..space.shape().m.min((tm + 1) * 16);
+            pack_a_into(&a.view(), rows, 0..space.shape().k, 8, &mut private);
+            assert_eq!(&*panel, &private[..], "A panel {tm}");
+        }
+        for tn in 0..space.tiles_n() {
+            let panel = cache.b_panel(&b.view(), tn).expect("no contention");
+            let cols = tn * 16..space.shape().n.min((tn + 1) * 16);
+            pack_b_into(&b.view(), 0..space.shape().k, cols, 4, &mut private);
+            assert_eq!(&*panel, &private[..], "B panel {tn}");
+        }
+        // Re-fetching everything packs nothing new.
+        for tm in 0..space.tiles_m() {
+            let _ = cache.a_panel(&a.view(), tm).unwrap();
+        }
+        assert_eq!(cache.packs(), cache.panels(), "each panel packed exactly once");
+        assert_eq!(cache.fallbacks(), 0);
+    }
+
+    #[test]
+    fn cached_dispatch_is_bit_exact_for_every_panel_kernel() {
+        let shape = GemmShape::new(37, 29, 53);
+        let tile = TileShape::new(16, 16, 8);
+        let (space, a, b) = fixture(shape, tile);
+        let len = tile.blk_m * tile.blk_n;
+        let mut bufs = PackBuffers::new();
+        for kind in KernelKind::ALL {
+            let cache = PackCache::for_kernel(&space, kind, WaitPolicy::default());
+            for tile_idx in 0..space.tiles() {
+                for (lb, le) in [(0, space.iters_per_tile()), (1, space.iters_per_tile()), (0, 1)] {
+                    let mut expect = vec![0.0f64; len];
+                    mac_loop_kernel(kind, &a.view(), &b.view(), &space, tile_idx, lb, le, &mut expect, &mut bufs);
+                    let mut got = vec![0.0f64; len];
+                    mac_loop_kernel_cached(
+                        kind,
+                        cache.as_ref(),
+                        &a.view(),
+                        &b.view(),
+                        &space,
+                        tile_idx,
+                        lb,
+                        le,
+                        &mut got,
+                        &mut bufs,
+                    );
+                    assert_eq!(got, expect, "{kind} tile {tile_idx} [{lb},{le})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mismatched_register_block_falls_back() {
+        let (space, a, b) = fixture(GemmShape::new(16, 16, 16), TileShape::new(16, 16, 8));
+        // Cache built for 4x4 but the kernel wants 8x4: must fall
+        // back to private packing rather than mis-slice panels.
+        let cache = PackCache::new(&space, 4, 4, WaitPolicy::default());
+        let mut bufs = PackBuffers::new();
+        let mut expect = vec![0.0f64; 256];
+        mac_loop_kernel(KernelKind::Packed8x4, &a.view(), &b.view(), &space, 0, 0, 2, &mut expect, &mut bufs);
+        let mut got = vec![0.0f64; 256];
+        mac_loop_kernel_cached(
+            KernelKind::Packed8x4,
+            Some(&cache),
+            &a.view(),
+            &b.view(),
+            &space,
+            0,
+            0,
+            2,
+            &mut got,
+            &mut bufs,
+        );
+        assert_eq!(got, expect);
+        assert_eq!(cache.packs(), 0, "mismatched cache must stay untouched");
+    }
+
+    #[test]
+    fn stalled_packer_times_out_to_private_packing() {
+        use std::time::Duration;
+        let (space, a, _) = fixture(GemmShape::new(16, 16, 16), TileShape::new(16, 16, 8));
+        let cache =
+            PackCache::<f64>::new(&space, 8, 4, WaitPolicy::with_watchdog(Duration::from_millis(20)));
+        // Simulate a packer that claimed the slot and died: the flag
+        // sticks at PACKING forever.
+        cache.a[0].state.store(PACKING, Ordering::Release);
+        assert!(cache.a_panel(&a.view(), 0).is_none(), "watchdog must give up");
+        assert_eq!(cache.fallbacks(), 1);
+    }
+}

@@ -1,0 +1,373 @@
+//! Runtime-dispatched SIMD register blocks for the packed pipeline.
+//!
+//! The packed scalar microkernels ([`crate::mac_loop_packed`]) leave
+//! vectorization to LLVM; this module writes the vector code by hand
+//! with `std::arch::x86_64` intrinsics and picks the widest
+//! instruction set the host supports at run time
+//! ([`SimdLevel::detect`], backed by `is_x86_feature_detected!`).
+//! Non-x86 targets (and hosts without AVX2) still build and run: the
+//! dispatcher simply reports no match and the caller falls through to
+//! the portable scalar block.
+//!
+//! **Bit-exactness.** The repo's invariant is that every kernel
+//! accumulates each output element in ascending-k order with an
+//! *unfused* multiply-then-add. These kernels keep both properties:
+//!
+//! - vectorization is across the `NR` output *columns* — each lane
+//!   owns one output element and still sees its k-terms in ascending
+//!   order, one per k-step;
+//! - each k-step issues a separate vector multiply and vector add
+//!   (never an FMA), so every lane performs exactly the two IEEE-754
+//!   roundings the scalar [`Scalar::mac`] performs. No
+//!   `#[target_feature]` here enables `fma`, and Rust never contracts
+//!   mul+add implicitly, so f64 results are bit-identical to the
+//!   scalar MAC loop — the property tests pin this.
+//!
+//! Dispatch is two-level: a `TypeId` check narrows the generic
+//! `In`/`Acc` pair to a concrete element type (f32×f32 or f64×f64 —
+//! mixed-precision f16 inputs fall back to scalar), then a match on
+//! `(level, MR, NR)` selects a monomorphized kernel whose accumulator
+//! tile `[[vector; NVEC]; MR]` stays in registers across the whole
+//! k-loop.
+
+use std::any::TypeId;
+
+use streamk_matrix::{Promote, Scalar};
+
+/// The widest SIMD instruction set the dispatcher may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdLevel {
+    /// No usable vector extension: always fall back to scalar code.
+    None,
+    /// 256-bit AVX2 (8 × f32 or 4 × f64 lanes).
+    Avx2,
+    /// 512-bit AVX-512F (16 × f32 or 8 × f64 lanes).
+    Avx512,
+}
+
+impl SimdLevel {
+    /// Detects the widest level this host supports. The underlying
+    /// `is_x86_feature_detected!` result is cached by `std`, so this
+    /// is cheap enough to call per MAC-loop invocation.
+    #[must_use]
+    pub fn detect() -> Self {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if is_x86_feature_detected!("avx512f") {
+                return SimdLevel::Avx512;
+            }
+            if is_x86_feature_detected!("avx2") {
+                return SimdLevel::Avx2;
+            }
+        }
+        SimdLevel::None
+    }
+
+    /// Stable lowercase name (reported in `BENCH_cpu.json`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdLevel::None => "none",
+            SimdLevel::Avx2 => "avx2",
+            SimdLevel::Avx512 => "avx512",
+        }
+    }
+}
+
+impl std::fmt::Display for SimdLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// `true` when `T` and `U` are the same concrete type.
+fn same<T: 'static, U: 'static>() -> bool {
+    TypeId::of::<T>() == TypeId::of::<U>()
+}
+
+/// Reinterprets a slice of `T` as a slice of `U`.
+///
+/// # Safety
+///
+/// `T` and `U` must be the same type (checked by the callers with
+/// [`same`] immediately before the cast, which makes this a no-op
+/// rename rather than a transmute between distinct layouts).
+#[cfg(target_arch = "x86_64")]
+unsafe fn cast_slice<T, U>(s: &[T]) -> &[U] {
+    std::slice::from_raw_parts(s.as_ptr().cast::<U>(), s.len())
+}
+
+/// Attempts one `MR × NR` register block over `kc` packed k-steps
+/// with the host's vector unit. Returns `false` when no specialized
+/// kernel exists for this `(level, element type, MR, NR)` combination
+/// — the caller must then run the portable scalar block on the
+/// *unmodified* `c` (the dispatcher never partially updates it).
+///
+/// Panel layout matches [`streamk_matrix::pack_a_into`] /
+/// [`streamk_matrix::pack_b_into`]: k-major, `apanel[k·MR + i]`,
+/// `bpanel[k·NR + j]`, both at least `kc` k-steps long.
+pub fn simd_block<In, Acc, const MR_: usize, const NR_: usize>(
+    level: SimdLevel,
+    apanel: &[In],
+    bpanel: &[In],
+    kc: usize,
+    c: &mut [[Acc; NR_]; MR_],
+) -> bool
+where
+    In: Promote<Acc>,
+    Acc: Scalar,
+{
+    if level == SimdLevel::None {
+        return false;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        if same::<In, f32>() && same::<Acc, f32>() {
+            // SAFETY: In = f32 and Acc = f32 (TypeId equality just
+            // checked), so these casts only rename the element type.
+            let (ap, bp, cf) = unsafe {
+                (
+                    cast_slice::<In, f32>(apanel),
+                    cast_slice::<In, f32>(bpanel),
+                    &mut *std::ptr::from_mut(c).cast::<[[f32; NR_]; MR_]>(),
+                )
+            };
+            return dispatch_f32::<MR_, NR_>(level, ap, bp, kc, cf);
+        }
+        if same::<In, f64>() && same::<Acc, f64>() {
+            // SAFETY: as above with In = Acc = f64.
+            let (ap, bp, cf) = unsafe {
+                (
+                    cast_slice::<In, f64>(apanel),
+                    cast_slice::<In, f64>(bpanel),
+                    &mut *std::ptr::from_mut(c).cast::<[[f64; NR_]; MR_]>(),
+                )
+            };
+            return dispatch_f64::<MR_, NR_>(level, ap, bp, kc, cf);
+        }
+        false
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (apanel, bpanel, kc, c);
+        false
+    }
+}
+
+/// Expands to one `#[target_feature]` block kernel: `MR` rows by
+/// `NVEC` vector registers of output, accumulators held in registers
+/// across the whole k-loop, loads/stores of `c` only at the block
+/// boundaries. Each k-step broadcasts one A element per row and
+/// issues a separate vector multiply and add per accumulator — the
+/// unfused two-rounding sequence the scalar `mac` performs.
+#[cfg(target_arch = "x86_64")]
+macro_rules! simd_block_kernel {
+    ($name:ident, $feature:literal, $elem:ty, $lanes:expr,
+     $setzero:ident, $loadu:ident, $storeu:ident, $set1:ident, $mul:ident, $add:ident) => {
+        #[target_feature(enable = $feature)]
+        unsafe fn $name<const MR_: usize, const NVEC: usize>(
+            apanel: &[$elem],
+            bpanel: &[$elem],
+            kc: usize,
+            c: &mut [$elem],
+        ) {
+            use std::arch::x86_64::*;
+            let nr = NVEC * $lanes;
+            assert!(apanel.len() >= kc * MR_, "A panel shorter than kc k-steps");
+            assert!(bpanel.len() >= kc * nr, "B panel shorter than kc k-steps");
+            assert_eq!(c.len(), MR_ * nr, "c must be an MR x NR tile");
+            let ap = apanel.as_ptr();
+            let bp = bpanel.as_ptr();
+            let mut acc = [[$setzero(); NVEC]; MR_];
+            for (i, row) in acc.iter_mut().enumerate() {
+                for (v, reg) in row.iter_mut().enumerate() {
+                    *reg = $loadu(c.as_ptr().add(i * nr + v * $lanes));
+                }
+            }
+            for k in 0..kc {
+                let acol = ap.add(k * MR_);
+                let brow = bp.add(k * nr);
+                let mut bv = [$setzero(); NVEC];
+                for (v, reg) in bv.iter_mut().enumerate() {
+                    *reg = $loadu(brow.add(v * $lanes));
+                }
+                for (i, row) in acc.iter_mut().enumerate() {
+                    let ai = $set1(*acol.add(i));
+                    for (reg, &b) in row.iter_mut().zip(&bv) {
+                        // Separate mul then add: no FMA contraction,
+                        // each lane bit-identical to the scalar mac.
+                        *reg = $add(*reg, $mul(ai, b));
+                    }
+                }
+            }
+            for (i, row) in acc.iter().enumerate() {
+                for (v, &reg) in row.iter().enumerate() {
+                    $storeu(c.as_mut_ptr().add(i * nr + v * $lanes), reg);
+                }
+            }
+        }
+    };
+}
+
+#[cfg(target_arch = "x86_64")]
+simd_block_kernel!(avx2_f32, "avx2", f32, 8, _mm256_setzero_ps, _mm256_loadu_ps, _mm256_storeu_ps, _mm256_set1_ps, _mm256_mul_ps, _mm256_add_ps);
+#[cfg(target_arch = "x86_64")]
+simd_block_kernel!(avx2_f64, "avx2", f64, 4, _mm256_setzero_pd, _mm256_loadu_pd, _mm256_storeu_pd, _mm256_set1_pd, _mm256_mul_pd, _mm256_add_pd);
+#[cfg(target_arch = "x86_64")]
+simd_block_kernel!(avx512_f32, "avx512f", f32, 16, _mm512_setzero_ps, _mm512_loadu_ps, _mm512_storeu_ps, _mm512_set1_ps, _mm512_mul_ps, _mm512_add_ps);
+#[cfg(target_arch = "x86_64")]
+simd_block_kernel!(avx512_f64, "avx512f", f64, 8, _mm512_setzero_pd, _mm512_loadu_pd, _mm512_storeu_pd, _mm512_set1_pd, _mm512_mul_pd, _mm512_add_pd);
+
+#[cfg(target_arch = "x86_64")]
+fn dispatch_f32<const MR_: usize, const NR_: usize>(
+    level: SimdLevel,
+    ap: &[f32],
+    bp: &[f32],
+    kc: usize,
+    c: &mut [[f32; NR_]; MR_],
+) -> bool {
+    let flat = c.as_flattened_mut();
+    // SAFETY: each arm runs only at the level `detect` confirmed the
+    // host supports, and NVEC · lanes always equals NR (re-checked by
+    // the kernels' own asserts against flat.len()).
+    unsafe {
+        match (level, MR_, NR_) {
+            (SimdLevel::Avx512, 4, 16) => avx512_f32::<4, 1>(ap, bp, kc, flat),
+            (SimdLevel::Avx512, 8, 16) => avx512_f32::<8, 1>(ap, bp, kc, flat),
+            (SimdLevel::Avx512, 8, 32) => avx512_f32::<8, 2>(ap, bp, kc, flat),
+            (SimdLevel::Avx2, 4, 16) => avx2_f32::<4, 2>(ap, bp, kc, flat),
+            (SimdLevel::Avx2, 8, 16) => avx2_f32::<8, 2>(ap, bp, kc, flat),
+            (SimdLevel::Avx2, 8, 32) => avx2_f32::<8, 4>(ap, bp, kc, flat),
+            _ => return false,
+        }
+    }
+    true
+}
+
+#[cfg(target_arch = "x86_64")]
+fn dispatch_f64<const MR_: usize, const NR_: usize>(
+    level: SimdLevel,
+    ap: &[f64],
+    bp: &[f64],
+    kc: usize,
+    c: &mut [[f64; NR_]; MR_],
+) -> bool {
+    let flat = c.as_flattened_mut();
+    // SAFETY: see dispatch_f32.
+    unsafe {
+        match (level, MR_, NR_) {
+            (SimdLevel::Avx512, 4, 16) => avx512_f64::<4, 2>(ap, bp, kc, flat),
+            (SimdLevel::Avx512, 8, 16) => avx512_f64::<8, 2>(ap, bp, kc, flat),
+            (SimdLevel::Avx512, 8, 32) => avx512_f64::<8, 4>(ap, bp, kc, flat),
+            (SimdLevel::Avx2, 4, 16) => avx2_f64::<4, 4>(ap, bp, kc, flat),
+            (SimdLevel::Avx2, 8, 16) => avx2_f64::<8, 4>(ap, bp, kc, flat),
+            (SimdLevel::Avx2, 8, 32) => avx2_f64::<8, 8>(ap, bp, kc, flat),
+            _ => return false,
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The portable reference: the same scalar block the packed
+    /// pipeline falls back to.
+    fn scalar_block<T: Scalar, const MR_: usize, const NR_: usize>(
+        apanel: &[T],
+        bpanel: &[T],
+        kc: usize,
+        c: &mut [[T; NR_]; MR_],
+    ) {
+        for (acol, brow) in apanel.chunks_exact(MR_).zip(bpanel.chunks_exact(NR_)).take(kc) {
+            for (crow, &ai) in c.iter_mut().zip(acol) {
+                for (cv, &bj) in crow.iter_mut().zip(brow) {
+                    *cv = cv.mac(ai, bj);
+                }
+            }
+        }
+    }
+
+    fn panels_f64(kc: usize, mr: usize, nr: usize, seed: u64) -> (Vec<f64>, Vec<f64>) {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let a = (0..kc * mr).map(|_| next()).collect();
+        let b = (0..kc * nr).map(|_| next()).collect();
+        (a, b)
+    }
+
+    fn check_level<const MR_: usize, const NR_: usize>(level: SimdLevel) {
+        for kc in [0usize, 1, 3, 17, 64] {
+            let (a64, b64) = panels_f64(kc, MR_, NR_, (kc + MR_ * NR_) as u64);
+            let mut expect = [[0.25f64; NR_]; MR_];
+            scalar_block::<f64, MR_, NR_>(&a64, &b64, kc, &mut expect);
+            let mut got = [[0.25f64; NR_]; MR_];
+            if simd_block::<f64, f64, MR_, NR_>(level, &a64, &b64, kc, &mut got) {
+                assert_eq!(got, expect, "f64 {level} {MR_}x{NR_} kc={kc}");
+            } else {
+                assert_eq!(got, [[0.25f64; NR_]; MR_], "failed dispatch must leave c untouched");
+            }
+
+            let a32: Vec<f32> = a64.iter().map(|&v| v as f32).collect();
+            let b32: Vec<f32> = b64.iter().map(|&v| v as f32).collect();
+            let mut expect = [[0.25f32; NR_]; MR_];
+            scalar_block::<f32, MR_, NR_>(&a32, &b32, kc, &mut expect);
+            let mut got = [[0.25f32; NR_]; MR_];
+            if simd_block::<f32, f32, MR_, NR_>(level, &a32, &b32, kc, &mut got) {
+                assert_eq!(got, expect, "f32 {level} {MR_}x{NR_} kc={kc}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_block_shape_matches_scalar_at_every_level() {
+        // Exercise every level the host supports (an AVX-512 host can
+        // and should also run the AVX2 kernels).
+        let host = SimdLevel::detect();
+        let mut levels = vec![SimdLevel::None];
+        if matches!(host, SimdLevel::Avx2 | SimdLevel::Avx512) {
+            levels.push(SimdLevel::Avx2);
+        }
+        if host == SimdLevel::Avx512 {
+            levels.push(SimdLevel::Avx512);
+        }
+        for level in levels {
+            check_level::<4, 16>(level);
+            check_level::<8, 16>(level);
+            check_level::<8, 32>(level);
+        }
+    }
+
+    #[test]
+    fn unsupported_shapes_report_false() {
+        let a = [1.0f64; 8];
+        let b = [2.0f64; 8];
+        let mut c = [[0.0f64; 4]; 2];
+        assert!(!simd_block::<f64, f64, 2, 4>(SimdLevel::detect(), &a, &b, 2, &mut c));
+        assert_eq!(c, [[0.0f64; 4]; 2], "failed dispatch must not touch c");
+    }
+
+    #[test]
+    fn detect_reports_a_stable_name() {
+        let level = SimdLevel::detect();
+        assert!(["none", "avx2", "avx512"].contains(&level.name()));
+        assert_eq!(level, SimdLevel::detect(), "detection must be stable");
+    }
+
+    #[test]
+    fn mixed_precision_inputs_fall_back() {
+        use streamk_matrix::f16;
+        let a = [f16::from_f32(1.0); 8];
+        let b = [f16::from_f32(2.0); 32];
+        let mut c = [[0.0f32; 16]; 4];
+        // f16 inputs have no vector kernel: must report false so the
+        // caller runs the scalar promote path.
+        assert!(!simd_block::<f16, f32, 4, 16>(SimdLevel::detect(), &a, &b, 2, &mut c));
+    }
+}

@@ -35,7 +35,12 @@ use crate::microkernel::PackBuffers;
 /// recovery scratch, and a pool of fixup partial buffers.
 #[derive(Debug)]
 pub struct Workspace<In, Acc> {
-    /// Operand pack staging shared by every packed-kernel call.
+    /// Operand pack staging shared by every packed-kernel call. When
+    /// the launch carries a shared [`PackCache`](crate::PackCache)
+    /// these buffers serve only the *fallback* path (non-panel
+    /// kernels, register-block mismatch, or a watchdog-expired panel
+    /// wait) — the steady state reads the cache's shared panels and
+    /// never touches this staging at all.
     pub pack: PackBuffers<In>,
     /// The tile accumulator (`BLK_M × BLK_N`) kernels add into.
     pub accum: Vec<Acc>,

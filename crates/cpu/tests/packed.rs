@@ -202,7 +202,7 @@ fn batched_and_grouped_are_kernel_invariant() {
     let bref = CpuExecutor::with_threads(5)
         .with_kernel(KernelKind::Scalar)
         .gemm_batched::<f64, f64>(&batch_a, &batch_b, &bdecomp);
-    for kind in KernelKind::PACKED {
+    for kind in KernelKind::PACKED.into_iter().chain(KernelKind::SIMD) {
         let c = CpuExecutor::with_threads(5)
             .with_kernel(kind)
             .gemm_batched::<f64, f64>(&batch_a, &batch_b, &bdecomp);
@@ -219,7 +219,7 @@ fn batched_and_grouped_are_kernel_invariant() {
     let gref = CpuExecutor::with_threads(5)
         .with_kernel(KernelKind::Scalar)
         .gemm_grouped::<f64, f64>(&group_a, &group_b, &gdecomp);
-    for kind in KernelKind::PACKED {
+    for kind in KernelKind::PACKED.into_iter().chain(KernelKind::SIMD) {
         let c = CpuExecutor::with_threads(5)
             .with_kernel(kind)
             .gemm_grouped::<f64, f64>(&group_a, &group_b, &gdecomp);

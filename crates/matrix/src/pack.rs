@@ -65,17 +65,21 @@ pub fn pack_a_into<T: Copy + Default>(
     let zero = T::default();
 
     if a.rows_contiguous() {
-        // Fast path: gather each panel's row slices once, then write
-        // the k-major panel with unit-stride output.
+        // Fast path: zero the panel up front (which also pads the
+        // ragged rows), then transpose one source row at a time —
+        // each row is read with unit stride exactly once and scattered
+        // at stride `mr` into the k-major panel, instead of
+        // re-deriving a row slice per element.
         let mut r = rows.start;
         while r < rows.end {
             let height = mr.min(rows.end - r);
-            for k in ks.clone() {
-                for i in 0..height {
-                    out.push(a.row_slice(r + i)[k]);
-                }
-                for _ in height..mr {
-                    out.push(zero);
+            let base = out.len();
+            out.resize(base + kc * mr, zero);
+            let panel = &mut out[base..];
+            for i in 0..height {
+                let row = &a.row_slice(r + i)[ks.clone()];
+                for (col, &v) in panel.chunks_exact_mut(mr).zip(row) {
+                    col[i] = v;
                 }
             }
             r += mr;
