@@ -86,5 +86,31 @@ fn strong_scaling(c: &mut Criterion) {
     );
 }
 
-criterion_group!(benches, balanced, quantization_hostile, strong_scaling);
+fn launch_overhead(c: &mut Criterion) {
+    // Small problem where per-launch cost matters: a persistent
+    // executor amortizes pool spawn + arena warm-up across launches,
+    // a throwaway executor pays both every time.
+    let shape = GemmShape::new(64, 64, 64);
+    let tile = TileShape::new(32, 32, 16);
+    let decomp = Decomposition::stream_k(shape, tile, THREADS);
+    let a = Matrix::<f64>::random::<f64>(shape.m, shape.k, Layout::RowMajor, 1);
+    let b = Matrix::<f64>::random::<f64>(shape.k, shape.n, Layout::RowMajor, 2);
+
+    let mut group = c.benchmark_group("launch_overhead_64cubed");
+    group.sample_size(20);
+    let warm = CpuExecutor::with_threads(THREADS);
+    let _ = warm.gemm::<f64, f64>(&a, &b, &decomp); // spawn the pool outside the timing loop
+    group.bench_function("persistent_executor", |bencher| {
+        bencher.iter(|| black_box(warm.gemm::<f64, f64>(black_box(&a), black_box(&b), &decomp)));
+    });
+    group.bench_function("executor_per_launch", |bencher| {
+        bencher.iter(|| {
+            let exec = CpuExecutor::with_threads(THREADS);
+            black_box(exec.gemm::<f64, f64>(black_box(&a), black_box(&b), &decomp))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, balanced, quantization_hostile, strong_scaling, launch_overhead);
 criterion_main!(benches);

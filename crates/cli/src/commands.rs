@@ -431,9 +431,14 @@ fn run_bench(size: usize, tile: TileShape, corpus: usize, reps: usize, smoke: bo
     let _ = writeln!(out, "\nthread scaling ({shape} f32, kernel {}, grid = workers):", best_simd.0.name());
     let _ = writeln!(out, "  threads   private(s)    cached(s)   cache speedup");
     let mut sweep_rows: Vec<(usize, f64, f64)> = Vec::new();
+    let mut sweep_stats: Vec<(usize, usize)> = Vec::new();
     for &threads in &thread_counts {
         let decomp = Decomposition::stream_k(shape, tile, threads);
-        let time_exec = |cache: bool| -> f64 {
+        // Each timing reuses one executor across the warm-up and all
+        // reps, so the persistent pool and warm per-worker arenas are
+        // what is measured; returns (median, steals, deferrals of the
+        // last rep).
+        let time_exec = |cache: bool| -> (f64, usize, usize) {
             let exec = CpuExecutor::with_threads(threads).with_kernel(best_simd.0).with_pack_cache(cache);
             let _ = exec.gemm::<f32, f32>(&a, &b, &decomp); // warm-up
             let mut times: Vec<f64> = (0..reps.max(1))
@@ -444,12 +449,59 @@ fn run_bench(size: usize, tile: TileShape, corpus: usize, reps: usize, smoke: bo
                 })
                 .collect();
             times.sort_by(f64::total_cmp);
-            times[times.len() / 2]
+            let stats = exec.last_stats();
+            (times[times.len() / 2], stats.steals, stats.deferrals)
         };
-        let private = time_exec(false);
-        let cached = time_exec(true);
+        let (private, _, _) = time_exec(false);
+        let (cached, steals, deferrals) = time_exec(true);
         let _ = writeln!(out, "  {threads:>7} {private:>12.3e} {cached:>12.3e} {:>14.2}x", private / cached);
         sweep_rows.push((threads, private, cached));
+        sweep_stats.push((steals, deferrals));
+    }
+
+    // Parallel efficiency: measured scaling of the cached executor
+    // against the simulator's prediction for the same decomposition on
+    // an overhead-free p-SM processor. The simulated speedup is the
+    // quantization-limited ideal, so the measured curve should sit at
+    // or below it; on machines with fewer cores than the sweep point
+    // the measured curve flattens and only the upper bound applies.
+    let sim_makespan = |p: usize| -> f64 {
+        let decomp = Decomposition::stream_k(shape, tile, p);
+        let base = GpuSpec::hypothetical_4sm();
+        // The simulator's per-SM rate is total peak / sms, so a width
+        // sweep must scale the total peak with p to hold each SM's
+        // throughput constant.
+        let gpu = GpuSpec {
+            sms: p,
+            fp64_tflops: base.fp64_tflops * p as f64 / base.sms as f64,
+            name: "scaling-sim",
+            ..base
+        };
+        simulate(&decomp, &gpu, Precision::Fp64).makespan
+    };
+    let base_cached = sweep_rows[0].2;
+    let sim_base = sim_makespan(thread_counts[0]);
+    let _ = writeln!(out, "\nparallel efficiency (cached, vs {} thread(s); sim = overhead-free p-SM prediction):", thread_counts[0]);
+    let _ = writeln!(out, "  threads   GFLOP/s  speedup    eff%  sim speedup  bracket  steals  deferrals");
+    let mut eff_json: Vec<String> = Vec::new();
+    for (i, &(threads, _, cached)) in sweep_rows.iter().enumerate() {
+        let (steals, deferrals) = sweep_stats[i];
+        let gflops = flops / cached / 1e9;
+        let speedup = base_cached / cached;
+        let efficiency_pct = speedup / threads as f64 * 100.0;
+        let sim_speedup = sim_base / sim_makespan(threads);
+        // Upper bound always holds (the sim is an ideal); the lower
+        // bound only binds when the host actually has `threads` cores.
+        let within_bracket =
+            speedup <= sim_speedup * 1.15 && (threads > nproc || speedup >= sim_speedup * 0.5);
+        let _ = writeln!(
+            out,
+            "  {threads:>7} {gflops:>9.2} {speedup:>7.2}x {efficiency_pct:>6.1} {sim_speedup:>11.2}x {:>8} {steals:>7} {deferrals:>10}",
+            if within_bracket { "ok" } else { "MISS" }
+        );
+        eff_json.push(format!(
+            "    {{\"threads\": {threads}, \"gflops\": {gflops:.3}, \"speedup\": {speedup:.3}, \"efficiency_pct\": {efficiency_pct:.1}, \"sim_speedup\": {sim_speedup:.3}, \"within_bracket\": {within_bracket}, \"steals\": {steals}, \"deferrals\": {deferrals}}}"
+        ));
     }
 
     let corpus_json: Vec<String> = corpus_rows
@@ -466,13 +518,14 @@ fn run_bench(size: usize, tile: TileShape, corpus: usize, reps: usize, smoke: bo
         })
         .collect();
     let json = format!(
-        "{{\n  \"generated_by\": \"streamk bench\",\n  \"smoke\": {smoke},\n  \"tile\": \"{tile}\",\n  \"simd_level\": \"{simd_level}\",\n  \"bit_exact_f64\": true,\n  \"headline\": {{\n    \"shape\": \"{shape}\",\n    \"dtype\": \"f32\",\n    \"reps\": {reps},\n    \"timings_s\": {},\n    \"cached_timings_s\": {},\n    \"best_packed\": \"{}\",\n    \"speedup_packed_vs_blocked\": {speedup:.3},\n    \"best_simd\": \"{}\",\n    \"best_simd_gflops\": {:.2},\n    \"speedup_simd_vs_scalar\": {simd_speedup:.3}\n  }},\n  \"thread_scaling\": [\n{}\n  ],\n  \"corpus\": [\n{}\n  ],\n  \"selection\": {{\"best\": \"{}\", \"shape\": \"{}\", \"timings_s\": {}}}\n}}\n",
+        "{{\n  \"generated_by\": \"streamk bench\",\n  \"smoke\": {smoke},\n  \"tile\": \"{tile}\",\n  \"simd_level\": \"{simd_level}\",\n  \"nproc\": {nproc},\n  \"bit_exact_f64\": true,\n  \"headline\": {{\n    \"shape\": \"{shape}\",\n    \"dtype\": \"f32\",\n    \"reps\": {reps},\n    \"timings_s\": {},\n    \"cached_timings_s\": {},\n    \"best_packed\": \"{}\",\n    \"speedup_packed_vs_blocked\": {speedup:.3},\n    \"best_simd\": \"{}\",\n    \"best_simd_gflops\": {:.2},\n    \"speedup_simd_vs_scalar\": {simd_speedup:.3}\n  }},\n  \"thread_scaling\": [\n{}\n  ],\n  \"parallel_efficiency\": [\n{}\n  ],\n  \"corpus\": [\n{}\n  ],\n  \"selection\": {{\"best\": \"{}\", \"shape\": \"{}\", \"timings_s\": {}}}\n}}\n",
         json_timings(&headline),
         json_timings(&headline_cached),
         best_packed.0.name(),
         best_simd.0.name(),
         flops / best_simd.1 / 1e9,
         sweep_json.join(",\n"),
+        eff_json.join(",\n"),
         corpus_json.join(",\n"),
         sel.best.name(),
         sel.shape,

@@ -1,0 +1,108 @@
+//! Static contiguous work assignment — the CPU scheduler's analogue
+//! of Algorithm 4's iteration-range arithmetic.
+//!
+//! Stream-K assigns each CTA a contiguous share (within one) of the
+//! aggregate MAC-loop iteration space; the CPU executor applies the
+//! same idea one level up, assigning each *worker* a contiguous share
+//! of the CTA dispatch sequence. Contiguity is what preserves the
+//! [`TileOrder`](crate::order::TileOrder) swizzle: consecutive CTAs
+//! touch neighbouring output tiles (and therefore shared operand
+//! panels), so a worker walking its own range reuses panels exactly
+//! as a GPU wave walking the dispatch order would.
+//!
+//! [`contiguous_ranges`] is the one splitting rule, shared by the CPU
+//! scheduler and the simulator-facing analysis so the two never
+//! disagree about who starts where.
+
+use std::ops::Range;
+
+/// Splits `[0, total)` into `workers` contiguous ranges whose lengths
+/// differ by at most one, earlier ranges taking the extra element —
+/// the same "even share, within one" rule Stream-K uses for CTA
+/// iteration ranges (Algorithm 4).
+///
+/// Workers beyond `total` receive empty ranges.
+///
+/// # Panics
+///
+/// Panics if `workers` is zero.
+#[must_use]
+pub fn contiguous_ranges(total: usize, workers: usize) -> Vec<Range<usize>> {
+    assert!(workers > 0, "need at least one worker");
+    (0..workers).map(|w| contiguous_range(total, workers, w)).collect()
+}
+
+/// The range worker `w` receives under [`contiguous_ranges`], without
+/// materializing the full table.
+///
+/// # Panics
+///
+/// Panics if `workers` is zero or `w >= workers`.
+#[must_use]
+pub fn contiguous_range(total: usize, workers: usize, w: usize) -> Range<usize> {
+    assert!(workers > 0, "need at least one worker");
+    assert!(w < workers, "worker {w} out of range for {workers} workers");
+    let base = total / workers;
+    let extra = total % workers;
+    let begin = w * base + w.min(extra);
+    let len = base + usize::from(w < extra);
+    begin..begin + len
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_partition_the_total() {
+        for total in [0, 1, 5, 16, 17, 97] {
+            for workers in [1, 2, 3, 4, 7, 16, 33] {
+                let ranges = contiguous_ranges(total, workers);
+                assert_eq!(ranges.len(), workers);
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next, "{total}/{workers}: ranges must be contiguous");
+                    next = r.end;
+                }
+                assert_eq!(next, total, "{total}/{workers}: ranges must cover everything");
+            }
+        }
+    }
+
+    #[test]
+    fn shares_are_even_within_one() {
+        for total in [1, 10, 23, 100] {
+            for workers in [1, 3, 7, 12] {
+                let lens: Vec<usize> =
+                    contiguous_ranges(total, workers).iter().map(Range::len).collect();
+                let (min, max) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+                assert!(max - min <= 1, "{total}/{workers}: {lens:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn excess_workers_get_empty_ranges() {
+        let ranges = contiguous_ranges(3, 5);
+        assert_eq!(ranges[3], 3..3);
+        assert_eq!(ranges[4], 3..3);
+    }
+
+    #[test]
+    fn single_lookup_matches_table() {
+        for total in [0, 9, 50] {
+            for workers in [1, 4, 6] {
+                let table = contiguous_ranges(total, workers);
+                for (w, expected) in table.iter().enumerate() {
+                    assert_eq!(&contiguous_range(total, workers, w), expected);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_is_rejected() {
+        let _ = contiguous_ranges(10, 0);
+    }
+}

@@ -27,6 +27,7 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod assign;
 pub mod batched;
 pub mod decomposition;
 pub mod error;
@@ -38,6 +39,7 @@ pub mod skew;
 pub mod space;
 pub mod work;
 
+pub use assign::{contiguous_range, contiguous_ranges};
 pub use batched::{BatchedDecomposition, BatchedSpace};
 pub use decomposition::{Decomposition, Strategy};
 pub use error::DecomposeError;
@@ -46,4 +48,4 @@ pub use model::{CostModel, GridSizeModel};
 pub use order::TileOrder;
 pub use recovery::{peer_contribution, recompute_cost, ExecutorError, FixupError};
 pub use space::IterSpace;
-pub use work::{CtaWork, TileFixup, TileSegment};
+pub use work::{CtaWork, PeerTable, TileFixup, TileSegment};

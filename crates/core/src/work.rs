@@ -145,6 +145,73 @@ impl TileFixup {
     }
 }
 
+/// Per-owner peer lists in one flat CSR table, indexed by CTA id.
+///
+/// Executors consult "who are CTA `i`'s fixup peers?" once per owner
+/// segment; building that lookup by cloning each [`TileFixup`]'s peers
+/// vector costs one heap allocation per split tile per launch. The
+/// table stores all peer lists in two flat vectors instead (offsets +
+/// concatenated ids) — two allocations per launch, borrowed slices
+/// everywhere after.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeerTable {
+    /// `offsets[i]..offsets[i + 1]` indexes `peers` for owner `i`.
+    offsets: Vec<usize>,
+    /// All peer ids, concatenated in owner order, each list ascending.
+    peers: Vec<usize>,
+}
+
+impl PeerTable {
+    /// Builds the table for a grid of `grid` CTAs from its fixups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fixup names an owner outside the grid.
+    #[must_use]
+    pub fn new(grid: usize, fixups: &[TileFixup]) -> Self {
+        let mut counts = vec![0usize; grid + 1];
+        for f in fixups {
+            assert!(f.owner < grid, "fixup owner {} outside grid of {grid}", f.owner);
+            counts[f.owner + 1] += f.peers.len();
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let mut peers = vec![0usize; counts[grid]];
+        let mut cursor = counts.clone();
+        for f in fixups {
+            for &p in &f.peers {
+                peers[cursor[f.owner]] = p;
+                cursor[f.owner] += 1;
+            }
+        }
+        Self { offsets: counts, peers }
+    }
+
+    /// The fixup peers of CTA `owner`, in ascending id order (empty
+    /// for CTAs that own no split tile).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `owner` is outside the grid.
+    #[must_use]
+    pub fn peers(&self, owner: usize) -> &[usize] {
+        &self.peers[self.offsets[owner]..self.offsets[owner + 1]]
+    }
+
+    /// The grid size this table was built for.
+    #[must_use]
+    pub fn grid(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total peer entries across all owners.
+    #[must_use]
+    pub fn total_peers(&self) -> usize {
+        self.peers.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -226,5 +293,36 @@ mod tests {
         assert!(!f.is_data_parallel());
         let dp = TileFixup { tile_idx: 1, owner: 0, peers: vec![] };
         assert!(dp.is_data_parallel());
+    }
+
+    #[test]
+    fn peer_table_matches_fixups() {
+        let fixups = vec![
+            TileFixup { tile_idx: 0, owner: 0, peers: vec![1, 2] },
+            TileFixup { tile_idx: 3, owner: 2, peers: vec![] },
+            TileFixup { tile_idx: 5, owner: 4, peers: vec![5, 6, 7] },
+        ];
+        let table = PeerTable::new(8, &fixups);
+        assert_eq!(table.grid(), 8);
+        assert_eq!(table.total_peers(), 5);
+        assert_eq!(table.peers(0), &[1, 2]);
+        assert_eq!(table.peers(2), &[] as &[usize]);
+        assert_eq!(table.peers(4), &[5, 6, 7]);
+        for owner in [1, 3, 5, 6, 7] {
+            assert!(table.peers(owner).is_empty(), "owner {owner}");
+        }
+    }
+
+    #[test]
+    fn peer_table_of_empty_grid() {
+        let table = PeerTable::new(0, &[]);
+        assert_eq!(table.grid(), 0);
+        assert_eq!(table.total_peers(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside grid")]
+    fn peer_table_rejects_out_of_grid_owner() {
+        let _ = PeerTable::new(2, &[TileFixup { tile_idx: 0, owner: 5, peers: vec![6] }]);
     }
 }

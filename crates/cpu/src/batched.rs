@@ -12,7 +12,7 @@ use crate::output::TileWriter;
 use crate::packcache::{mac_loop_kernel_cached, PackCache};
 use crate::workspace::Workspace;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use streamk_core::BatchedDecomposition;
+use streamk_core::{BatchedDecomposition, PeerTable};
 use streamk_matrix::{Matrix, Promote, Scalar};
 
 impl CpuExecutor {
@@ -53,12 +53,8 @@ impl CpuExecutor {
             "decomposition needs {max_covering} co-resident CTAs but the executor has {} threads",
             self.threads()
         );
-        let mut owner_peers: Vec<Vec<usize>> = vec![Vec::new(); decomp.grid_size()];
-        for f in &fixups {
-            if !f.peers.is_empty() {
-                owner_peers[f.owner] = f.peers.clone();
-            }
-        }
+        // Flat CSR peer table — no per-launch Vec-of-Vec cloning.
+        let owner_peers = PeerTable::new(decomp.grid_size(), &fixups);
 
         let tile = instance.tile();
         let mut outputs: Vec<Matrix<Acc>> = (0..space.batch())
@@ -89,80 +85,82 @@ impl CpuExecutor {
         } else {
             Vec::new()
         };
-        std::thread::scope(|scope| {
-            for _ in 0..self.threads() {
-                scope.spawn(|| {
-                    // Per-worker arena: accumulator, pack panels, and
-                    // the fixup-partial pool are recycled across every
-                    // segment this worker runs.
-                    let mut ws = Workspace::<In, Acc>::new(tile.blk_m * tile.blk_n);
-                    loop {
-                        let id = next_cta.fetch_add(1, Ordering::Relaxed);
-                        if id >= ctas.len() {
-                            break;
-                        }
-                        let cta = &ctas[id];
-                        // Walk the CTA's global range tile by tile
-                        // (the batched analogue of Algorithm 5's
-                        // outer loop).
-                        let mut iter = cta.iter_begin;
-                        while iter < cta.iter_end {
-                            let global_tile = iter / ipt;
-                            let tile_first = global_tile * ipt;
-                            let seg_end = cta.iter_end.min(tile_first + ipt);
-                            let (instance_idx, local_tile) = space.locate(global_tile);
+        // Global-counter claiming (not the single-GEMM path's static
+        // ranges): batched owners *block* in `wait_and_take`, and the
+        // round-robin order guarantees a blocked owner's peers are
+        // already claimed by other workers.
+        let tile_len = tile.blk_m * tile.blk_n;
+        self.worker_pool().run(&|_wid, scratch| {
+            // Per-worker arena from the persistent pool's scratch
+            // store: accumulator, pack panels, and the fixup-partial
+            // pool stay warm across segments *and* across launches.
+            let ws = scratch.get_or_insert_with(|| Workspace::<In, Acc>::new(tile_len));
+            ws.ensure_tile_len(tile_len);
+            loop {
+                let id = next_cta.fetch_add(1, Ordering::Relaxed);
+                if id >= ctas.len() {
+                    break;
+                }
+                let cta = &ctas[id];
+                // Walk the CTA's global range tile by tile (the
+                // batched analogue of Algorithm 5's outer loop).
+                let mut iter = cta.iter_begin;
+                while iter < cta.iter_end {
+                    let global_tile = iter / ipt;
+                    let tile_first = global_tile * ipt;
+                    let seg_end = cta.iter_end.min(tile_first + ipt);
+                    let (instance_idx, local_tile) = space.locate(global_tile);
 
-                            let starts = iter == tile_first;
-                            let ends = seg_end == tile_first + ipt;
-                            if !starts {
-                                let mut partial = ws.take_partial();
-                                mac_loop_kernel_cached(
-                                    kind,
-                                    caches.get(instance_idx),
-                                    &a[instance_idx].view(),
-                                    &b[instance_idx].view(),
-                                    instance,
-                                    local_tile,
-                                    iter - tile_first,
-                                    seg_end - tile_first,
-                                    &mut partial,
-                                    &mut ws.pack,
-                                );
-                                board
-                                    .store_and_signal(cta.cta_id, partial)
-                                    .expect("fault-free batched schedule");
-                            } else {
-                                ws.reset_accum();
-                                mac_loop_kernel_cached(
-                                    kind,
-                                    caches.get(instance_idx),
-                                    &a[instance_idx].view(),
-                                    &b[instance_idx].view(),
-                                    instance,
-                                    local_tile,
-                                    iter - tile_first,
-                                    seg_end - tile_first,
-                                    &mut ws.accum,
-                                    &mut ws.pack,
-                                );
-                                if !ends {
-                                    for &peer in &owner_peers[cta.cta_id] {
-                                        let partial = board.wait_and_take(peer);
-                                        for (acc, p) in ws.accum.iter_mut().zip(&partial) {
-                                            *acc += *p;
-                                        }
-                                        ws.recycle_partial(partial);
-                                    }
+                    let starts = iter == tile_first;
+                    let ends = seg_end == tile_first + ipt;
+                    if !starts {
+                        let mut partial = ws.take_partial();
+                        mac_loop_kernel_cached(
+                            kind,
+                            caches.get(instance_idx),
+                            &a[instance_idx].view(),
+                            &b[instance_idx].view(),
+                            instance,
+                            local_tile,
+                            iter - tile_first,
+                            seg_end - tile_first,
+                            &mut partial,
+                            &mut ws.pack,
+                        );
+                        board
+                            .store_and_signal(cta.cta_id, partial)
+                            .expect("fault-free batched schedule");
+                    } else {
+                        ws.reset_accum();
+                        mac_loop_kernel_cached(
+                            kind,
+                            caches.get(instance_idx),
+                            &a[instance_idx].view(),
+                            &b[instance_idx].view(),
+                            instance,
+                            local_tile,
+                            iter - tile_first,
+                            seg_end - tile_first,
+                            &mut ws.accum,
+                            &mut ws.pack,
+                        );
+                        if !ends {
+                            for &peer in owner_peers.peers(cta.cta_id) {
+                                let partial = board.wait_and_take(peer);
+                                for (acc, p) in ws.accum.iter_mut().zip(&partial) {
+                                    *acc += *p;
                                 }
-                                let (rows, cols) = instance.tile_extents(local_tile);
-                                writers[instance_idx].store_tile(local_tile, rows, cols, tile.blk_n, &ws.accum);
+                                ws.recycle_partial(partial);
                             }
-                            iter = seg_end;
                         }
+                        let (rows, cols) = instance.tile_extents(local_tile);
+                        writers[instance_idx].store_tile(local_tile, rows, cols, tile.blk_n, &ws.accum);
                     }
-                });
+                    iter = seg_end;
+                }
             }
         });
+        self.record_stats(0, 0);
         drop(writers);
         outputs
     }

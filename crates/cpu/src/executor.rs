@@ -17,23 +17,41 @@
 //!   fault-free run.
 
 use crate::fault::{FaultKind, FaultPlan};
-use crate::fixup::{FixupBoard, WaitOutcome, WaitPolicy};
+use crate::fixup::{FixupBoard, TryTake, WaitOutcome, WaitPolicy};
 use crate::microkernel::KernelKind;
 use crate::output::TileWriter;
 use crate::packcache::{mac_loop_kernel_cached, PackCache};
+use crate::pad::CachePadded;
+use crate::pool::WorkerPool;
+use crate::sched::CtaScheduler;
 use crate::workspace::Workspace;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
-use streamk_core::{peer_contribution, CtaWork, Decomposition, ExecutorError, FixupError};
+use streamk_core::{
+    peer_contribution, CtaWork, Decomposition, ExecutorError, FixupError, PeerTable,
+};
 use streamk_matrix::{Matrix, MatrixView, Promote, Scalar};
+
+/// The process-wide default worker count, resolved exactly once:
+/// `available_parallelism` can cost a syscall (and never changes), yet
+/// `ExecutorConfig::default()` sits on hot construction paths — every
+/// `with_threads`, every bench-loop executor.
+fn default_threads() -> usize {
+    static DEFAULT_THREADS: OnceLock<usize> = OnceLock::new();
+    *DEFAULT_THREADS.get_or_init(|| {
+        std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get)
+    })
+}
 
 /// Executor configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExecutorConfig {
     /// Worker threads — the executor's "SM count". Each worker holds
-    /// one CTA at a time and claims the next in id order, exactly
-    /// like the GPU work distributor the simulator models.
+    /// one CTA at a time and claims from its own static contiguous
+    /// range of the dispatch order (stealing from the richest
+    /// neighbour when it drains), mirroring the GPU's per-SM work
+    /// assignment rather than a single global queue.
     pub threads: usize,
     /// Watchdog deadline for each owner-side `Wait`: a peer that has
     /// not signaled within this budget is treated as lost.
@@ -53,14 +71,36 @@ pub struct ExecutorConfig {
 
 impl Default for ExecutorConfig {
     fn default() -> Self {
-        let threads = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
         Self {
-            threads,
+            threads: default_threads(),
             watchdog: WaitPolicy::DEFAULT_WATCHDOG,
             kernel: KernelKind::default(),
             pack_cache: true,
         }
     }
+}
+
+/// Scheduling counters from an executor's most recent grid launch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// CTA blocks stolen between workers (locality-aware scheduler
+    /// rebalancing; zero when the static ranges were already even).
+    pub steals: usize,
+    /// Owner consolidations parked cooperatively because a peer had
+    /// not signaled yet (the worker claimed other work instead of
+    /// blocking).
+    pub deferrals: usize,
+    /// Grid launches completed by this executor (clones included) so
+    /// far.
+    pub launches: usize,
+}
+
+/// Shared mutable stats cell behind the executor's `&self` API.
+#[derive(Debug, Default)]
+struct StatsCell {
+    steals: AtomicUsize,
+    deferrals: AtomicUsize,
+    launches: AtomicUsize,
 }
 
 /// Why a tile owner recomputed a peer's contribution.
@@ -91,7 +131,8 @@ pub struct RecoveryEvent {
 /// What fault recovery did during one execution.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RecoveryReport {
-    /// Every recovery action, in the order owners performed them.
+    /// Every recovery action, grouped by the worker that performed it
+    /// (in execution order within each worker).
     pub events: Vec<RecoveryEvent>,
 }
 
@@ -150,6 +191,11 @@ impl RecoveryReport {
 #[derive(Debug, Clone, Default)]
 pub struct CpuExecutor {
     config: ExecutorConfig,
+    /// The persistent worker pool, spawned lazily on the first launch
+    /// and reused for every one after (clones share it): the "SM
+    /// array" exists once, not once per GEMM.
+    pool: Arc<OnceLock<WorkerPool>>,
+    stats: Arc<StatsCell>,
 }
 
 impl CpuExecutor {
@@ -157,7 +203,7 @@ impl CpuExecutor {
     #[must_use]
     pub fn new(config: ExecutorConfig) -> Self {
         assert!(config.threads > 0, "executor needs at least one thread");
-        Self { config }
+        Self { config, pool: Arc::default(), stats: Arc::default() }
     }
 
     /// Creates an executor with exactly `threads` workers.
@@ -211,6 +257,33 @@ impl CpuExecutor {
     #[must_use]
     pub fn pack_cache(&self) -> bool {
         self.config.pack_cache
+    }
+
+    /// The executor's persistent [`WorkerPool`], spawning it on first
+    /// use. One pool serves every launch of this executor (and its
+    /// clones) for its whole lifetime; workers park between launches
+    /// and keep their workspace arenas warm.
+    #[must_use]
+    pub fn worker_pool(&self) -> &WorkerPool {
+        self.pool.get_or_init(|| WorkerPool::new(self.config.threads))
+    }
+
+    /// Scheduling counters from the most recent launch (any entry
+    /// point) on this executor or its clones.
+    #[must_use]
+    pub fn last_stats(&self) -> ExecStats {
+        ExecStats {
+            steals: self.stats.steals.load(Ordering::Relaxed),
+            deferrals: self.stats.deferrals.load(Ordering::Relaxed),
+            launches: self.stats.launches.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Records one finished launch's counters.
+    pub(crate) fn record_stats(&self, steals: usize, deferrals: usize) {
+        self.stats.steals.store(steals, Ordering::Relaxed);
+        self.stats.deferrals.store(deferrals, Ordering::Relaxed);
+        self.stats.launches.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Computes `C = A · B` by executing `decomp`'s grid.
@@ -363,9 +436,12 @@ impl CpuExecutor {
         check_shape("C", (shape.m, shape.n), (c.rows(), c.cols()))?;
         decomp.validate().map_err(|e| ExecutorError::InvalidDecomposition(e.to_string()))?;
 
-        // Residency requirement: a waiting owner occupies a worker, so
-        // the largest owner+peers group must fit in the pool (see the
-        // deadlock-freedom argument in this module's tests).
+        // Residency requirement, kept for GPU fidelity: on the device
+        // a waiting owner occupies an SM, so the largest owner+peers
+        // group must be co-resident. The CPU path's cooperative
+        // deferral would tolerate narrower pools, but refusing keeps
+        // the launch contract identical to the simulator's and the
+        // batched/grouped executors' (whose owners do block).
         let fixups = decomp.fixups();
         let max_covering = fixups.iter().map(|f| f.covering_ctas()).max().unwrap_or(1);
         if max_covering > self.config.threads {
@@ -373,14 +449,6 @@ impl CpuExecutor {
                 needed: max_covering,
                 threads: self.config.threads,
             });
-        }
-
-        // Per-owner peer lists, indexed by CTA id.
-        let mut owner_peers: Vec<Vec<usize>> = vec![Vec::new(); decomp.grid_size()];
-        for f in &fixups {
-            if !f.peers.is_empty() {
-                owner_peers[f.owner] = f.peers.clone();
-            }
         }
 
         let policy = WaitPolicy::with_watchdog(self.config.watchdog);
@@ -391,54 +459,69 @@ impl CpuExecutor {
         } else {
             None
         };
+        let workers = self.config.threads;
         let ctx = GridCtx {
             decomp,
             ctas: decomp.ctas(),
-            owner_peers,
+            // Per-owner peer lists in one flat CSR table — built once
+            // from the fixup structure, no per-launch Vec-of-Vec
+            // cloning.
+            peers: PeerTable::new(decomp.grid_size(), &fixups),
             board: FixupBoard::<Acc>::new(decomp.grid_size()),
             plan,
             policy,
             kernel: self.config.kernel,
             cache,
             recover,
-            events: Mutex::new(Vec::new()),
+            deferrals: AtomicUsize::new(0),
+            events: (0..workers).map(|_| CachePadded::new(Mutex::new(Vec::new()))).collect(),
             error: Mutex::new(None),
         };
 
-        let next_cta = AtomicUsize::new(0);
+        // Locality-aware dispatch: static contiguous per-worker ranges
+        // of the (swizzled) CTA order, rebalanced by range-stealing.
+        let sched = CtaScheduler::new(ctx.ctas.len(), workers);
         let (rows, cols, layout) = (c.rows(), c.cols(), c.layout());
         let writer = TileWriter::new(c.as_mut_slice(), rows, cols, layout, space.tiles());
         let tile = space.tile();
-        std::thread::scope(|scope| {
-            for _ in 0..self.config.threads {
-                scope.spawn(|| {
-                    // One arena per worker: pack panels, accumulator
-                    // tile, recovery scratch, and the fixup partial
-                    // pool all live for the worker's whole run.
-                    let mut ws = Workspace::<In, Acc>::new(tile.blk_m * tile.blk_n);
-                    loop {
-                        let id = next_cta.fetch_add(1, Ordering::Relaxed);
-                        if id >= ctx.ctas.len() {
-                            break;
-                        }
-                        if let Err(e) = run_cta(&ctx, id, a, b, &writer, alpha, beta, &mut ws) {
-                            let mut slot =
-                                ctx.error.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-                            slot.get_or_insert(e);
-                            // Stop claiming work; peers of CTAs this
-                            // worker would have run will hit their own
-                            // watchdogs, so the pool still terminates.
-                            break;
-                        }
-                    }
-                });
+        let tile_len = tile.blk_m * tile.blk_n;
+        self.worker_pool().run(&|wid, scratch| {
+            // The arena survives in the worker's scratch store across
+            // launches: pack panels, accumulator tile, and the fixup
+            // partial pool stay warm from GEMM to GEMM.
+            let ws = scratch.get_or_insert_with(|| Workspace::<In, Acc>::new(tile_len));
+            ws.ensure_tile_len(tile_len);
+            let mut deferred = Vec::new();
+            let mut events = Vec::new();
+            if let Err(e) =
+                worker_loop(&ctx, &sched, wid, a, b, &writer, alpha, beta, ws, &mut deferred, &mut events)
+            {
+                let mut slot = ctx.error.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                slot.get_or_insert(e);
+                // Stop claiming work; owners waiting on CTAs this
+                // worker abandoned will hit their own watchdogs, so
+                // the launch still terminates.
+            }
+            if !events.is_empty() {
+                // One uncontended lock per worker per launch: events
+                // were buffered locally, not pushed through a global
+                // mutex on the hot path.
+                let mut sink =
+                    ctx.events[wid].lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                sink.append(&mut events);
             }
         });
+        self.record_stats(sched.steals(), ctx.deferrals.load(Ordering::Relaxed));
 
         if let Some(e) = ctx.error.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner) {
             return Err(e);
         }
-        let events = ctx.events.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut events = Vec::new();
+        for slot in ctx.events {
+            events.append(
+                &mut slot.0.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner),
+            );
+        }
         Ok(RecoveryReport { events })
     }
 }
@@ -459,15 +542,225 @@ fn check_shape(
 struct GridCtx<'a, In, Acc> {
     decomp: &'a Decomposition,
     ctas: &'a [CtaWork],
-    owner_peers: Vec<Vec<usize>>,
+    peers: PeerTable,
     board: FixupBoard<Acc>,
     plan: &'a FaultPlan,
     policy: WaitPolicy,
     kernel: KernelKind,
     cache: Option<PackCache<In>>,
     recover: bool,
-    events: Mutex<Vec<RecoveryEvent>>,
+    /// Owner consolidations parked cooperatively this launch.
+    deferrals: AtomicUsize,
+    /// Per-worker recovery-event sinks (each written once, at worker
+    /// exit), merged in worker order after the launch.
+    events: Vec<CachePadded<Mutex<Vec<RecoveryEvent>>>>,
     error: Mutex<Option<ExecutorError>>,
+}
+
+/// One parked owner consolidation: the owner's own accumulated
+/// contribution plus the index of the first peer still pending.
+/// Folding resumes in strict ascending peer order from `next_peer`,
+/// so a deferred consolidation combines partials in exactly the order
+/// a blocking one would — bit-identical output.
+struct Deferred<Acc> {
+    owner: usize,
+    tile_idx: usize,
+    accum: Vec<Acc>,
+    next_peer: usize,
+}
+
+/// One worker's launch loop: drain any ready deferred consolidations,
+/// claim the next CTA from the scheduler (own range first, then
+/// steal), and finally drain the remaining deferred tiles blocking.
+///
+/// The final drain cannot deadlock: `sched.next` returned `None`, so
+/// every CTA is claimed; claimed contributors run to their signal
+/// without ever waiting (owners *defer* instead of blocking inside
+/// the claim loop), so every pending peer either signals in bounded
+/// time or trips the watchdog.
+#[allow(clippy::too_many_arguments)]
+fn worker_loop<In, Acc>(
+    ctx: &GridCtx<'_, In, Acc>,
+    sched: &CtaScheduler,
+    wid: usize,
+    a: &MatrixView<'_, In>,
+    b: &MatrixView<'_, In>,
+    writer: &TileWriter<'_, Acc>,
+    alpha: Acc,
+    beta: Acc,
+    ws: &mut Workspace<In, Acc>,
+    deferred: &mut Vec<Deferred<Acc>>,
+    events: &mut Vec<RecoveryEvent>,
+) -> Result<(), ExecutorError>
+where
+    In: Promote<Acc>,
+    Acc: Scalar,
+{
+    loop {
+        drain_deferred(ctx, deferred, events, a, b, writer, alpha, beta, ws, false)?;
+        let Some(id) = sched.next(wid) else { break };
+        run_cta(ctx, id, a, b, writer, alpha, beta, ws, deferred, events)?;
+    }
+    drain_deferred(ctx, deferred, events, a, b, writer, alpha, beta, ws, true)
+}
+
+/// Advances every parked consolidation as far as its peers allow,
+/// storing each completed tile. Non-blocking when `block` is false
+/// (a still-pending peer just parks the tile again); the final drain
+/// passes `block = true` and descends the watchdog ladder.
+#[allow(clippy::too_many_arguments)]
+fn drain_deferred<In, Acc>(
+    ctx: &GridCtx<'_, In, Acc>,
+    deferred: &mut Vec<Deferred<Acc>>,
+    events: &mut Vec<RecoveryEvent>,
+    a: &MatrixView<'_, In>,
+    b: &MatrixView<'_, In>,
+    writer: &TileWriter<'_, Acc>,
+    alpha: Acc,
+    beta: Acc,
+    ws: &mut Workspace<In, Acc>,
+    block: bool,
+) -> Result<(), ExecutorError>
+where
+    In: Promote<Acc>,
+    Acc: Scalar,
+{
+    let space = ctx.decomp.space();
+    let blk_n = space.tile().blk_n;
+    let mut i = 0;
+    while i < deferred.len() {
+        let d = &mut deferred[i];
+        let done = advance_consolidation(
+            ctx, d.owner, d.tile_idx, &mut d.accum, &mut d.next_peer, a, b, ws, events, block,
+        )?;
+        if done {
+            let d = deferred.swap_remove(i);
+            let (row_range, col_range) = space.tile_extents(d.tile_idx);
+            writer.store_tile_ex(d.tile_idx, row_range, col_range, blk_n, &d.accum, alpha, beta);
+            ws.recycle_partial(d.accum);
+        } else {
+            i += 1;
+        }
+    }
+    Ok(())
+}
+
+/// Folds peers into `accum` in ascending order starting at
+/// `*next_peer`. Returns `Ok(true)` when every peer has been folded;
+/// `Ok(false)` (only when `block` is false) when a peer is still
+/// pending — the caller parks the consolidation and does other work.
+///
+/// Missing records (watchdog timeout when blocking, or a poisoned
+/// slot either way) are recomputed from the peer's static work
+/// descriptor when recovery is on, and surface as typed errors when
+/// it is off — identical semantics to the old blocking-only path.
+#[allow(clippy::too_many_arguments)]
+fn advance_consolidation<In, Acc>(
+    ctx: &GridCtx<'_, In, Acc>,
+    owner: usize,
+    tile_idx: usize,
+    accum: &mut [Acc],
+    next_peer: &mut usize,
+    a: &MatrixView<'_, In>,
+    b: &MatrixView<'_, In>,
+    ws: &mut Workspace<In, Acc>,
+    events: &mut Vec<RecoveryEvent>,
+    block: bool,
+) -> Result<bool, ExecutorError>
+where
+    In: Promote<Acc>,
+    Acc: Scalar,
+{
+    let peers = ctx.peers.peers(owner);
+    while *next_peer < peers.len() {
+        let peer = peers[*next_peer];
+        let cause = if block {
+            match ctx.board.wait_with(peer, &ctx.policy) {
+                WaitOutcome::Signaled(partial) => {
+                    for (acc, p) in accum.iter_mut().zip(&partial) {
+                        *acc += *p;
+                    }
+                    // The peer's buffer now feeds this worker's pool —
+                    // cross-thread transfer still converges to an
+                    // allocation-free steady state.
+                    ws.recycle_partial(partial);
+                    *next_peer += 1;
+                    continue;
+                }
+                WaitOutcome::Poisoned => RecoveryCause::Poisoned,
+                WaitOutcome::TimedOut { waited } => {
+                    if !ctx.recover {
+                        return Err(FixupError::WatchdogTimeout { peer, waited }.into());
+                    }
+                    RecoveryCause::Timeout(waited)
+                }
+            }
+        } else {
+            match ctx.board.try_take(peer) {
+                TryTake::Ready(partial) => {
+                    for (acc, p) in accum.iter_mut().zip(&partial) {
+                        *acc += *p;
+                    }
+                    ws.recycle_partial(partial);
+                    *next_peer += 1;
+                    continue;
+                }
+                TryTake::Poisoned => RecoveryCause::Poisoned,
+                TryTake::Pending => return Ok(false),
+            }
+        };
+        if cause == RecoveryCause::Poisoned && !ctx.recover {
+            return Err(FixupError::PoisonedPartials { cta: peer }.into());
+        }
+        // Recovery: reconstruct the peer's contribution from its
+        // static work descriptor. Recomputing the same local range
+        // with the same kernel and folding at the same point in peer
+        // order keeps the final output bit-identical to the
+        // fault-free run.
+        let recomputed_iters = recompute_peer(ctx, peer, tile_idx, a, b, ws)?;
+        for (acc, p) in accum.iter_mut().zip(&ws.scratch) {
+            *acc += *p;
+        }
+        events.push(RecoveryEvent { peer, tile_idx, cause, recomputed_iters });
+        *next_peer += 1;
+    }
+    Ok(true)
+}
+
+/// Recomputes `peer`'s contribution to `tile_idx` into `ws.scratch`,
+/// returning the number of MAC-loop iterations re-executed.
+fn recompute_peer<In, Acc>(
+    ctx: &GridCtx<'_, In, Acc>,
+    peer: usize,
+    tile_idx: usize,
+    a: &MatrixView<'_, In>,
+    b: &MatrixView<'_, In>,
+    ws: &mut Workspace<In, Acc>,
+) -> Result<usize, ExecutorError>
+where
+    In: Promote<Acc>,
+    Acc: Scalar,
+{
+    let space = ctx.decomp.space();
+    let seg_p = peer_contribution(&ctx.ctas[peer], space, tile_idx).ok_or_else(|| {
+        ExecutorError::InvalidDecomposition(format!(
+            "fixup lists CTA {peer} as a peer of tile {tile_idx} but it contributes nothing",
+        ))
+    })?;
+    ws.reset_scratch();
+    mac_loop_kernel_cached(
+        ctx.kernel,
+        ctx.cache.as_ref(),
+        a,
+        b,
+        space,
+        tile_idx,
+        seg_p.local_begin,
+        seg_p.local_end,
+        &mut ws.scratch,
+        &mut ws.pack,
+    );
+    Ok(seg_p.len())
 }
 
 /// Executes one CTA: the iteration-processing outer loop of
@@ -478,6 +771,12 @@ struct GridCtx<'a, In, Acc> {
 /// accumulator, the packed operand panels, and every partial-sum
 /// buffer handed to the fixup board are pooled and recycled, so the
 /// steady-state loop performs no heap allocation.
+///
+/// An owner whose peers have not all signaled does **not** block
+/// here: it parks the consolidation in `deferred` (cooperative wait)
+/// and returns to the claim loop. With static per-worker CTA ranges
+/// an owner can sit *ahead of its own peers* in the dispatch order —
+/// a blocking wait would deadlock the launch, not just waste a core.
 #[allow(clippy::too_many_arguments)]
 fn run_cta<In, Acc>(
     ctx: &GridCtx<'_, In, Acc>,
@@ -488,6 +787,8 @@ fn run_cta<In, Acc>(
     alpha: Acc,
     beta: Acc,
     ws: &mut Workspace<In, Acc>,
+    deferred: &mut Vec<Deferred<Acc>>,
+    events: &mut Vec<RecoveryEvent>,
 ) -> Result<(), ExecutorError>
 where
     In: Promote<Acc>,
@@ -535,55 +836,25 @@ where
         mac_loop_kernel_cached(kind, cache, a, b, space, seg.tile_idx, seg.local_begin, seg.local_end, &mut ws.accum, &mut ws.pack);
 
         if !seg.ends_tile {
-            // Owner of a split tile: collect every peer's partials in
-            // ascending order before the store.
-            for &peer in &ctx.owner_peers[id] {
-                let cause = match ctx.board.wait_with(peer, &ctx.policy) {
-                    WaitOutcome::Signaled(partial) => {
-                        for (acc, p) in ws.accum.iter_mut().zip(&partial) {
-                            *acc += *p;
-                        }
-                        // The peer's buffer now feeds this worker's
-                        // pool — cross-thread traffic still converges
-                        // to an allocation-free steady state.
-                        ws.recycle_partial(partial);
-                        continue;
-                    }
-                    WaitOutcome::Poisoned => RecoveryCause::Poisoned,
-                    WaitOutcome::TimedOut { waited } => {
-                        if !ctx.recover {
-                            return Err(FixupError::WatchdogTimeout { peer, waited }.into());
-                        }
-                        RecoveryCause::Timeout(waited)
-                    }
-                };
-                if !ctx.recover {
-                    return Err(FixupError::PoisonedPartials { cta: peer }.into());
-                }
-                // Recovery: reconstruct the peer's contribution from
-                // its static work descriptor. Recomputing the same
-                // local range with the same kernel and accumulating at
-                // the same point in peer order keeps the final output
-                // bit-identical to the fault-free run.
-                let seg_p = peer_contribution(&ctx.ctas[peer], space, seg.tile_idx).ok_or_else(|| {
-                    ExecutorError::InvalidDecomposition(format!(
-                        "fixup lists CTA {peer} as a peer of tile {} but it contributes nothing",
-                        seg.tile_idx
-                    ))
-                })?;
-                ws.reset_scratch();
-                mac_loop_kernel_cached(kind, cache, a, b, space, seg.tile_idx, seg_p.local_begin, seg_p.local_end, &mut ws.scratch, &mut ws.pack);
-                for (acc, p) in ws.accum.iter_mut().zip(&ws.scratch) {
-                    *acc += *p;
-                }
-                let mut events = ctx.events.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-                events.push(RecoveryEvent {
-                    peer,
-                    tile_idx: seg.tile_idx,
-                    cause,
-                    recomputed_iters: seg_p.len(),
-                });
+            // Owner of a split tile: fold every peer that has already
+            // signaled (in ascending order); if one is still pending,
+            // park the consolidation and go claim other work instead
+            // of blocking a worker on it.
+            let mut accum = std::mem::take(&mut ws.accum);
+            let mut next_peer = 0;
+            let done = advance_consolidation(
+                ctx, id, seg.tile_idx, &mut accum, &mut next_peer, a, b, ws, events, false,
+            )?;
+            if !done {
+                ctx.deferrals.fetch_add(1, Ordering::Relaxed);
+                deferred.push(Deferred { owner: id, tile_idx: seg.tile_idx, accum, next_peer });
+                // Give the workspace a fresh (pooled) accumulator for
+                // the next segment; the parked one travels with the
+                // deferred record.
+                ws.accum = ws.take_partial();
+                continue;
             }
+            ws.accum = accum;
         }
 
         let (row_range, col_range) = space.tile_extents(seg.tile_idx);

@@ -23,6 +23,7 @@
 //! partials safe. By protocol the lock is never contended on the hot
 //! path (single writer, then single reader strictly after the flag).
 
+use crate::pad::CachePadded;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -146,11 +147,34 @@ impl Default for WaitPolicy {
     }
 }
 
+/// What a non-blocking probe of a peer's slot produced.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TryTake<Acc> {
+    /// The peer has signaled; here is its partial record.
+    Ready(
+        /// The peer's partial accumulator.
+        Vec<Acc>,
+    ),
+    /// The peer's record was poisoned — recompute its contribution.
+    Poisoned,
+    /// Nothing published yet — the caller should defer and do other
+    /// work rather than spin.
+    Pending,
+}
+
+/// One CTA's consolidation slot: the three-state flag and the partial
+/// record it guards, padded to a private cacheline block so a
+/// contributor's release-store never invalidates the line a *different*
+/// owner is polling.
+struct Slot<Acc> {
+    flag: AtomicU32,
+    partial: Mutex<Vec<Acc>>,
+}
+
 /// Shared consolidation state for one kernel launch: one partials slot
-/// and one three-state flag per CTA.
+/// and one three-state flag per CTA, each slot on its own cacheline.
 pub struct FixupBoard<Acc> {
-    flags: Vec<AtomicU32>,
-    partials: Vec<Mutex<Vec<Acc>>>,
+    slots: Vec<CachePadded<Slot<Acc>>>,
 }
 
 impl<Acc: Send> FixupBoard<Acc> {
@@ -158,8 +182,14 @@ impl<Acc: Send> FixupBoard<Acc> {
     #[must_use]
     pub fn new(grid: usize) -> Self {
         Self {
-            flags: (0..grid).map(|_| AtomicU32::new(PENDING)).collect(),
-            partials: (0..grid).map(|_| Mutex::new(Vec::new())).collect(),
+            slots: (0..grid)
+                .map(|_| {
+                    CachePadded::new(Slot {
+                        flag: AtomicU32::new(PENDING),
+                        partial: Mutex::new(Vec::new()),
+                    })
+                })
+                .collect(),
         }
     }
 
@@ -174,13 +204,13 @@ impl<Acc: Send> FixupBoard<Acc> {
     /// [`FixupError::SlotOutOfRange`] for a bad index.
     pub fn store_and_signal(&self, cta: usize, accum: Vec<Acc>) -> Result<(), FixupError> {
         let slot = self.slot(cta)?;
-        let mut guard = slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut guard = slot.partial.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         // Flag transitions happen only under the slot lock, so a
         // plain load-check-store is race-free among writers.
-        match self.flags[cta].load(Ordering::Relaxed) {
+        match slot.flag.load(Ordering::Relaxed) {
             PENDING => {
                 *guard = accum;
-                self.flags[cta].store(SIGNALED, Ordering::Release);
+                slot.flag.store(SIGNALED, Ordering::Release);
                 Ok(())
             }
             SIGNALED => Err(FixupError::DoubleSignal { cta }),
@@ -197,10 +227,30 @@ impl<Acc: Send> FixupBoard<Acc> {
     /// [`FixupError::SlotOutOfRange`] for a bad index.
     pub fn poison(&self, cta: usize) -> Result<(), FixupError> {
         let slot = self.slot(cta)?;
-        let mut guard = slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut guard = slot.partial.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         guard.clear();
-        self.flags[cta].store(POISONED, Ordering::Release);
+        slot.flag.store(POISONED, Ordering::Release);
         Ok(())
+    }
+
+    /// Non-blocking probe of `peer`'s slot: takes the record if
+    /// signaled, reports poison, or says *pending* without waiting.
+    ///
+    /// This is the cooperative-wait primitive: an owner that sees
+    /// [`TryTake::Pending`] parks the consolidation and claims other
+    /// work instead of descending the backoff ladder on a core.
+    #[must_use]
+    pub fn try_take(&self, peer: usize) -> TryTake<Acc> {
+        let slot = &self.slots[peer];
+        match slot.flag.load(Ordering::Acquire) {
+            SIGNALED => {
+                let mut guard =
+                    slot.partial.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                TryTake::Ready(std::mem::take(&mut *guard))
+            }
+            POISONED => TryTake::Poisoned,
+            _ => TryTake::Pending,
+        }
     }
 
     /// `Wait(flags[peer]); LoadPartials(partials[peer])` with bounded
@@ -208,10 +258,11 @@ impl<Acc: Send> FixupBoard<Acc> {
     /// giving up when `policy.watchdog` expires.
     #[must_use]
     pub fn wait_with(&self, peer: usize, policy: &WaitPolicy) -> WaitOutcome<Acc> {
-        let probed = policy.wait_until(|| match self.flags[peer].load(Ordering::Acquire) {
+        let slot = &self.slots[peer];
+        let probed = policy.wait_until(|| match slot.flag.load(Ordering::Acquire) {
             SIGNALED => {
                 let mut guard =
-                    self.partials[peer].lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                    slot.partial.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
                 Some(WaitOutcome::Signaled(std::mem::take(&mut *guard)))
             }
             POISONED => Some(WaitOutcome::Poisoned),
@@ -250,7 +301,7 @@ impl<Acc: Send> FixupBoard<Acc> {
     /// Panics if `cta` is out of range.
     #[must_use]
     pub fn state(&self, cta: usize) -> FlagState {
-        match self.flags[cta].load(Ordering::Acquire) {
+        match self.slots[cta].flag.load(Ordering::Acquire) {
             PENDING => FlagState::Pending,
             SIGNALED => FlagState::Signaled,
             _ => FlagState::Poisoned,
@@ -267,11 +318,14 @@ impl<Acc: Send> FixupBoard<Acc> {
     /// The grid size this board was built for.
     #[must_use]
     pub fn grid(&self) -> usize {
-        self.flags.len()
+        self.slots.len()
     }
 
-    fn slot(&self, cta: usize) -> Result<&Mutex<Vec<Acc>>, FixupError> {
-        self.partials.get(cta).ok_or(FixupError::SlotOutOfRange { cta, grid: self.flags.len() })
+    fn slot(&self, cta: usize) -> Result<&Slot<Acc>, FixupError> {
+        self.slots
+            .get(cta)
+            .map(|s| &s.0)
+            .ok_or(FixupError::SlotOutOfRange { cta, grid: self.slots.len() })
     }
 }
 

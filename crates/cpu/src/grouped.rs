@@ -6,7 +6,7 @@ use crate::output::TileWriter;
 use crate::packcache::{mac_loop_kernel_cached, PackCache};
 use crate::workspace::Workspace;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use streamk_core::GroupedDecomposition;
+use streamk_core::{GroupedDecomposition, PeerTable};
 use streamk_matrix::{Matrix, Promote, Scalar};
 
 impl CpuExecutor {
@@ -47,12 +47,8 @@ impl CpuExecutor {
             "decomposition needs {max_covering} co-resident CTAs but the executor has {} threads",
             self.threads()
         );
-        let mut owner_peers: Vec<Vec<usize>> = vec![Vec::new(); decomp.grid_size()];
-        for f in &fixups {
-            if !f.peers.is_empty() {
-                owner_peers[f.owner] = f.peers.clone();
-            }
-        }
+        // Flat CSR peer table — no per-launch Vec-of-Vec cloning.
+        let owner_peers = PeerTable::new(decomp.grid_size(), &fixups);
 
         // One blocking factor for all instances — the shared
         // accumulator size.
@@ -88,49 +84,52 @@ impl CpuExecutor {
             Vec::new()
         };
 
-        std::thread::scope(|scope| {
-            for _ in 0..self.threads() {
-                scope.spawn(|| {
-                    // Per-worker arena; the dispatcher handles each
-                    // instance's layout (packed kernels normalize it,
-                    // Blocked falls back to scalar when strided).
-                    let mut ws = Workspace::<In, Acc>::new(tile.blk_m * tile.blk_n);
-                    loop {
-                        let id = next_cta.fetch_add(1, Ordering::Relaxed);
-                        if id >= ctas.len() {
-                            break;
-                        }
-                        let cta = &ctas[id];
-                        for seg in space.segments(cta) {
-                            let inst = &space.instances()[seg.instance];
-                            let (av, bv) = (a[seg.instance].view(), b[seg.instance].view());
+        // Global-counter claiming (owners block in `wait_and_take`):
+        // round-robin order keeps a blocked owner's peers claimed by
+        // other workers, which static ranges would not guarantee.
+        let tile_len = tile.blk_m * tile.blk_n;
+        self.worker_pool().run(&|_wid, scratch| {
+            // Per-worker arena from the persistent pool's scratch
+            // store, warm across launches; the dispatcher handles each
+            // instance's layout (packed kernels normalize it, Blocked
+            // falls back to scalar when strided).
+            let ws = scratch.get_or_insert_with(|| Workspace::<In, Acc>::new(tile_len));
+            ws.ensure_tile_len(tile_len);
+            loop {
+                let id = next_cta.fetch_add(1, Ordering::Relaxed);
+                if id >= ctas.len() {
+                    break;
+                }
+                let cta = &ctas[id];
+                for seg in space.segments(cta) {
+                    let inst = &space.instances()[seg.instance];
+                    let (av, bv) = (a[seg.instance].view(), b[seg.instance].view());
 
-                            if !seg.starts_tile {
-                                let mut partial = ws.take_partial();
-                                mac_loop_kernel_cached(kind, caches.get(seg.instance), &av, &bv, inst, seg.local_tile, seg.local_begin, seg.local_end, &mut partial, &mut ws.pack);
-                                board
-                                    .store_and_signal(cta.cta_id, partial)
-                                    .expect("fault-free grouped schedule");
-                                continue;
+                    if !seg.starts_tile {
+                        let mut partial = ws.take_partial();
+                        mac_loop_kernel_cached(kind, caches.get(seg.instance), &av, &bv, inst, seg.local_tile, seg.local_begin, seg.local_end, &mut partial, &mut ws.pack);
+                        board
+                            .store_and_signal(cta.cta_id, partial)
+                            .expect("fault-free grouped schedule");
+                        continue;
+                    }
+                    ws.reset_accum();
+                    mac_loop_kernel_cached(kind, caches.get(seg.instance), &av, &bv, inst, seg.local_tile, seg.local_begin, seg.local_end, &mut ws.accum, &mut ws.pack);
+                    if !seg.ends_tile {
+                        for &peer in owner_peers.peers(cta.cta_id) {
+                            let partial = board.wait_and_take(peer);
+                            for (acc, p) in ws.accum.iter_mut().zip(&partial) {
+                                *acc += *p;
                             }
-                            ws.reset_accum();
-                            mac_loop_kernel_cached(kind, caches.get(seg.instance), &av, &bv, inst, seg.local_tile, seg.local_begin, seg.local_end, &mut ws.accum, &mut ws.pack);
-                            if !seg.ends_tile {
-                                for &peer in &owner_peers[cta.cta_id] {
-                                    let partial = board.wait_and_take(peer);
-                                    for (acc, p) in ws.accum.iter_mut().zip(&partial) {
-                                        *acc += *p;
-                                    }
-                                    ws.recycle_partial(partial);
-                                }
-                            }
-                            let (rows, cols) = inst.tile_extents(seg.local_tile);
-                            writers[seg.instance].store_tile(seg.local_tile, rows, cols, tile.blk_n, &ws.accum);
+                            ws.recycle_partial(partial);
                         }
                     }
-                });
+                    let (rows, cols) = inst.tile_extents(seg.local_tile);
+                    writers[seg.instance].store_tile(seg.local_tile, rows, cols, tile.blk_n, &ws.accum);
+                }
             }
         });
+        self.record_stats(0, 0);
         drop(writers);
         outputs
     }

@@ -1,9 +1,12 @@
 //! A multithreaded CPU executor for Stream-K decompositions.
 //!
 //! Where `streamk-sim` *times* a decomposition, this crate *runs* it:
-//! worker threads play the role of SMs, claim CTAs in dispatch order
-//! from a shared counter (the GPU work distributor), execute the
-//! CTA-wide `MacLoop` of Algorithm 3 over real matrices, and carry
+//! a persistent pool of worker threads ([`pool`]) plays the role of
+//! the SM array — spawned once per executor, parked between launches
+//! with warm per-worker arenas. Each worker claims CTAs from its own
+//! static contiguous range of the dispatch order, stealing from the
+//! richest neighbour when it drains ([`sched`]), executes the
+//! CTA-wide `MacLoop` of Algorithm 3 over real matrices, and carries
 //! out the cross-CTA consolidation protocol of Algorithms 4-5 with
 //! genuine concurrency:
 //!
@@ -36,6 +39,13 @@ pub mod macloop;
 pub mod microkernel;
 mod output;
 pub mod packcache;
+pub mod pad;
+// The worker pool erases the launch closure's lifetime to hand it to
+// persistent threads; the one `transmute` carries its safety argument
+// (the launch blocks until every worker is done) inline.
+#[allow(unsafe_code)]
+pub mod pool;
+pub mod sched;
 // The one module allowed to hold unsafe code: the `std::arch` SIMD
 // kernels plus the TypeId-guarded slice casts that feed them. Every
 // unsafe block carries its safety argument inline.
@@ -44,10 +54,15 @@ pub mod simd;
 pub mod workspace;
 
 pub use calibrate::{select_kernel, select_kernel_on, KernelSelection};
-pub use executor::{CpuExecutor, ExecutorConfig, RecoveryCause, RecoveryEvent, RecoveryReport};
+pub use executor::{
+    CpuExecutor, ExecStats, ExecutorConfig, RecoveryCause, RecoveryEvent, RecoveryReport,
+};
 pub use fault::{Fault, FaultKind, FaultPlan};
-pub use fixup::{FixupBoard, FlagState, WaitOutcome, WaitPolicy};
+pub use fixup::{FixupBoard, FlagState, TryTake, WaitOutcome, WaitPolicy};
 pub use macloop::mac_loop;
+pub use pad::CachePadded;
+pub use pool::{ScratchStore, WorkerPool};
+pub use sched::CtaScheduler;
 pub use microkernel::{
     mac_loop_blocked, mac_loop_cached, mac_loop_kernel, mac_loop_packed, mac_loop_simd, KernelKind,
     PackBuffers,

@@ -37,6 +37,7 @@ use streamk_core::IterSpace;
 use streamk_matrix::{pack_a_into, pack_b_into, MatrixView, Promote, Scalar};
 
 use crate::fixup::WaitPolicy;
+use crate::pad::CachePadded;
 use crate::microkernel::{mac_loop_cached, mac_loop_kernel, KernelKind, PackBuffers};
 use crate::simd::SimdLevel;
 
@@ -76,8 +77,8 @@ pub struct PackCache<In> {
     space: IterSpace,
     mr: usize,
     nr: usize,
-    a: Vec<PanelSlot<In>>,
-    b: Vec<PanelSlot<In>>,
+    a: Vec<CachePadded<PanelSlot<In>>>,
+    b: Vec<CachePadded<PanelSlot<In>>>,
     policy: WaitPolicy,
     packs: AtomicUsize,
     fallbacks: AtomicUsize,
@@ -98,8 +99,8 @@ impl<In: Copy + Default> PackCache<In> {
             space: space.clone(),
             mr,
             nr,
-            a: (0..space.tiles_m()).map(|_| PanelSlot::new()).collect(),
-            b: (0..space.tiles_n()).map(|_| PanelSlot::new()).collect(),
+            a: (0..space.tiles_m()).map(|_| CachePadded::new(PanelSlot::new())).collect(),
+            b: (0..space.tiles_n()).map(|_| CachePadded::new(PanelSlot::new())).collect(),
             policy,
             packs: AtomicUsize::new(0),
             fallbacks: AtomicUsize::new(0),

@@ -1,0 +1,63 @@
+//! Cacheline padding for per-CTA / per-worker shared state.
+//!
+//! The fixup board, the pack cache, and the CTA scheduler all hold
+//! one small slot per CTA or per worker in a contiguous vector.
+//! Unpadded, several slots share a cache line, so a contributor
+//! signalling its own flag invalidates the line under every other
+//! worker spinning on a *different* flag — false sharing, the exact
+//! shared-line traffic that flattens the executor's scaling curve.
+//! [`CachePadded`] aligns each slot to its own 128-byte block (two
+//! 64-byte lines, covering the adjacent-line prefetcher on x86), so a
+//! write to one slot never steals another slot's line.
+
+/// Aligns `T` to a 128-byte block so adjacent vector elements never
+/// share a cache line (nor a prefetch pair).
+#[derive(Debug, Default, Clone, Copy)]
+#[repr(align(128))]
+pub struct CachePadded<T>(
+    /// The padded value.
+    pub T,
+);
+
+impl<T> CachePadded<T> {
+    /// Wraps `value` in its own cacheline block.
+    pub const fn new(value: T) -> Self {
+        Self(value)
+    }
+}
+
+impl<T> std::ops::Deref for CachePadded<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T> std::ops::DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn padded_slots_occupy_distinct_blocks() {
+        assert!(std::mem::align_of::<CachePadded<u32>>() >= 128);
+        assert!(std::mem::size_of::<CachePadded<u32>>() >= 128);
+        let v: Vec<CachePadded<u32>> = (0..4).map(CachePadded::new).collect();
+        let base = std::ptr::addr_of!(v[0].0) as usize;
+        let next = std::ptr::addr_of!(v[1].0) as usize;
+        assert!(next - base >= 128, "adjacent slots must sit in distinct blocks");
+    }
+
+    #[test]
+    fn deref_round_trip() {
+        let mut p = CachePadded::new(7u64);
+        *p += 1;
+        assert_eq!(*p, 8);
+    }
+}

@@ -73,6 +73,28 @@ impl<In, Acc: Scalar> Workspace<In, Acc> {
         self.tile_len
     }
 
+    /// Re-sizes the workspace for tiles of `tile_len` elements.
+    ///
+    /// A persistent pool worker keeps one workspace across launches
+    /// whose decompositions may use different tile shapes. When the
+    /// length matches, this is a no-op and every warm buffer survives;
+    /// otherwise `accum`/`scratch` are resized and the partial pool is
+    /// cleared (its buffers are the wrong length for the new launch).
+    /// Pack staging is kept either way — [`PackBuffers`] grows to the
+    /// high-water mark on its own.
+    pub fn ensure_tile_len(&mut self, tile_len: usize) {
+        if self.tile_len == tile_len {
+            return;
+        }
+        self.tile_len = tile_len;
+        self.accum.clear();
+        self.accum.resize(tile_len, Acc::ZERO);
+        self.scratch.clear();
+        self.scratch.resize(tile_len, Acc::ZERO);
+        self.pool.clear();
+        self.fresh_allocs += 2;
+    }
+
     /// Zeroes the accumulator tile for the next CTA.
     pub fn reset_accum(&mut self) {
         self.accum.fill(Acc::ZERO);
@@ -166,6 +188,23 @@ mod tests {
         assert_eq!(ws.pooled(), 0);
         ws.recycle_partial(vec![0.0; 4]);
         assert_eq!(ws.pooled(), 1);
+    }
+
+    #[test]
+    fn ensure_tile_len_is_a_noop_when_unchanged_and_resizes_otherwise() {
+        let mut ws = Ws::new(4);
+        let warm = ws.take_partial();
+        ws.recycle_partial(warm);
+        let allocs = ws.fresh_allocs();
+        ws.ensure_tile_len(4);
+        assert_eq!(ws.fresh_allocs(), allocs, "same length must keep everything warm");
+        assert_eq!(ws.pooled(), 1);
+        ws.ensure_tile_len(9);
+        assert_eq!(ws.tile_len(), 9);
+        assert_eq!(ws.accum.len(), 9);
+        assert_eq!(ws.scratch.len(), 9);
+        assert_eq!(ws.pooled(), 0, "stale-length pool buffers must be dropped");
+        assert_eq!(ws.take_partial().len(), 9);
     }
 
     #[test]
