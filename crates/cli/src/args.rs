@@ -105,6 +105,22 @@ pub enum Command {
         /// Output path for the JSON report.
         out: String,
     },
+    /// Traced executor run + matching simulation: merged Chrome
+    /// trace, phase breakdown, and model-vs-measured residuals.
+    Profile {
+        /// Problem shape.
+        shape: GemmShape,
+        /// Blocking factor.
+        tile: TileShape,
+        /// Executor worker threads (and simulated SM count).
+        threads: usize,
+        /// Which decomposition.
+        strategy: StrategyArg,
+        /// Output path for the merged Chrome trace JSON.
+        out: String,
+        /// Optional output path for the measured-timeline SVG.
+        svg: Option<String>,
+    },
     /// SVG schedule to a file.
     Svg {
         /// Problem shape.
@@ -131,6 +147,7 @@ USAGE:
   streamk corpus   [count]
   streamk chaos    <m> <n> <k> [--tile MxNxK] [--seeds N] [--threads T] [--watchdog-ms MS]
   streamk bench    [--size N] [--tile MxNxK] [--corpus C] [--reps R] [--out FILE] [--smoke]
+  streamk profile  <m> <n> <k> [--tile MxNxK] [--threads T] [--strategy S] [--out FILE] [--svg FILE]
   streamk svg      <m> <n> <k> --out FILE [--tile MxNxK] [--sms P] [--strategy S]
   streamk help
 
@@ -328,6 +345,22 @@ impl Cli {
                     out: get_flag(&flags, "out").unwrap_or("BENCH_cpu.json").to_string(),
                 }
             }
+            "profile" => {
+                let flags = split_flags(rest)?;
+                Command::Profile {
+                    shape: parse_shape(&flags)?,
+                    tile: get_flag(&flags, "tile").map_or(Ok(TileShape::new(32, 32, 16)), parse_tile)?,
+                    threads: get_flag(&flags, "threads").map_or(Ok(4), |v| {
+                        v.parse::<usize>()
+                            .ok()
+                            .filter(|&t| t > 0)
+                            .ok_or_else(|| ParseError(format!("--threads expects a positive integer, got '{v}'")))
+                    })?,
+                    strategy: get_flag(&flags, "strategy").map_or(Ok(StrategyArg::Hybrid), parse_strategy)?,
+                    out: get_flag(&flags, "out").unwrap_or("TRACE_profile.json").to_string(),
+                    svg: get_flag(&flags, "svg").map(String::from),
+                }
+            }
             "svg" => {
                 let flags = split_flags(rest)?;
                 Command::Svg {
@@ -497,6 +530,37 @@ mod tests {
         }
         assert!(Cli::parse(&argv("bench --size 0")).is_err());
         assert!(Cli::parse(&argv("bench --reps x")).is_err());
+    }
+
+    #[test]
+    fn profile_defaults_and_flags() {
+        let cli = Cli::parse(&argv("profile 96 96 128")).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Profile {
+                shape: GemmShape::new(96, 96, 128),
+                tile: TileShape::new(32, 32, 16),
+                threads: 4,
+                strategy: StrategyArg::Hybrid,
+                out: "TRACE_profile.json".into(),
+                svg: None,
+            }
+        );
+        let cli = Cli::parse(&argv(
+            "profile 64 64 64 --tile 16x16x8 --threads 2 --strategy streamk:6 --out /tmp/t.json --svg /tmp/t.svg",
+        ))
+        .unwrap();
+        match cli.command {
+            Command::Profile { tile, threads, strategy, out, svg, .. } => {
+                assert_eq!(tile, TileShape::new(16, 16, 8));
+                assert_eq!(threads, 2);
+                assert_eq!(strategy, StrategyArg::StreamK(6));
+                assert_eq!(out, "/tmp/t.json");
+                assert_eq!(svg.as_deref(), Some("/tmp/t.svg"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(Cli::parse(&argv("profile 64 64 64 --threads 0")).is_err());
     }
 
     #[test]

@@ -37,6 +37,8 @@ pub mod order;
 pub mod recovery;
 pub mod skew;
 pub mod space;
+pub mod span;
+pub mod tev;
 pub mod work;
 
 pub use assign::{contiguous_range, contiguous_ranges};
@@ -48,4 +50,6 @@ pub use model::{CostModel, GridSizeModel};
 pub use order::TileOrder;
 pub use recovery::{peer_contribution, recompute_cost, ExecutorError, FixupError};
 pub use space::IterSpace;
+pub use span::{Phase, SpanKind};
+pub use tev::{validate_json, ArgValue, TraceWriter};
 pub use work::{CtaWork, PeerTable, TileFixup, TileSegment};

@@ -1,0 +1,429 @@
+//! Shared Trace Event Format (Chrome trace) JSON writer.
+//!
+//! Both timeline producers in this workspace — the GPU simulator's
+//! predicted schedule (`streamk-sim::trace`) and the CPU executor's
+//! measured spans (`streamk-cpu::trace`) — serialize to the Chrome
+//! [Trace Event Format], so a run opens interactively in Perfetto or
+//! `chrome://tracing`. The format needs only complete events
+//! (`{name, ph: "X", ts, dur, pid, tid}`, microsecond timestamps) and
+//! `"M"` metadata records naming processes and threads; [`TraceWriter`]
+//! emits exactly that by hand, keeping the workspace free of JSON
+//! dependencies.
+//!
+//! One writer, many processes: each producer claims a distinct `pid`
+//! (the simulator's predicted timeline and the executor's measured
+//! timeline emit into the *same* writer under pid 2 and pid 1), so the
+//! merged trace shows model and measurement side by side as two
+//! "processes" of one capture.
+//!
+//! Because the JSON is hand-rolled, [`validate_json`] provides a
+//! dependency-free structural parser used by tests to prove the output
+//! is well-formed — brackets, commas, and string escaping included.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use std::fmt;
+use std::fmt::Write as _;
+
+/// A JSON value usable in a trace event's `args` record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArgValue {
+    /// An unsigned integer, printed without a decimal point.
+    U64(u64),
+    /// A float, printed via Rust's `Display` (plain decimal notation).
+    F64(f64),
+}
+
+impl fmt::Display for ArgValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::U64(v) => write!(f, "{v}"),
+            // Non-finite floats are not valid JSON; clamp to 0 rather
+            // than corrupt the document.
+            Self::F64(v) if !v.is_finite() => write!(f, "0"),
+            Self::F64(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// Escapes `s` for inclusion inside a JSON string literal.
+#[must_use]
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Incremental Trace Event Format emitter (see module docs).
+///
+/// Events are appended in call order; [`TraceWriter::finish`] closes
+/// the JSON array. The emitted layout (two-space indent, `",\n"`
+/// separators, no trailing comma) is shared verbatim by the simulator
+/// and executor exporters so their outputs merge byte-compatibly.
+#[derive(Debug, Default)]
+pub struct TraceWriter {
+    body: String,
+    events: usize,
+}
+
+impl TraceWriter {
+    /// A writer with the opening bracket already emitted.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { body: String::from("[\n"), events: 0 }
+    }
+
+    fn push(&mut self, event: &str) {
+        if self.events > 0 {
+            self.body.push_str(",\n");
+        }
+        self.body.push_str(event);
+        self.events += 1;
+    }
+
+    /// Emits a `process_name` metadata record for `pid`.
+    pub fn process_name(&mut self, pid: usize, name: &str) {
+        let name = escape_json(name);
+        self.push(&format!(
+            r#"  {{"name": "process_name", "ph": "M", "pid": {pid}, "args": {{"name": "{name}"}}}}"#
+        ));
+    }
+
+    /// Emits a `thread_name` metadata record for `(pid, tid)`.
+    pub fn thread_name(&mut self, pid: usize, tid: usize, name: &str) {
+        let name = escape_json(name);
+        self.push(&format!(
+            r#"  {{"name": "thread_name", "ph": "M", "pid": {pid}, "tid": {tid}, "args": {{"name": "{name}"}}}}"#
+        ));
+    }
+
+    /// Emits a complete (`"ph": "X"`) event. `ts_us`/`dur_us` are in
+    /// microseconds; `args` key/value pairs are appended as the
+    /// event's `args` record when non-empty.
+    pub fn complete(
+        &mut self,
+        pid: usize,
+        tid: usize,
+        name: &str,
+        ts_us: f64,
+        dur_us: f64,
+        args: &[(&str, ArgValue)],
+    ) {
+        let name = escape_json(name);
+        let mut ev = format!(
+            r#"  {{"name": "{name}", "ph": "X", "ts": {ts_us:.3}, "dur": {dur_us:.3}, "pid": {pid}, "tid": {tid}"#
+        );
+        if !args.is_empty() {
+            ev.push_str(", \"args\": {");
+            for (i, (key, value)) in args.iter().enumerate() {
+                if i > 0 {
+                    ev.push_str(", ");
+                }
+                let _ = write!(ev, r#""{}": {value}"#, escape_json(key));
+            }
+            ev.push('}');
+        }
+        ev.push('}');
+        self.push(&ev);
+    }
+
+    /// Number of events emitted so far (metadata included).
+    #[must_use]
+    pub fn events(&self) -> usize {
+        self.events
+    }
+
+    /// Closes the array and returns the finished JSON document.
+    #[must_use]
+    pub fn finish(mut self) -> String {
+        self.body.push_str("\n]\n");
+        self.body
+    }
+}
+
+/// Structurally validates `s` as a single JSON document.
+///
+/// A minimal recursive-descent check — objects, arrays, strings (with
+/// escapes), numbers, and literals — used by tests to prove the
+/// hand-rolled trace output parses, without pulling a JSON dependency
+/// into the workspace. Returns the byte offset and a short message on
+/// the first malformation.
+pub fn validate_json(s: &str) -> Result<(), String> {
+    let mut p = Parser { b: s.as_bytes(), i: 0 };
+    p.ws();
+    p.value()?;
+    p.ws();
+    if p.i != p.b.len() {
+        return Err(format!("trailing content at byte {}", p.i));
+    }
+    Ok(())
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn ws(&mut self) {
+        while let Some(&c) = self.b.get(self.i) {
+            if matches!(c, b' ' | b'\t' | b'\n' | b'\r') {
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn err(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.i)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", c as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<(), String> {
+        self.eat(b'{')?;
+        self.ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.ws();
+            self.string()?;
+            self.ws();
+            self.eat(b':')?;
+            self.ws();
+            self.value()?;
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), String> {
+        self.eat(b'[')?;
+        self.ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.ws();
+            self.value()?;
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.eat(b'"')?;
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.peek() {
+                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                            self.i += 1;
+                        }
+                        Some(b'u') => {
+                            self.i += 1;
+                            for _ in 0..4 {
+                                match self.peek() {
+                                    Some(c) if c.is_ascii_hexdigit() => self.i += 1,
+                                    _ => return Err(self.err("bad \\u escape")),
+                                }
+                            }
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                }
+                Some(c) if c < 0x20 => return Err(self.err("raw control char in string")),
+                Some(_) => self.i += 1,
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        let digits = |p: &mut Self| -> Result<(), String> {
+            let start = p.i;
+            while matches!(p.peek(), Some(c) if c.is_ascii_digit()) {
+                p.i += 1;
+            }
+            if p.i == start {
+                Err(p.err("expected digits"))
+            } else {
+                Ok(())
+            }
+        };
+        digits(self)?;
+        if self.peek() == Some(b'.') {
+            self.i += 1;
+            digits(self)?;
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.i += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.i += 1;
+            }
+            digits(self)?;
+        }
+        Ok(())
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), String> {
+        if self.b[self.i..].starts_with(lit.as_bytes()) {
+            self.i += lit.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_writer_is_an_empty_array() {
+        let json = TraceWriter::new().finish();
+        assert_eq!(json, "[\n\n]\n");
+        validate_json(&json).unwrap();
+    }
+
+    #[test]
+    fn events_are_comma_separated_without_trailing_comma() {
+        let mut w = TraceWriter::new();
+        w.process_name(1, "measured");
+        w.thread_name(1, 0, "worker0");
+        w.complete(1, 0, "mac", 0.0, 12.5, &[("iters", ArgValue::U64(8))]);
+        assert_eq!(w.events(), 3);
+        let json = w.finish();
+        assert!(json.starts_with("[\n"));
+        assert!(json.trim_end().ends_with(']'));
+        assert!(!json.contains(",\n]"));
+        assert_eq!(json.matches(r#""ph": "X""#).count(), 1);
+        assert!(json.contains(r#""args": {"iters": 8}"#));
+        validate_json(&json).unwrap();
+    }
+
+    #[test]
+    fn names_with_quotes_and_backslashes_stay_parseable() {
+        let mut w = TraceWriter::new();
+        w.process_name(1, r#"evil "name" with \ and control"#);
+        w.complete(1, 3, "say \"hi\"\n\ttab", 1.0, 2.0, &[("x", ArgValue::F64(0.5))]);
+        let json = w.finish();
+        validate_json(&json).unwrap();
+        assert!(json.contains(r#"\"hi\""#));
+        assert!(json.contains(r"\n\ttab"));
+    }
+
+    #[test]
+    fn multiple_processes_share_one_document() {
+        let mut w = TraceWriter::new();
+        w.process_name(1, "measured");
+        w.process_name(2, "predicted");
+        w.complete(1, 0, "cta", 0.0, 5.0, &[]);
+        w.complete(2, 0, "CTA 0", 0.0, 4.0, &[("iters", ArgValue::U64(3))]);
+        let json = w.finish();
+        validate_json(&json).unwrap();
+        assert!(json.contains(r#""pid": 1"#));
+        assert!(json.contains(r#""pid": 2"#));
+    }
+
+    #[test]
+    fn non_finite_args_do_not_corrupt_the_document() {
+        let mut w = TraceWriter::new();
+        w.complete(1, 0, "bad", 0.0, 1.0, &[("nan", ArgValue::F64(f64::NAN))]);
+        let json = w.finish();
+        validate_json(&json).unwrap();
+        assert!(json.contains(r#""nan": 0"#));
+    }
+
+    #[test]
+    fn validator_accepts_real_json_shapes() {
+        for ok in [
+            "[]",
+            "{}",
+            r#"{"a": [1, -2.5, 3e4], "b": "xA", "c": null, "d": true}"#,
+            "  [ {\"k\": \"v\"} , [ ] ]  ",
+        ] {
+            validate_json(ok).unwrap_or_else(|e| panic!("{ok:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn validator_rejects_malformed_json() {
+        for bad in [
+            "",
+            "[",
+            "[1,]",
+            r#"{"a" 1}"#,
+            r#"{"a": 1,}"#,
+            "[1] trailing",
+            "\"unterminated",
+            r#""bad \x escape""#,
+            "01a",
+        ] {
+            assert!(validate_json(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+}

@@ -11,7 +11,8 @@ use crate::fixup::{FixupBoard, WaitPolicy};
 use crate::output::TileWriter;
 use crate::packcache::{mac_loop_kernel_cached, PackCache};
 use crate::workspace::Workspace;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 use streamk_core::{BatchedDecomposition, PeerTable};
 use streamk_matrix::{Matrix, Promote, Scalar};
 
@@ -90,6 +91,7 @@ impl CpuExecutor {
         // round-robin order guarantees a blocked owner's peers are
         // already claimed by other workers.
         let tile_len = tile.blk_m * tile.blk_n;
+        let wait_ns = AtomicU64::new(0);
         self.worker_pool().run(&|_wid, scratch| {
             // Per-worker arena from the persistent pool's scratch
             // store: accumulator, pack panels, and the fixup-partial
@@ -146,7 +148,12 @@ impl CpuExecutor {
                         );
                         if !ends {
                             for &peer in owner_peers.peers(cta.cta_id) {
+                                let t0 = Instant::now();
                                 let partial = board.wait_and_take(peer);
+                                wait_ns.fetch_add(
+                                    t0.elapsed().as_nanos() as u64,
+                                    Ordering::Relaxed,
+                                );
                                 for (acc, p) in ws.accum.iter_mut().zip(&partial) {
                                     *acc += *p;
                                 }
@@ -160,7 +167,7 @@ impl CpuExecutor {
                 }
             }
         });
-        self.record_stats(0, 0);
+        self.record_stats(0, 0, Duration::from_nanos(wait_ns.load(Ordering::Relaxed)), 0);
         drop(writers);
         outputs
     }

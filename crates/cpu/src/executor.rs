@@ -24,10 +24,11 @@ use crate::packcache::{mac_loop_kernel_cached, PackCache};
 use crate::pad::CachePadded;
 use crate::pool::WorkerPool;
 use crate::sched::CtaScheduler;
+use crate::trace::{self, ExecTrace, SpanKind, WorkerTrace};
 use crate::workspace::Workspace;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use streamk_core::{
     peer_contribution, CtaWork, Decomposition, ExecutorError, FixupError, PeerTable,
 };
@@ -67,6 +68,16 @@ pub struct ExecutorConfig {
     /// a pure speed knob. Ignored by kernels that do not consume
     /// panels.
     pub pack_cache: bool,
+    /// Record per-worker event spans during each launch (see
+    /// [`crate::trace`]); collect them with
+    /// [`CpuExecutor::last_trace`]. Off by default. Tracing never
+    /// changes results — traced runs are bit-exact against untraced
+    /// ones — and when off the executor records nothing and allocates
+    /// nothing for tracing.
+    pub trace: bool,
+    /// Per-worker span-ring capacity when tracing; a full ring drops
+    /// its oldest span (counted) rather than blocking or growing.
+    pub trace_capacity: usize,
 }
 
 impl Default for ExecutorConfig {
@@ -76,22 +87,40 @@ impl Default for ExecutorConfig {
             watchdog: WaitPolicy::DEFAULT_WATCHDOG,
             kernel: KernelKind::default(),
             pack_cache: true,
+            trace: false,
+            trace_capacity: trace::DEFAULT_RING_CAPACITY,
         }
     }
 }
 
 /// Scheduling counters from an executor's most recent grid launch.
+///
+/// **Reset semantics.** Every field except `launches` is *per-launch*:
+/// it is overwritten at the end of each launch and describes only the
+/// most recent one (a launch with no steals reports `steals == 0`
+/// even if the previous launch stole). `launches` alone is
+/// *cumulative* across the executor's (and its clones') lifetime.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ExecStats {
-    /// CTA blocks stolen between workers (locality-aware scheduler
-    /// rebalancing; zero when the static ranges were already even).
+    /// CTA blocks stolen between workers during the most recent
+    /// launch (locality-aware scheduler rebalancing; zero when the
+    /// static ranges were already even). Per-launch.
     pub steals: usize,
-    /// Owner consolidations parked cooperatively because a peer had
-    /// not signaled yet (the worker claimed other work instead of
-    /// blocking).
+    /// Owner consolidations parked cooperatively during the most
+    /// recent launch because a peer had not signaled yet (the worker
+    /// claimed other work instead of blocking). Per-launch.
     pub deferrals: usize,
+    /// Total wall time workers of the most recent launch spent
+    /// blocked in fixup `Wait` on unfinished peers, summed across
+    /// workers (so it can exceed the launch's wall time). Cooperative
+    /// deferrals do not count — only genuine blocking waits.
+    /// Per-launch.
+    pub wait_stall: Duration,
+    /// Peer contributions recomputed by fault recovery during the
+    /// most recent launch. Per-launch.
+    pub recoveries: usize,
     /// Grid launches completed by this executor (clones included) so
-    /// far.
+    /// far. Cumulative — never reset.
     pub launches: usize,
 }
 
@@ -100,6 +129,8 @@ pub struct ExecStats {
 struct StatsCell {
     steals: AtomicUsize,
     deferrals: AtomicUsize,
+    wait_stall_ns: AtomicU64,
+    recoveries: AtomicUsize,
     launches: AtomicUsize,
 }
 
@@ -196,6 +227,9 @@ pub struct CpuExecutor {
     /// array" exists once, not once per GEMM.
     pool: Arc<OnceLock<WorkerPool>>,
     stats: Arc<StatsCell>,
+    /// The most recent traced launch's spans (clones share it);
+    /// `None` until a launch runs with `config.trace` on.
+    trace_sink: Arc<Mutex<Option<ExecTrace>>>,
 }
 
 impl CpuExecutor {
@@ -203,7 +237,8 @@ impl CpuExecutor {
     #[must_use]
     pub fn new(config: ExecutorConfig) -> Self {
         assert!(config.threads > 0, "executor needs at least one thread");
-        Self { config, pool: Arc::default(), stats: Arc::default() }
+        assert!(config.trace_capacity > 0, "trace ring needs capacity");
+        Self { config, pool: Arc::default(), stats: Arc::default(), trace_sink: Arc::default() }
     }
 
     /// Creates an executor with exactly `threads` workers.
@@ -235,6 +270,27 @@ impl CpuExecutor {
         self
     }
 
+    /// Returns this executor with span tracing enabled or disabled
+    /// (disabled by default); see [`ExecutorConfig::trace`].
+    #[must_use]
+    pub fn with_trace(mut self, enabled: bool) -> Self {
+        self.config.trace = enabled;
+        self
+    }
+
+    /// Returns this executor with the per-worker span-ring capacity
+    /// set to `capacity` spans.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn with_trace_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "trace ring needs capacity");
+        self.config.trace_capacity = capacity;
+        self
+    }
+
     /// The configured worker count.
     #[must_use]
     pub fn threads(&self) -> usize {
@@ -259,6 +315,12 @@ impl CpuExecutor {
         self.config.pack_cache
     }
 
+    /// Whether span tracing is enabled.
+    #[must_use]
+    pub fn trace(&self) -> bool {
+        self.config.trace
+    }
+
     /// The executor's persistent [`WorkerPool`], spawning it on first
     /// use. One pool serves every launch of this executor (and its
     /// clones) for its whole lifetime; workers park between launches
@@ -270,19 +332,44 @@ impl CpuExecutor {
 
     /// Scheduling counters from the most recent launch (any entry
     /// point) on this executor or its clones.
+    ///
+    /// Every field except `launches` describes *only the most recent
+    /// launch* — the counters are overwritten (not accumulated) at
+    /// the end of each launch. `launches` is cumulative across the
+    /// executor's lifetime. See [`ExecStats`].
     #[must_use]
     pub fn last_stats(&self) -> ExecStats {
         ExecStats {
             steals: self.stats.steals.load(Ordering::Relaxed),
             deferrals: self.stats.deferrals.load(Ordering::Relaxed),
+            wait_stall: Duration::from_nanos(self.stats.wait_stall_ns.load(Ordering::Relaxed)),
+            recoveries: self.stats.recoveries.load(Ordering::Relaxed),
             launches: self.stats.launches.load(Ordering::Relaxed),
         }
     }
 
-    /// Records one finished launch's counters.
-    pub(crate) fn record_stats(&self, steals: usize, deferrals: usize) {
+    /// The span trace of the most recent *traced* launch on this
+    /// executor or its clones; `None` until a launch runs with
+    /// tracing on. Untraced launches leave the previous trace in
+    /// place (and record nothing themselves).
+    #[must_use]
+    pub fn last_trace(&self) -> Option<ExecTrace> {
+        self.trace_sink.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone()
+    }
+
+    /// Records one finished launch's counters: the per-launch fields
+    /// are overwritten, `launches` accumulates.
+    pub(crate) fn record_stats(
+        &self,
+        steals: usize,
+        deferrals: usize,
+        wait_stall: Duration,
+        recoveries: usize,
+    ) {
         self.stats.steals.store(steals, Ordering::Relaxed);
         self.stats.deferrals.store(deferrals, Ordering::Relaxed);
+        self.stats.wait_stall_ns.store(wait_stall.as_nanos() as u64, Ordering::Relaxed);
+        self.stats.recoveries.store(recoveries, Ordering::Relaxed);
         self.stats.launches.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -474,6 +561,7 @@ impl CpuExecutor {
             cache,
             recover,
             deferrals: AtomicUsize::new(0),
+            wait_ns: AtomicU64::new(0),
             events: (0..workers).map(|_| CachePadded::new(Mutex::new(Vec::new()))).collect(),
             error: Mutex::new(None),
         };
@@ -485,7 +573,24 @@ impl CpuExecutor {
         let writer = TileWriter::new(c.as_mut_slice(), rows, cols, layout, space.tiles());
         let tile = space.tile();
         let tile_len = tile.blk_m * tile.blk_n;
+        // One shared epoch so every worker's span timestamps (and the
+        // wall clock below) share a zero; each worker gets a private
+        // ring, collected through its own uncontended slot at exit.
+        let tracing = self.config.trace;
+        let capacity = self.config.trace_capacity;
+        let epoch = Instant::now();
+        let trace_slots: Vec<CachePadded<Mutex<Option<WorkerTrace>>>> = if tracing {
+            (0..workers).map(|_| CachePadded::new(Mutex::new(None))).collect()
+        } else {
+            Vec::new()
+        };
         self.worker_pool().run(&|wid, scratch| {
+            if tracing {
+                // Reuses the ring a previous launch left on this
+                // pool worker: steady-state traced launches allocate
+                // no new rings.
+                trace::reinstall(epoch, capacity);
+            }
             // The arena survives in the worker's scratch store across
             // launches: pack panels, accumulator tile, and the fixup
             // partial pool stay warm from GEMM to GEMM.
@@ -510,17 +615,45 @@ impl CpuExecutor {
                     ctx.events[wid].lock().unwrap_or_else(std::sync::PoisonError::into_inner);
                 sink.append(&mut events);
             }
+            if tracing {
+                if let Some(trace) = trace::collect() {
+                    let mut slot = trace_slots[wid]
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    *slot = Some(trace);
+                }
+            }
         });
-        self.record_stats(sched.steals(), ctx.deferrals.load(Ordering::Relaxed));
+        let wall_ns = epoch.elapsed().as_nanos() as u64;
+
+        let mut events = Vec::new();
+        for slot in &ctx.events {
+            let mut sink = slot.0.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            events.append(&mut sink);
+        }
+        self.record_stats(
+            sched.steals(),
+            ctx.deferrals.load(Ordering::Relaxed),
+            Duration::from_nanos(ctx.wait_ns.load(Ordering::Relaxed)),
+            events.len(),
+        );
+        if tracing {
+            let workers: Vec<WorkerTrace> = trace_slots
+                .into_iter()
+                .map(|slot| {
+                    slot.0
+                        .into_inner()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .unwrap_or_default()
+                })
+                .collect();
+            let mut sink =
+                self.trace_sink.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            *sink = Some(ExecTrace { workers, wall_ns });
+        }
 
         if let Some(e) = ctx.error.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner) {
             return Err(e);
-        }
-        let mut events = Vec::new();
-        for slot in ctx.events {
-            events.append(
-                &mut slot.0.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner),
-            );
         }
         Ok(RecoveryReport { events })
     }
@@ -551,6 +684,11 @@ struct GridCtx<'a, In, Acc> {
     recover: bool,
     /// Owner consolidations parked cooperatively this launch.
     deferrals: AtomicUsize,
+    /// Nanoseconds workers spent blocked in fixup waits this launch
+    /// (summed across workers; the final drain is the only site that
+    /// blocks). Always measured — tracing on or off — to feed
+    /// [`ExecStats::wait_stall`].
+    wait_ns: AtomicU64,
     /// Per-worker recovery-event sinks (each written once, at worker
     /// exit), merged in worker order after the launch.
     events: Vec<CachePadded<Mutex<Vec<RecoveryEvent>>>>,
@@ -598,8 +736,11 @@ where
 {
     loop {
         drain_deferred(ctx, deferred, events, a, b, writer, alpha, beta, ws, false)?;
-        let Some(id) = sched.next(wid) else { break };
-        run_cta(ctx, id, a, b, writer, alpha, beta, ws, deferred, events)?;
+        let t0 = trace::start();
+        let Some(claim) = sched.next_claim(wid) else { break };
+        let kind = if claim.stolen { SpanKind::Steal } else { SpanKind::Claim };
+        trace::finish(kind, t0, claim.id as u32, 0);
+        run_cta(ctx, claim.id, a, b, writer, alpha, beta, ws, deferred, events)?;
     }
     drain_deferred(ctx, deferred, events, a, b, writer, alpha, beta, ws, true)
 }
@@ -630,6 +771,7 @@ where
     let mut i = 0;
     while i < deferred.len() {
         let d = &mut deferred[i];
+        let t0 = trace::start();
         let done = advance_consolidation(
             ctx, d.owner, d.tile_idx, &mut d.accum, &mut d.next_peer, a, b, ws, events, block,
         )?;
@@ -637,6 +779,10 @@ where
             let d = deferred.swap_remove(i);
             let (row_range, col_range) = space.tile_extents(d.tile_idx);
             writer.store_tile_ex(d.tile_idx, row_range, col_range, blk_n, &d.accum, alpha, beta);
+            // The resumption span is recorded only when the parked
+            // consolidation actually completes; fruitless polls (the
+            // peer still pending) would flood the ring.
+            trace::finish(SpanKind::DeferResume, t0, d.tile_idx as u32, 0);
             ws.recycle_partial(d.accum);
         } else {
             i += 1;
@@ -675,8 +821,17 @@ where
     while *next_peer < peers.len() {
         let peer = peers[*next_peer];
         let cause = if block {
-            match ctx.board.wait_with(peer, &ctx.policy) {
+            // The timestamp is taken unconditionally (not via
+            // `trace::start`) because the blocked duration also feeds
+            // `ExecStats::wait_stall`; `finish_at` is still a no-op
+            // when tracing is off.
+            let wait_t0 = Instant::now();
+            let (outcome, rounds) = ctx.board.wait_with_rounds(peer, &ctx.policy);
+            ctx.wait_ns.fetch_add(wait_t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            trace::finish_at(SpanKind::Wait, wait_t0, peer as u32, rounds);
+            match outcome {
                 WaitOutcome::Signaled(partial) => {
+                    let t0 = trace::start();
                     for (acc, p) in accum.iter_mut().zip(&partial) {
                         *acc += *p;
                     }
@@ -684,6 +839,7 @@ where
                     // cross-thread transfer still converges to an
                     // allocation-free steady state.
                     ws.recycle_partial(partial);
+                    trace::finish(SpanKind::LoadPartials, t0, peer as u32, 0);
                     *next_peer += 1;
                     continue;
                 }
@@ -698,10 +854,12 @@ where
         } else {
             match ctx.board.try_take(peer) {
                 TryTake::Ready(partial) => {
+                    let t0 = trace::start();
                     for (acc, p) in accum.iter_mut().zip(&partial) {
                         *acc += *p;
                     }
                     ws.recycle_partial(partial);
+                    trace::finish(SpanKind::LoadPartials, t0, peer as u32, 0);
                     *next_peer += 1;
                     continue;
                 }
@@ -717,10 +875,12 @@ where
         // with the same kernel and folding at the same point in peer
         // order keeps the final output bit-identical to the
         // fault-free run.
+        let t0 = trace::start();
         let recomputed_iters = recompute_peer(ctx, peer, tile_idx, a, b, ws)?;
         for (acc, p) in accum.iter_mut().zip(&ws.scratch) {
             *acc += *p;
         }
+        trace::finish(SpanKind::Recovery, t0, peer as u32, recomputed_iters as u32);
         events.push(RecoveryEvent { peer, tile_idx, cause, recomputed_iters });
         *next_peer += 1;
     }
@@ -802,8 +962,10 @@ where
     // scalar path internally when operands are not row-contiguous).
     let kind = ctx.kernel;
     let cache = ctx.cache.as_ref();
+    let cta_t0 = trace::start();
 
     for seg in cta.segments(space) {
+        let iters = (seg.local_end - seg.local_begin) as u32;
         if !seg.starts_tile {
             // This CTA joined the tile mid-stream: publish partials
             // for the owner and move on. Partials are exchanged
@@ -811,12 +973,20 @@ where
             // the owner at store time. The buffer comes from the
             // pool; ownership passes through the board to the owner.
             let mut partial = ws.take_partial();
+            let t0 = trace::start();
             mac_loop_kernel_cached(kind, cache, a, b, space, seg.tile_idx, seg.local_begin, seg.local_end, &mut partial, &mut ws.pack);
+            trace::finish(SpanKind::Mac, t0, seg.tile_idx as u32, iters);
             match ctx.plan.fault_for(cta.cta_id) {
-                None => ctx.board.store_and_signal(cta.cta_id, partial)?,
+                None => {
+                    let t0 = trace::start();
+                    ctx.board.store_and_signal(cta.cta_id, partial)?;
+                    trace::finish(SpanKind::Signal, t0, cta.cta_id as u32, 0);
+                }
                 Some(FaultKind::Straggle(delay)) => {
                     std::thread::sleep(delay);
+                    let t0 = trace::start();
                     ctx.board.store_and_signal(cta.cta_id, partial)?;
+                    trace::finish(SpanKind::Signal, t0, cta.cta_id as u32, 0);
                 }
                 Some(FaultKind::Lose) => {
                     // The consolidation message vanishes: no signal,
@@ -833,7 +1003,9 @@ where
         }
 
         ws.reset_accum();
+        let t0 = trace::start();
         mac_loop_kernel_cached(kind, cache, a, b, space, seg.tile_idx, seg.local_begin, seg.local_end, &mut ws.accum, &mut ws.pack);
+        trace::finish(SpanKind::Mac, t0, seg.tile_idx as u32, iters);
 
         if !seg.ends_tile {
             // Owner of a split tile: fold every peer that has already
@@ -847,6 +1019,7 @@ where
             )?;
             if !done {
                 ctx.deferrals.fetch_add(1, Ordering::Relaxed);
+                trace::instant(SpanKind::DeferPark, seg.tile_idx as u32, next_peer as u32);
                 deferred.push(Deferred { owner: id, tile_idx: seg.tile_idx, accum, next_peer });
                 // Give the workspace a fresh (pooled) accumulator for
                 // the next segment; the parked one travels with the
@@ -860,6 +1033,7 @@ where
         let (row_range, col_range) = space.tile_extents(seg.tile_idx);
         writer.store_tile_ex(seg.tile_idx, row_range, col_range, tile.blk_n, &ws.accum, alpha, beta);
     }
+    trace::finish(SpanKind::Cta, cta_t0, id as u32, 0);
     Ok(())
 }
 

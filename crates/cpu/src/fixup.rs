@@ -109,13 +109,25 @@ impl WaitPolicy {
     ///
     /// Returns the elapsed wait as `Err` when the watchdog expires
     /// with `probe` still yielding `None`.
-    pub fn wait_until<T>(&self, mut probe: impl FnMut() -> Option<T>) -> Result<T, Duration> {
+    pub fn wait_until<T>(&self, probe: impl FnMut() -> Option<T>) -> Result<T, Duration> {
+        self.wait_until_counted(probe).0
+    }
+
+    /// [`wait_until`](Self::wait_until), additionally reporting how
+    /// many backoff rounds (spin + yield + park iterations) ran before
+    /// the probe hit or the watchdog fired — the tracer attaches this
+    /// to `Wait` spans so a trace distinguishes a near-miss (a few
+    /// spins) from a genuine stall (hundreds of parks).
+    pub fn wait_until_counted<T>(
+        &self,
+        mut probe: impl FnMut() -> Option<T>,
+    ) -> (Result<T, Duration>, u32) {
         let start = Instant::now();
         let mut iter = 0u32;
         let mut park = self.initial_park;
         loop {
             if let Some(hit) = probe() {
-                return Ok(hit);
+                return (Ok(hit), iter);
             }
             if iter < self.spin_iters {
                 std::hint::spin_loop();
@@ -125,7 +137,7 @@ impl WaitPolicy {
                 // From here each probe costs a park interval, so the
                 // deadline check is effectively free.
                 if start.elapsed() >= self.watchdog {
-                    return Err(start.elapsed());
+                    return (Err(start.elapsed()), iter);
                 }
                 std::thread::sleep(park);
                 park = (park * 2).min(self.max_park);
@@ -258,20 +270,30 @@ impl<Acc: Send> FixupBoard<Acc> {
     /// giving up when `policy.watchdog` expires.
     #[must_use]
     pub fn wait_with(&self, peer: usize, policy: &WaitPolicy) -> WaitOutcome<Acc> {
+        self.wait_with_rounds(peer, policy).0
+    }
+
+    /// [`wait_with`](Self::wait_with), additionally reporting the
+    /// backoff rounds spent (see [`WaitPolicy::wait_until_counted`]).
+    #[must_use]
+    pub fn wait_with_rounds(&self, peer: usize, policy: &WaitPolicy) -> (WaitOutcome<Acc>, u32) {
         let slot = &self.slots[peer];
-        let probed = policy.wait_until(|| match slot.flag.load(Ordering::Acquire) {
-            SIGNALED => {
-                let mut guard =
-                    slot.partial.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-                Some(WaitOutcome::Signaled(std::mem::take(&mut *guard)))
+        let (probed, rounds) = policy.wait_until_counted(|| {
+            match slot.flag.load(Ordering::Acquire) {
+                SIGNALED => {
+                    let mut guard =
+                        slot.partial.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                    Some(WaitOutcome::Signaled(std::mem::take(&mut *guard)))
+                }
+                POISONED => Some(WaitOutcome::Poisoned),
+                _ => None,
             }
-            POISONED => Some(WaitOutcome::Poisoned),
-            _ => None,
         });
-        match probed {
+        let outcome = match probed {
             Ok(outcome) => outcome,
             Err(waited) => WaitOutcome::TimedOut { waited },
-        }
+        };
+        (outcome, rounds)
     }
 
     /// [`wait_with`](Self::wait_with) under the default policy,
@@ -397,6 +419,24 @@ mod tests {
         // Bounded: nowhere near the old unbounded spin. Generous
         // ceiling for loaded CI machines.
         assert!(start.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn wait_rounds_distinguish_hits_from_stalls() {
+        let board = FixupBoard::<f64>::new(1);
+        board.store_and_signal(0, vec![1.0]).unwrap();
+        let (outcome, rounds) = board.wait_with_rounds(0, &WaitPolicy::default());
+        assert_eq!(outcome, WaitOutcome::Signaled(vec![1.0]));
+        assert_eq!(rounds, 0, "an already-signaled slot costs zero backoff rounds");
+
+        let board = FixupBoard::<f64>::new(1);
+        let policy = WaitPolicy::with_watchdog(Duration::from_millis(10));
+        let (outcome, rounds) = board.wait_with_rounds(0, &policy);
+        assert!(matches!(outcome, WaitOutcome::TimedOut { .. }));
+        assert!(
+            rounds > policy.spin_iters + policy.yield_iters,
+            "a timed-out wait descended past the spin and yield phases ({rounds} rounds)"
+        );
     }
 
     /// The owner observes exactly the values the contributor wrote —

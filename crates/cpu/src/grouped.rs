@@ -5,7 +5,8 @@ use crate::fixup::{FixupBoard, WaitPolicy};
 use crate::output::TileWriter;
 use crate::packcache::{mac_loop_kernel_cached, PackCache};
 use crate::workspace::Workspace;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 use streamk_core::{GroupedDecomposition, PeerTable};
 use streamk_matrix::{Matrix, Promote, Scalar};
 
@@ -88,6 +89,7 @@ impl CpuExecutor {
         // round-robin order keeps a blocked owner's peers claimed by
         // other workers, which static ranges would not guarantee.
         let tile_len = tile.blk_m * tile.blk_n;
+        let wait_ns = AtomicU64::new(0);
         self.worker_pool().run(&|_wid, scratch| {
             // Per-worker arena from the persistent pool's scratch
             // store, warm across launches; the dispatcher handles each
@@ -117,7 +119,9 @@ impl CpuExecutor {
                     mac_loop_kernel_cached(kind, caches.get(seg.instance), &av, &bv, inst, seg.local_tile, seg.local_begin, seg.local_end, &mut ws.accum, &mut ws.pack);
                     if !seg.ends_tile {
                         for &peer in owner_peers.peers(cta.cta_id) {
+                            let t0 = Instant::now();
                             let partial = board.wait_and_take(peer);
+                            wait_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
                             for (acc, p) in ws.accum.iter_mut().zip(&partial) {
                                 *acc += *p;
                             }
@@ -129,7 +133,7 @@ impl CpuExecutor {
                 }
             }
         });
-        self.record_stats(0, 0);
+        self.record_stats(0, 0, Duration::from_nanos(wait_ns.load(Ordering::Relaxed)), 0);
         drop(writers);
         outputs
     }

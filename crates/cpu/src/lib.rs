@@ -51,6 +51,7 @@ pub mod sched;
 // unsafe block carries its safety argument inline.
 #[allow(unsafe_code)]
 pub mod simd;
+pub mod trace;
 pub mod workspace;
 
 pub use calibrate::{select_kernel, select_kernel_on, KernelSelection};
@@ -62,11 +63,12 @@ pub use fixup::{FixupBoard, FlagState, TryTake, WaitOutcome, WaitPolicy};
 pub use macloop::mac_loop;
 pub use pad::CachePadded;
 pub use pool::{ScratchStore, WorkerPool};
-pub use sched::CtaScheduler;
+pub use sched::{Claim, CtaScheduler};
 pub use microkernel::{
     mac_loop_blocked, mac_loop_cached, mac_loop_kernel, mac_loop_packed, mac_loop_simd, KernelKind,
     PackBuffers,
 };
 pub use packcache::{mac_loop_kernel_cached, PackCache, PanelGuard};
 pub use simd::SimdLevel;
+pub use trace::{ExecTrace, Histogram, Metrics, Span, SpanRing, WorkerTrace};
 pub use workspace::Workspace;

@@ -344,8 +344,10 @@ fn mac_loop_panels<In, Acc, const MR_: usize, const NR_: usize>(
     let k_end = space.k_extents(local_end - 1).end;
     let kc = k_end - k_begin;
 
+    let t0 = crate::trace::start();
     pack_a_into(a, rows, k_begin..k_end, MR_, &mut bufs.a);
     pack_b_into(b, k_begin..k_end, cols, NR_, &mut bufs.b);
+    crate::trace::finish(crate::trace::SpanKind::PackPrivate, t0, tile_idx as u32, kc as u32);
 
     let a_panel = kc * MR_;
     let b_panel = kc * NR_;

@@ -149,7 +149,7 @@ impl<In: Copy + Default> PackCache<In> {
         let blk_m = self.space.tile().blk_m;
         let rows = tm * blk_m..shape.m.min((tm + 1) * blk_m);
         let mr = self.mr;
-        self.fetch(&self.a[tm], |out| pack_a_into(a, rows, 0..shape.k, mr, out))
+        self.fetch(&self.a[tm], tm as u32, 0, |out| pack_a_into(a, rows, 0..shape.k, mr, out))
     }
 
     /// The B column-panel for tile column `tn`; as
@@ -159,13 +159,16 @@ impl<In: Copy + Default> PackCache<In> {
         let blk_n = self.space.tile().blk_n;
         let cols = tn * blk_n..shape.n.min((tn + 1) * blk_n);
         let nr = self.nr;
-        self.fetch(&self.b[tn], |out| pack_b_into(b, 0..shape.k, cols, nr, out))
+        self.fetch(&self.b[tn], tn as u32, 1, |out| pack_b_into(b, 0..shape.k, cols, nr, out))
     }
 
-    /// The claim/publish core shared by both operand tables.
+    /// The claim/publish core shared by both operand tables. `tag` and
+    /// `operand` (0 = A, 1 = B) label the pack span in traces.
     fn fetch<'c>(
         &'c self,
         slot: &'c PanelSlot<In>,
+        tag: u32,
+        operand: u32,
         pack: impl FnOnce(&mut Vec<In>),
     ) -> Option<PanelGuard<'c, In>> {
         // Fast path: already published. The acquire-load pairs with
@@ -175,6 +178,7 @@ impl<In: Copy + Default> PackCache<In> {
         }
         if slot.state.compare_exchange(EMPTY, PACKING, Ordering::AcqRel, Ordering::Acquire).is_ok() {
             // This CTA won the claim: pack, then publish.
+            let t0 = crate::trace::start();
             {
                 let mut guard =
                     slot.data.write().unwrap_or_else(std::sync::PoisonError::into_inner);
@@ -182,6 +186,7 @@ impl<In: Copy + Default> PackCache<In> {
             }
             self.packs.fetch_add(1, Ordering::Relaxed);
             slot.state.store(READY, Ordering::Release);
+            crate::trace::finish(crate::trace::SpanKind::PackCached, t0, tag, operand);
             return Some(Self::read(slot));
         }
         // Lost the race: another CTA is packing (or just published).

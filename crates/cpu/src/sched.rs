@@ -122,6 +122,15 @@ impl RangeQueue {
     }
 }
 
+/// One claimed CTA and how it was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Claim {
+    /// The claimed CTA id.
+    pub id: usize,
+    /// Whether the claim came from stealing another worker's range.
+    pub stolen: bool,
+}
+
 /// The per-launch CTA dispatcher: static contiguous per-worker ranges
 /// with steal-from-the-richest rebalancing (see module docs).
 #[derive(Debug)]
@@ -152,8 +161,16 @@ impl CtaScheduler {
     /// every queue is drained.
     #[must_use]
     pub fn next(&self, me: usize) -> Option<usize> {
+        self.next_claim(me).map(|c| c.id)
+    }
+
+    /// [`next`](Self::next), additionally reporting whether the claim
+    /// came from a steal — the tracer labels stolen claims separately
+    /// so a timeline shows where rebalancing happened.
+    #[must_use]
+    pub fn next_claim(&self, me: usize) -> Option<Claim> {
         if let Some(id) = self.queues[me].pop_front() {
-            return Some(id);
+            return Some(Claim { id, stolen: false });
         }
         loop {
             let victim = self
@@ -174,7 +191,7 @@ impl CtaScheduler {
                 if end - begin > 1 {
                     self.queues[me].refill(begin + 1, end);
                 }
-                return Some(begin);
+                return Some(Claim { id: begin, stolen: true });
             }
             // The victim drained (or was robbed) between the scan and
             // the steal — rescan.
@@ -280,6 +297,20 @@ mod tests {
             );
             assert_eq!(sched.remaining(), 0);
         }
+    }
+
+    #[test]
+    fn claims_report_their_provenance() {
+        let sched = CtaScheduler::new(8, 2);
+        assert_eq!(sched.next_claim(0), Some(Claim { id: 0, stolen: false }));
+        // Worker 1 drains its own range [4, 8)...
+        for id in 4..8 {
+            assert_eq!(sched.next_claim(1), Some(Claim { id, stolen: false }));
+        }
+        // ...then its next claim must be marked stolen.
+        let claim = sched.next_claim(1).unwrap();
+        assert!(claim.stolen);
+        assert_eq!(sched.steals(), 1);
     }
 
     #[test]

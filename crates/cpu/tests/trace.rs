@@ -1,0 +1,191 @@
+//! Tracing invariants at the executor level.
+//!
+//! The observability layer's three hard promises, as integration
+//! tests against real traced launches:
+//!
+//! 1. **Non-perturbation**: a traced run is *bit-exact* against an
+//!    untraced run of the same launch, across thread counts — spans
+//!    observe the computation, they never change it.
+//! 2. **Bounded overhead**: with tracing off, no span ring is ever
+//!    allocated; with tracing on, warm pool workers reuse the rings
+//!    of previous launches, and a full ring drops the *oldest* spans
+//!    and counts them instead of blocking or growing.
+//! 3. **Structural sanity**: per worker, recorded spans are laminar
+//!    (any two either nest or are disjoint) and lie within the launch
+//!    wall time — the Chrome-trace export inherits well-nestedness
+//!    from this.
+
+use std::sync::Mutex;
+use std::time::Duration;
+use streamk_core::{Decomposition, SpanKind};
+use streamk_cpu::trace::ring_allocations;
+use streamk_cpu::{CpuExecutor, FaultKind, FaultPlan};
+use streamk_matrix::Matrix;
+use streamk_types::{GemmShape, Layout, TileShape};
+
+/// Serializes tests that assert on the process-global ring-allocation
+/// counter against the traced launches in this binary.
+static ALLOC_GATE: Mutex<()> = Mutex::new(());
+
+fn operands(shape: GemmShape, seed: u64) -> (Matrix<f64>, Matrix<f64>) {
+    let a = Matrix::<f64>::random::<f64>(shape.m, shape.k, Layout::RowMajor, seed);
+    let b = Matrix::<f64>::random::<f64>(shape.k, shape.n, Layout::RowMajor, seed + 1);
+    (a, b)
+}
+
+/// A shape/grid with split tiles, so traced runs exercise the fixup
+/// protocol (signal, wait, load-partials, deferral) — not just MACs.
+fn split_launch() -> (GemmShape, TileShape, Decomposition) {
+    let shape = GemmShape::new(96, 80, 128);
+    let tile = TileShape::new(32, 32, 16);
+    let decomp = Decomposition::stream_k(shape, tile, 6);
+    assert!(decomp.split_tiles() > 0, "the test launch must cross tile seams");
+    (shape, tile, decomp)
+}
+
+#[test]
+fn traced_runs_are_bit_exact_across_thread_counts() {
+    let (_, _, decomp) = split_launch();
+    let (a, b) = operands(GemmShape::new(96, 80, 128), 0x7A0);
+    let baseline = CpuExecutor::with_threads(2).gemm::<f64, f64>(&a, &b, &decomp);
+    // Split seams need two co-resident CTAs, so two workers is the
+    // floor for this grid.
+    for threads in 2..=8 {
+        let exec = CpuExecutor::with_threads(threads).with_trace(true);
+        let traced = exec.gemm::<f64, f64>(&a, &b, &decomp);
+        assert_eq!(
+            traced.max_abs_diff(&baseline),
+            0.0,
+            "tracing perturbed the result at {threads} threads"
+        );
+        let trace = exec.last_trace().expect("traced launch yields a trace");
+        assert_eq!(trace.workers.len(), threads);
+        assert!(trace.total_spans() > 0, "traced launch recorded nothing");
+    }
+}
+
+#[test]
+fn spans_are_well_nested_and_within_the_launch_per_worker() {
+    let (_, _, decomp) = split_launch();
+    let (a, b) = operands(GemmShape::new(96, 80, 128), 0x7A2);
+    let exec = CpuExecutor::with_threads(4).with_trace(true);
+    let _ = exec.gemm::<f64, f64>(&a, &b, &decomp);
+    let trace = exec.last_trace().unwrap();
+    assert_eq!(trace.dropped_spans(), 0, "default ring must hold this launch");
+    let mut macs = 0usize;
+    for (wid, worker) in trace.workers.iter().enumerate() {
+        for s in &worker.spans {
+            assert!(s.start_ns <= s.end_ns, "worker {wid}: inverted span {s:?}");
+            assert!(
+                s.end_ns <= trace.wall_ns,
+                "worker {wid}: span ends after the launch: {s:?}"
+            );
+            macs += usize::from(s.kind == SpanKind::Mac);
+        }
+        // Laminar family: any two spans of one worker either nest or
+        // are disjoint. O(n²) is fine at test scale.
+        for (i, x) in worker.spans.iter().enumerate() {
+            for y in &worker.spans[i + 1..] {
+                let disjoint = x.end_ns <= y.start_ns || y.end_ns <= x.start_ns;
+                let x_in_y = y.start_ns <= x.start_ns && x.end_ns <= y.end_ns;
+                let y_in_x = x.start_ns <= y.start_ns && y.end_ns <= x.end_ns;
+                assert!(
+                    disjoint || x_in_y || y_in_x,
+                    "worker {wid}: partially overlapping spans {x:?} / {y:?}"
+                );
+            }
+        }
+    }
+    assert!(macs > 0, "a GEMM launch must record MAC spans");
+    // Every split seam signals: the fixup protocol shows up as spans.
+    let metrics = trace.metrics();
+    assert!(metrics.count(SpanKind::Signal) > 0, "split launch recorded no signals");
+    assert!(metrics.count(SpanKind::LoadPartials) > 0, "owner folds recorded no loads");
+}
+
+#[test]
+fn full_ring_drops_oldest_and_counts_without_blocking() {
+    let (_, _, decomp) = split_launch();
+    let (a, b) = operands(GemmShape::new(96, 80, 128), 0x7A4);
+    let exec = CpuExecutor::with_threads(2).with_trace(true).with_trace_capacity(4);
+    let baseline = CpuExecutor::with_threads(2).gemm::<f64, f64>(&a, &b, &decomp);
+    let traced = exec.gemm::<f64, f64>(&a, &b, &decomp);
+    assert_eq!(traced.max_abs_diff(&baseline), 0.0, "overflow must not perturb results");
+    let trace = exec.last_trace().unwrap();
+    assert!(trace.dropped_spans() > 0, "a 4-span ring must overflow on this launch");
+    for worker in &trace.workers {
+        assert!(worker.spans.len() <= 4, "ring exceeded its capacity");
+        // Drop-oldest: the survivors are the *latest* spans, so each
+        // worker's record still reaches the end of its timeline.
+        if let Some(last) = worker.spans.iter().map(|s| s.end_ns).max() {
+            let first = worker.spans.iter().map(|s| s.start_ns).min().unwrap();
+            assert!(last >= first);
+        }
+    }
+    // The dropped spans are reported by the metrics registry too.
+    assert_eq!(trace.metrics().dropped_spans, trace.dropped_spans() as u64);
+}
+
+#[test]
+fn tracing_off_allocates_no_rings() {
+    let _gate = ALLOC_GATE.lock().unwrap();
+    let (_, _, decomp) = split_launch();
+    let (a, b) = operands(GemmShape::new(96, 80, 128), 0x7A6);
+    let exec = CpuExecutor::with_threads(4);
+    let _ = exec.gemm::<f64, f64>(&a, &b, &decomp); // warm the pool
+    let before = ring_allocations();
+    let _ = exec.gemm::<f64, f64>(&a, &b, &decomp);
+    assert_eq!(ring_allocations(), before, "untraced launch allocated a span ring");
+    assert!(exec.last_trace().is_none(), "untraced executor must not fabricate a trace");
+}
+
+#[test]
+fn traced_launches_reuse_rings_once_warm() {
+    let _gate = ALLOC_GATE.lock().unwrap();
+    let (_, _, decomp) = split_launch();
+    let (a, b) = operands(GemmShape::new(96, 80, 128), 0x7AA);
+    let exec = CpuExecutor::with_threads(4).with_trace(true);
+    // First traced launch allocates one ring per pool worker...
+    let _ = exec.gemm::<f64, f64>(&a, &b, &decomp);
+    let before = ring_allocations();
+    // ...and steady-state traced launches reuse them.
+    let _ = exec.gemm::<f64, f64>(&a, &b, &decomp);
+    assert_eq!(ring_allocations(), before, "warm traced launch allocated a new span ring");
+    let trace = exec.last_trace().unwrap();
+    assert!(trace.total_spans() > 0, "reused rings must still record spans");
+    assert!(
+        trace.workers.iter().all(|w| w.spans.iter().all(|s| s.end_ns <= trace.wall_ns)),
+        "reused rings must be rebased on the new launch epoch"
+    );
+}
+
+#[test]
+fn stats_overwrite_per_launch_and_launches_accumulate() {
+    let _gate = ALLOC_GATE.lock().unwrap();
+    let shape = GemmShape::new(96, 80, 128);
+    let tile = TileShape::new(32, 32, 16);
+    let (a, b) = operands(shape, 0x7A8);
+    let split = Decomposition::stream_k(shape, tile, 6);
+    let dp = Decomposition::data_parallel(shape, tile);
+    let exec = CpuExecutor::with_threads(4).with_watchdog(Duration::from_millis(100));
+
+    // Lose a contributor: the owner must stall through the watchdog
+    // and recover, so wait_stall and recoveries are both provably
+    // nonzero in this launch.
+    let victim = *FaultPlan::contributors(&split).first().expect("split grid has contributors");
+    let plan = FaultPlan::single(victim, FaultKind::Lose);
+    let _ = exec.gemm_with_faults::<f64, f64>(&a, &b, &split, &plan).expect("recovery succeeds");
+    let first = exec.last_stats();
+    assert_eq!(first.launches, 1);
+    assert!(first.wait_stall.as_nanos() > 0, "a lost peer must show up as wait stall");
+    assert!(first.recoveries > 0, "a lost peer must be recovered");
+
+    // A data-parallel launch has no seams: every per-launch field must
+    // be *overwritten* to this launch's values, not accumulated.
+    let _ = exec.gemm::<f64, f64>(&a, &b, &dp);
+    let second = exec.last_stats();
+    assert_eq!(second.launches, 2, "launches is the one cumulative field");
+    assert_eq!(second.deferrals, 0, "deferrals must reset per launch");
+    assert_eq!(second.wait_stall.as_nanos(), 0, "wait_stall must reset per launch");
+    assert_eq!(second.recoveries, 0, "recoveries must reset per launch");
+}

@@ -48,5 +48,5 @@ pub use gpu::GpuSpec;
 pub use grouped::{simulate_grouped, simulate_grouped_with_efficiency};
 pub use report::{CtaSpan, SimReport};
 pub use svg::{render_svg, SvgOptions};
-pub use trace::render_chrome_trace;
+pub use trace::{render_chrome_trace, write_chrome_trace};
 pub use timeline::render_gantt;

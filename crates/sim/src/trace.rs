@@ -5,74 +5,55 @@
 //! interactively. Each SM is a "thread"; each CTA a complete event;
 //! fixup-wait stalls appear as nested "wait" events.
 //!
-//! The format needs only objects with
-//! `{name, ph: "X", ts, dur, pid, tid}` (microsecond timestamps);
-//! this writer emits it by hand, keeping the workspace free of JSON
-//! dependencies.
+//! The JSON emission itself lives in the shared
+//! [`streamk_core::tev::TraceWriter`], so the simulator's *predicted*
+//! timeline and the CPU executor's *measured* timeline
+//! (`streamk-cpu::trace`) can be written into one document as two
+//! trace "processes" — that merge is what `streamk profile` emits.
 
 use crate::report::SimReport;
-use std::fmt::Write as _;
+use streamk_core::tev::{ArgValue, TraceWriter};
 
-/// Renders `report` as Trace Event Format JSON.
-#[must_use]
-pub fn render_chrome_trace(report: &SimReport) -> String {
+/// Writes `report`'s schedule into `w` as trace process `pid`:
+/// process/thread metadata, one complete event per CTA, and nested
+/// "wait" events for fixup stalls.
+pub fn write_chrome_trace(w: &mut TraceWriter, report: &SimReport, pid: usize) {
     let us = 1e6; // seconds → microseconds
-    let mut out = String::from("[\n");
-    let mut first = true;
-    let push = |s: String, out: &mut String, first: &mut bool| {
-        if !*first {
-            out.push_str(",\n");
-        }
-        out.push_str(&s);
-        *first = false;
-    };
-
-    // Process metadata: name the "process" after the simulated run.
-    push(
-        format!(
-            r#"  {{"name": "process_name", "ph": "M", "pid": 1, "args": {{"name": "streamk-sim ({} SMs, {:.1} TFLOP/s peak)"}}}}"#,
+    w.process_name(
+        pid,
+        &format!(
+            "streamk-sim ({} SMs, {:.1} TFLOP/s peak)",
             report.sms,
             report.peak_flops / 1e12
         ),
-        &mut out,
-        &mut first,
     );
     for sm in 0..report.sms {
-        push(
-            format!(
-                r#"  {{"name": "thread_name", "ph": "M", "pid": 1, "tid": {sm}, "args": {{"name": "SM{sm}"}}}}"#
-            ),
-            &mut out,
-            &mut first,
-        );
+        w.thread_name(pid, sm, &format!("SM{sm}"));
     }
-
     for span in &report.spans {
         let ts = span.start * us;
         let dur = (span.end - span.start) * us;
-        push(
-            format!(
-                r#"  {{"name": "CTA {}", "ph": "X", "ts": {ts:.3}, "dur": {dur:.3}, "pid": 1, "tid": {}, "args": {{"iters": {}}}}}"#,
-                span.cta_id, span.sm, span.iters
-            ),
-            &mut out,
-            &mut first,
+        w.complete(
+            pid,
+            span.sm,
+            &format!("CTA {}", span.cta_id),
+            ts,
+            dur,
+            &[("iters", ArgValue::U64(span.iters as u64))],
         );
         if span.waited > 0.0 {
             let wts = (span.end - span.waited) * us;
-            push(
-                format!(
-                    r#"  {{"name": "wait", "ph": "X", "ts": {wts:.3}, "dur": {:.3}, "pid": 1, "tid": {}}}"#,
-                    span.waited * us,
-                    span.sm
-                ),
-                &mut out,
-                &mut first,
-            );
+            w.complete(pid, span.sm, "wait", wts, span.waited * us, &[]);
         }
     }
-    let _ = write!(out, "\n]\n");
-    out
+}
+
+/// Renders `report` alone as Trace Event Format JSON (process 1).
+#[must_use]
+pub fn render_chrome_trace(report: &SimReport) -> String {
+    let mut w = TraceWriter::new();
+    write_chrome_trace(&mut w, report, 1);
+    w.finish()
 }
 
 #[cfg(test)]
@@ -80,6 +61,7 @@ mod tests {
     use super::*;
     use crate::engine::simulate;
     use crate::gpu::GpuSpec;
+    use streamk_core::tev::validate_json;
     use streamk_core::Decomposition;
     use streamk_types::{GemmShape, Precision, TileShape};
 
@@ -94,6 +76,7 @@ mod tests {
         assert_eq!(json.matches("thread_name").count(), 4);
         // Commas between events, none trailing.
         assert!(!json.contains(",\n]"));
+        validate_json(&json).unwrap();
     }
 
     #[test]
@@ -104,5 +87,18 @@ mod tests {
         assert!(r.total_wait > 0.0);
         let json = render_chrome_trace(&r);
         assert!(json.contains(r#""name": "wait""#));
+        validate_json(&json).unwrap();
+    }
+
+    #[test]
+    fn pid_parameter_relocates_the_whole_process() {
+        let d = Decomposition::stream_k(GemmShape::new(384, 384, 128), TileShape::new(128, 128, 4), 4);
+        let r = simulate(&d, &GpuSpec::hypothetical_4sm(), Precision::Fp64);
+        let mut w = TraceWriter::new();
+        write_chrome_trace(&mut w, &r, 7);
+        let json = w.finish();
+        assert!(json.contains(r#""pid": 7"#));
+        assert!(!json.contains(r#""pid": 1"#));
+        validate_json(&json).unwrap();
     }
 }
