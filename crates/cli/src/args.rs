@@ -89,6 +89,9 @@ pub enum Command {
         threads: usize,
         /// Owner-side watchdog deadline, milliseconds.
         watchdog_ms: u64,
+        /// Also run the service-level campaign: seeded request faults
+        /// through `GemmService`.
+        serve: bool,
     },
     /// CPU kernel benchmark sweep, emitting `BENCH_cpu.json`.
     Bench {
@@ -101,6 +104,23 @@ pub enum Command {
         /// Timing repetitions per cell; medians are reported.
         reps: usize,
         /// Cut the sweep down for CI smoke runs.
+        smoke: bool,
+        /// Output path for the JSON report.
+        out: String,
+    },
+    /// Concurrent-launch service benchmark, emitting `BENCH_serve.json`.
+    ServeBench {
+        /// Service worker threads.
+        threads: usize,
+        /// Requests per mix.
+        requests: usize,
+        /// Active-window size (concurrently running requests).
+        window: usize,
+        /// Pending-queue capacity before admission rejects.
+        capacity: usize,
+        /// Owner-side watchdog deadline, milliseconds.
+        watchdog_ms: u64,
+        /// Cut the campaign down for CI smoke runs.
         smoke: bool,
         /// Output path for the JSON report.
         out: String,
@@ -145,8 +165,9 @@ USAGE:
   streamk bestgrid <m> <n> <k> [--tile MxNxK] [--sms P] [--precision fp64|fp16]
   streamk compare  <m> <n> <k> [--precision fp64|fp16]
   streamk corpus   [count]
-  streamk chaos    <m> <n> <k> [--tile MxNxK] [--seeds N] [--threads T] [--watchdog-ms MS]
+  streamk chaos    <m> <n> <k> [--tile MxNxK] [--seeds N] [--threads T] [--watchdog-ms MS] [--serve]
   streamk bench    [--size N] [--tile MxNxK] [--corpus C] [--reps R] [--out FILE] [--smoke]
+  streamk serve-bench [--threads T] [--requests N] [--window W] [--capacity C] [--watchdog-ms MS] [--out FILE] [--smoke]
   streamk profile  <m> <n> <k> [--tile MxNxK] [--threads T] [--strategy S] [--out FILE] [--svg FILE]
   streamk svg      <m> <n> <k> --out FILE [--tile MxNxK] [--sms P] [--strategy S]
   streamk help
@@ -208,7 +229,7 @@ struct Flags<'a> {
 }
 
 /// Flags that take no value; their presence means "true".
-const BOOL_FLAGS: &[&str] = &["smoke"];
+const BOOL_FLAGS: &[&str] = &["smoke", "serve"];
 
 fn split_flags(rest: &[String]) -> Result<Flags<'_>, ParseError> {
     let mut positional = Vec::new();
@@ -323,6 +344,31 @@ impl Cli {
                             .ok_or_else(|| ParseError(format!("--threads expects a positive integer, got '{v}'")))
                     })?,
                     watchdog_ms: parse_u64("watchdog-ms", 200, &flags)?,
+                    serve: get_flag(&flags, "serve") == Some("true"),
+                }
+            }
+            "serve-bench" => {
+                let flags = split_flags(rest)?;
+                let parse_usize = |name: &str, default: usize, flags: &Flags<'_>| {
+                    get_flag(flags, name).map_or(Ok(default), |v| {
+                        v.parse::<usize>()
+                            .ok()
+                            .filter(|&x| x > 0)
+                            .ok_or_else(|| ParseError(format!("--{name} expects a positive integer, got '{v}'")))
+                    })
+                };
+                let smoke = get_flag(&flags, "smoke") == Some("true");
+                Command::ServeBench {
+                    threads: parse_usize("threads", 8, &flags)?,
+                    requests: parse_usize("requests", if smoke { 16 } else { 64 }, &flags)?,
+                    window: parse_usize("window", 4, &flags)?,
+                    capacity: parse_usize("capacity", 64, &flags)?,
+                    watchdog_ms: get_flag(&flags, "watchdog-ms").map_or(Ok(200), |v| {
+                        v.parse::<u64>()
+                            .map_err(|_| ParseError(format!("--watchdog-ms expects an integer, got '{v}'")))
+                    })?,
+                    smoke,
+                    out: get_flag(&flags, "out").unwrap_or("BENCH_serve.json").to_string(),
                 }
             }
             "bench" => {
@@ -474,15 +520,17 @@ mod tests {
                 seeds: 3,
                 threads: 8,
                 watchdog_ms: 200,
+                serve: false,
             }
         );
-        let cli = Cli::parse(&argv("chaos 64 64 64 --tile 16x16x8 --seeds 5 --threads 4 --watchdog-ms 50")).unwrap();
+        let cli = Cli::parse(&argv("chaos 64 64 64 --tile 16x16x8 --seeds 5 --threads 4 --watchdog-ms 50 --serve")).unwrap();
         match cli.command {
-            Command::Chaos { tile, seeds, threads, watchdog_ms, .. } => {
+            Command::Chaos { tile, seeds, threads, watchdog_ms, serve, .. } => {
                 assert_eq!(tile, TileShape::new(16, 16, 8));
                 assert_eq!(seeds, 5);
                 assert_eq!(threads, 4);
                 assert_eq!(watchdog_ms, 50);
+                assert!(serve);
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -530,6 +578,35 @@ mod tests {
         }
         assert!(Cli::parse(&argv("bench --size 0")).is_err());
         assert!(Cli::parse(&argv("bench --reps x")).is_err());
+    }
+
+    #[test]
+    fn serve_bench_defaults_and_smoke() {
+        let cli = Cli::parse(&argv("serve-bench")).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::ServeBench {
+                threads: 8,
+                requests: 64,
+                window: 4,
+                capacity: 64,
+                watchdog_ms: 200,
+                smoke: false,
+                out: "BENCH_serve.json".into(),
+            }
+        );
+        let cli = Cli::parse(&argv("serve-bench --smoke --threads 4 --out /tmp/s.json")).unwrap();
+        match cli.command {
+            Command::ServeBench { threads, requests, smoke, out, .. } => {
+                assert!(smoke);
+                assert_eq!(threads, 4);
+                assert_eq!(requests, 16);
+                assert_eq!(out, "/tmp/s.json");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(Cli::parse(&argv("serve-bench --requests 0")).is_err());
+        assert!(Cli::parse(&argv("serve-bench --window x")).is_err());
     }
 
     #[test]

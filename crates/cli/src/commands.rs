@@ -10,7 +10,8 @@ use streamk_corpus::{Corpus, CorpusConfig};
 use streamk_cpu::trace::ring_allocations;
 use streamk_cpu::{
     mac_loop_kernel, mac_loop_kernel_cached, select_kernel_on, CpuExecutor, FaultKind, FaultPlan,
-    KernelKind, PackBuffers, PackCache, SimdLevel, WaitPolicy,
+    GemmService, KernelKind, LaunchRequest, PackBuffers, PackCache, Priority, ServeConfig,
+    ServeError, ServeFaultKind, ServeFaultPlan, SimdLevel, WaitPolicy,
 };
 use streamk_cpu::macloop::mac_loop_view;
 use streamk_ensemble::runners;
@@ -149,11 +150,14 @@ pub fn execute(cli: &Cli) -> String {
             }
             out
         }
-        Command::Chaos { shape, tile, seeds, threads, watchdog_ms } => {
-            run_chaos(*shape, *tile, *seeds, *threads, *watchdog_ms)
+        Command::Chaos { shape, tile, seeds, threads, watchdog_ms, serve } => {
+            run_chaos(*shape, *tile, *seeds, *threads, *watchdog_ms, *serve)
         }
         Command::Bench { size, tile, corpus, reps, smoke, out } => {
             run_bench(*size, *tile, *corpus, *reps, *smoke, out)
+        }
+        Command::ServeBench { threads, requests, window, capacity, watchdog_ms, smoke, out } => {
+            run_serve_bench(*threads, *requests, *window, *capacity, *watchdog_ms, *smoke, out)
         }
         Command::Profile { shape, tile, threads, strategy, out, svg } => {
             run_profile(*shape, *tile, *threads, *strategy, out, svg.as_deref())
@@ -822,7 +826,272 @@ fn run_profile(
 /// × every fault kind × every seed through the recovering executor,
 /// with bit-exactness checked against the fault-free run, followed by
 /// the simulator's straggler-SM injection.
-fn run_chaos(shape: GemmShape, tile: TileShape, seeds: u64, threads: usize, watchdog_ms: u64) -> String {
+/// What a serve-bench request is contracted to do: complete
+/// bit-exactly, or fail typed with the matching error.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ServeExpect {
+    Exact,
+    Cancelled,
+    Panicked,
+    TimedOut,
+}
+
+/// One request spec in a serve-bench mix.
+struct ServeReq {
+    shape: GemmShape,
+    grid: usize,
+    prio: Priority,
+    fault: Option<ServeFaultKind>,
+    deadline: Option<Duration>,
+}
+
+impl ServeReq {
+    fn expect(&self) -> ServeExpect {
+        if self.deadline == Some(Duration::ZERO) {
+            return ServeExpect::TimedOut;
+        }
+        match self.fault {
+            Some(ServeFaultKind::Cancel) => ServeExpect::Cancelled,
+            Some(ServeFaultKind::PanicCta) => ServeExpect::Panicked,
+            _ => ServeExpect::Exact,
+        }
+    }
+}
+
+/// One mix's verdict plus its report fragments.
+struct ServeMixOutcome {
+    text: String,
+    json: String,
+    bit_exact: bool,
+    contract_ok: bool,
+    pool_poisonings: usize,
+}
+
+/// Runs one mix of requests through a fresh executor + service:
+/// sequential baselines first (the service holds the pool's launch
+/// slot for its whole lifetime), then the full burst, then per-handle
+/// verdicts against each request's contract.
+fn run_serve_mix(
+    name: &str,
+    specs: &[ServeReq],
+    threads: usize,
+    window: usize,
+    capacity: usize,
+    watchdog: Duration,
+) -> ServeMixOutcome {
+    let tile = TileShape::new(16, 16, 8);
+    let exec = CpuExecutor::with_threads(threads).with_watchdog(watchdog);
+    type Combo = (Matrix<f64>, Matrix<f64>, Decomposition, Matrix<f64>);
+    let mut combos: Vec<((usize, usize, usize, usize), Combo)> = Vec::new();
+    for s in specs {
+        let key = (s.shape.m, s.shape.n, s.shape.k, s.grid);
+        if combos.iter().any(|(k, _)| *k == key) {
+            continue;
+        }
+        let decomp = Decomposition::stream_k(s.shape, tile, s.grid);
+        let seed = (key.0 * 31 + key.1 * 7 + key.2 * 3 + key.3) as u64;
+        let a = Matrix::<f64>::random::<f64>(s.shape.m, s.shape.k, Layout::RowMajor, seed);
+        let b = Matrix::<f64>::random::<f64>(s.shape.k, s.shape.n, Layout::RowMajor, seed + 1);
+        let baseline = exec.gemm::<f64, f64>(&a, &b, &decomp);
+        combos.push((key, (a, b, decomp, baseline)));
+    }
+    let combo_of = |s: &ServeReq| -> &Combo {
+        let key = (s.shape.m, s.shape.n, s.shape.k, s.grid);
+        &combos.iter().find(|(k, _)| *k == key).expect("combo precomputed").1
+    };
+
+    // Injected CTA panics are expected here; the default hook's
+    // backtrace spew is noise, so silence it for the campaign.
+    let quiet = specs.iter().any(|s| s.fault == Some(ServeFaultKind::PanicCta));
+    let prev_hook = quiet.then(std::panic::take_hook);
+    if quiet {
+        std::panic::set_hook(Box::new(|_| {}));
+    }
+
+    let service = GemmService::<f64, f64>::start(
+        &exec,
+        ServeConfig::default().with_window(window).with_capacity(capacity),
+    );
+    let t0 = Instant::now();
+    let mut handles = Vec::new();
+    for s in specs {
+        let (a, b, decomp, _) = combo_of(s);
+        let mut req =
+            LaunchRequest::new(a.clone(), b.clone(), decomp.clone()).with_priority(s.prio);
+        if let Some(kind) = s.fault {
+            req = req.with_serve_fault(kind);
+        }
+        if let Some(d) = s.deadline {
+            req = req.with_deadline(d);
+        }
+        // A full queue rejects; the service counts it and the burst
+        // moves on — that lost request is the backpressure story.
+        handles.push((s, service.submit(req).ok()));
+    }
+    let mut latencies: Vec<f64> = Vec::new();
+    let (mut bit_exact, mut contract_ok) = (true, true);
+    for (s, handle) in handles {
+        let Some(handle) = handle else { continue };
+        match (s.expect(), handle.wait()) {
+            (ServeExpect::Cancelled, Err(ServeError::Cancelled))
+            | (ServeExpect::Panicked, Err(ServeError::Panicked { .. }))
+            | (ServeExpect::TimedOut, Err(ServeError::Timeout { .. })) => {}
+            (ServeExpect::Exact, Ok((c, stats))) => {
+                latencies.push(stats.latency.as_secs_f64());
+                if c.max_abs_diff(&combo_of(s).3) != 0.0 {
+                    bit_exact = false;
+                }
+            }
+            _ => contract_ok = false,
+        }
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let stats = service.shutdown();
+    if let Some(prev) = prev_hook {
+        std::panic::set_hook(prev);
+    }
+
+    latencies.sort_by(f64::total_cmp);
+    let pct = |p: f64| {
+        let idx = (latencies.len().saturating_sub(1)) as f64 * p;
+        latencies.get(idx as usize).copied().unwrap_or(0.0)
+    };
+    let (p50, p99) = (pct(0.50), pct(0.99));
+    let rps = if wall > 0.0 { stats.completed as f64 / wall } else { 0.0 };
+    let text = format!(
+        "  {name:<22} {:>4} reqs {:>5} ok {:>4} rej {:>4} t/o {:>4} can {:>4} pan {:>9.1} req/s  p50 {p50:.2e}s  p99 {p99:.2e}s  bit-exact {}\n",
+        specs.len(),
+        stats.completed,
+        stats.rejected,
+        stats.timed_out,
+        stats.cancelled,
+        stats.panicked,
+        rps,
+        if bit_exact && contract_ok { "yes" } else { "NO" }
+    );
+    let json = format!(
+        "    {{\"name\": \"{name}\", \"requests\": {}, \"window\": {window}, \"capacity\": {capacity}, \"submitted\": {}, \"completed\": {}, \"rejected\": {}, \"timed_out\": {}, \"cancelled\": {}, \"panicked\": {}, \"failed\": {}, \"requests_per_s\": {rps:.2}, \"p50_latency_s\": {p50:.6e}, \"p99_latency_s\": {p99:.6e}, \"bit_exact\": {bit_exact}, \"contract_ok\": {contract_ok}, \"pool_poisonings\": {}}}",
+        specs.len(),
+        stats.submitted,
+        stats.completed,
+        stats.rejected,
+        stats.timed_out,
+        stats.cancelled,
+        stats.panicked,
+        stats.failed,
+        stats.pool_poisonings,
+    );
+    ServeMixOutcome { text, json, bit_exact, contract_ok, pool_poisonings: stats.pool_poisonings }
+}
+
+/// The concurrent-launch benchmark behind `streamk serve-bench`:
+/// three request mixes through [`GemmService`] — a uniform small-GEMM
+/// burst, a heterogeneous size/priority burst, and a seeded fault
+/// campaign under queue pressure — reporting throughput, p50/p99
+/// latency, admission rejections, deadline timeouts, and the
+/// bit-exactness verdict per mix to stdout and `out` as JSON.
+fn run_serve_bench(
+    threads: usize,
+    requests: usize,
+    window: usize,
+    capacity: usize,
+    watchdog_ms: u64,
+    smoke: bool,
+    out_path: &str,
+) -> String {
+    let watchdog = Duration::from_millis(watchdog_ms.max(1));
+    let shapes =
+        [GemmShape::new(48, 40, 32), GemmShape::new(32, 32, 64), GemmShape::new(96, 80, 48)];
+    let grids = [4usize, 2, 6];
+    // Grids are clamped to the pool so no mix trips the co-residency
+    // admission check on small --threads runs.
+    let grid_for = |i: usize| grids[i % grids.len()].min(threads.max(2));
+
+    let uniform: Vec<ServeReq> = (0..requests)
+        .map(|_| ServeReq {
+            shape: shapes[0],
+            grid: grid_for(0),
+            prio: Priority::Normal,
+            fault: None,
+            deadline: None,
+        })
+        .collect();
+    let mixed: Vec<ServeReq> = (0..requests)
+        .map(|i| ServeReq {
+            shape: shapes[i % shapes.len()],
+            grid: grid_for(i),
+            prio: Priority::ALL[i % Priority::ALL.len()],
+            fault: None,
+            deadline: None,
+        })
+        .collect();
+    // Faulted burst: seeded request faults (cancellations, injected
+    // CTA panics, admission delays, protocol faults) plus two
+    // zero-deadline requests — guaranteed typed timeouts. Full
+    // capacity, so every fault actually enters the service.
+    let plan = ServeFaultPlan::seeded(0xC0FFEE, requests, watchdog);
+    let faulted: Vec<ServeReq> = (0..requests)
+        .map(|i| {
+            let deadline = (i < 2).then_some(Duration::ZERO);
+            ServeReq {
+                shape: shapes[i % shapes.len()],
+                grid: grid_for(i),
+                prio: Priority::ALL[i % Priority::ALL.len()],
+                fault: if deadline.is_some() { None } else { plan.fault_for(i) },
+                deadline,
+            }
+        })
+        .collect();
+    // Overflow burst: fault-free requests into a quarter-size queue —
+    // the backpressure story, rejections counted not blocked on.
+    let tight_capacity = (requests / 4).max(4).min(capacity);
+    let mixes: [(&str, &[ServeReq], usize); 4] = [
+        ("uniform-small", &uniform, capacity),
+        ("mixed-sizes", &mixed, capacity),
+        ("faulted", &faulted, requests.max(capacity)),
+        ("burst-overflow", &uniform, tight_capacity),
+    ];
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "serve-bench: {requests} requests/mix, {threads} workers, window {window}, capacity {capacity}, watchdog {watchdog_ms}ms{}",
+        if smoke { " (smoke)" } else { "" }
+    );
+    let mut mix_json = Vec::new();
+    let (mut all_exact, mut all_contract) = (true, true);
+    let mut poisonings = 0usize;
+    for (name, specs, cap) in mixes {
+        let r = run_serve_mix(name, specs, threads, window, cap, watchdog);
+        out.push_str(&r.text);
+        mix_json.push(r.json);
+        all_exact &= r.bit_exact;
+        all_contract &= r.contract_ok;
+        poisonings += r.pool_poisonings;
+    }
+    let _ = writeln!(
+        out,
+        "all mixes bit-exact: {}; contracts honored: {}; pool poisonings: {poisonings}",
+        if all_exact { "yes" } else { "NO" },
+        if all_contract { "yes" } else { "NO" }
+    );
+
+    let json = format!(
+        "{{\n  \"generated_by\": \"streamk serve-bench\",\n  \"smoke\": {smoke},\n  \"threads\": {threads},\n  \"requests_per_mix\": {requests},\n  \"window\": {window},\n  \"capacity\": {capacity},\n  \"watchdog_ms\": {watchdog_ms},\n  \"mixes\": [\n{}\n  ],\n  \"all_bit_exact\": {all_exact},\n  \"all_contracts_ok\": {all_contract},\n  \"total_pool_poisonings\": {poisonings}\n}}\n",
+        mix_json.join(",\n"),
+    );
+    match std::fs::write(out_path, &json) {
+        Ok(()) => {
+            let _ = writeln!(out, "wrote {out_path}");
+        }
+        Err(e) => {
+            let _ = writeln!(out, "failed to write {out_path}: {e}");
+        }
+    }
+    out
+}
+
+fn run_chaos(shape: GemmShape, tile: TileShape, seeds: u64, threads: usize, watchdog_ms: u64, serve: bool) -> String {
     let watchdog = Duration::from_millis(watchdog_ms.max(1));
     let strategies: [(&str, Decomposition); 5] = [
         ("dp", Decomposition::data_parallel(shape, tile)),
@@ -910,6 +1179,93 @@ fn run_chaos(shape: GemmShape, tile: TileShape, seeds: u64, threads: usize, watc
             r.fixup_stall_delta()
         );
     }
+
+    // Service-level campaign: the same executor, but through
+    // `GemmService` with seeded *request* faults — cancellations,
+    // injected CTA panics, admission delays, and protocol faults all
+    // interleaved in one concurrent burst per seed.
+    if serve {
+        let n_requests = 24usize;
+        let decomp = &strategies[2].1;
+        let baseline = match exec.try_gemm::<f64, f64>(&a, &b, decomp) {
+            Ok(c) => c,
+            Err(e) => {
+                let _ = writeln!(out, "\nserve campaign skipped: {e}");
+                return out;
+            }
+        };
+        let _ = writeln!(
+            out,
+            "\nserve campaign ({n_requests} concurrent requests per seed through GemmService, stream-k grid):"
+        );
+        let _ = writeln!(
+            out,
+            "{:<6} {:>9} {:>9} {:>9} {:>8} {:>9} {:>11} {:>10} {:>11}",
+            "seed",
+            "submitted",
+            "completed",
+            "cancelled",
+            "panicked",
+            "timed-out",
+            "recoveries",
+            "bit-exact",
+            "poisonings"
+        );
+        for seed in 0..seeds {
+            let plan = ServeFaultPlan::seeded(seed, n_requests, watchdog);
+            let quiet =
+                plan.faults().iter().any(|f| matches!(f.kind, ServeFaultKind::PanicCta));
+            let prev_hook = quiet.then(std::panic::take_hook);
+            if quiet {
+                std::panic::set_hook(Box::new(|_| {}));
+            }
+            let service = GemmService::<f64, f64>::start(&exec, ServeConfig::default());
+            let handles: Vec<_> = (0..n_requests)
+                .map(|i| {
+                    let mut req = LaunchRequest::new(a.clone(), b.clone(), decomp.clone())
+                        .with_priority(Priority::ALL[i % Priority::ALL.len()]);
+                    if let Some(kind) = plan.fault_for(i) {
+                        req = req.with_serve_fault(kind);
+                    }
+                    (i, service.submit(req).expect("chaos request admitted"))
+                })
+                .collect();
+            let mut recoveries = 0usize;
+            let mut bit_exact = true;
+            for (i, handle) in handles {
+                match (plan.fault_for(i), handle.wait()) {
+                    (Some(ServeFaultKind::Cancel), Err(ServeError::Cancelled))
+                    | (Some(ServeFaultKind::PanicCta), Err(ServeError::Panicked { .. })) => {}
+                    (
+                        None
+                        | Some(
+                            ServeFaultKind::AdmitDelay(_) | ServeFaultKind::Protocol(_),
+                        ),
+                        Ok((c, stats)),
+                    ) => {
+                        recoveries += stats.recoveries;
+                        bit_exact &= c.max_abs_diff(&baseline) == 0.0;
+                    }
+                    _ => bit_exact = false,
+                }
+            }
+            let s = service.shutdown();
+            if let Some(prev) = prev_hook {
+                std::panic::set_hook(prev);
+            }
+            let _ = writeln!(
+                out,
+                "{seed:<6} {:>9} {:>9} {:>9} {:>8} {:>9} {recoveries:>11} {:>10} {:>11}",
+                s.submitted,
+                s.completed,
+                s.cancelled,
+                s.panicked,
+                s.timed_out,
+                if bit_exact { "yes" } else { "NO" },
+                s.pool_poisonings
+            );
+        }
+    }
     out
 }
 
@@ -974,6 +1330,37 @@ mod tests {
         assert!(out.contains("sim straggler injection"), "{out}");
         assert!(!out.contains("NO"), "a cell lost bit-exactness:\n{out}");
         assert!(!out.contains("skipped"), "a strategy was skipped:\n{out}");
+    }
+
+    #[test]
+    fn chaos_serve_campaign_is_bit_exact_and_never_poisons() {
+        let out = run("chaos 96 80 64 --tile 32x32x16 --seeds 2 --threads 8 --watchdog-ms 100 --serve");
+        assert!(out.contains("serve campaign"), "{out}");
+        assert!(out.contains("recoveries"), "{out}");
+        assert!(!out.contains("skipped"), "{out}");
+        assert!(!out.contains("NO"), "a campaign cell lost bit-exactness:\n{out}");
+    }
+
+    #[test]
+    fn serve_bench_smoke_writes_json() {
+        let path = std::env::temp_dir().join("streamk_cli_serve_bench_test.json");
+        let out = run(&format!(
+            "serve-bench --smoke --requests 8 --threads 4 --watchdog-ms 150 --out {}",
+            path.display()
+        ));
+        assert!(out.contains("uniform-small"), "{out}");
+        assert!(out.contains("mixed-sizes"), "{out}");
+        assert!(out.contains("faulted"), "{out}");
+        assert!(out.contains("burst-overflow"), "{out}");
+        assert!(out.contains("all mixes bit-exact: yes"), "{out}");
+        assert!(out.contains("contracts honored: yes"), "{out}");
+        assert!(out.contains("pool poisonings: 0"), "{out}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"all_bit_exact\": true"), "{json}");
+        assert!(json.contains("\"all_contracts_ok\": true"), "{json}");
+        assert!(json.contains("\"total_pool_poisonings\": 0"), "{json}");
+        assert!(json.contains("\"p99_latency_s\""), "{json}");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -10,8 +10,9 @@ use crate::executor::CpuExecutor;
 use crate::fixup::{FixupBoard, WaitPolicy};
 use crate::output::TileWriter;
 use crate::packcache::{mac_loop_kernel_cached, PackCache};
+use crate::sched::GridCursor;
 use crate::workspace::Workspace;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 use streamk_core::{BatchedDecomposition, PeerTable};
 use streamk_matrix::{Matrix, Promote, Scalar};
@@ -71,7 +72,7 @@ impl CpuExecutor {
             .collect();
 
         let board = FixupBoard::<Acc>::new(decomp.grid_size());
-        let next_cta = AtomicUsize::new(0);
+        let cursor = GridCursor::new(decomp.grid_size());
         let ctas = decomp.ctas();
         let ipt = space.iters_per_tile();
 
@@ -86,10 +87,10 @@ impl CpuExecutor {
         } else {
             Vec::new()
         };
-        // Global-counter claiming (not the single-GEMM path's static
-        // ranges): batched owners *block* in `wait_and_take`, and the
-        // round-robin order guarantees a blocked owner's peers are
-        // already claimed by other workers.
+        // Round-robin cursor claiming (not the single-GEMM path's
+        // static ranges): batched owners *block* in `wait_and_take`,
+        // and the round-robin order guarantees a blocked owner's peers
+        // are already claimed by other workers.
         let tile_len = tile.blk_m * tile.blk_n;
         let wait_ns = AtomicU64::new(0);
         self.worker_pool().run(&|_wid, scratch| {
@@ -98,11 +99,7 @@ impl CpuExecutor {
             // pool stay warm across segments *and* across launches.
             let ws = scratch.get_or_insert_with(|| Workspace::<In, Acc>::new(tile_len));
             ws.ensure_tile_len(tile_len);
-            loop {
-                let id = next_cta.fetch_add(1, Ordering::Relaxed);
-                if id >= ctas.len() {
-                    break;
-                }
+            while let Some(id) = cursor.claim() {
                 let cta = &ctas[id];
                 // Walk the CTA's global range tile by tile (the
                 // batched analogue of Algorithm 5's outer loop).

@@ -100,6 +100,19 @@ impl Default for ExecutorConfig {
 /// most recent one (a launch with no steals reports `steals == 0`
 /// even if the previous launch stole). `launches` alone is
 /// *cumulative* across the executor's (and its clones') lifetime.
+///
+/// **Service launches are invisible here.** A
+/// [`GemmService`](crate::serve::GemmService) session occupies the
+/// pool with one long-running job and *never* writes these counters:
+/// requests served concurrently have no meaningful "most recent
+/// launch", so per-request counters live on each request's own
+/// [`CompletionHandle`](crate::serve::CompletionHandle) (see
+/// [`RequestStats`](crate::serve::RequestStats)) and service totals
+/// in [`ServiceStats`](crate::serve::ServiceStats). This legacy
+/// aggregate view keeps describing exactly what it always did: the
+/// most recent *single-launch* entry point (`gemm*`, batched,
+/// grouped) — a serve session in between neither clobbers nor
+/// contributes to it.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ExecStats {
     /// CTA blocks stolen between workers during the most recent
@@ -1352,5 +1365,31 @@ mod tests {
         let (c, report) = exec.gemm_with_faults::<f64, f64>(&a, &b, &decomp, &plan).unwrap();
         assert_eq!(report.recoveries(), contributors.len(), "{report:?}");
         assert_eq!(c.max_abs_diff(&baseline), 0.0);
+    }
+
+    #[test]
+    fn worker_panic_in_a_launch_leaves_the_pool_reusable() {
+        use crate::pool::WorkerPool;
+        let (a, b, decomp, exec) = chaos_fixture();
+        let baseline = exec.gemm::<f64, f64>(&a, &b, &decomp);
+        let launches_before = exec.last_stats().launches;
+        let builds_before = WorkerPool::total_builds();
+
+        // Detonate a worker mid-launch, directly on the executor's own
+        // pool (the serve path catches per-CTA panics before they get
+        // this far; this pins the *pool-level* guarantee they rest on).
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            exec.worker_pool().run(&|wid, _| {
+                assert!(wid != 0, "worker 0 detonates mid-launch");
+            });
+        }));
+        assert!(caught.is_err(), "the panic must re-raise on the launcher");
+
+        // Same pool object, not a respawn, and the next launch is
+        // bit-exact: the panic poisoned nothing that outlives it.
+        assert_eq!(WorkerPool::total_builds(), builds_before, "pool must not be rebuilt");
+        let again = exec.gemm::<f64, f64>(&a, &b, &decomp);
+        assert_eq!(again.max_abs_diff(&baseline), 0.0);
+        assert_eq!(exec.last_stats().launches, launches_before + 1);
     }
 }

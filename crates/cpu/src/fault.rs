@@ -157,6 +157,153 @@ impl FaultPlan {
     }
 }
 
+/// What goes wrong with one *request* in the serve layer — the
+/// service-level fault model layered above the per-CTA [`FaultKind`]s.
+///
+/// Where a [`FaultPlan`] breaks the consolidation protocol inside one
+/// launch, a [`ServeFaultPlan`] breaks the *service* contract around
+/// it: requests that arrive late, get cancelled mid-flight, take a
+/// worker down with a panic, or carry a protocol fault of their own.
+/// The first three exercise the admission/cancellation/isolation
+/// machinery; the last one checks that single-launch recovery still
+/// masks protocol faults when the launch shares workers with other
+/// tenants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeFaultKind {
+    /// The request is held back this long before it becomes
+    /// admissible (a submission-time straggler: the tenant enqueued
+    /// it, but its inputs arrive late).
+    AdmitDelay(
+        /// The injected admission delay.
+        Duration,
+    ),
+    /// The request is cancelled at CTA-claim granularity once half
+    /// its grid has been claimed (mid-flight cancellation).
+    Cancel,
+    /// A worker panics while executing one of the request's CTAs —
+    /// the isolation case: only this request's handle may fail.
+    PanicCta,
+    /// One of the request's contributor CTAs suffers this protocol
+    /// fault; owner-side recovery must mask it bit-exactly.
+    Protocol(
+        /// The injected consolidation fault.
+        FaultKind,
+    ),
+}
+
+impl ServeFaultKind {
+    /// Short stable name for reports.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            ServeFaultKind::AdmitDelay(_) => "admit-delay",
+            ServeFaultKind::Cancel => "cancel",
+            ServeFaultKind::PanicCta => "panic",
+            ServeFaultKind::Protocol(inner) => inner.name(),
+        }
+    }
+
+    /// Whether a request carrying this fault must still *complete*
+    /// with a bit-exact result (`true`), as opposed to failing its own
+    /// handle by design (`false` — cancellation and panics).
+    #[must_use]
+    pub fn maskable(&self) -> bool {
+        matches!(self, ServeFaultKind::AdmitDelay(_) | ServeFaultKind::Protocol(_))
+    }
+}
+
+/// One injected service fault: a victim request index (submission
+/// order) and what happens to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeFault {
+    /// The victim request (index in submission order).
+    pub request: usize,
+    /// What happens to it.
+    pub kind: ServeFaultKind,
+}
+
+/// A deterministic set of service faults for one campaign — at most
+/// one fault per request.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeFaultPlan {
+    faults: Vec<ServeFault>,
+}
+
+impl ServeFaultPlan {
+    /// The empty plan: fault-free service.
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Adds a fault, replacing any existing fault on the same request.
+    #[must_use]
+    pub fn with_fault(mut self, request: usize, kind: ServeFaultKind) -> Self {
+        self.faults.retain(|f| f.request != request);
+        self.faults.push(ServeFault { request, kind });
+        self
+    }
+
+    /// `true` when no faults are planned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Number of planned faults.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// The planned fault for request `request`, if any.
+    #[must_use]
+    pub fn fault_for(&self, request: usize) -> Option<ServeFaultKind> {
+        self.faults.iter().find(|f| f.request == request).map(|f| f.kind)
+    }
+
+    /// The planned faults.
+    #[must_use]
+    pub fn faults(&self) -> &[ServeFault] {
+        &self.faults
+    }
+
+    /// A deterministic plan over `requests` submissions: roughly one
+    /// request in three draws a fault, with the kind cycling through
+    /// all four service kinds. Admission delays are drawn in
+    /// `[watchdog/8, watchdog/2]`; protocol stragglers follow the
+    /// [`FaultPlan::seeded`] convention (the delayed signal still
+    /// beats the owner's watchdog).
+    #[must_use]
+    pub fn seeded(seed: u64, requests: usize, watchdog: Duration) -> Self {
+        let mut plan = Self::none();
+        for request in 0..requests {
+            // Derive each request's draw independently of the total
+            // count, so extending a campaign keeps earlier verdicts.
+            let mut state = seed ^ (request as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let draw = splitmix64(&mut state);
+            if !draw.is_multiple_of(3) {
+                continue;
+            }
+            let delay = |state: &mut u64| {
+                let lo = watchdog / 8;
+                let span = watchdog / 2 - lo;
+                lo + span * ((splitmix64(state) % 1000) as u32) / 1000
+            };
+            let kind = match splitmix64(&mut state) % 6 {
+                0 => ServeFaultKind::AdmitDelay(delay(&mut state)),
+                1 => ServeFaultKind::Cancel,
+                2 => ServeFaultKind::PanicCta,
+                3 => ServeFaultKind::Protocol(FaultKind::Straggle(delay(&mut state))),
+                4 => ServeFaultKind::Protocol(FaultKind::Lose),
+                _ => ServeFaultKind::Protocol(FaultKind::Poison),
+            };
+            plan = plan.with_fault(request, kind);
+        }
+        plan
+    }
+}
+
 fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
     let mut z = *state;
@@ -231,5 +378,45 @@ mod tests {
     fn seeded_plan_on_data_parallel_is_empty() {
         let dp = Decomposition::data_parallel(GemmShape::new(64, 64, 32), TileShape::new(32, 32, 16));
         assert!(FaultPlan::seeded(1, &dp, Duration::from_millis(100)).is_empty());
+    }
+
+    #[test]
+    fn serve_plans_are_deterministic_and_sparse() {
+        let watchdog = Duration::from_millis(200);
+        let a = ServeFaultPlan::seeded(7, 48, watchdog);
+        let b = ServeFaultPlan::seeded(7, 48, watchdog);
+        assert_eq!(a, b);
+        assert!(!a.is_empty(), "48 requests should draw at least one fault");
+        assert!(a.len() < 48, "a fault on every request would defeat the mix");
+        for f in a.faults() {
+            assert!(f.request < 48);
+            if let ServeFaultKind::AdmitDelay(d) | ServeFaultKind::Protocol(FaultKind::Straggle(d)) = f.kind {
+                assert!(d >= watchdog / 8 && d <= watchdog / 2, "{d:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn serve_plans_are_stable_under_extension() {
+        // The verdict for request r must not change when the campaign
+        // grows from 16 to 64 requests.
+        let watchdog = Duration::from_millis(200);
+        let small = ServeFaultPlan::seeded(3, 16, watchdog);
+        let large = ServeFaultPlan::seeded(3, 64, watchdog);
+        for r in 0..16 {
+            assert_eq!(small.fault_for(r), large.fault_for(r), "request {r}");
+        }
+    }
+
+    #[test]
+    fn serve_kind_names_and_maskability() {
+        assert_eq!(ServeFaultKind::Cancel.name(), "cancel");
+        assert_eq!(ServeFaultKind::PanicCta.name(), "panic");
+        assert_eq!(ServeFaultKind::AdmitDelay(Duration::ZERO).name(), "admit-delay");
+        assert_eq!(ServeFaultKind::Protocol(FaultKind::Lose).name(), "lost");
+        assert!(ServeFaultKind::AdmitDelay(Duration::ZERO).maskable());
+        assert!(ServeFaultKind::Protocol(FaultKind::Poison).maskable());
+        assert!(!ServeFaultKind::Cancel.maskable());
+        assert!(!ServeFaultKind::PanicCta.maskable());
     }
 }

@@ -4,8 +4,9 @@ use crate::executor::CpuExecutor;
 use crate::fixup::{FixupBoard, WaitPolicy};
 use crate::output::TileWriter;
 use crate::packcache::{mac_loop_kernel_cached, PackCache};
+use crate::sched::GridCursor;
 use crate::workspace::Workspace;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 use streamk_core::{GroupedDecomposition, PeerTable};
 use streamk_matrix::{Matrix, Promote, Scalar};
@@ -70,7 +71,7 @@ impl CpuExecutor {
             .collect();
 
         let board = FixupBoard::<Acc>::new(decomp.grid_size());
-        let next_cta = AtomicUsize::new(0);
+        let cursor = GridCursor::new(decomp.grid_size());
         let ctas = decomp.ctas();
         let kind = self.kernel();
         // One pack cache per instance, keyed by that instance's own
@@ -85,9 +86,10 @@ impl CpuExecutor {
             Vec::new()
         };
 
-        // Global-counter claiming (owners block in `wait_and_take`):
-        // round-robin order keeps a blocked owner's peers claimed by
-        // other workers, which static ranges would not guarantee.
+        // Round-robin cursor claiming (owners block in
+        // `wait_and_take`): the interleave keeps a blocked owner's
+        // peers claimed by other workers, which static ranges would
+        // not guarantee.
         let tile_len = tile.blk_m * tile.blk_n;
         let wait_ns = AtomicU64::new(0);
         self.worker_pool().run(&|_wid, scratch| {
@@ -97,11 +99,7 @@ impl CpuExecutor {
             // falls back to scalar when strided).
             let ws = scratch.get_or_insert_with(|| Workspace::<In, Acc>::new(tile_len));
             ws.ensure_tile_len(tile_len);
-            loop {
-                let id = next_cta.fetch_add(1, Ordering::Relaxed);
-                if id >= ctas.len() {
-                    break;
-                }
+            while let Some(id) = cursor.claim() {
                 let cta = &ctas[id];
                 for seg in space.segments(cta) {
                     let inst = &space.instances()[seg.instance];

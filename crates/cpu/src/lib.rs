@@ -46,6 +46,7 @@ pub mod pad;
 #[allow(unsafe_code)]
 pub mod pool;
 pub mod sched;
+pub mod serve;
 // The one module allowed to hold unsafe code: the `std::arch` SIMD
 // kernels plus the TypeId-guarded slice casts that feed them. Every
 // unsafe block carries its safety argument inline.
@@ -58,12 +59,16 @@ pub use calibrate::{select_kernel, select_kernel_on, KernelSelection};
 pub use executor::{
     CpuExecutor, ExecStats, ExecutorConfig, RecoveryCause, RecoveryEvent, RecoveryReport,
 };
-pub use fault::{Fault, FaultKind, FaultPlan};
+pub use fault::{Fault, FaultKind, FaultPlan, ServeFault, ServeFaultKind, ServeFaultPlan};
 pub use fixup::{FixupBoard, FlagState, TryTake, WaitOutcome, WaitPolicy};
 pub use macloop::mac_loop;
 pub use pad::CachePadded;
 pub use pool::{ScratchStore, WorkerPool};
-pub use sched::{Claim, CtaScheduler};
+pub use sched::{Claim, CtaScheduler, GridCursor};
+pub use serve::{
+    AdmissionError, CompletionHandle, GemmService, LaunchRequest, Priority, RequestStats,
+    ServeConfig, ServeError, ServiceStats,
+};
 pub use microkernel::{
     mac_loop_blocked, mac_loop_cached, mac_loop_kernel, mac_loop_packed, mac_loop_simd, KernelKind,
     PackBuffers,

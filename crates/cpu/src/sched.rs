@@ -122,6 +122,58 @@ impl RangeQueue {
     }
 }
 
+/// The round-robin CTA cursor: one shared counter, one `fetch_add`
+/// per claim.
+///
+/// This is the claim discipline [`CtaScheduler`] replaced on the
+/// single-launch hot path, promoted to a named type because three
+/// executors still *want* it: the grouped and batched paths (whose
+/// owners block in `wait_and_take`, so the round-robin interleave is
+/// what guarantees a blocked owner's peers are already claimed by
+/// other workers) and the serve layer (where each in-flight request
+/// carries its own cursor and fairness across claimants matters more
+/// than locality). Compared to the inline `AtomicUsize` each of those
+/// paths used to roll by hand, the cursor adds nothing but a bounds
+/// check and a name for the invariant.
+#[derive(Debug)]
+pub struct GridCursor {
+    next: AtomicUsize,
+    total: usize,
+}
+
+impl GridCursor {
+    /// A cursor dispatching ids `0..total` in order.
+    #[must_use]
+    pub fn new(total: usize) -> Self {
+        Self { next: AtomicUsize::new(0), total }
+    }
+
+    /// Claims the next id, or `None` when the grid is exhausted.
+    /// Every id in `0..total` is returned exactly once across all
+    /// claimants.
+    #[must_use]
+    pub fn claim(&self) -> Option<usize> {
+        // Relaxed is enough: the counter orders nothing but itself,
+        // and each claimed CTA's data dependencies are published
+        // through the fixup board's Release/Acquire protocol.
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        (id < self.total).then_some(id)
+    }
+
+    /// `true` once every id has been claimed (racy snapshot: a `false`
+    /// may be stale, a `true` is final).
+    #[must_use]
+    pub fn exhausted(&self) -> bool {
+        self.next.load(Ordering::Relaxed) >= self.total
+    }
+
+    /// Total ids this cursor dispatches.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.total
+    }
+}
+
 /// One claimed CTA and how it was obtained.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Claim {
@@ -311,6 +363,33 @@ mod tests {
         let claim = sched.next_claim(1).unwrap();
         assert!(claim.stolen);
         assert_eq!(sched.steals(), 1);
+    }
+
+    #[test]
+    fn cursor_claims_every_id_exactly_once() {
+        let cursor = GridCursor::new(97);
+        let claimed = Mutex::new(vec![0usize; 97]);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let cursor = &cursor;
+                let claimed = &claimed;
+                scope.spawn(move || {
+                    while let Some(id) = cursor.claim() {
+                        claimed.lock().unwrap()[id] += 1;
+                    }
+                });
+            }
+        });
+        assert!(claimed.into_inner().unwrap().iter().all(|&c| c == 1));
+        assert!(cursor.exhausted());
+        assert_eq!(cursor.total(), 97);
+    }
+
+    #[test]
+    fn empty_cursor_is_born_exhausted() {
+        let cursor = GridCursor::new(0);
+        assert_eq!(cursor.claim(), None);
+        assert!(cursor.exhausted());
     }
 
     #[test]

@@ -1,0 +1,1448 @@
+//! Multi-tenant GEMM service on the shared [`WorkerPool`].
+//!
+//! Every other entry point in this crate is *launch-centric*: one
+//! caller, one decomposition, one `pool.run(..)` that owns every
+//! worker until the grid drains. A serving system sees the opposite
+//! shape — streams of small, heterogeneous GEMMs (attention heads,
+//! MLP blocks) that must share the worker pool without queueing
+//! behind each other's launch barriers. [`GemmService`] is the
+//! work-centric answer, the paper's decomposition discipline applied
+//! *across* requests:
+//!
+//! - **Submission** is a bounded queue of [`LaunchRequest`]s. A full
+//!   queue rejects with a typed [`AdmissionError`] immediately —
+//!   backpressure, never unbounded growth, never a blocked caller.
+//! - **Admission** drains the queue into a bounded *active window*
+//!   under weighted round-robin over [`Priority`] classes (4:2:1),
+//!   so small latency-sensitive requests are not starved behind bulk
+//!   work.
+//! - **Claiming** runs one worker sweep over *all* active requests:
+//!   each request carries its own [`GridCursor`], and an idle worker
+//!   takes the next CTA from the first running request that still
+//!   has unclaimed work — exactly the single-launch claim loop with
+//!   the request list as an outer dimension.
+//! - **Consolidation** reuses the cooperative-deferral discipline of
+//!   the single-launch executor: owners never block while claimable
+//!   work exists *anywhere*, parked consolidations are resumed
+//!   opportunistically, and blocking waits are bounded by the
+//!   watchdog with owner-side recovery
+//!   ([`streamk_core::peer_contribution`]) recomputing lost or
+//!   poisoned partials bit-exactly. Blocking owners (the grouped/
+//!   batched discipline) would deadlock here: two workers blocked as
+//!   owners of *different* requests can each hold the worker the
+//!   other's peer needs.
+//! - **Isolation**: every CTA executes under `catch_unwind`. A panic
+//!   (or an unmaskable protocol failure) fails *that request's*
+//!   [`CompletionHandle`] and nothing else — the pool stays up, the
+//!   sweep moves on, and subsequent requests run bit-exactly.
+//! - **Deadlines** are enforced at CTA-claim granularity: a request
+//!   past its deadline stops being claimed and its handle reports
+//!   [`ServeError::Timeout`] — never a silent drop. Work already
+//!   claimed is left to finish (a fully-claimed request completes
+//!   normally even if the deadline passes during its last tiles).
+//!
+//! Bit-exactness across tenancy is the load-bearing property: a
+//! request's result is byte-identical whether it ran alone through
+//! [`CpuExecutor::gemm`] or interleaved with arbitrary other
+//! requests, faults, and cancellations — peers fold in ascending
+//! order per tile, recovery recomputes exact contributions, and the
+//! epilogue runs once per tile. The proptest suite in
+//! `tests/serve.rs` pins this.
+//!
+//! The service occupies the pool with one long-running job for its
+//! whole lifetime (submitted from a coordinator thread), so legacy
+//! single-launch calls on the same executor block until
+//! [`GemmService::shutdown`] — by design: the pool's launch lock is
+//! the tenancy boundary.
+
+use crate::executor::CpuExecutor;
+use crate::fault::{FaultKind, FaultPlan, ServeFaultKind};
+use crate::fixup::{FixupBoard, TryTake, WaitPolicy};
+use crate::microkernel::KernelKind;
+use crate::output::OwnedTileWriter;
+use crate::packcache::mac_loop_kernel_cached;
+use crate::pool::ScratchStore;
+use crate::sched::GridCursor;
+use crate::workspace::Workspace;
+use std::collections::VecDeque;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use streamk_core::{peer_contribution, CtaWork, Decomposition, ExecutorError, PeerTable};
+use streamk_matrix::{Matrix, Promote, Scalar};
+use streamk_types::Layout;
+
+/// Request priority class. Admission is weighted round-robin over
+/// classes — High:Normal:Bulk = 4:2:1 — so latency-sensitive requests
+/// overtake queued bulk work without ever starving it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Priority {
+    /// Latency-sensitive (weight 4).
+    High,
+    /// The default class (weight 2).
+    #[default]
+    Normal,
+    /// Throughput work that tolerates queueing (weight 1).
+    Bulk,
+}
+
+/// Admission lanes indexed by [`Priority::lane`].
+const LANES: usize = 3;
+
+/// The weighted round-robin admission pattern: 4×High, 2×Normal,
+/// 1×Bulk per cycle, spread so no class waits a whole burst.
+const ADMIT_PATTERN: [usize; 7] = [0, 1, 0, 2, 0, 1, 0];
+
+impl Priority {
+    /// All classes, High first.
+    pub const ALL: [Priority; 3] = [Priority::High, Priority::Normal, Priority::Bulk];
+
+    fn lane(self) -> usize {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Bulk => 2,
+        }
+    }
+
+    /// Short stable name for reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::High => "high",
+            Priority::Normal => "normal",
+            Priority::Bulk => "bulk",
+        }
+    }
+}
+
+/// Service tuning: queue and window bounds.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Maximum *queued* (admitted-but-not-started) requests across
+    /// all priority classes; submissions beyond this are rejected
+    /// with [`AdmissionError::QueueFull`].
+    pub capacity: usize,
+    /// Maximum concurrently *active* (claiming) requests. A small
+    /// window keeps per-request cache locality; a large one smooths
+    /// tail latency under mixed sizes.
+    pub window: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self { capacity: 64, window: 4 }
+    }
+}
+
+impl ServeConfig {
+    /// Sets the pending-queue capacity.
+    #[must_use]
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        self.capacity = capacity;
+        self
+    }
+
+    /// Sets the active-window size.
+    #[must_use]
+    pub fn with_window(mut self, window: usize) -> Self {
+        self.window = window;
+        self
+    }
+}
+
+/// One GEMM submission: operands, decomposition, and service options.
+#[derive(Clone)]
+pub struct LaunchRequest<In> {
+    a: Matrix<In>,
+    b: Matrix<In>,
+    decomp: Decomposition,
+    priority: Priority,
+    deadline: Option<Duration>,
+    cta_faults: FaultPlan,
+    serve_fault: Option<ServeFaultKind>,
+}
+
+impl<In> LaunchRequest<In> {
+    /// A request computing `C = A · B` under `decomp`, at
+    /// [`Priority::Normal`] with no deadline.
+    #[must_use]
+    pub fn new(a: Matrix<In>, b: Matrix<In>, decomp: Decomposition) -> Self {
+        Self {
+            a,
+            b,
+            decomp,
+            priority: Priority::Normal,
+            deadline: None,
+            cta_faults: FaultPlan::none(),
+            serve_fault: None,
+        }
+    }
+
+    /// Sets the priority class.
+    #[must_use]
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets a deadline relative to submission. Past the deadline the
+    /// request stops being claimed and its handle reports
+    /// [`ServeError::Timeout`].
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Injects per-CTA consolidation faults into this request (the
+    /// single-launch [`FaultPlan`] model). Recovery masks them; the
+    /// request must still complete bit-exactly.
+    #[must_use]
+    pub fn with_cta_faults(mut self, plan: FaultPlan) -> Self {
+        self.cta_faults = plan;
+        self
+    }
+
+    /// Injects a service-level fault into this request.
+    #[must_use]
+    pub fn with_serve_fault(mut self, kind: ServeFaultKind) -> Self {
+        self.serve_fault = Some(kind);
+        self
+    }
+}
+
+/// Why a submission was refused. Admission errors are synchronous:
+/// the request never entered the queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The pending queue is at capacity — backpressure. Retry later
+    /// or shed load; the service never buffers unboundedly.
+    QueueFull {
+        /// The configured queue capacity.
+        capacity: usize,
+    },
+    /// The service is shutting down and accepts no new work.
+    ShuttingDown,
+    /// The request failed structural validation (shape mismatch,
+    /// invalid decomposition, or a fixup structure needing more
+    /// co-resident CTAs than the pool has workers).
+    Rejected(
+        /// The underlying validation error.
+        ExecutorError,
+    ),
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionError::QueueFull { capacity } => {
+                write!(f, "submission queue full ({capacity} pending)")
+            }
+            AdmissionError::ShuttingDown => write!(f, "service is shutting down"),
+            AdmissionError::Rejected(e) => write!(f, "request rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// Why an *admitted* request failed. Every admitted request resolves
+/// its handle exactly once — with a result or with one of these.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The deadline passed before the request's grid was fully
+    /// claimed; remaining work was cancelled at claim granularity.
+    Timeout {
+        /// The deadline the request was submitted with.
+        deadline: Duration,
+    },
+    /// The request was cancelled via [`CompletionHandle::cancel`] (or
+    /// an injected [`ServeFaultKind::Cancel`]).
+    Cancelled,
+    /// A worker panicked while executing one of this request's CTAs.
+    /// Only this request fails; the pool and all other requests are
+    /// unaffected.
+    Panicked {
+        /// The panic payload, stringified.
+        message: String,
+    },
+    /// The fixup protocol failed in a way recovery could not mask.
+    Failed(
+        /// The underlying executor error.
+        ExecutorError,
+    ),
+    /// The service's coordinator died (a bug-level backstop — worker
+    /// panics are caught per CTA and never reach this).
+    ServiceDown,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Timeout { deadline } => {
+                write!(f, "deadline of {deadline:?} expired before completion")
+            }
+            ServeError::Cancelled => write!(f, "request cancelled"),
+            ServeError::Panicked { message } => write!(f, "worker panic: {message}"),
+            ServeError::Failed(e) => write!(f, "execution failed: {e}"),
+            ServeError::ServiceDown => write!(f, "service coordinator died"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Per-request execution statistics, reported on the request's own
+/// [`CompletionHandle`] — never aggregated into (or clobbering) the
+/// shared executor's [`ExecStats`](crate::ExecStats), which remains
+/// the single-launch view.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RequestStats {
+    /// CTAs of this request executed to completion.
+    pub ctas: usize,
+    /// Owner consolidations parked cooperatively.
+    pub deferrals: usize,
+    /// Peer contributions recomputed by owner-side recovery.
+    pub recoveries: usize,
+    /// Total time this request's owners spent blocked in fixup waits.
+    pub wait_stall: Duration,
+    /// Submission → first CTA claim.
+    pub queued: Duration,
+    /// First CTA claim → completion.
+    pub service: Duration,
+    /// Submission → completion (queued + service).
+    pub latency: Duration,
+    /// Global start order (first-claim sequence number) — `u64::MAX`
+    /// if the request never started.
+    pub start_seq: u64,
+}
+
+/// Service-level counters, snapshot via [`GemmService::stats`] (also
+/// returned by [`GemmService::shutdown`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Requests accepted into the queue.
+    pub submitted: usize,
+    /// Submissions refused (queue full, shutdown, or invalid).
+    pub rejected: usize,
+    /// Requests completed with a result.
+    pub completed: usize,
+    /// Requests that missed their deadline.
+    pub timed_out: usize,
+    /// Requests cancelled.
+    pub cancelled: usize,
+    /// Requests failed by a worker panic (isolated to the request).
+    pub panicked: usize,
+    /// Requests failed by an unmaskable protocol error.
+    pub failed: usize,
+    /// Pool-level poisonings: the coordinator's backstop caught a
+    /// panic that escaped per-CTA isolation. Always 0 unless there is
+    /// a bug in the serve loop itself — CI asserts on it.
+    pub pool_poisonings: usize,
+}
+
+// ---------------------------------------------------------------------------
+// Request lifecycle
+// ---------------------------------------------------------------------------
+
+/// Request states. Transitions go through compare-and-swap, so
+/// exactly one thread wins the move into a terminal state and
+/// resolves the handle.
+const QUEUED: u8 = 0;
+const RUNNING: u8 = 1;
+const DONE: u8 = 2;
+const CANCELLED: u8 = 3;
+const TIMED_OUT: u8 = 4;
+const PANICKED: u8 = 5;
+const FAILED: u8 = 6;
+
+type Outcome<Acc> = Result<(Matrix<Acc>, RequestStats), ServeError>;
+
+struct RequestCell<In, Acc> {
+    id: u64,
+    priority: Priority,
+    a: Matrix<In>,
+    b: Matrix<In>,
+    decomp: Decomposition,
+    peers: PeerTable,
+    board: FixupBoard<Acc>,
+    writer: OwnedTileWriter<Acc>,
+    cursor: GridCursor,
+    tiles_done: AtomicUsize,
+    total_tiles: usize,
+    tile_len: usize,
+    out_rows: usize,
+    out_cols: usize,
+    layout: Layout,
+    state: AtomicU8,
+    submitted_at: Instant,
+    /// Earliest admission time (submission-time straggler injection).
+    admit_at: Instant,
+    deadline: Option<(Instant, Duration)>,
+    /// Injected mid-flight cancellation: cancel when this claim index
+    /// comes up.
+    cancel_at_claim: Option<usize>,
+    /// Injected panic: the worker executing this CTA panics.
+    panic_at_cta: Option<usize>,
+    cta_faults: FaultPlan,
+    started: Mutex<Option<(Instant, u64)>>,
+    deferrals: AtomicUsize,
+    recoveries: AtomicUsize,
+    ctas_run: AtomicUsize,
+    wait_ns: AtomicU64,
+    outcome: Mutex<Option<Outcome<Acc>>>,
+    done_cv: Condvar,
+}
+
+impl<In, Acc: Scalar> RequestCell<In, Acc> {
+    fn state(&self) -> u8 {
+        self.state.load(Ordering::Acquire)
+    }
+
+    fn transition(&self, from: u8, to: u8) -> bool {
+        self.state.compare_exchange(from, to, Ordering::AcqRel, Ordering::Acquire).is_ok()
+    }
+
+    /// `true` once the request is in a terminal state — workers must
+    /// stop spending cycles on it.
+    fn is_dead(&self) -> bool {
+        self.state() >= DONE
+    }
+
+    fn mark_started(&self, now: Instant, seq: &AtomicU64) {
+        let mut slot = self.started.lock().unwrap_or_else(PoisonError::into_inner);
+        if slot.is_none() {
+            *slot = Some((now, seq.fetch_add(1, Ordering::Relaxed)));
+        }
+    }
+
+    fn stats_snapshot(&self, now: Instant) -> RequestStats {
+        let started = *self.started.lock().unwrap_or_else(PoisonError::into_inner);
+        let (queued, service, start_seq) = match started {
+            Some((t, seq)) => {
+                (t.saturating_duration_since(self.submitted_at), now.saturating_duration_since(t), seq)
+            }
+            None => (now.saturating_duration_since(self.submitted_at), Duration::ZERO, u64::MAX),
+        };
+        RequestStats {
+            ctas: self.ctas_run.load(Ordering::Relaxed),
+            deferrals: self.deferrals.load(Ordering::Relaxed),
+            recoveries: self.recoveries.load(Ordering::Relaxed),
+            wait_stall: Duration::from_nanos(self.wait_ns.load(Ordering::Relaxed)),
+            queued,
+            service,
+            latency: now.saturating_duration_since(self.submitted_at),
+            start_seq,
+        }
+    }
+
+    /// Resolves the handle exactly once (later calls are no-ops; the
+    /// state CAS discipline means they don't happen in practice).
+    fn complete(&self, result: Result<Matrix<Acc>, ServeError>) {
+        let stats = self.stats_snapshot(Instant::now());
+        let outcome = result.map(|c| (c, stats));
+        let mut slot = self.outcome.lock().unwrap_or_else(PoisonError::into_inner);
+        if slot.is_none() {
+            *slot = Some(outcome);
+            self.done_cv.notify_all();
+        }
+    }
+}
+
+/// The caller's end of one submission: await, inspect, or cancel.
+///
+/// Dropping the handle does *not* cancel the request — it runs to a
+/// terminal state regardless (results are simply discarded).
+pub struct CompletionHandle<In, Acc> {
+    cell: Arc<RequestCell<In, Acc>>,
+    shared: Arc<ServeShared<In, Acc>>,
+}
+
+impl<In, Acc: Scalar> fmt::Debug for CompletionHandle<In, Acc> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CompletionHandle")
+            .field("id", &self.cell.id)
+            .field("priority", &self.cell.priority)
+            .field("finished", &self.is_finished())
+            .finish()
+    }
+}
+
+impl<In, Acc: Scalar> CompletionHandle<In, Acc> {
+    /// The service-assigned request id (submission order).
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.cell.id
+    }
+
+    /// The request's priority class.
+    #[must_use]
+    pub fn priority(&self) -> Priority {
+        self.cell.priority
+    }
+
+    /// `true` once the request reached a terminal state.
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        self.cell.is_dead()
+    }
+
+    /// A racy snapshot of the request's execution statistics (final
+    /// once [`is_finished`](Self::is_finished)).
+    #[must_use]
+    pub fn stats(&self) -> RequestStats {
+        self.cell.stats_snapshot(Instant::now())
+    }
+
+    /// Cancels the request. Queued requests never start; running
+    /// requests stop being claimed (work already claimed finishes and
+    /// is discarded). Returns `true` if this call performed the
+    /// cancellation, `false` if the request already reached a
+    /// terminal state.
+    pub fn cancel(&self) -> bool {
+        let won =
+            self.cell.transition(QUEUED, CANCELLED) || self.cell.transition(RUNNING, CANCELLED);
+        if won {
+            self.shared.stats.cancelled.fetch_add(1, Ordering::Relaxed);
+            self.cell.complete(Err(ServeError::Cancelled));
+            self.shared.work_cv.notify_all();
+        }
+        won
+    }
+
+    /// Blocks until the request resolves, returning the output matrix
+    /// and its per-request statistics, or the typed failure.
+    pub fn wait(self) -> Outcome<Acc> {
+        let mut slot = self.cell.outcome.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(out) = slot.take() {
+                return out;
+            }
+            slot = self.cell.done_cv.wait(slot).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared service state
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct StatsCell {
+    submitted: AtomicUsize,
+    rejected: AtomicUsize,
+    completed: AtomicUsize,
+    timed_out: AtomicUsize,
+    cancelled: AtomicUsize,
+    panicked: AtomicUsize,
+    failed: AtomicUsize,
+    pool_poisonings: AtomicUsize,
+}
+
+impl StatsCell {
+    fn snapshot(&self) -> ServiceStats {
+        ServiceStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            timed_out: self.timed_out.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            panicked: self.panicked.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            pool_poisonings: self.pool_poisonings.load(Ordering::Relaxed),
+        }
+    }
+}
+
+struct QueueState<In, Acc> {
+    accepting: bool,
+    pending: [VecDeque<Arc<RequestCell<In, Acc>>>; LANES],
+    pending_len: usize,
+    /// Admitted requests, in admission order. Claiming sweeps this
+    /// front-to-back, so admission order is claim priority.
+    active: Vec<Arc<RequestCell<In, Acc>>>,
+    /// Position in [`ADMIT_PATTERN`] for weighted round-robin.
+    admit_clock: usize,
+}
+
+struct ServeShared<In, Acc> {
+    capacity: usize,
+    window: usize,
+    workers: usize,
+    watchdog: Duration,
+    kernel: KernelKind,
+    queue: Mutex<QueueState<In, Acc>>,
+    /// Workers park here when nothing is claimable; submission,
+    /// completion, and cancellation notify it.
+    work_cv: Condvar,
+    start_seq: AtomicU64,
+    next_id: AtomicU64,
+    stats: StatsCell,
+}
+
+/// How long an idle worker parks between queue polls. Bounds the
+/// latency of time-driven transitions (admission delays expiring,
+/// deadlines firing) when no submission wakes the pool sooner.
+const IDLE_PARK: Duration = Duration::from_millis(1);
+
+enum Claimed<In, Acc> {
+    /// A CTA of a running request.
+    Cta(Arc<RequestCell<In, Acc>>, usize),
+    /// Nothing claimable right now.
+    Idle,
+    /// Shutting down and fully drained: the worker may exit.
+    Drained,
+}
+
+impl<In, Acc: Scalar> ServeShared<In, Acc> {
+    /// Admits pending requests into the active window: weighted
+    /// round-robin over priority lanes, FIFO within a lane, skipping
+    /// lanes whose head is not yet admissible (injected admission
+    /// delay) and resolving queued requests that died in the queue.
+    fn admit(&self, q: &mut QueueState<In, Acc>, now: Instant) {
+        while q.active.len() < self.window && q.pending_len > 0 {
+            let mut chosen = None;
+            for step in 0..ADMIT_PATTERN.len() {
+                let lane = ADMIT_PATTERN[(q.admit_clock + step) % ADMIT_PATTERN.len()];
+                // Resolve dead or expired heads first: cancelled
+                // while queued (handle already resolved) or past
+                // deadline before ever starting.
+                while let Some(head) = q.pending[lane].front() {
+                    if head.state() != QUEUED {
+                        q.pending[lane].pop_front();
+                        q.pending_len -= 1;
+                        continue;
+                    }
+                    if let Some((at, budget)) = head.deadline {
+                        if now >= at {
+                            if head.transition(QUEUED, TIMED_OUT) {
+                                self.stats.timed_out.fetch_add(1, Ordering::Relaxed);
+                                head.complete(Err(ServeError::Timeout { deadline: budget }));
+                            }
+                            q.pending[lane].pop_front();
+                            q.pending_len -= 1;
+                            continue;
+                        }
+                    }
+                    break;
+                }
+                let Some(head) = q.pending[lane].front() else { continue };
+                if head.admit_at > now {
+                    // The lane's head straggles; FIFO within the lane
+                    // means the whole lane waits, other lanes don't.
+                    continue;
+                }
+                chosen = Some((lane, step));
+                break;
+            }
+            let Some((lane, step)) = chosen else { break };
+            q.admit_clock = (q.admit_clock + step + 1) % ADMIT_PATTERN.len();
+            let cell = q.pending[lane].pop_front().expect("chosen lane has a head");
+            q.pending_len -= 1;
+            if cell.transition(QUEUED, RUNNING) {
+                q.active.push(cell);
+            }
+        }
+    }
+
+    /// One claim attempt: admit, sweep the active list in admission
+    /// order, fire deadlines, and hand out the next CTA.
+    fn claim_next(&self) -> Claimed<In, Acc> {
+        let now = Instant::now();
+        let mut q = self.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        self.admit(&mut q, now);
+        let mut i = 0;
+        while i < q.active.len() {
+            let cell = &q.active[i];
+            if cell.state() != RUNNING {
+                // Reached a terminal state (completed, cancelled,
+                // panicked, ...): drop it from the window, freeing an
+                // admission slot.
+                q.active.remove(i);
+                self.admit(&mut q, now);
+                continue;
+            }
+            // Deadline enforcement at claim granularity: only while
+            // unclaimed work remains — a fully-claimed request is
+            // left to finish.
+            let expired = cell.deadline.is_some_and(|(at, _)| now >= at);
+            if expired && !cell.cursor.exhausted() {
+                let budget = cell.deadline.expect("expired implies a deadline").1;
+                if cell.transition(RUNNING, TIMED_OUT) {
+                    self.stats.timed_out.fetch_add(1, Ordering::Relaxed);
+                    cell.complete(Err(ServeError::Timeout { deadline: budget }));
+                }
+                q.active.remove(i);
+                self.admit(&mut q, now);
+                continue;
+            }
+            if let Some(id) = cell.cursor.claim() {
+                if cell.cancel_at_claim == Some(id) {
+                    // Injected mid-flight cancellation, at exactly the
+                    // claim granularity real cancellation uses.
+                    if cell.transition(RUNNING, CANCELLED) {
+                        self.stats.cancelled.fetch_add(1, Ordering::Relaxed);
+                        cell.complete(Err(ServeError::Cancelled));
+                    }
+                    q.active.remove(i);
+                    self.admit(&mut q, now);
+                    continue;
+                }
+                cell.mark_started(now, &self.start_seq);
+                return Claimed::Cta(Arc::clone(cell), id);
+            }
+            // Fully claimed but tiles still in flight elsewhere: keep
+            // it in the window until it resolves.
+            i += 1;
+        }
+        if !q.accepting && q.pending_len == 0 && q.active.is_empty() {
+            return Claimed::Drained;
+        }
+        Claimed::Idle
+    }
+
+    /// Fails every queued and active request — the coordinator's
+    /// backstop when a panic escapes per-CTA isolation.
+    fn fail_all(&self) {
+        let mut guard = self.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        guard.accepting = false;
+        let q = &mut *guard;
+        let drained: Vec<Arc<RequestCell<In, Acc>>> =
+            q.pending.iter_mut().flat_map(std::mem::take).chain(q.active.drain(..)).collect();
+        q.pending_len = 0;
+        drop(guard);
+        for cell in drained {
+            if cell.transition(QUEUED, FAILED) || cell.transition(RUNNING, FAILED) {
+                self.stats.failed.fetch_add(1, Ordering::Relaxed);
+                cell.complete(Err(ServeError::ServiceDown));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker loop
+// ---------------------------------------------------------------------------
+
+/// An owner consolidation parked because a peer had not signaled:
+/// the multi-request form of the executor's `Deferred`.
+struct ServeDeferred<In, Acc> {
+    cell: Arc<RequestCell<In, Acc>>,
+    owner: usize,
+    tile_idx: usize,
+    accum: Vec<Acc>,
+    next_peer: usize,
+}
+
+enum Progress {
+    /// All peers folded; the tile is ready to store.
+    Done,
+    /// A peer is still pending; the consolidation parks.
+    Parked,
+    /// The request died; drop the consolidation.
+    Abandoned,
+}
+
+/// The per-worker serve loop: runs until the service is told to shut
+/// down *and* every request has resolved.
+fn serve_worker<In, Acc>(shared: &Arc<ServeShared<In, Acc>>, scratch: &mut ScratchStore)
+where
+    In: Promote<Acc>,
+    Acc: Scalar,
+{
+    let mut deferred: Vec<ServeDeferred<In, Acc>> = Vec::new();
+    loop {
+        // Opportunistic pass: resume any parked consolidation whose
+        // peers have signaled since, without blocking.
+        advance_deferred(shared, &mut deferred, scratch, false);
+        match shared.claim_next() {
+            Claimed::Cta(cell, id) => execute_claim(shared, &cell, id, scratch, &mut deferred),
+            Claimed::Idle => {
+                if !deferred.is_empty() {
+                    // No claimable work anywhere: every CTA of the
+                    // parked requests is claimed and being executed,
+                    // so a bounded blocking drain cannot deadlock —
+                    // and the watchdog + recovery bound it even if a
+                    // peer's worker died.
+                    advance_deferred(shared, &mut deferred, scratch, true);
+                    continue;
+                }
+                let q = shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
+                drop(
+                    shared
+                        .work_cv
+                        .wait_timeout(q, IDLE_PARK)
+                        .unwrap_or_else(PoisonError::into_inner),
+                );
+            }
+            Claimed::Drained => {
+                // Any leftover deferred work belongs to dead requests
+                // (the window is empty); drop it and exit.
+                advance_deferred(shared, &mut deferred, scratch, true);
+                if deferred.is_empty() {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Executes one claimed CTA under panic isolation: a panic (injected
+/// or real) fails only this request's handle, and the worker returns
+/// to the sweep.
+fn execute_claim<In, Acc>(
+    shared: &Arc<ServeShared<In, Acc>>,
+    cell: &Arc<RequestCell<In, Acc>>,
+    id: usize,
+    scratch: &mut ScratchStore,
+    deferred: &mut Vec<ServeDeferred<In, Acc>>,
+) where
+    In: Promote<Acc>,
+    Acc: Scalar,
+{
+    let ws = scratch.get_or_insert_with(|| Workspace::<In, Acc>::new(cell.tile_len));
+    ws.ensure_tile_len(cell.tile_len);
+    let outcome =
+        catch_unwind(AssertUnwindSafe(|| execute_cta(shared, cell, id, &mut *ws, &mut *deferred)));
+    match outcome {
+        Ok(Ok(())) => {
+            cell.ctas_run.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(Err(e)) => {
+            if cell.transition(RUNNING, FAILED) {
+                shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+                cell.complete(Err(ServeError::Failed(e)));
+                shared.work_cv.notify_all();
+            }
+        }
+        Err(payload) => {
+            if cell.transition(RUNNING, PANICKED) {
+                shared.stats.panicked.fetch_add(1, Ordering::Relaxed);
+                cell.complete(Err(ServeError::Panicked { message: panic_message(payload.as_ref()) }));
+                shared.work_cv.notify_all();
+            }
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked".to_string()
+    }
+}
+
+/// The serve-path CTA body: the single-launch `run_cta` with three
+/// adaptations — owner accumulators come from the pooled partials
+/// (never `ws.accum`, so a panic can't leave the shared workspace
+/// torn), deferred records carry their request, and every segment
+/// re-checks request liveness.
+fn execute_cta<In, Acc>(
+    shared: &ServeShared<In, Acc>,
+    cell: &Arc<RequestCell<In, Acc>>,
+    id: usize,
+    ws: &mut Workspace<In, Acc>,
+    deferred: &mut Vec<ServeDeferred<In, Acc>>,
+) -> Result<(), ExecutorError>
+where
+    In: Promote<Acc>,
+    Acc: Scalar,
+{
+    if cell.panic_at_cta == Some(id) {
+        panic!("injected serve fault: panic in CTA {id} of request {}", cell.id);
+    }
+    let cta: &CtaWork = &cell.decomp.ctas()[id];
+    let space = cell.decomp.space();
+    let blk_n = space.tile().blk_n;
+    let (av, bv) = (cell.a.view(), cell.b.view());
+    let kind = shared.kernel;
+
+    for seg in cta.segments(space) {
+        if cell.is_dead() {
+            return Ok(());
+        }
+        if !seg.starts_tile {
+            let mut partial = ws.take_partial();
+            mac_loop_kernel_cached(kind, None, &av, &bv, space, seg.tile_idx, seg.local_begin, seg.local_end, &mut partial, &mut ws.pack);
+            match cell.cta_faults.fault_for(cta.cta_id) {
+                None => cell.board.store_and_signal(cta.cta_id, partial).map_err(ExecutorError::Fixup)?,
+                Some(FaultKind::Straggle(delay)) => {
+                    std::thread::sleep(delay);
+                    cell.board.store_and_signal(cta.cta_id, partial).map_err(ExecutorError::Fixup)?;
+                }
+                Some(FaultKind::Lose) => ws.recycle_partial(partial),
+                Some(FaultKind::Poison) => {
+                    ws.recycle_partial(partial);
+                    cell.board.poison(cta.cta_id).map_err(ExecutorError::Fixup)?;
+                }
+            }
+            continue;
+        }
+
+        let mut accum = ws.take_partial();
+        mac_loop_kernel_cached(kind, None, &av, &bv, space, seg.tile_idx, seg.local_begin, seg.local_end, &mut accum, &mut ws.pack);
+        if !seg.ends_tile {
+            let mut next_peer = 0;
+            match advance_consolidation(shared, cell, id, seg.tile_idx, &mut accum, &mut next_peer, ws, false)? {
+                Progress::Done => {}
+                Progress::Parked => {
+                    cell.deferrals.fetch_add(1, Ordering::Relaxed);
+                    deferred.push(ServeDeferred {
+                        cell: Arc::clone(cell),
+                        owner: id,
+                        tile_idx: seg.tile_idx,
+                        accum,
+                        next_peer,
+                    });
+                    continue;
+                }
+                Progress::Abandoned => {
+                    ws.recycle_partial(accum);
+                    return Ok(());
+                }
+            }
+        }
+        store_owned_tile(shared, cell, seg.tile_idx, blk_n, &accum);
+        ws.recycle_partial(accum);
+    }
+    Ok(())
+}
+
+/// Folds signaled peers of `(owner, tile_idx)` into `accum` in
+/// ascending peer order — the bit-exactness invariant. Non-blocking
+/// mode parks on the first pending peer; blocking mode probes under
+/// the watchdog, recovering (recomputing the peer's exact
+/// contribution) on expiry or poison, and abandoning if the request
+/// dies.
+#[allow(clippy::too_many_arguments)]
+fn advance_consolidation<In, Acc>(
+    shared: &ServeShared<In, Acc>,
+    cell: &Arc<RequestCell<In, Acc>>,
+    owner: usize,
+    tile_idx: usize,
+    accum: &mut [Acc],
+    next_peer: &mut usize,
+    ws: &mut Workspace<In, Acc>,
+    block: bool,
+) -> Result<Progress, ExecutorError>
+where
+    In: Promote<Acc>,
+    Acc: Scalar,
+{
+    enum Probe<Acc> {
+        Ready(Vec<Acc>),
+        Poisoned,
+        Dead,
+    }
+    let peers = cell.peers.peers(owner);
+    while *next_peer < peers.len() {
+        if cell.is_dead() {
+            return Ok(Progress::Abandoned);
+        }
+        let peer = peers[*next_peer];
+        let taken = if block {
+            let t0 = Instant::now();
+            let policy = WaitPolicy::with_watchdog(shared.watchdog);
+            let probed = policy.wait_until(|| {
+                if cell.is_dead() {
+                    return Some(Probe::Dead);
+                }
+                match cell.board.try_take(peer) {
+                    TryTake::Ready(p) => Some(Probe::Ready(p)),
+                    TryTake::Poisoned => Some(Probe::Poisoned),
+                    TryTake::Pending => None,
+                }
+            });
+            cell.wait_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            match probed {
+                Ok(Probe::Ready(p)) => Some(p),
+                Ok(Probe::Dead) => return Ok(Progress::Abandoned),
+                // Poisoned record or watchdog expiry: recover. The
+                // serve path always recovers — a lost peer must never
+                // wedge a multi-tenant pool.
+                Ok(Probe::Poisoned) | Err(_) => None,
+            }
+        } else {
+            match cell.board.try_take(peer) {
+                TryTake::Ready(p) => Some(p),
+                TryTake::Pending => return Ok(Progress::Parked),
+                TryTake::Poisoned => None,
+            }
+        };
+        match taken {
+            Some(partial) => {
+                for (acc, p) in accum.iter_mut().zip(&partial) {
+                    *acc += *p;
+                }
+                ws.recycle_partial(partial);
+            }
+            None => recover_peer(shared, cell, peer, tile_idx, accum, ws)?,
+        }
+        *next_peer += 1;
+    }
+    Ok(Progress::Done)
+}
+
+/// Owner-side recovery: recomputes `peer`'s exact contribution to
+/// `tile_idx` with the same kernel over the same k-range, folding it
+/// at the same position — the bit-exact identity of `core::recovery`.
+fn recover_peer<In, Acc>(
+    shared: &ServeShared<In, Acc>,
+    cell: &Arc<RequestCell<In, Acc>>,
+    peer: usize,
+    tile_idx: usize,
+    accum: &mut [Acc],
+    ws: &mut Workspace<In, Acc>,
+) -> Result<(), ExecutorError>
+where
+    In: Promote<Acc>,
+    Acc: Scalar,
+{
+    let space = cell.decomp.space();
+    let seg = peer_contribution(&cell.decomp.ctas()[peer], space, tile_idx).ok_or_else(|| {
+        ExecutorError::InvalidDecomposition(format!(
+            "fixup lists CTA {peer} as a peer of tile {tile_idx} but it contributes nothing",
+        ))
+    })?;
+    // A private scratch tile, not `ws.scratch`: recovery is the cold
+    // path, and the workspace may be sized for a different request's
+    // tile while this worker drains a parked consolidation.
+    let mut partial = vec![Acc::ZERO; cell.tile_len];
+    mac_loop_kernel_cached(
+        shared.kernel,
+        None,
+        &cell.a.view(),
+        &cell.b.view(),
+        space,
+        tile_idx,
+        seg.local_begin,
+        seg.local_end,
+        &mut partial,
+        &mut ws.pack,
+    );
+    for (acc, p) in accum.iter_mut().zip(&partial) {
+        *acc += *p;
+    }
+    cell.recoveries.fetch_add(1, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Stores a finished tile and, when it is the request's last,
+/// finalizes: the `AcqRel` counter gives the finalizer happens-before
+/// with every store, the state CAS elects exactly one finalizer, and
+/// the owned buffer becomes the caller's output matrix without a
+/// copy.
+fn store_owned_tile<In, Acc>(
+    shared: &ServeShared<In, Acc>,
+    cell: &Arc<RequestCell<In, Acc>>,
+    tile_idx: usize,
+    blk_n: usize,
+    accum: &[Acc],
+) where
+    Acc: Scalar,
+{
+    let (rows, cols) = cell.decomp.space().tile_extents(tile_idx);
+    cell.writer.store_tile(tile_idx, rows, cols, blk_n, accum);
+    let done = cell.tiles_done.fetch_add(1, Ordering::AcqRel) + 1;
+    if done == cell.total_tiles && cell.transition(RUNNING, DONE) {
+        let data = cell.writer.take();
+        let c = Matrix::from_vec(cell.out_rows, cell.out_cols, cell.layout, data);
+        shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+        cell.complete(Ok(c));
+        // The window slot frees on the next sweep; wake parked
+        // workers so admission sees it promptly.
+        shared.work_cv.notify_all();
+    }
+}
+
+/// Advances every parked consolidation this worker holds; drops
+/// entries of dead requests, stores tiles that finished.
+fn advance_deferred<In, Acc>(
+    shared: &Arc<ServeShared<In, Acc>>,
+    deferred: &mut Vec<ServeDeferred<In, Acc>>,
+    scratch: &mut ScratchStore,
+    block: bool,
+) where
+    In: Promote<Acc>,
+    Acc: Scalar,
+{
+    let mut i = 0;
+    while i < deferred.len() {
+        if deferred[i].cell.is_dead() {
+            drop(deferred.swap_remove(i));
+            continue;
+        }
+        let ws = scratch
+            .get_or_insert_with(|| Workspace::<In, Acc>::new(deferred[i].cell.tile_len));
+        ws.ensure_tile_len(deferred[i].cell.tile_len);
+        let d = &mut deferred[i];
+        let (cell, owner, tile_idx) = (Arc::clone(&d.cell), d.owner, d.tile_idx);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            advance_consolidation(shared, &cell, owner, tile_idx, &mut d.accum, &mut d.next_peer, &mut *ws, block)
+        }));
+        match outcome {
+            Ok(Ok(Progress::Done)) => {
+                let d = deferred.swap_remove(i);
+                let blk_n = cell.decomp.space().tile().blk_n;
+                store_owned_tile(shared, &cell, tile_idx, blk_n, &d.accum);
+                ws.recycle_partial(d.accum);
+            }
+            Ok(Ok(Progress::Parked)) => i += 1,
+            Ok(Ok(Progress::Abandoned)) => {
+                drop(deferred.swap_remove(i));
+            }
+            Ok(Err(e)) => {
+                drop(deferred.swap_remove(i));
+                if cell.transition(RUNNING, FAILED) {
+                    shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+                    cell.complete(Err(ServeError::Failed(e)));
+                    shared.work_cv.notify_all();
+                }
+            }
+            Err(payload) => {
+                drop(deferred.swap_remove(i));
+                if cell.transition(RUNNING, PANICKED) {
+                    shared.stats.panicked.fetch_add(1, Ordering::Relaxed);
+                    cell.complete(Err(ServeError::Panicked { message: panic_message(payload.as_ref()) }));
+                    shared.work_cv.notify_all();
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The service
+// ---------------------------------------------------------------------------
+
+/// A multi-tenant GEMM service over a [`CpuExecutor`]'s worker pool.
+///
+/// See the module docs for the architecture. The service holds the
+/// pool's launch slot from [`start`](Self::start) until
+/// [`shutdown`](Self::shutdown) (or drop); the executor handed in
+/// stays usable afterwards with its pool and warm per-worker arenas
+/// intact — a panic inside a request never rebuilds the pool.
+pub struct GemmService<In, Acc> {
+    shared: Arc<ServeShared<In, Acc>>,
+    coordinator: Option<JoinHandle<()>>,
+}
+
+impl<In, Acc> GemmService<In, Acc>
+where
+    In: Promote<Acc>,
+    Acc: Scalar,
+{
+    /// Starts the service on `executor`'s pool (spawning the pool if
+    /// this executor never launched). Kernel choice and watchdog come
+    /// from the executor's configuration.
+    #[must_use]
+    pub fn start(executor: &CpuExecutor, config: ServeConfig) -> Self {
+        let shared = Arc::new(ServeShared {
+            capacity: config.capacity.max(1),
+            window: config.window.max(1),
+            workers: executor.threads(),
+            watchdog: executor.watchdog(),
+            kernel: executor.kernel(),
+            queue: Mutex::new(QueueState {
+                accepting: true,
+                pending: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+                pending_len: 0,
+                active: Vec::new(),
+                admit_clock: 0,
+            }),
+            work_cv: Condvar::new(),
+            start_seq: AtomicU64::new(0),
+            next_id: AtomicU64::new(0),
+            stats: StatsCell::default(),
+        });
+        let executor = executor.clone();
+        let shared_for_pool = Arc::clone(&shared);
+        let coordinator = std::thread::spawn(move || {
+            let job = |_wid: usize, scratch: &mut ScratchStore| {
+                serve_worker::<In, Acc>(&shared_for_pool, scratch);
+            };
+            // Per-CTA catch_unwind means no panic should reach the
+            // pool; this catch is the backstop that keeps the
+            // coordinator from dying silently if one does.
+            if catch_unwind(AssertUnwindSafe(|| executor.worker_pool().run(&job))).is_err() {
+                shared_for_pool.stats.pool_poisonings.fetch_add(1, Ordering::Relaxed);
+                shared_for_pool.fail_all();
+            }
+        });
+        Self { shared, coordinator: Some(coordinator) }
+    }
+
+    /// Submits a request. Returns immediately: either a
+    /// [`CompletionHandle`] (the request is queued) or a typed
+    /// [`AdmissionError`] (it is not — the caller must shed or
+    /// retry). Never blocks on queue pressure.
+    pub fn submit(
+        &self,
+        request: LaunchRequest<In>,
+    ) -> Result<CompletionHandle<In, Acc>, AdmissionError> {
+        let cell = match self.build_cell(request) {
+            Ok(cell) => cell,
+            Err(e) => {
+                self.shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(e);
+            }
+        };
+        let lane = cell.priority.lane();
+        let mut q = self.shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        if !q.accepting {
+            self.shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(AdmissionError::ShuttingDown);
+        }
+        if q.pending_len >= self.shared.capacity {
+            self.shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(AdmissionError::QueueFull { capacity: self.shared.capacity });
+        }
+        let cell = Arc::new(cell);
+        q.pending[lane].push_back(Arc::clone(&cell));
+        q.pending_len += 1;
+        self.shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        drop(q);
+        self.shared.work_cv.notify_all();
+        Ok(CompletionHandle { cell, shared: Arc::clone(&self.shared) })
+    }
+
+    /// Validates a request and builds its cell — every structural
+    /// error the single-launch path reports is rejected here, at
+    /// submission, before the request can occupy queue space.
+    fn build_cell(&self, request: LaunchRequest<In>) -> Result<RequestCell<In, Acc>, AdmissionError> {
+        let LaunchRequest { a, b, decomp, priority, deadline, mut cta_faults, serve_fault } = request;
+        let space = decomp.space();
+        let shape = space.shape();
+        for (operand, expected, got) in [
+            ("op(A)", (shape.m, shape.k), (a.rows(), a.cols())),
+            ("op(B)", (shape.k, shape.n), (b.rows(), b.cols())),
+        ] {
+            if expected != got {
+                return Err(AdmissionError::Rejected(ExecutorError::ShapeMismatch {
+                    operand,
+                    expected,
+                    got,
+                }));
+            }
+        }
+        decomp
+            .validate()
+            .map_err(|e| AdmissionError::Rejected(ExecutorError::InvalidDecomposition(e.to_string())))?;
+        let fixups = decomp.fixups();
+        let max_covering = fixups.iter().map(|f| f.covering_ctas()).max().unwrap_or(1);
+        if max_covering > self.shared.workers {
+            return Err(AdmissionError::Rejected(ExecutorError::InsufficientResidency {
+                needed: max_covering,
+                threads: self.shared.workers,
+            }));
+        }
+
+        let now = Instant::now();
+        let grid = decomp.grid_size();
+        let mut admit_at = now;
+        let mut cancel_at_claim = None;
+        let mut panic_at_cta = None;
+        match serve_fault {
+            Some(ServeFaultKind::AdmitDelay(delay)) => admit_at = now + delay,
+            Some(ServeFaultKind::Cancel) => cancel_at_claim = Some(grid / 2),
+            Some(ServeFaultKind::PanicCta) => panic_at_cta = Some(grid / 2),
+            Some(ServeFaultKind::Protocol(kind)) => {
+                // Deterministic victim: the first contributor. A
+                // decomposition with no split seams has nothing to
+                // fault — the injection degrades to a no-op, exactly
+                // like FaultPlan::seeded on data-parallel grids.
+                if let Some(&victim) = FaultPlan::contributors(&decomp).first() {
+                    cta_faults = cta_faults.with_fault(victim, kind);
+                }
+            }
+            None => {}
+        }
+
+        let tile = space.tile();
+        let peers = PeerTable::new(grid, &fixups);
+        let (out_rows, out_cols, layout) = (shape.m, shape.n, a.layout());
+        Ok(RequestCell {
+            id: self.shared.next_id.fetch_add(1, Ordering::Relaxed),
+            priority,
+            peers,
+            board: FixupBoard::new(grid),
+            writer: OwnedTileWriter::new(out_rows, out_cols, layout, space.tiles()),
+            cursor: GridCursor::new(grid),
+            tiles_done: AtomicUsize::new(0),
+            total_tiles: space.tiles(),
+            tile_len: tile.blk_m * tile.blk_n,
+            out_rows,
+            out_cols,
+            layout,
+            state: AtomicU8::new(QUEUED),
+            submitted_at: now,
+            admit_at,
+            deadline: deadline.map(|d| (now + d, d)),
+            cancel_at_claim,
+            panic_at_cta,
+            cta_faults,
+            started: Mutex::new(None),
+            deferrals: AtomicUsize::new(0),
+            recoveries: AtomicUsize::new(0),
+            ctas_run: AtomicUsize::new(0),
+            wait_ns: AtomicU64::new(0),
+            outcome: Mutex::new(None),
+            done_cv: Condvar::new(),
+            a,
+            b,
+            decomp,
+        })
+    }
+
+    /// A racy snapshot of the service counters.
+    #[must_use]
+    pub fn stats(&self) -> ServiceStats {
+        self.shared.stats.snapshot()
+    }
+
+    /// Current queue depth: `(pending, active)`.
+    #[must_use]
+    pub fn queue_depth(&self) -> (usize, usize) {
+        let q = self.shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        (q.pending_len, q.active.len())
+    }
+
+    /// Stops admission, drains every queued and active request to a
+    /// terminal state, releases the pool, and returns the final
+    /// counters. The executor the service was started on is usable
+    /// again the moment this returns.
+    pub fn shutdown(mut self) -> ServiceStats {
+        self.shutdown_inner();
+        self.shared.stats.snapshot()
+    }
+
+    fn shutdown_inner(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            q.accepting = false;
+        }
+        self.shared.work_cv.notify_all();
+        if let Some(coordinator) = self.coordinator.take() {
+            let _ = coordinator.join();
+        }
+    }
+}
+
+impl<In, Acc> Drop for GemmService<In, Acc> {
+    fn drop(&mut self) {
+        if self.coordinator.is_some() {
+            {
+                let mut q = self.shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
+                q.accepting = false;
+            }
+            self.shared.work_cv.notify_all();
+            if let Some(coordinator) = self.coordinator.take() {
+                let _ = coordinator.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamk_matrix::reference::gemm_naive;
+    use streamk_types::{GemmShape, TileShape};
+
+    fn operands(shape: GemmShape, seed: u64) -> (Matrix<f64>, Matrix<f64>) {
+        (
+            Matrix::<f64>::random::<f64>(shape.m, shape.k, Layout::RowMajor, seed),
+            Matrix::<f64>::random::<f64>(shape.k, shape.n, Layout::RowMajor, seed + 100),
+        )
+    }
+
+    #[test]
+    fn single_request_round_trips_bit_exactly() {
+        let shape = GemmShape::new(96, 80, 64);
+        let decomp = Decomposition::stream_k(shape, TileShape::new(32, 32, 16), 7);
+        let (a, b) = operands(shape, 1);
+        let exec = CpuExecutor::with_threads(8);
+        let sequential: Matrix<f64> = exec.gemm(&a, &b, &decomp);
+
+        let service = GemmService::<f64, f64>::start(&exec, ServeConfig::default());
+        let handle = service.submit(LaunchRequest::new(a.clone(), b.clone(), decomp)).unwrap();
+        let (c, stats) = handle.wait().expect("request should complete");
+        assert_eq!(c.max_abs_diff(&sequential), 0.0, "serve vs sequential must be bit-exact");
+        assert_eq!(stats.ctas, 7);
+        let final_stats = service.shutdown();
+        assert_eq!(final_stats.completed, 1);
+        assert_eq!(final_stats.pool_poisonings, 0);
+
+        // The executor (and its warm pool) is usable again.
+        let again: Matrix<f64> = exec.gemm(&a, &b, &Decomposition::stream_k(shape, TileShape::new(32, 32, 16), 7));
+        assert_eq!(again.max_abs_diff(&sequential), 0.0);
+        let reference = gemm_naive::<f64, f64>(&a, &b);
+        sequential.assert_close(&reference, 1e-11);
+    }
+
+    #[test]
+    fn invalid_requests_are_rejected_at_submission() {
+        let shape = GemmShape::new(64, 64, 32);
+        let tile = TileShape::new(32, 32, 16);
+        let (a, b) = operands(shape, 2);
+        let exec = CpuExecutor::with_threads(2);
+        let service = GemmService::<f64, f64>::start(&exec, ServeConfig::default());
+
+        // Shape mismatch.
+        let wrong = Matrix::<f64>::zeros(8, 8, Layout::RowMajor);
+        let err = service
+            .submit(LaunchRequest::new(wrong, b.clone(), Decomposition::stream_k(shape, tile, 4)))
+            .unwrap_err();
+        assert!(matches!(err, AdmissionError::Rejected(ExecutorError::ShapeMismatch { .. })));
+
+        // Residency beyond the pool.
+        let wide = Decomposition::stream_k(GemmShape::new(32, 32, 512), tile, 8);
+        let err = service.submit(LaunchRequest::new(
+            Matrix::<f64>::zeros(32, 512, Layout::RowMajor),
+            Matrix::<f64>::zeros(512, 32, Layout::RowMajor),
+            wide,
+        ));
+        assert!(matches!(
+            err,
+            Err(AdmissionError::Rejected(ExecutorError::InsufficientResidency { .. }))
+        ));
+
+        // Valid work still flows afterwards.
+        let decomp = Decomposition::data_parallel(shape, tile);
+        let handle = service.submit(LaunchRequest::new(a.clone(), b.clone(), decomp)).unwrap();
+        let (c, _) = handle.wait().unwrap();
+        c.assert_close(&gemm_naive::<f64, f64>(&a, &b), 1e-12);
+        let stats = service.shutdown();
+        assert_eq!(stats.rejected, 2);
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn shutdown_drains_queued_work() {
+        let shape = GemmShape::new(64, 48, 40);
+        let tile = TileShape::new(16, 16, 8);
+        let (a, b) = operands(shape, 3);
+        let exec = CpuExecutor::with_threads(4);
+        let reference = gemm_naive::<f64, f64>(&a, &b);
+        let service = GemmService::<f64, f64>::start(&exec, ServeConfig::default().with_window(2));
+        let handles: Vec<_> = (0..6)
+            .map(|g| {
+                let decomp = Decomposition::stream_k(shape, tile, 3 + (g % 2));
+                service.submit(LaunchRequest::new(a.clone(), b.clone(), decomp)).unwrap()
+            })
+            .collect();
+        let stats = service.shutdown();
+        assert_eq!(stats.completed, 6, "shutdown must drain, not drop: {stats:?}");
+        for handle in handles {
+            let (c, _) = handle.wait().unwrap();
+            c.assert_close(&reference, 1e-11);
+        }
+    }
+}

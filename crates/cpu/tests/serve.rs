@@ -1,0 +1,379 @@
+//! Service suite: concurrent-launch bit-exactness, isolation, and
+//! admission behavior of `streamk_cpu::serve`.
+//!
+//! The load-bearing property, as a proptest: a request's result is
+//! **byte-identical** whether it ran alone through the single-launch
+//! executor or interleaved with arbitrary other requests — across
+//! worker counts, priority mixes, injected faults, and mid-flight
+//! cancellations. Everything else (backpressure, deadlines, panic
+//! isolation, weighted admission) is pinned by deterministic tests.
+
+use proptest::prelude::*;
+use std::time::{Duration, Instant};
+use streamk_core::Decomposition;
+use streamk_cpu::{
+    AdmissionError, CpuExecutor, FaultKind, FaultPlan, GemmService, LaunchRequest, Priority,
+    ServeConfig, ServeError, ServeFaultKind, WorkerPool,
+};
+use streamk_matrix::Matrix;
+use streamk_types::{GemmShape, Layout, TileShape};
+
+const WATCHDOG: Duration = Duration::from_millis(150);
+
+fn exec(threads: usize) -> CpuExecutor {
+    CpuExecutor::with_threads(threads).with_watchdog(WATCHDOG)
+}
+
+fn operands(shape: GemmShape, seed: u64) -> (Matrix<f64>, Matrix<f64>) {
+    let a = Matrix::<f64>::random::<f64>(shape.m, shape.k, Layout::RowMajor, seed);
+    let b = Matrix::<f64>::random::<f64>(shape.k, shape.n, Layout::RowMajor, seed + 1);
+    (a, b)
+}
+
+/// A small palette of shapes so concurrent requests are heterogeneous.
+const SHAPES: [GemmShape; 3] = [
+    GemmShape { m: 48, n: 40, k: 32 },
+    GemmShape { m: 32, n: 32, k: 64 },
+    GemmShape { m: 64, n: 24, k: 40 },
+];
+
+fn priority_for(idx: u8) -> Priority {
+    Priority::ALL[idx as usize % Priority::ALL.len()]
+}
+
+/// Maskable service faults only: every one of these must leave the
+/// request's output bit-exact.
+fn maskable_fault_for(idx: u8) -> Option<ServeFaultKind> {
+    match idx % 5 {
+        0 => None,
+        1 => Some(ServeFaultKind::AdmitDelay(WATCHDOG / 8)),
+        2 => Some(ServeFaultKind::Protocol(FaultKind::Straggle(WATCHDOG / 8))),
+        3 => Some(ServeFaultKind::Protocol(FaultKind::Lose)),
+        _ => Some(ServeFaultKind::Protocol(FaultKind::Poison)),
+    }
+}
+
+/// Splitmix64 over a mutable state: derives an arbitrary-length spec
+/// list from one sampled seed (the vendored proptest has no
+/// collection strategies).
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// N concurrent launches vs the same launches run sequentially:
+    /// bit-exact, for every worker count, priority mix, window size,
+    /// and maskable-fault assignment — with some requests cancelled
+    /// mid-flight, which must fail typed without disturbing the rest.
+    #[test]
+    fn concurrent_launches_match_sequential_bit_exact(
+        threads in 2usize..9,
+        window in 1usize..5,
+        n in 2usize..7,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut state = seed;
+        let specs: Vec<(usize, usize, u8, u8, bool)> = (0..n)
+            .map(|_| {
+                (
+                    (splitmix(&mut state) % 3) as usize,
+                    2 + (splitmix(&mut state) % 5) as usize,
+                    splitmix(&mut state) as u8,
+                    splitmix(&mut state) as u8,
+                    splitmix(&mut state).is_multiple_of(5),
+                )
+            })
+            .collect();
+        let e = exec(threads);
+        // Sequential baselines through the legacy single-launch path
+        // (grids whose fixup groups outsize the pool are skipped —
+        // the service rejects those same requests at admission).
+        let mut jobs = Vec::new();
+        for (i, &(shape_idx, grid, prio_idx, fault_idx, cancel)) in specs.iter().enumerate() {
+            let shape = SHAPES[shape_idx];
+            let decomp = Decomposition::stream_k(shape, TileShape::new(16, 16, 8), grid);
+            let cover = decomp.fixups().iter().map(|f| f.covering_ctas()).max().unwrap_or(1);
+            if cover > threads {
+                continue;
+            }
+            let (a, b) = operands(shape, 1000 + i as u64);
+            let baseline = e.gemm::<f64, f64>(&a, &b, &decomp);
+            jobs.push((a, b, decomp, baseline, prio_idx, fault_idx, cancel));
+        }
+        prop_assume!(!jobs.is_empty());
+
+        let stats_before = e.last_stats();
+        let service = GemmService::<f64, f64>::start(
+            &e,
+            ServeConfig::default().with_window(window),
+        );
+        let mut handles = Vec::new();
+        for (a, b, decomp, _, prio_idx, fault_idx, cancel) in &jobs {
+            let mut req = LaunchRequest::new(a.clone(), b.clone(), decomp.clone())
+                .with_priority(priority_for(*prio_idx));
+            if *cancel {
+                req = req.with_serve_fault(ServeFaultKind::Cancel);
+            } else if let Some(kind) = maskable_fault_for(*fault_idx) {
+                req = req.with_serve_fault(kind);
+            }
+            handles.push(service.submit(req).expect("valid request admitted"));
+        }
+        for (handle, (_, _, decomp, baseline, _, fault_idx, cancel)) in
+            handles.into_iter().zip(&jobs)
+        {
+            let outcome = handle.wait();
+            if *cancel {
+                prop_assert_eq!(outcome.unwrap_err(), ServeError::Cancelled);
+                continue;
+            }
+            let (c, stats) = outcome.expect("request must complete");
+            prop_assert!(
+                c.max_abs_diff(baseline) == 0.0,
+                "concurrent result diverged from sequential"
+            );
+            // Lose/Poison protocol faults must actually exercise the
+            // owner-side recovery path, not be silently skipped —
+            // unless the grid has no split seams, where the injection
+            // degrades to a no-op (nothing crosses CTAs to lose).
+            if matches!(
+                maskable_fault_for(*fault_idx),
+                Some(ServeFaultKind::Protocol(FaultKind::Lose | FaultKind::Poison))
+            ) && !FaultPlan::contributors(decomp).is_empty()
+            {
+                prop_assert!(stats.recoveries >= 1, "protocol fault never recovered");
+            }
+        }
+        let final_stats = service.shutdown();
+        prop_assert_eq!(final_stats.pool_poisonings, 0);
+        // The serve session is invisible to the legacy per-launch
+        // stats: same counters as before the service started.
+        prop_assert_eq!(e.last_stats(), stats_before);
+    }
+}
+
+#[test]
+fn panic_is_isolated_to_its_request_and_pool_survives() {
+    let shape = GemmShape::new(48, 40, 32);
+    let tile = TileShape::new(16, 16, 8);
+    let e = exec(4);
+    let decomp = Decomposition::stream_k(shape, tile, 4);
+    let (a, b) = operands(shape, 7);
+    let baseline = e.gemm::<f64, f64>(&a, &b, &decomp);
+    let builds_before = WorkerPool::total_builds();
+
+    let service = GemmService::<f64, f64>::start(&e, ServeConfig::default());
+    let good_before = service
+        .submit(LaunchRequest::new(a.clone(), b.clone(), decomp.clone()))
+        .unwrap();
+    let bomb = service
+        .submit(
+            LaunchRequest::new(a.clone(), b.clone(), decomp.clone())
+                .with_serve_fault(ServeFaultKind::PanicCta),
+        )
+        .unwrap();
+    let good_after = service
+        .submit(LaunchRequest::new(a.clone(), b.clone(), decomp.clone()))
+        .unwrap();
+
+    // The panicking request fails typed, with the payload preserved.
+    match bomb.wait() {
+        Err(ServeError::Panicked { message }) => {
+            assert!(message.contains("injected serve fault"), "got: {message}")
+        }
+        other => panic!("expected a panic failure, got {other:?}"),
+    }
+    // Its neighbors — submitted before and after — are bit-exact.
+    let (c1, _) = good_before.wait().expect("request before the panic");
+    let (c2, _) = good_after.wait().expect("request after the panic");
+    assert_eq!(c1.max_abs_diff(&baseline), 0.0);
+    assert_eq!(c2.max_abs_diff(&baseline), 0.0);
+
+    let stats = service.shutdown();
+    assert_eq!(stats.panicked, 1);
+    assert_eq!(stats.completed, 2);
+    assert_eq!(stats.pool_poisonings, 0, "panic must never reach the pool");
+
+    // The same pool object serves the legacy path afterwards — no
+    // respawn, still bit-exact.
+    assert_eq!(WorkerPool::total_builds(), builds_before, "pool must not be rebuilt");
+    let again = e.gemm::<f64, f64>(&a, &b, &decomp);
+    assert_eq!(again.max_abs_diff(&baseline), 0.0);
+}
+
+#[test]
+fn zero_deadline_times_out_typed_never_silently_dropped() {
+    let shape = GemmShape::new(48, 40, 32);
+    let e = exec(4);
+    let decomp = Decomposition::stream_k(shape, TileShape::new(16, 16, 8), 4);
+    let (a, b) = operands(shape, 11);
+    // Baseline before the service claims the pool's launch slot: the
+    // legacy path blocks for the lifetime of a running service.
+    let baseline = e.gemm::<f64, f64>(&a, &b, &decomp);
+    let service = GemmService::<f64, f64>::start(&e, ServeConfig::default());
+
+    let doomed = service
+        .submit(
+            LaunchRequest::new(a.clone(), b.clone(), decomp.clone())
+                .with_deadline(Duration::ZERO),
+        )
+        .unwrap();
+    let healthy = service
+        .submit(LaunchRequest::new(a.clone(), b.clone(), decomp.clone()))
+        .unwrap();
+
+    assert_eq!(doomed.wait().unwrap_err(), ServeError::Timeout { deadline: Duration::ZERO });
+    let (c, _) = healthy.wait().expect("no-deadline request unaffected");
+    assert_eq!(c.max_abs_diff(&baseline), 0.0);
+
+    let stats = service.shutdown();
+    assert_eq!(stats.timed_out, 1);
+    assert_eq!(stats.completed, 1);
+}
+
+#[test]
+fn full_queue_rejects_with_backpressure_not_blocking() {
+    let shape = GemmShape::new(32, 32, 64);
+    let e = exec(2);
+    let decomp = Decomposition::stream_k(shape, TileShape::new(16, 16, 8), 2);
+    let (a, b) = operands(shape, 13);
+    // Baseline before the service claims the pool's launch slot: the
+    // legacy path blocks for the lifetime of a running service.
+    let baseline = e.gemm::<f64, f64>(&a, &b, &decomp);
+    // Capacity 1: a single queued request saturates the service.
+    let service = GemmService::<f64, f64>::start(
+        &e,
+        ServeConfig::default().with_capacity(1).with_window(1),
+    );
+
+    // Held in the queue by an admission delay, keeping it full.
+    let held = service
+        .submit(
+            LaunchRequest::new(a.clone(), b.clone(), decomp.clone())
+                .with_serve_fault(ServeFaultKind::AdmitDelay(Duration::from_millis(120))),
+        )
+        .unwrap();
+    let t0 = Instant::now();
+    let err = service
+        .submit(LaunchRequest::new(a.clone(), b.clone(), decomp.clone()))
+        .unwrap_err();
+    assert_eq!(err, AdmissionError::QueueFull { capacity: 1 });
+    assert!(
+        t0.elapsed() < Duration::from_millis(100),
+        "rejection must be immediate, not a blocked submit"
+    );
+
+    // Backpressure is transient: the held request drains and completes.
+    let (c, stats) = held.wait().expect("held request completes after its delay");
+    assert_eq!(c.max_abs_diff(&baseline), 0.0);
+    assert!(stats.queued >= Duration::from_millis(100), "admission delay respected");
+
+    let final_stats = service.shutdown();
+    assert_eq!(final_stats.rejected, 1);
+    assert_eq!(final_stats.completed, 1);
+}
+
+#[test]
+fn cancel_resolves_queued_and_running_requests() {
+    let shape = GemmShape::new(48, 40, 32);
+    let e = exec(4);
+    let decomp = Decomposition::stream_k(shape, TileShape::new(16, 16, 8), 4);
+    let (a, b) = operands(shape, 17);
+    let service = GemmService::<f64, f64>::start(&e, ServeConfig::default());
+
+    // Cancelled while still queued (held there by an admission delay).
+    let queued = service
+        .submit(
+            LaunchRequest::new(a.clone(), b.clone(), decomp.clone())
+                .with_serve_fault(ServeFaultKind::AdmitDelay(Duration::from_millis(500))),
+        )
+        .unwrap();
+    assert!(queued.cancel(), "first cancel wins");
+    assert!(!queued.cancel(), "second cancel is a no-op");
+    assert!(queued.is_finished());
+    assert_eq!(queued.wait().unwrap_err(), ServeError::Cancelled);
+
+    // Cancelled mid-flight at claim granularity (injected).
+    let midflight = service
+        .submit(
+            LaunchRequest::new(a.clone(), b.clone(), decomp.clone())
+                .with_serve_fault(ServeFaultKind::Cancel),
+        )
+        .unwrap();
+    assert_eq!(midflight.wait().unwrap_err(), ServeError::Cancelled);
+
+    let stats = service.shutdown();
+    assert_eq!(stats.cancelled, 2);
+    assert_eq!(stats.pool_poisonings, 0);
+}
+
+#[test]
+fn weighted_admission_starts_high_priority_first() {
+    let shape = GemmShape::new(48, 40, 32);
+    let e = exec(4);
+    let decomp = Decomposition::stream_k(shape, TileShape::new(16, 16, 8), 4);
+    let (a, b) = operands(shape, 19);
+    // Window 1 serializes starts, so start_seq is the admission order.
+    let service =
+        GemmService::<f64, f64>::start(&e, ServeConfig::default().with_window(1));
+
+    // A straggling blocker occupies the single window slot while the
+    // six contenders queue up behind it — deterministic, unlike racing
+    // on admission-delay expiry against the worker poll loop.
+    let blocker = service
+        .submit(
+            LaunchRequest::new(a.clone(), b.clone(), decomp.clone())
+                .with_priority(Priority::High)
+                .with_serve_fault(ServeFaultKind::Protocol(FaultKind::Straggle(
+                    Duration::from_millis(100),
+                ))),
+        )
+        .unwrap();
+    let t0 = Instant::now();
+    while service.queue_depth() != (0, 1) {
+        assert!(t0.elapsed() < Duration::from_secs(5), "blocker never admitted");
+        std::thread::yield_now();
+    }
+
+    let submit = |prio: Priority| {
+        service
+            .submit(
+                LaunchRequest::new(a.clone(), b.clone(), decomp.clone()).with_priority(prio),
+            )
+            .unwrap()
+    };
+    // Submitted bulk-first, so FIFO order would start Bulk first.
+    let bulks = [submit(Priority::Bulk), submit(Priority::Bulk)];
+    let normals = [submit(Priority::Normal), submit(Priority::Normal)];
+    let highs = [submit(Priority::High), submit(Priority::High)];
+
+    let seq_of = |h: streamk_cpu::CompletionHandle<f64, f64>| {
+        let (_, stats) = h.wait().expect("request completes");
+        stats.start_seq
+    };
+    assert_eq!(seq_of(blocker), 0, "the blocker held the window from the start");
+    let bulk_seqs = bulks.map(seq_of);
+    let normal_seqs = normals.map(seq_of);
+    let high_seqs = highs.map(seq_of);
+
+    let min = |s: &[u64; 2]| *s.iter().min().unwrap();
+    let max = |s: &[u64; 2]| *s.iter().max().unwrap();
+    assert!(
+        min(&high_seqs) < min(&bulk_seqs),
+        "a High must start before any Bulk despite FIFO order: high={high_seqs:?} normal={normal_seqs:?} bulk={bulk_seqs:?}"
+    );
+    assert!(
+        max(&high_seqs) < max(&bulk_seqs),
+        "4:2:1 weighting must start both Highs before the last Bulk: high={high_seqs:?} bulk={bulk_seqs:?}"
+    );
+    assert!(
+        min(&normal_seqs) < max(&bulk_seqs),
+        "Normal must interleave ahead of the last Bulk: normal={normal_seqs:?} bulk={bulk_seqs:?}"
+    );
+    service.shutdown();
+}

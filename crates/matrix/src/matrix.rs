@@ -148,6 +148,22 @@ impl<T> Matrix<T> {
     pub fn into_vec(self) -> Vec<T> {
         self.data
     }
+
+    /// Builds a matrix around existing backing storage in `layout`
+    /// order — the inverse of [`into_vec`](Self::into_vec). Lets an
+    /// executor assemble its output in a buffer it owns and hand it
+    /// over without a copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero or `data.len()` is not
+    /// `rows * cols`.
+    #[must_use]
+    pub fn from_vec(rows: usize, cols: usize, layout: Layout, data: Vec<T>) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero: {rows}x{cols}");
+        assert_eq!(data.len(), rows * cols, "backing storage must be rows x cols");
+        Self { rows, cols, layout, data }
+    }
 }
 
 impl<T: Copy + Default> Matrix<T> {
