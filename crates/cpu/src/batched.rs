@@ -93,7 +93,7 @@ impl CpuExecutor {
         // are already claimed by other workers.
         let tile_len = tile.blk_m * tile.blk_n;
         let wait_ns = AtomicU64::new(0);
-        self.worker_pool().run(&|_wid, scratch| {
+        self.worker_pool().run(&|wid, scratch| {
             // Per-worker arena from the persistent pool's scratch
             // store: accumulator, pack panels, and the fixup-partial
             // pool stay warm across segments *and* across launches.
@@ -117,6 +117,7 @@ impl CpuExecutor {
                         mac_loop_kernel_cached(
                             kind,
                             caches.get(instance_idx),
+                            wid,
                             &a[instance_idx].view(),
                             &b[instance_idx].view(),
                             instance,
@@ -134,6 +135,7 @@ impl CpuExecutor {
                         mac_loop_kernel_cached(
                             kind,
                             caches.get(instance_idx),
+                            wid,
                             &a[instance_idx].view(),
                             &b[instance_idx].view(),
                             instance,

@@ -68,6 +68,12 @@ pub struct ExecutorConfig {
     /// a pure speed knob. Ignored by kernels that do not consume
     /// panels.
     pub pack_cache: bool,
+    /// Shard count for the pack cache: `0` (the default) means one
+    /// shard per worker, so each worker packs into — and reads from —
+    /// its own slot table and published panels never migrate between
+    /// cores; `1` restores the single grid-shared table. Block-major
+    /// operands bypass the cache entirely regardless of sharding.
+    pub pack_shards: usize,
     /// Record per-worker event spans during each launch (see
     /// [`crate::trace`]); collect them with
     /// [`CpuExecutor::last_trace`]. Off by default. Tracing never
@@ -87,6 +93,7 @@ impl Default for ExecutorConfig {
             watchdog: WaitPolicy::DEFAULT_WATCHDOG,
             kernel: KernelKind::default(),
             pack_cache: true,
+            pack_shards: 0,
             trace: false,
             trace_capacity: trace::DEFAULT_RING_CAPACITY,
         }
@@ -283,6 +290,15 @@ impl CpuExecutor {
         self
     }
 
+    /// Returns this executor with the pack-cache shard count set to
+    /// `shards`; `0` (the default) shards one table per worker. See
+    /// [`ExecutorConfig::pack_shards`].
+    #[must_use]
+    pub fn with_pack_shards(mut self, shards: usize) -> Self {
+        self.config.pack_shards = shards;
+        self
+    }
+
     /// Returns this executor with span tracing enabled or disabled
     /// (disabled by default); see [`ExecutorConfig::trace`].
     #[must_use]
@@ -326,6 +342,13 @@ impl CpuExecutor {
     #[must_use]
     pub fn pack_cache(&self) -> bool {
         self.config.pack_cache
+    }
+
+    /// The pack-cache shard count a launch will use: the configured
+    /// value, with `0` resolving to one shard per worker.
+    #[must_use]
+    pub fn pack_shards(&self) -> usize {
+        if self.config.pack_shards == 0 { self.config.threads.max(1) } else { self.config.pack_shards }
     }
 
     /// Whether span tracing is enabled.
@@ -552,10 +575,12 @@ impl CpuExecutor {
         }
 
         let policy = WaitPolicy::with_watchdog(self.config.watchdog);
-        // One shared panel table per launch: every CTA touching a
-        // tile row/column reuses the first claimer's packing work.
+        // Per-launch panel tables, one shard per worker by default:
+        // every CTA touching a tile row/column reuses its own shard's
+        // packing work, and published panels stay cache-resident on
+        // the core that packed them.
         let cache = if self.config.pack_cache {
-            PackCache::for_kernel(space, self.config.kernel, policy)
+            PackCache::for_kernel_sharded(space, self.config.kernel, policy, self.pack_shards())
         } else {
             None
         };
@@ -748,14 +773,14 @@ where
     Acc: Scalar,
 {
     loop {
-        drain_deferred(ctx, deferred, events, a, b, writer, alpha, beta, ws, false)?;
+        drain_deferred(ctx, wid, deferred, events, a, b, writer, alpha, beta, ws, false)?;
         let t0 = trace::start();
         let Some(claim) = sched.next_claim(wid) else { break };
         let kind = if claim.stolen { SpanKind::Steal } else { SpanKind::Claim };
         trace::finish(kind, t0, claim.id as u32, 0);
-        run_cta(ctx, claim.id, a, b, writer, alpha, beta, ws, deferred, events)?;
+        run_cta(ctx, wid, claim.id, a, b, writer, alpha, beta, ws, deferred, events)?;
     }
-    drain_deferred(ctx, deferred, events, a, b, writer, alpha, beta, ws, true)
+    drain_deferred(ctx, wid, deferred, events, a, b, writer, alpha, beta, ws, true)
 }
 
 /// Advances every parked consolidation as far as its peers allow,
@@ -765,6 +790,7 @@ where
 #[allow(clippy::too_many_arguments)]
 fn drain_deferred<In, Acc>(
     ctx: &GridCtx<'_, In, Acc>,
+    wid: usize,
     deferred: &mut Vec<Deferred<Acc>>,
     events: &mut Vec<RecoveryEvent>,
     a: &MatrixView<'_, In>,
@@ -786,7 +812,7 @@ where
         let d = &mut deferred[i];
         let t0 = trace::start();
         let done = advance_consolidation(
-            ctx, d.owner, d.tile_idx, &mut d.accum, &mut d.next_peer, a, b, ws, events, block,
+            ctx, wid, d.owner, d.tile_idx, &mut d.accum, &mut d.next_peer, a, b, ws, events, block,
         )?;
         if done {
             let d = deferred.swap_remove(i);
@@ -816,6 +842,7 @@ where
 #[allow(clippy::too_many_arguments)]
 fn advance_consolidation<In, Acc>(
     ctx: &GridCtx<'_, In, Acc>,
+    wid: usize,
     owner: usize,
     tile_idx: usize,
     accum: &mut [Acc],
@@ -889,7 +916,7 @@ where
         // order keeps the final output bit-identical to the
         // fault-free run.
         let t0 = trace::start();
-        let recomputed_iters = recompute_peer(ctx, peer, tile_idx, a, b, ws)?;
+        let recomputed_iters = recompute_peer(ctx, wid, peer, tile_idx, a, b, ws)?;
         for (acc, p) in accum.iter_mut().zip(&ws.scratch) {
             *acc += *p;
         }
@@ -904,6 +931,7 @@ where
 /// returning the number of MAC-loop iterations re-executed.
 fn recompute_peer<In, Acc>(
     ctx: &GridCtx<'_, In, Acc>,
+    wid: usize,
     peer: usize,
     tile_idx: usize,
     a: &MatrixView<'_, In>,
@@ -924,6 +952,7 @@ where
     mac_loop_kernel_cached(
         ctx.kernel,
         ctx.cache.as_ref(),
+        wid,
         a,
         b,
         space,
@@ -953,6 +982,7 @@ where
 #[allow(clippy::too_many_arguments)]
 fn run_cta<In, Acc>(
     ctx: &GridCtx<'_, In, Acc>,
+    wid: usize,
     id: usize,
     a: &MatrixView<'_, In>,
     b: &MatrixView<'_, In>,
@@ -987,7 +1017,7 @@ where
             // pool; ownership passes through the board to the owner.
             let mut partial = ws.take_partial();
             let t0 = trace::start();
-            mac_loop_kernel_cached(kind, cache, a, b, space, seg.tile_idx, seg.local_begin, seg.local_end, &mut partial, &mut ws.pack);
+            mac_loop_kernel_cached(kind, cache, wid, a, b, space, seg.tile_idx, seg.local_begin, seg.local_end, &mut partial, &mut ws.pack);
             trace::finish(SpanKind::Mac, t0, seg.tile_idx as u32, iters);
             match ctx.plan.fault_for(cta.cta_id) {
                 None => {
@@ -1017,7 +1047,7 @@ where
 
         ws.reset_accum();
         let t0 = trace::start();
-        mac_loop_kernel_cached(kind, cache, a, b, space, seg.tile_idx, seg.local_begin, seg.local_end, &mut ws.accum, &mut ws.pack);
+        mac_loop_kernel_cached(kind, cache, wid, a, b, space, seg.tile_idx, seg.local_begin, seg.local_end, &mut ws.accum, &mut ws.pack);
         trace::finish(SpanKind::Mac, t0, seg.tile_idx as u32, iters);
 
         if !seg.ends_tile {
@@ -1028,7 +1058,7 @@ where
             let mut accum = std::mem::take(&mut ws.accum);
             let mut next_peer = 0;
             let done = advance_consolidation(
-                ctx, id, seg.tile_idx, &mut accum, &mut next_peer, a, b, ws, events, false,
+                ctx, wid, id, seg.tile_idx, &mut accum, &mut next_peer, a, b, ws, events, false,
             )?;
             if !done {
                 ctx.deferrals.fetch_add(1, Ordering::Relaxed);
@@ -1144,6 +1174,83 @@ mod tests {
         let c = CpuExecutor::with_threads(4).gemm::<f64, f64>(&a, &b, &decomp);
         assert_eq!(c.layout(), Layout::ColMajor);
         c.assert_close(&gemm_naive::<f64, f64>(&a, &b), 1e-12);
+    }
+
+    /// End-to-end block-major launches: operands (and therefore C)
+    /// stored natively blocked are bit-exact against the row-major
+    /// run, for the zero-pack bypass kernel, a cache-fed kernel, and
+    /// the Morton variant, across shard configurations.
+    #[test]
+    fn block_major_operands_are_bit_exact_end_to_end() {
+        let shape = GemmShape::new(61, 53, 80);
+        let tile = TileShape::new(16, 16, 8);
+        let decomp = Decomposition::stream_k(shape, tile, 4);
+        let a = Matrix::<f64>::random::<f64>(shape.m, shape.k, Layout::RowMajor, 43);
+        let b = Matrix::<f64>::random::<f64>(shape.k, shape.n, Layout::RowMajor, 44);
+        for kind in [KernelKind::Simd8x32, KernelKind::Packed8x8, KernelKind::Scalar] {
+            let reference =
+                CpuExecutor::with_threads(4).with_kernel(kind).gemm::<f64, f64>(&a, &b, &decomp);
+            for layout in [Layout::BlockMajor, Layout::BlockMajorZ] {
+                let ab = a.to_layout(layout);
+                let bb = b.to_layout(layout);
+                for shards in [1, 4] {
+                    let c = CpuExecutor::with_threads(4)
+                        .with_kernel(kind)
+                        .with_pack_shards(shards)
+                        .gemm::<f64, f64>(&ab, &bb, &decomp);
+                    assert_eq!(c.layout(), layout, "C inherits A's layout");
+                    assert_eq!(
+                        c.max_abs_diff(&reference),
+                        0.0,
+                        "{kind} {layout} shards={shards} diverged from row-major"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Mixed layouts: block-major A against row-major B (the bypass +
+    /// cache split) and the converse, with a row-major C target via
+    /// `gemm_ex`.
+    #[test]
+    fn mixed_layout_operands_are_bit_exact() {
+        let shape = GemmShape::new(48, 56, 40);
+        let tile = TileShape::new(16, 16, 8);
+        let decomp = Decomposition::stream_k(shape, tile, 4);
+        let a = Matrix::<f64>::random::<f64>(shape.m, shape.k, Layout::RowMajor, 45);
+        let b = Matrix::<f64>::random::<f64>(shape.k, shape.n, Layout::RowMajor, 46);
+        let reference = CpuExecutor::with_threads(4).gemm::<f64, f64>(&a, &b, &decomp);
+        let ab = a.to_layout(Layout::BlockMajor);
+        let bb = b.to_layout(Layout::BlockMajor);
+        for (av, bv) in [(ab.view(), b.view()), (a.view(), bb.view())] {
+            let mut c = Matrix::<f64>::zeros(shape.m, shape.n, Layout::RowMajor);
+            CpuExecutor::with_threads(4).gemm_ex(1.0, &av, &bv, 0.0, &mut c, &decomp);
+            assert_eq!(c.max_abs_diff(&reference), 0.0, "mixed layouts diverged");
+        }
+    }
+
+    /// Fault injection with block-major operands: owner-side
+    /// recomputation must rebuild lost/poisoned partials from blocked
+    /// storage bit-exactly.
+    #[test]
+    fn fault_recovery_from_block_major_operands() {
+        let shape = GemmShape::new(32, 32, 256);
+        let tile = TileShape::new(16, 16, 8);
+        let decomp = Decomposition::stream_k(shape, tile, 6);
+        let a = Matrix::<f64>::random::<f64>(shape.m, shape.k, Layout::RowMajor, 47)
+            .to_layout(Layout::BlockMajor);
+        let b = Matrix::<f64>::random::<f64>(shape.k, shape.n, Layout::RowMajor, 48)
+            .to_layout(Layout::BlockMajor);
+        let exec = CpuExecutor::with_threads(6).with_watchdog(Duration::from_millis(200));
+        let baseline = exec.gemm::<f64, f64>(&a, &b, &decomp);
+        let victim = FaultPlan::contributors(&decomp)[0];
+        for fault in [FaultKind::Lose, FaultKind::Poison] {
+            let plan = FaultPlan::single(victim, fault);
+            let (c, report) =
+                exec.gemm_with_faults::<f64, f64>(&a, &b, &decomp, &plan).expect("recovers");
+            assert!(report.recoveries() >= 1, "no recovery under {fault:?}");
+            assert_eq!(c.max_abs_diff(&baseline), 0.0, "{fault:?} recovery diverged");
+        }
     }
 
     #[test]

@@ -92,7 +92,7 @@ impl CpuExecutor {
         // not guarantee.
         let tile_len = tile.blk_m * tile.blk_n;
         let wait_ns = AtomicU64::new(0);
-        self.worker_pool().run(&|_wid, scratch| {
+        self.worker_pool().run(&|wid, scratch| {
             // Per-worker arena from the persistent pool's scratch
             // store, warm across launches; the dispatcher handles each
             // instance's layout (packed kernels normalize it, Blocked
@@ -107,14 +107,14 @@ impl CpuExecutor {
 
                     if !seg.starts_tile {
                         let mut partial = ws.take_partial();
-                        mac_loop_kernel_cached(kind, caches.get(seg.instance), &av, &bv, inst, seg.local_tile, seg.local_begin, seg.local_end, &mut partial, &mut ws.pack);
+                        mac_loop_kernel_cached(kind, caches.get(seg.instance), wid, &av, &bv, inst, seg.local_tile, seg.local_begin, seg.local_end, &mut partial, &mut ws.pack);
                         board
                             .store_and_signal(cta.cta_id, partial)
                             .expect("fault-free grouped schedule");
                         continue;
                     }
                     ws.reset_accum();
-                    mac_loop_kernel_cached(kind, caches.get(seg.instance), &av, &bv, inst, seg.local_tile, seg.local_begin, seg.local_end, &mut ws.accum, &mut ws.pack);
+                    mac_loop_kernel_cached(kind, caches.get(seg.instance), wid, &av, &bv, inst, seg.local_tile, seg.local_begin, seg.local_end, &mut ws.accum, &mut ws.pack);
                     if !seg.ends_tile {
                         for &peer in owner_peers.peers(cta.cta_id) {
                             let t0 = Instant::now();

@@ -71,6 +71,7 @@ pub use serve::{
 };
 pub use microkernel::{
     mac_loop_blocked, mac_loop_cached, mac_loop_kernel, mac_loop_packed, mac_loop_simd, KernelKind,
+    PanelSpan,
     PackBuffers,
 };
 pub use packcache::{mac_loop_kernel_cached, PackCache, PanelGuard};

@@ -364,27 +364,55 @@ fn mac_loop_panels<In, Acc, const MR_: usize, const NR_: usize>(
     }
 }
 
-/// Runs local MAC-loop iterations `[local_begin, local_end)` of
-/// `tile_idx` against *pre-packed full-k panels* — the
-/// [`crate::packcache::PackCache`] fast path. `a_panels` is the
-/// tile's A row-panel (every `MR` sub-panel spanning the problem's
-/// whole k-extent) and `b_panels` its B column-panel; the segment's
-/// k-sub-range is a contiguous slice of each sub-panel because the
-/// panel layout is k-major. No packing happens here — that is the
-/// point.
+/// The k-window geometry of a panel table handed to
+/// [`mac_loop_cached`]: each sub-panel covers `[k0, k0 + k_cap)` of
+/// the problem's k-extent in k-major order.
 ///
-/// Accumulation order is identical to [`mac_loop_packed`], so caching
-/// never changes results.
+/// The grid-shared cache packs full-k panels (`k0 = 0`,
+/// `k_cap = shape.k`); the block-major zero-pack bypass serves the
+/// matrix's own storage (`k0 = 0`, `k_cap` = k padded to the fragment
+/// edge — padding beyond `shape.k` exists but is never read); private
+/// per-segment packs cover exactly the segment's k-range.
+#[derive(Debug, Clone, Copy)]
+pub struct PanelSpan {
+    /// First problem-k index the table covers.
+    pub k0: usize,
+    /// K-steps each sub-panel is strided for.
+    pub k_cap: usize,
+}
+
+impl PanelSpan {
+    /// A full-k table (the pack-cache shape).
+    #[inline]
+    #[must_use]
+    pub fn full(k_total: usize) -> Self {
+        Self { k0: 0, k_cap: k_total }
+    }
+}
+
+/// Runs local MAC-loop iterations `[local_begin, local_end)` of
+/// `tile_idx` against *pre-packed panel tables* — the
+/// [`crate::packcache::PackCache`] / zero-pack-bypass fast path.
+/// `a_panels` is the tile's A row-panel table (every `MR` sub-panel
+/// spanning `a_span`'s k-window) and `b_panels` its B column-panel
+/// table; the segment's k-sub-range is a contiguous slice of each
+/// sub-panel because the panel layout is k-major. No packing happens
+/// here — that is the point.
+///
+/// Accumulation order is identical to [`mac_loop_packed`], so neither
+/// caching nor the bypass ever changes results.
 ///
 /// # Panics
 ///
-/// Panics if `accum` or either panel has the wrong size, or the local
-/// range is out of bounds.
+/// Panics if `accum` or either panel has the wrong size, the local
+/// range is out of bounds, or the segment's k-range leaves a span.
 #[allow(clippy::too_many_arguments)]
 pub fn mac_loop_cached<In, Acc, const MR_: usize, const NR_: usize>(
     level: Option<SimdLevel>,
     a_panels: &[In],
+    a_span: PanelSpan,
     b_panels: &[In],
+    b_span: PanelSpan,
     space: &IterSpace,
     tile_idx: usize,
     local_begin: usize,
@@ -402,17 +430,24 @@ pub fn mac_loop_cached<In, Acc, const MR_: usize, const NR_: usize>(
     }
     let (rows, cols) = space.tile_extents(tile_idx);
     let (m_extent, n_extent) = (rows.len(), cols.len());
-    let k_total = space.shape().k;
     let k_begin = space.k_extents(local_begin).start;
     let k_end = space.k_extents(local_end - 1).end;
     let kc = k_end - k_begin;
+    assert!(
+        a_span.k0 <= k_begin && k_end <= a_span.k0 + a_span.k_cap,
+        "segment k-range [{k_begin},{k_end}) outside A panel span"
+    );
+    assert!(
+        b_span.k0 <= k_begin && k_end <= b_span.k0 + b_span.k_cap,
+        "segment k-range [{k_begin},{k_end}) outside B panel span"
+    );
 
-    // Full-k panels: sub-panel p/q strides cover the whole k-extent;
-    // this segment reads the k-major slice [k_begin, k_end) of each.
-    let a_stride = k_total * MR_;
-    let b_stride = k_total * NR_;
+    let a_stride = a_span.k_cap * MR_;
+    let b_stride = b_span.k_cap * NR_;
     assert_eq!(a_panels.len(), m_extent.div_ceil(MR_) * a_stride, "A panel table size");
     assert_eq!(b_panels.len(), n_extent.div_ceil(NR_) * b_stride, "B panel table size");
+    let (ak0, ak1) = (k_begin - a_span.k0, k_end - a_span.k0);
+    let (bk0, bk1) = (k_begin - b_span.k0, k_end - b_span.k0);
 
     // q-outer / p-inner: the B sub-panel (the operand every k-step
     // loads a fresh vector from) stays hot in L1 across the whole
@@ -420,10 +455,10 @@ pub fn mac_loop_cached<In, Acc, const MR_: usize, const NR_: usize>(
     // stream. Block order does not affect results — each output
     // element's k-accumulation happens inside a single block call.
     for q in 0..n_extent.div_ceil(NR_) {
-        let bpanel = &b_panels[q * b_stride + k_begin * NR_..q * b_stride + k_end * NR_];
+        let bpanel = &b_panels[q * b_stride + bk0 * NR_..q * b_stride + bk1 * NR_];
         let jw = NR_.min(n_extent - q * NR_);
         for p in 0..m_extent.div_ceil(MR_) {
-            let apanel = &a_panels[p * a_stride + k_begin * MR_..p * a_stride + k_end * MR_];
+            let apanel = &a_panels[p * a_stride + ak0 * MR_..p * a_stride + ak1 * MR_];
             let ih = MR_.min(m_extent - p * MR_);
             apply_block::<In, Acc, MR_, NR_>(level, apanel, bpanel, kc, ih, jw, p, q, tile.blk_n, accum);
         }

@@ -46,7 +46,7 @@ impl<'a, Acc: Copy> TileWriter<'a, Acc> {
     /// backing storage in `layout` order; `tiles` is the output-tile
     /// count (for the debug one-writer check).
     pub(crate) fn new(data: &'a mut [Acc], rows: usize, cols: usize, layout: Layout, tiles: usize) -> Self {
-        assert_eq!(data.len(), rows * cols, "backing storage size mismatch");
+        assert_eq!(data.len(), layout.storage_len(rows, cols), "backing storage size mismatch");
         Self {
             ptr: data.as_mut_ptr(),
             rows,
@@ -80,7 +80,7 @@ impl<'a, Acc: Copy> TileWriter<'a, Acc> {
         for (ti, r) in row_range.clone().enumerate() {
             for (tj, c) in col_range.clone().enumerate() {
                 let offset = self.layout.index(r, c, self.rows, self.cols);
-                // SAFETY: offset < rows·cols by the bounds assertions;
+                // SAFETY: offset < the layout's storage length by the bounds assertions;
                 // no other thread writes this element (unique tile
                 // ownership, asserted above); no readers exist while
                 // the exclusive borrow is held.
@@ -179,7 +179,7 @@ impl<Acc: Copy + Default> OwnedTileWriter<Acc> {
     /// A zero-filled `rows × cols` output buffer in `layout` order,
     /// accepting `tiles` tile stores.
     pub(crate) fn new(rows: usize, cols: usize, layout: Layout, tiles: usize) -> Self {
-        let mut data = vec![Acc::default(); rows * cols];
+        let mut data = vec![Acc::default(); layout.storage_len(rows, cols)];
         let ptr = data.as_mut_ptr();
         Self {
             buf: UnsafeCell::new(data),
@@ -214,7 +214,7 @@ impl<Acc: Copy + Default> OwnedTileWriter<Acc> {
         for (ti, r) in row_range.clone().enumerate() {
             for (tj, c) in col_range.clone().enumerate() {
                 let offset = self.layout.index(r, c, self.rows, self.cols);
-                // SAFETY: offset < rows·cols by the bounds assertions;
+                // SAFETY: offset < the layout's storage length by the bounds assertions;
                 // no other thread writes this element (unique tile
                 // ownership, asserted above) and no reader exists
                 // until `take`, which happens-after every store.

@@ -29,16 +29,37 @@
 //! each `MR`/`NR` sub-panel — no per-segment copying at all
 //! ([`mac_loop_cached`]). [`PackCache::packs`] counts actual pack
 //! executions so tests can pin the pack-exactly-once property.
+//!
+//! **Sharding.** A single grid-shared table makes every worker read
+//! panels another core packed, so each panel line ping-pongs between
+//! caches for the whole launch. [`PackCache::sharded`] keeps one slot
+//! table *per worker group*: workers pass their shard (their pool
+//! `wid`) to [`a_panel`](PackCache::a_panel)/
+//! [`b_panel`](PackCache::b_panel) and pack private copies that stay
+//! resident in their own cache hierarchy. The scheduler hands each
+//! worker a contiguous CTA range, so a shard re-packs only the panels
+//! its own tiles touch — duplicated pack work is bounded by the range
+//! seams — and stolen CTAs use the *thief's* shard, keeping reads
+//! local even under imbalance.
+//!
+//! **Zero-pack bypass.** Block-major operands need no packing at all:
+//! a [`Layout::BlockMajor`](streamk_types::Layout) matrix's storage
+//! *is* the packed-A panel table with `MR = FRAG` (and a transposed
+//! block-major view is the packed-B table with `NR = FRAG`), so
+//! [`mac_loop_kernel_cached`] hands the microkernel slices of the
+//! matrix's own storage whenever the kernel's register block and the
+//! tile geometry line up — no cache slot, no copy, no wait.
 
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use std::sync::{RwLock, RwLockReadGuard};
 
 use streamk_core::IterSpace;
 use streamk_matrix::{pack_a_into, pack_b_into, MatrixView, Promote, Scalar};
+use streamk_types::FRAG;
 
 use crate::fixup::WaitPolicy;
 use crate::pad::CachePadded;
-use crate::microkernel::{mac_loop_cached, mac_loop_kernel, KernelKind, PackBuffers};
+use crate::microkernel::{mac_loop_cached, mac_loop_kernel, KernelKind, PackBuffers, PanelSpan};
 use crate::simd::SimdLevel;
 
 const EMPTY: u32 = 0;
@@ -70,13 +91,15 @@ impl<In> std::ops::Deref for PanelGuard<'_, In> {
 }
 
 /// Per-launch shared tables of packed operand panels: one full-k A
-/// row-panel per tile row, one full-k B column-panel per tile column,
-/// each packed exactly once by whichever CTA claims it first.
+/// row-panel per tile row, one full-k B column-panel per tile column
+/// *per shard*, each packed exactly once per shard by whichever CTA
+/// claims it first.
 #[derive(Debug)]
 pub struct PackCache<In> {
     space: IterSpace,
     mr: usize,
     nr: usize,
+    shards: usize,
     a: Vec<CachePadded<PanelSlot<In>>>,
     b: Vec<CachePadded<PanelSlot<In>>>,
     policy: WaitPolicy,
@@ -85,33 +108,74 @@ pub struct PackCache<In> {
 }
 
 impl<In: Copy + Default> PackCache<In> {
-    /// A cache for `space` with register block `(mr, nr)`; waiters on
-    /// an in-flight pack follow `policy`'s backoff ladder and give up
-    /// (falling back to private packing) at its watchdog.
+    /// A single-shard (grid-shared) cache for `space` with register
+    /// block `(mr, nr)`; waiters on an in-flight pack follow
+    /// `policy`'s backoff ladder and give up (falling back to private
+    /// packing) at its watchdog.
     ///
     /// # Panics
     ///
     /// Panics if `mr` or `nr` is zero.
     #[must_use]
     pub fn new(space: &IterSpace, mr: usize, nr: usize, policy: WaitPolicy) -> Self {
+        Self::sharded(space, mr, nr, policy, 1)
+    }
+
+    /// A cache with `shards` independent slot tables. Workers address
+    /// their own shard (normally their pool `wid`), so published
+    /// panels stay resident in the packer's cache hierarchy instead of
+    /// ping-ponging between cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mr`, `nr`, or `shards` is zero.
+    #[must_use]
+    pub fn sharded(
+        space: &IterSpace,
+        mr: usize,
+        nr: usize,
+        policy: WaitPolicy,
+        shards: usize,
+    ) -> Self {
         assert!(mr > 0 && nr > 0, "register block must be positive");
+        assert!(shards > 0, "cache needs at least one shard");
         Self {
             space: space.clone(),
             mr,
             nr,
-            a: (0..space.tiles_m()).map(|_| CachePadded::new(PanelSlot::new())).collect(),
-            b: (0..space.tiles_n()).map(|_| CachePadded::new(PanelSlot::new())).collect(),
+            shards,
+            a: (0..shards * space.tiles_m()).map(|_| CachePadded::new(PanelSlot::new())).collect(),
+            b: (0..shards * space.tiles_n()).map(|_| CachePadded::new(PanelSlot::new())).collect(),
             policy,
             packs: AtomicUsize::new(0),
             fallbacks: AtomicUsize::new(0),
         }
     }
 
-    /// A cache serving `kind`'s register block, or `None` for kernels
-    /// that do not consume packed panels (scalar / blocked).
+    /// A single-shard cache serving `kind`'s register block, or `None`
+    /// for kernels that do not consume packed panels (scalar /
+    /// blocked).
     #[must_use]
     pub fn for_kernel(space: &IterSpace, kind: KernelKind, policy: WaitPolicy) -> Option<Self> {
-        kind.register_block().map(|(mr, nr)| Self::new(space, mr, nr, policy))
+        Self::for_kernel_sharded(space, kind, policy, 1)
+    }
+
+    /// A `shards`-way cache serving `kind`'s register block; as
+    /// [`for_kernel`](Self::for_kernel).
+    #[must_use]
+    pub fn for_kernel_sharded(
+        space: &IterSpace,
+        kind: KernelKind,
+        policy: WaitPolicy,
+        shards: usize,
+    ) -> Option<Self> {
+        kind.register_block().map(|(mr, nr)| Self::sharded(space, mr, nr, policy, shards))
+    }
+
+    /// Number of independent slot tables.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards
     }
 
     /// The register block this cache packs for.
@@ -120,9 +184,11 @@ impl<In: Copy + Default> PackCache<In> {
         (self.mr, self.nr)
     }
 
-    /// Number of panels actually packed so far (A and B combined).
-    /// After a launch that used the cache for every segment this
-    /// equals [`panels`](Self::panels) — each packed exactly once.
+    /// Number of panels actually packed so far (A and B combined,
+    /// across all shards). A single-shard launch that used the cache
+    /// for every segment packs exactly [`panels`](Self::panels); a
+    /// sharded launch packs each panel at most once *per shard that
+    /// touched it*.
     #[must_use]
     pub fn packs(&self) -> usize {
         self.packs.load(Ordering::Relaxed)
@@ -135,31 +201,46 @@ impl<In: Copy + Default> PackCache<In> {
         self.fallbacks.load(Ordering::Relaxed)
     }
 
-    /// Total panels this cache manages: `tiles_m + tiles_n`.
+    /// Total slots this cache manages:
+    /// `shards · (tiles_m + tiles_n)`.
     #[must_use]
     pub fn panels(&self) -> usize {
         self.a.len() + self.b.len()
     }
 
-    /// The A row-panel for tile row `tm`, packing it first if this
-    /// caller wins the claim. `None` when a competing packer stalled
-    /// past the watchdog — the caller must pack privately.
-    pub fn a_panel<'c>(&'c self, a: &MatrixView<'_, In>, tm: usize) -> Option<PanelGuard<'c, In>> {
+    /// The A row-panel for tile row `tm` in `shard`'s table, packing
+    /// it first if this caller wins the claim. `shard` wraps modulo
+    /// [`shards`](Self::shards) so callers can pass a raw worker id.
+    /// `None` when a competing packer stalled past the watchdog — the
+    /// caller must pack privately.
+    pub fn a_panel<'c>(
+        &'c self,
+        a: &MatrixView<'_, In>,
+        tm: usize,
+        shard: usize,
+    ) -> Option<PanelGuard<'c, In>> {
         let shape = self.space.shape();
         let blk_m = self.space.tile().blk_m;
         let rows = tm * blk_m..shape.m.min((tm + 1) * blk_m);
         let mr = self.mr;
-        self.fetch(&self.a[tm], tm as u32, 0, |out| pack_a_into(a, rows, 0..shape.k, mr, out))
+        let slot = &self.a[(shard % self.shards) * self.space.tiles_m() + tm];
+        self.fetch(slot, tm as u32, 0, |out| pack_a_into(a, rows, 0..shape.k, mr, out))
     }
 
-    /// The B column-panel for tile column `tn`; as
+    /// The B column-panel for tile column `tn` in `shard`'s table; as
     /// [`a_panel`](Self::a_panel).
-    pub fn b_panel<'c>(&'c self, b: &MatrixView<'_, In>, tn: usize) -> Option<PanelGuard<'c, In>> {
+    pub fn b_panel<'c>(
+        &'c self,
+        b: &MatrixView<'_, In>,
+        tn: usize,
+        shard: usize,
+    ) -> Option<PanelGuard<'c, In>> {
         let shape = self.space.shape();
         let blk_n = self.space.tile().blk_n;
         let cols = tn * blk_n..shape.n.min((tn + 1) * blk_n);
         let nr = self.nr;
-        self.fetch(&self.b[tn], tn as u32, 1, |out| pack_b_into(b, 0..shape.k, cols, nr, out))
+        let slot = &self.b[(shard % self.shards) * self.space.tiles_n() + tn];
+        self.fetch(slot, tn as u32, 1, |out| pack_b_into(b, 0..shape.k, cols, nr, out))
     }
 
     /// The claim/publish core shared by both operand tables. `tag` and
@@ -210,17 +291,49 @@ impl<In: Copy + Default> PackCache<In> {
     }
 }
 
-/// [`mac_loop_kernel`] with the packed panels served from `cache`
-/// when possible. The one cached dispatch point behind the executors:
+/// The slice of a full-matrix block-major panel table covering one
+/// output tile's sub-panels, plus its k-window. Returns `None` unless
+/// the tile grid lands on fragment boundaries (`blk % FRAG == 0`), so
+/// a tile's sub-panels are a contiguous run of the matrix's fragment
+/// row-panels.
+fn bypass_slice<In>(
+    table: &[In],
+    k_pad: usize,
+    tile_origin: usize,
+    extent: usize,
+    blk: usize,
+) -> Option<(&[In], PanelSpan)> {
+    if !blk.is_multiple_of(FRAG) {
+        return None;
+    }
+    let stride = k_pad * FRAG;
+    let p0 = tile_origin * blk / FRAG;
+    let count = extent.div_ceil(FRAG);
+    Some((&table[p0 * stride..(p0 + count) * stride], PanelSpan { k0: 0, k_cap: k_pad }))
+}
+
+/// [`mac_loop_kernel`] with packed panels served zero-copy from
+/// block-major operand storage or from `cache` when possible. The one
+/// cached dispatch point behind the executors:
 ///
-/// - kernels that do not consume panels (scalar / blocked), a `None`
-///   cache, a register-block mismatch, or a watchdog-expired panel
-///   wait all fall back to [`mac_loop_kernel`]'s private-pack path;
-/// - otherwise the segment runs [`mac_loop_cached`] over the shared
-///   full-k panels, packing nothing.
+/// - **Zero-pack bypass**: an untransposed full-matrix `BlockMajor` A
+///   view whose storage is consumable by an `MR == FRAG` kernel (and
+///   likewise a transposed block-major B view for `NR == FRAG`
+///   kernels) is handed to the microkernel as slices of its own
+///   storage — nothing is packed and the cache is not touched for
+///   that operand;
+/// - operands the bypass cannot serve come from `cache`'s `shard`
+///   table (packed once per shard);
+/// - when only **one** operand found a table, the other is packed
+///   privately for just the segment's k-range — so e.g. a block-major
+///   A still skips all A packing even with no cache at all;
+/// - kernels that do not consume panels (scalar / blocked), or a
+///   launch where *neither* operand has a table (no bypass and a
+///   `None`/mismatched cache or watchdog-expired wait), fall back to
+///   [`mac_loop_kernel`]'s private-pack path.
 ///
-/// Either way the accumulation order is identical, so the result is
-/// bit-exact with the uncached pipeline.
+/// Every path feeds the microkernel the same ascending-k operand
+/// sequence, so the result is bit-exact with the uncached pipeline.
 ///
 /// # Panics
 ///
@@ -229,6 +342,7 @@ impl<In: Copy + Default> PackCache<In> {
 pub fn mac_loop_kernel_cached<In, Acc>(
     kind: KernelKind,
     cache: Option<&PackCache<In>>,
+    shard: usize,
     a: &MatrixView<'_, In>,
     b: &MatrixView<'_, In>,
     space: &IterSpace,
@@ -244,39 +358,82 @@ pub fn mac_loop_kernel_cached<In, Acc>(
     let fallback = |accum: &mut [Acc], bufs: &mut PackBuffers<In>| {
         mac_loop_kernel(kind, a, b, space, tile_idx, local_begin, local_end, accum, bufs);
     };
-    let (Some(cache), Some(block)) = (cache, kind.register_block()) else {
+    let Some((mr, nr)) = kind.register_block() else {
         return fallback(accum, bufs);
     };
-    if block != cache.register_block() {
+    if local_begin >= local_end {
+        return;
+    }
+    let tile = space.tile();
+    let (tm, tn) = space.tile_coords(tile_idx);
+    let (rows, cols) = space.tile_extents(tile_idx);
+
+    // Zero-pack bypass: block-major storage already *is* the panel
+    // table (see `pack.rs`'s pinning tests), so slice it directly.
+    let a_direct = (mr == FRAG)
+        .then(|| a.block_panels())
+        .flatten()
+        .and_then(|(t, k_pad)| bypass_slice(t, k_pad, tm, rows.len(), tile.blk_m));
+    let b_direct = (nr == FRAG)
+        .then(|| b.t_block_panels())
+        .flatten()
+        .and_then(|(t, k_pad)| bypass_slice(t, k_pad, tn, cols.len(), tile.blk_n));
+
+    // The cache covers whatever the bypass could not.
+    let cache = cache.filter(|c| c.register_block() == (mr, nr));
+    let a_guard =
+        if a_direct.is_none() { cache.and_then(|c| c.a_panel(a, tm, shard)) } else { None };
+    let b_guard =
+        if b_direct.is_none() { cache.and_then(|c| c.b_panel(b, tn, shard)) } else { None };
+    if a_direct.is_none() && a_guard.is_none() && b_direct.is_none() && b_guard.is_none() {
         return fallback(accum, bufs);
     }
-    let (tm, tn) = space.tile_coords(tile_idx);
-    let (Some(ap), Some(bp)) = (cache.a_panel(a, tm), cache.b_panel(b, tn)) else {
-        return fallback(accum, bufs);
+
+    let k_total = space.shape().k;
+    let k_begin = space.k_extents(local_begin).start;
+    let k_end = space.k_extents(local_end - 1).end;
+    let seg_span = PanelSpan { k0: k_begin, k_cap: k_end - k_begin };
+
+    // Resolve each operand to (slice, span); an operand with neither
+    // bypass nor cache is packed privately for just this segment.
+    let (a_slice, a_span): (&[In], PanelSpan) = if let Some(direct) = a_direct {
+        direct
+    } else if let Some(g) = a_guard.as_deref() {
+        (g, PanelSpan::full(k_total))
+    } else {
+        let t0 = crate::trace::start();
+        pack_a_into(a, rows, k_begin..k_end, mr, &mut bufs.a);
+        crate::trace::finish(crate::trace::SpanKind::PackPrivate, t0, tile_idx as u32, (k_end - k_begin) as u32);
+        (&bufs.a, seg_span)
     };
+    let (b_slice, b_span): (&[In], PanelSpan) = if let Some(direct) = b_direct {
+        direct
+    } else if let Some(g) = b_guard.as_deref() {
+        (g, PanelSpan::full(k_total))
+    } else {
+        let t0 = crate::trace::start();
+        pack_b_into(b, k_begin..k_end, cols, nr, &mut bufs.b);
+        crate::trace::finish(crate::trace::SpanKind::PackPrivate, t0, tile_idx as u32, (k_end - k_begin) as u32);
+        (&bufs.b, seg_span)
+    };
+
     let level = kind.is_simd().then(SimdLevel::detect);
+    macro_rules! run {
+        ($mr:literal, $nr:literal) => {
+            mac_loop_cached::<In, Acc, $mr, $nr>(
+                level, a_slice, a_span, b_slice, b_span, space, tile_idx, local_begin, local_end,
+                accum,
+            )
+        };
+    }
     match kind {
-        KernelKind::Packed4x4 => {
-            mac_loop_cached::<In, Acc, 4, 4>(level, &ap, &bp, space, tile_idx, local_begin, local_end, accum);
-        }
-        KernelKind::Packed8x4 => {
-            mac_loop_cached::<In, Acc, 8, 4>(level, &ap, &bp, space, tile_idx, local_begin, local_end, accum);
-        }
-        KernelKind::Packed4x8 => {
-            mac_loop_cached::<In, Acc, 4, 8>(level, &ap, &bp, space, tile_idx, local_begin, local_end, accum);
-        }
-        KernelKind::Packed8x8 => {
-            mac_loop_cached::<In, Acc, 8, 8>(level, &ap, &bp, space, tile_idx, local_begin, local_end, accum);
-        }
-        KernelKind::Simd4x16 => {
-            mac_loop_cached::<In, Acc, 4, 16>(level, &ap, &bp, space, tile_idx, local_begin, local_end, accum);
-        }
-        KernelKind::Simd8x16 => {
-            mac_loop_cached::<In, Acc, 8, 16>(level, &ap, &bp, space, tile_idx, local_begin, local_end, accum);
-        }
-        KernelKind::Simd8x32 => {
-            mac_loop_cached::<In, Acc, 8, 32>(level, &ap, &bp, space, tile_idx, local_begin, local_end, accum);
-        }
+        KernelKind::Packed4x4 => run!(4, 4),
+        KernelKind::Packed8x4 => run!(8, 4),
+        KernelKind::Packed4x8 => run!(4, 8),
+        KernelKind::Packed8x8 => run!(8, 8),
+        KernelKind::Simd4x16 => run!(4, 16),
+        KernelKind::Simd8x16 => run!(8, 16),
+        KernelKind::Simd8x32 => run!(8, 32),
         // register_block() returned Some above, so Scalar/Blocked
         // cannot reach here.
         KernelKind::Scalar | KernelKind::Blocked => unreachable!("non-panel kernels fall back"),
@@ -304,20 +461,20 @@ mod tests {
 
         let mut private = Vec::new();
         for tm in 0..space.tiles_m() {
-            let panel = cache.a_panel(&a.view(), tm).expect("no contention");
+            let panel = cache.a_panel(&a.view(), tm, 0).expect("no contention");
             let rows = tm * 16..space.shape().m.min((tm + 1) * 16);
             pack_a_into(&a.view(), rows, 0..space.shape().k, 8, &mut private);
             assert_eq!(&*panel, &private[..], "A panel {tm}");
         }
         for tn in 0..space.tiles_n() {
-            let panel = cache.b_panel(&b.view(), tn).expect("no contention");
+            let panel = cache.b_panel(&b.view(), tn, 0).expect("no contention");
             let cols = tn * 16..space.shape().n.min((tn + 1) * 16);
             pack_b_into(&b.view(), 0..space.shape().k, cols, 4, &mut private);
             assert_eq!(&*panel, &private[..], "B panel {tn}");
         }
         // Re-fetching everything packs nothing new.
         for tm in 0..space.tiles_m() {
-            let _ = cache.a_panel(&a.view(), tm).unwrap();
+            let _ = cache.a_panel(&a.view(), tm, 0).unwrap();
         }
         assert_eq!(cache.packs(), cache.panels(), "each panel packed exactly once");
         assert_eq!(cache.fallbacks(), 0);
@@ -340,6 +497,7 @@ mod tests {
                     mac_loop_kernel_cached(
                         kind,
                         cache.as_ref(),
+                        0,
                         &a.view(),
                         &b.view(),
                         &space,
@@ -368,6 +526,7 @@ mod tests {
         mac_loop_kernel_cached(
             KernelKind::Packed8x4,
             Some(&cache),
+            0,
             &a.view(),
             &b.view(),
             &space,
@@ -390,7 +549,148 @@ mod tests {
         // Simulate a packer that claimed the slot and died: the flag
         // sticks at PACKING forever.
         cache.a[0].state.store(PACKING, Ordering::Release);
-        assert!(cache.a_panel(&a.view(), 0).is_none(), "watchdog must give up");
+        assert!(cache.a_panel(&a.view(), 0, 0).is_none(), "watchdog must give up");
         assert_eq!(cache.fallbacks(), 1);
+    }
+
+    /// Shards are independent slot tables: the same panel fetched
+    /// through two shards is packed twice, identically, and a stalled
+    /// packer in one shard does not poison the other.
+    #[test]
+    fn shards_pack_independently() {
+        use std::time::Duration;
+        let (space, a, _) = fixture(GemmShape::new(40, 16, 24), TileShape::new(16, 16, 8));
+        let cache = PackCache::sharded(
+            &space,
+            8,
+            4,
+            WaitPolicy::with_watchdog(Duration::from_millis(20)),
+            3,
+        );
+        assert_eq!(cache.shards(), 3);
+        assert_eq!(cache.panels(), 3 * (space.tiles_m() + space.tiles_n()));
+        let p0 = cache.a_panel(&a.view(), 1, 0).unwrap().to_vec();
+        let p2 = cache.a_panel(&a.view(), 1, 2).unwrap().to_vec();
+        assert_eq!(p0, p2, "shards must publish identical panels");
+        assert_eq!(cache.packs(), 2, "one pack per shard touched");
+        // Shard ids wrap, so a raw worker id past the shard count
+        // lands on an existing (already-packed) table.
+        let _ = cache.a_panel(&a.view(), 1, 3).unwrap();
+        assert_eq!(cache.packs(), 2, "shard 3 wraps onto shard 0's slot");
+        // Poison shard 1's slot: shard 0 stays readable.
+        cache.a[space.tiles_m() + 1].state.store(PACKING, Ordering::Release);
+        assert!(cache.a_panel(&a.view(), 1, 1).is_none(), "stuck shard gives up");
+        assert!(cache.a_panel(&a.view(), 1, 0).is_some(), "other shards unaffected");
+    }
+
+    /// Block-major operands take the zero-pack bypass: bit-exact with
+    /// the private-pack pipeline while the cache packs nothing for the
+    /// bypassed operand.
+    #[test]
+    fn block_major_bypass_is_bit_exact_and_packs_nothing_for_a() {
+        let shape = GemmShape::new(37, 29, 53);
+        let tile = TileShape::new(16, 16, 8);
+        let (space, a, b) = fixture(shape, tile);
+        let a_blk = a.to_layout(Layout::BlockMajor);
+        let len = tile.blk_m * tile.blk_n;
+        let mut bufs = PackBuffers::new();
+        for kind in [KernelKind::Packed8x4, KernelKind::Packed8x8, KernelKind::Simd8x16, KernelKind::Simd8x32] {
+            let cache = PackCache::for_kernel(&space, kind, WaitPolicy::default()).unwrap();
+            for tile_idx in 0..space.tiles() {
+                for (lb, le) in [(0, space.iters_per_tile()), (1, space.iters_per_tile()), (0, 1)] {
+                    let mut expect = vec![0.0f64; len];
+                    mac_loop_kernel(kind, &a.view(), &b.view(), &space, tile_idx, lb, le, &mut expect, &mut bufs);
+                    let mut got = vec![0.0f64; len];
+                    mac_loop_kernel_cached(
+                        kind, Some(&cache), 0, &a_blk.view(), &b.view(), &space, tile_idx, lb,
+                        le, &mut got, &mut bufs,
+                    );
+                    assert_eq!(got, expect, "{kind} tile {tile_idx} [{lb},{le})");
+                }
+            }
+            // Only B column-panels were ever packed: A came straight
+            // from block-major storage.
+            assert_eq!(cache.packs(), space.tiles_n(), "{kind}: A must bypass the cache");
+        }
+    }
+
+    /// The bypass also works with *no cache at all* (the serve path):
+    /// block-major A is consumed zero-copy and B is packed privately
+    /// per segment — still bit-exact.
+    #[test]
+    fn bypass_without_cache_is_bit_exact() {
+        let shape = GemmShape::new(24, 24, 21);
+        let tile = TileShape::new(16, 16, 8);
+        let (space, a, b) = fixture(shape, tile);
+        let a_blk = a.to_layout(Layout::BlockMajor);
+        let len = tile.blk_m * tile.blk_n;
+        let mut bufs = PackBuffers::new();
+        for kind in [KernelKind::Packed8x8, KernelKind::Simd8x32] {
+            for tile_idx in 0..space.tiles() {
+                let mut expect = vec![0.0f64; len];
+                mac_loop_kernel(kind, &a.view(), &b.view(), &space, tile_idx, 0, space.iters_per_tile(), &mut expect, &mut bufs);
+                let mut got = vec![0.0f64; len];
+                mac_loop_kernel_cached(
+                    kind, None, 0, &a_blk.view(), &b.view(), &space, tile_idx, 0,
+                    space.iters_per_tile(), &mut got, &mut bufs,
+                );
+                assert_eq!(got, expect, "{kind} tile {tile_idx}");
+            }
+        }
+    }
+
+    /// B-side bypass: an `NR == FRAG` kernel consuming a transposed
+    /// block-major B view reads the packed-B table zero-copy.
+    #[test]
+    fn transposed_block_major_b_bypasses_for_nr8_kernels() {
+        let shape = GemmShape::new(32, 29, 24);
+        let tile = TileShape::new(16, 16, 8);
+        let (space, a, b) = fixture(shape, tile);
+        // Store Bᵀ block-major; its transposed view is logically B.
+        let bt_blk = b.transposed().to_layout(Layout::BlockMajor);
+        let kind = KernelKind::Packed8x8;
+        let cache = PackCache::for_kernel(&space, kind, WaitPolicy::default()).unwrap();
+        let len = tile.blk_m * tile.blk_n;
+        let mut bufs = PackBuffers::new();
+        for tile_idx in 0..space.tiles() {
+            let mut expect = vec![0.0f64; len];
+            mac_loop_kernel(kind, &a.view(), &b.view(), &space, tile_idx, 0, space.iters_per_tile(), &mut expect, &mut bufs);
+            let mut got = vec![0.0f64; len];
+            mac_loop_kernel_cached(
+                kind, Some(&cache), 0, &a.view(), &bt_blk.view().t(), &space, tile_idx, 0,
+                space.iters_per_tile(), &mut got, &mut bufs,
+            );
+            assert_eq!(got, expect, "tile {tile_idx}");
+        }
+        assert_eq!(cache.packs(), space.tiles_m(), "B must bypass the cache");
+    }
+
+    /// A ragged tile grid (`blk_m % FRAG != 0`) must refuse the bypass
+    /// and still produce exact results through the cache/generic path.
+    #[test]
+    fn ragged_tile_grid_declines_bypass_but_stays_exact() {
+        let shape = GemmShape::new(24, 24, 16);
+        let tile = TileShape::new(12, 12, 8);
+        let space = IterSpace::new(shape, tile);
+        let a = Matrix::<f64>::random::<f64>(shape.m, shape.k, Layout::RowMajor, 3);
+        let b = Matrix::<f64>::random::<f64>(shape.k, shape.n, Layout::RowMajor, 4);
+        let a_blk = a.to_layout(Layout::BlockMajor);
+        let kind = KernelKind::Packed8x8;
+        let cache = PackCache::for_kernel(&space, kind, WaitPolicy::default()).unwrap();
+        let len = tile.blk_m * tile.blk_n;
+        let mut bufs = PackBuffers::new();
+        for tile_idx in 0..space.tiles() {
+            let mut expect = vec![0.0f64; len];
+            mac_loop_kernel(kind, &a.view(), &b.view(), &space, tile_idx, 0, space.iters_per_tile(), &mut expect, &mut bufs);
+            let mut got = vec![0.0f64; len];
+            mac_loop_kernel_cached(
+                kind, Some(&cache), 0, &a_blk.view(), &b.view(), &space, tile_idx, 0,
+                space.iters_per_tile(), &mut got, &mut bufs,
+            );
+            assert_eq!(got, expect, "tile {tile_idx}");
+        }
+        // Bypass declined: A panels flow through the cache (packed
+        // from the blocked view via the generic path).
+        assert_eq!(cache.packs(), space.tiles_m() + space.tiles_n());
     }
 }

@@ -870,7 +870,7 @@ where
         }
         if !seg.starts_tile {
             let mut partial = ws.take_partial();
-            mac_loop_kernel_cached(kind, None, &av, &bv, space, seg.tile_idx, seg.local_begin, seg.local_end, &mut partial, &mut ws.pack);
+            mac_loop_kernel_cached(kind, None, 0, &av, &bv, space, seg.tile_idx, seg.local_begin, seg.local_end, &mut partial, &mut ws.pack);
             match cell.cta_faults.fault_for(cta.cta_id) {
                 None => cell.board.store_and_signal(cta.cta_id, partial).map_err(ExecutorError::Fixup)?,
                 Some(FaultKind::Straggle(delay)) => {
@@ -887,7 +887,7 @@ where
         }
 
         let mut accum = ws.take_partial();
-        mac_loop_kernel_cached(kind, None, &av, &bv, space, seg.tile_idx, seg.local_begin, seg.local_end, &mut accum, &mut ws.pack);
+        mac_loop_kernel_cached(kind, None, 0, &av, &bv, space, seg.tile_idx, seg.local_begin, seg.local_end, &mut accum, &mut ws.pack);
         if !seg.ends_tile {
             let mut next_peer = 0;
             match advance_consolidation(shared, cell, id, seg.tile_idx, &mut accum, &mut next_peer, ws, false)? {
@@ -1018,6 +1018,7 @@ where
     mac_loop_kernel_cached(
         shared.kernel,
         None,
+        0,
         &cell.a.view(),
         &cell.b.view(),
         space,

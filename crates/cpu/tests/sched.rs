@@ -90,6 +90,78 @@ proptest! {
         prop_assert!(baseline.is_some(), "at least one worker count must be admissible");
     }
 
+    /// The layout matrix: worker count × operand layout × pack-cache
+    /// mode must never change a single output bit. `RowMajor` operands
+    /// exercise the private-pack and shared-cache paths; `BlockMajor`
+    /// exercises the zero-pack bypass (cache on or off — the bypass
+    /// engages either way for the default kernel's `MR == FRAG` A
+    /// side); `BlockMajorZ` exercises the Morton fragment swizzle
+    /// through the generic paths.
+    #[test]
+    fn output_is_bit_exact_across_layout_matrix(
+        shape in shapes(),
+        strategy in strategies(),
+    ) {
+        let decomp = Decomposition::from_strategy(shape, TILE, strategy);
+        let floor = residency_floor(&decomp);
+        let (a, b) = operands(shape, 11);
+        let mut baseline: Option<Matrix<f64>> = None;
+        for threads in [1, 2, 4, 8] {
+            if threads < floor {
+                continue;
+            }
+            for layout in [Layout::RowMajor, Layout::BlockMajor, Layout::BlockMajorZ] {
+                let (al, bl) = (a.to_layout(layout), b.to_layout(layout));
+                for cache in [true, false] {
+                    let exec = CpuExecutor::with_threads(threads).with_pack_cache(cache);
+                    let c = exec.gemm::<f64, f64>(&al, &bl, &decomp);
+                    match &baseline {
+                        None => {
+                            c.assert_close(&gemm_naive::<f64, f64>(&a, &b), 1e-10);
+                            baseline = Some(c.to_layout(Layout::RowMajor));
+                        }
+                        Some(base) => prop_assert_eq!(
+                            c.to_layout(Layout::RowMajor).max_abs_diff(base),
+                            0.0,
+                            "threads={} layout={} cache={} diverged ({:?})",
+                            threads, layout, cache, strategy
+                        ),
+                    }
+                }
+            }
+        }
+        prop_assert!(baseline.is_some(), "at least one worker count must be admissible");
+    }
+
+    /// Fault recovery from block-major operands: the owner's
+    /// recomputation path must rebuild a lost or poisoned peer's
+    /// contribution from blocked storage (through the bypass or the
+    /// generic view path) bit-exactly.
+    #[test]
+    fn single_fault_recovery_from_block_major_operands(
+        shape in shapes(),
+        grid in 3usize..8,
+        victim_idx in 0usize..64,
+        poison in 0usize..2,
+    ) {
+        let decomp = Decomposition::stream_k(shape, TILE, grid);
+        let contributors = FaultPlan::contributors(&decomp);
+        if contributors.is_empty() {
+            return Ok(());
+        }
+        let victim = contributors[victim_idx % contributors.len()];
+        let kind = if poison == 1 { FaultKind::Poison } else { FaultKind::Lose };
+        let (a, b) = operands(shape, 13);
+        let (a, b) = (a.to_layout(Layout::BlockMajor), b.to_layout(Layout::BlockMajor));
+        let exec = CpuExecutor::with_threads(8).with_watchdog(Duration::from_millis(150));
+        let baseline = exec.gemm::<f64, f64>(&a, &b, &decomp);
+        let (c, report) = exec
+            .gemm_with_faults::<f64, f64>(&a, &b, &decomp, &FaultPlan::single(victim, kind))
+            .expect("recovery must mask the fault");
+        prop_assert_eq!(report.recoveries(), 1, "{:?}", report);
+        prop_assert_eq!(c.max_abs_diff(&baseline), 0.0);
+    }
+
     /// Fault recovery composes with cooperative deferral: losing or
     /// poisoning any single contributor still yields output
     /// bit-identical to the fault-free run.

@@ -94,7 +94,7 @@ proptest! {
 
             let cache = PackCache::for_kernel(&space, kind, WaitPolicy::default());
             let mut cached = vec![0.0f64; len];
-            mac_loop_kernel_cached(kind, cache.as_ref(), &a.view(), &b.view(), &space, tile_idx, lo, hi, &mut cached, &mut bufs);
+            mac_loop_kernel_cached(kind, cache.as_ref(), 0, &a.view(), &b.view(), &space, tile_idx, lo, hi, &mut cached, &mut bufs);
             prop_assert!(cached == reference, "{kind} cached diverged on {shape} {tile} tile {tile_idx} [{lo},{hi})");
         }
     }
@@ -128,7 +128,7 @@ proptest! {
 
             let cache = PackCache::for_kernel(&space, kind, WaitPolicy::default());
             let mut cached = vec![0.0f32; len];
-            mac_loop_kernel_cached(kind, cache.as_ref(), &a.view(), &b.view(), &space, tile_idx, 0, ipt, &mut cached, &mut bufs);
+            mac_loop_kernel_cached(kind, cache.as_ref(), 0, &a.view(), &b.view(), &space, tile_idx, 0, ipt, &mut cached, &mut bufs);
             prop_assert!(cached == reference, "{kind} f32 cached diverged on {shape} {tile} tile {tile_idx}");
         }
     }
@@ -224,12 +224,12 @@ fn pack_cache_packs_each_panel_exactly_once_under_contention() {
                 for round in 0..4 {
                     for step in 0..space.tiles_m() {
                         let tm = (peer + round + step) % space.tiles_m();
-                        let panel = cache.a_panel(&a.view(), tm).expect("no fallback expected");
+                        let panel = cache.a_panel(&a.view(), tm, 0).expect("no fallback expected");
                         assert_eq!(&*panel, &expect_a[tm][..], "A panel {tm} seen by peer {peer}");
                     }
                     for step in 0..space.tiles_n() {
                         let tn = (peer + round + step) % space.tiles_n();
-                        let panel = cache.b_panel(&b.view(), tn).expect("no fallback expected");
+                        let panel = cache.b_panel(&b.view(), tn, 0).expect("no fallback expected");
                         assert_eq!(&*panel, &expect_b[tn][..], "B panel {tn} seen by peer {peer}");
                     }
                 }
