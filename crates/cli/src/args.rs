@@ -128,6 +128,25 @@ pub enum Command {
         /// Output path for the JSON report.
         out: String,
     },
+    /// Adaptive-selector replay benchmark: cold / warm / distilled
+    /// regret vs a measured oracle, spliced into `BENCH_cpu.json`.
+    SelectBench {
+        /// Corpus shapes replayed (in addition to the fixed anchors).
+        shapes: usize,
+        /// Adaptation rounds between the cold and warm passes.
+        rounds: usize,
+        /// Timing repetitions per oracle cell; medians are reported.
+        reps: usize,
+        /// Executor worker threads.
+        threads: usize,
+        /// Cut the replay down for CI smoke runs.
+        smoke: bool,
+        /// Selector cache file (persisted across invocations).
+        cache: String,
+        /// Report path; an existing `BENCH_cpu.json` gains a
+        /// `selection_adaptive` section, anything else is created.
+        out: String,
+    },
     /// Traced executor run + matching simulation: merged Chrome
     /// trace, phase breakdown, and model-vs-measured residuals.
     Profile {
@@ -173,6 +192,7 @@ USAGE:
   streamk chaos    <m> <n> <k> [--tile MxNxK] [--seeds N] [--threads T] [--watchdog-ms MS] [--serve]
   streamk bench    [--size N] [--tile MxNxK] [--corpus C] [--reps R] [--layout L] [--out FILE] [--smoke]
   streamk serve-bench [--threads T] [--requests N] [--window W] [--capacity C] [--watchdog-ms MS] [--out FILE] [--smoke]
+  streamk select-bench [--shapes N] [--rounds R] [--reps P] [--threads T] [--cache FILE] [--out FILE] [--smoke]
   streamk profile  <m> <n> <k> [--tile MxNxK] [--threads T] [--strategy S] [--layout L] [--out FILE] [--svg FILE]
   streamk svg      <m> <n> <k> --out FILE [--tile MxNxK] [--sms P] [--strategy S]
   streamk help
@@ -386,6 +406,27 @@ impl Cli {
                     })?,
                     smoke,
                     out: get_flag(&flags, "out").unwrap_or("BENCH_serve.json").to_string(),
+                }
+            }
+            "select-bench" => {
+                let flags = split_flags(rest)?;
+                let parse_usize = |name: &str, default: usize, flags: &Flags<'_>| {
+                    get_flag(flags, name).map_or(Ok(default), |v| {
+                        v.parse::<usize>()
+                            .ok()
+                            .filter(|&x| x > 0)
+                            .ok_or_else(|| ParseError(format!("--{name} expects a positive integer, got '{v}'")))
+                    })
+                };
+                let smoke = get_flag(&flags, "smoke") == Some("true");
+                Command::SelectBench {
+                    shapes: parse_usize("shapes", if smoke { 2 } else { 8 }, &flags)?,
+                    rounds: parse_usize("rounds", if smoke { 2 } else { 4 }, &flags)?,
+                    reps: parse_usize("reps", if smoke { 2 } else { 3 }, &flags)?,
+                    threads: parse_usize("threads", 4, &flags)?,
+                    smoke,
+                    cache: get_flag(&flags, "cache").unwrap_or("SELECT_cache").to_string(),
+                    out: get_flag(&flags, "out").unwrap_or("BENCH_cpu.json").to_string(),
                 }
             }
             "bench" => {
@@ -633,6 +674,37 @@ mod tests {
         }
         assert!(Cli::parse(&argv("serve-bench --requests 0")).is_err());
         assert!(Cli::parse(&argv("serve-bench --window x")).is_err());
+    }
+
+    #[test]
+    fn select_bench_defaults_and_smoke() {
+        let cli = Cli::parse(&argv("select-bench")).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::SelectBench {
+                shapes: 8,
+                rounds: 4,
+                reps: 3,
+                threads: 4,
+                smoke: false,
+                cache: "SELECT_cache".into(),
+                out: "BENCH_cpu.json".into(),
+            }
+        );
+        let cli = Cli::parse(&argv("select-bench --smoke --cache /tmp/c --out /tmp/b.json")).unwrap();
+        match cli.command {
+            Command::SelectBench { shapes, rounds, reps, smoke, cache, out, .. } => {
+                assert!(smoke);
+                assert_eq!(shapes, 2);
+                assert_eq!(rounds, 2);
+                assert_eq!(reps, 2);
+                assert_eq!(cache, "/tmp/c");
+                assert_eq!(out, "/tmp/b.json");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(Cli::parse(&argv("select-bench --shapes 0")).is_err());
+        assert!(Cli::parse(&argv("select-bench --rounds x")).is_err());
     }
 
     #[test]

@@ -159,6 +159,9 @@ pub fn execute(cli: &Cli) -> String {
         Command::ServeBench { threads, requests, window, capacity, watchdog_ms, smoke, out } => {
             run_serve_bench(*threads, *requests, *window, *capacity, *watchdog_ms, *smoke, out)
         }
+        Command::SelectBench { shapes, rounds, reps, threads, smoke, cache, out } => {
+            run_select_bench(*shapes, *rounds, *reps, *threads, *smoke, cache, out)
+        }
         Command::Profile { shape, tile, threads, strategy, layout, out, svg } => {
             run_profile(*shape, *tile, *threads, *strategy, *layout, out, svg.as_deref())
         }
@@ -475,7 +478,12 @@ fn run_bench(
         };
         let (private, _, _) = time_exec(false);
         let (cached, steals, deferrals) = time_exec(true);
-        let _ = writeln!(out, "  {threads:>7} {private:>12.3e} {cached:>12.3e} {:>14.2}x", private / cached);
+        let _ = writeln!(
+            out,
+            "  {threads:>7} {private:>12.3e} {cached:>12.3e} {:>14.2}x{}",
+            private / cached,
+            if threads > nproc { "  (oversubscribed)" } else { "" }
+        );
         sweep_rows.push((threads, private, cached));
         sweep_stats.push((steals, deferrals));
     }
@@ -521,7 +529,8 @@ fn run_bench(
             if within_bracket { "ok" } else { "MISS" }
         );
         eff_json.push(format!(
-            "    {{\"threads\": {threads}, \"gflops\": {gflops:.3}, \"speedup\": {speedup:.3}, \"efficiency_pct\": {efficiency_pct:.1}, \"sim_speedup\": {sim_speedup:.3}, \"within_bracket\": {within_bracket}, \"steals\": {steals}, \"deferrals\": {deferrals}}}"
+            "    {{\"threads\": {threads}, \"oversubscribed\": {}, \"gflops\": {gflops:.3}, \"speedup\": {speedup:.3}, \"efficiency_pct\": {efficiency_pct:.1}, \"sim_speedup\": {sim_speedup:.3}, \"within_bracket\": {within_bracket}, \"steals\": {steals}, \"deferrals\": {deferrals}}}",
+            threads > nproc
         ));
     }
 
@@ -625,7 +634,8 @@ fn run_bench(
             best.0
         );
         layout_json.push(format!(
-            "      {{\"threads\": {threads}, \"row_shared_s\": {row_shared:.6e}, \"row_sharded_s\": {row_sharded:.6e}, \"block_cached_s\": {blk_cached:.6e}, \"block_bypass_s\": {blk_bypass:.6e}, \"best\": \"{}\", \"block_vs_row_speedup\": {:.3}}}",
+            "      {{\"threads\": {threads}, \"oversubscribed\": {}, \"row_shared_s\": {row_shared:.6e}, \"row_sharded_s\": {row_sharded:.6e}, \"block_cached_s\": {blk_cached:.6e}, \"block_bypass_s\": {blk_bypass:.6e}, \"best\": \"{}\", \"block_vs_row_speedup\": {:.3}}}",
+            threads > nproc,
             best.0,
             row_shared / blk_cached.min(blk_bypass)
         ));
@@ -639,7 +649,8 @@ fn run_bench(
         .iter()
         .map(|(t, p, c)| {
             format!(
-                "    {{\"threads\": {t}, \"private_s\": {p:.6e}, \"cached_s\": {c:.6e}, \"cache_speedup\": {:.3}}}",
+                "    {{\"threads\": {t}, \"oversubscribed\": {}, \"private_s\": {p:.6e}, \"cached_s\": {c:.6e}, \"cache_speedup\": {:.3}}}",
+                *t > nproc,
                 p / c
             )
         })
@@ -663,6 +674,333 @@ fn run_bench(
     match std::fs::write(out_path, &json) {
         Ok(()) => {
             let _ = writeln!(out, "wrote {out_path}");
+        }
+        Err(e) => {
+            let _ = writeln!(out, "failed to write {out_path}: {e}");
+        }
+    }
+    out
+}
+
+/// Splices `"key": section` as the last member of the JSON object at
+/// `out_path`, replacing any previous splice of the same key. A
+/// missing or non-object file is replaced by a fresh object holding
+/// only the section — `select-bench` must work standalone and as an
+/// addendum to an existing `BENCH_cpu.json`.
+fn splice_json_section(out_path: &str, key: &str, section: &str) -> std::io::Result<()> {
+    let marker = format!(",\n  \"{key}\":");
+    let body = match std::fs::read_to_string(out_path) {
+        Ok(t) if t.trim_start().starts_with('{') => {
+            if let Some(idx) = t.find(&marker) {
+                t[..idx].to_string()
+            } else {
+                let trimmed = t.trim_end();
+                trimmed.strip_suffix('}').unwrap_or(trimmed).trim_end().to_string()
+            }
+        }
+        _ => "{\n  \"generated_by\": \"streamk select-bench\"".to_string(),
+    };
+    let sep = if body.trim_end().ends_with('{') { "" } else { "," };
+    std::fs::write(out_path, format!("{body}{sep}\n  \"{key}\": {section}\n}}\n"))
+}
+
+/// One measured cell of the select-bench oracle table: a candidate's
+/// median wall time and mean fixup wait stall on one corpus shape.
+struct MeasuredCell {
+    candidate: streamk_select::Candidate,
+    median_s: f64,
+    wait_s: f64,
+}
+
+/// Measures `candidate` on `shape`: runs a scalar-kernel execution of
+/// the *same* decomposition first (every kernel accumulates in the
+/// identical ascending-k order, so the outputs must be bit-identical)
+/// and panics on divergence, then returns the median of `reps` timed
+/// runs plus the last run's wait stall.
+fn measure_candidate(
+    base: &CpuExecutor,
+    candidate: &streamk_select::Candidate,
+    shape: GemmShape,
+    a: &Matrix<f64>,
+    b: &Matrix<f64>,
+    reps: usize,
+) -> MeasuredCell {
+    let decomp = candidate.decompose(shape);
+    let reference = base.clone().with_kernel(KernelKind::Scalar).gemm::<f64, f64>(a, b, &decomp);
+    let exec = base.clone().with_kernel(candidate.kernel);
+    let c = exec.gemm::<f64, f64>(a, b, &decomp); // warm-up + exactness probe
+    assert!(
+        c.max_abs_diff(&reference) == 0.0,
+        "select-bench: candidate {candidate} on {shape} diverged from the scalar run of its own decomposition"
+    );
+    let mut times: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            let _ = exec.gemm::<f64, f64>(a, b, &decomp);
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    MeasuredCell {
+        candidate: *candidate,
+        median_s: times[times.len() / 2],
+        wait_s: exec.last_stats().wait_stall.as_secs_f64(),
+    }
+}
+
+/// The adaptive-selection regret study behind `streamk select-bench`.
+///
+/// Measures every slate candidate on a Fig-4-style corpus (anchors
+/// spanning the square / strong-scaling / wide-tile regimes plus
+/// log-uniform corpus shapes, dims clamped for tractability), each
+/// candidate verified bit-exact against a scalar-kernel run of its own
+/// decomposition before timing. The per-shape minimum is the measured
+/// oracle. Three selector passes replay the corpus against that table:
+///
+/// - **cold**: a fresh selector's frozen picks — the App. A.1 static
+///   heuristic floor;
+/// - **warm**: after `rounds` epsilon-greedy adaptation rounds fed the
+///   measured times, the converged frozen picks;
+/// - **distilled**: the decision tree distilled from the converged
+///   table, predicting with zero table lookups.
+///
+/// Regret = selected-total / oracle-total − 1 per pass. The warm table
+/// persists to `cache` (temp-file + atomic rename) and is reloaded by
+/// a fresh selector to prove round-trip consistency; a second
+/// invocation starts from the persisted table (`cache_loaded` in the
+/// report). Results splice into `out` as a `selection_adaptive`
+/// section.
+///
+/// # Panics
+///
+/// Panics if any candidate fails the bit-exactness probe — CI treats
+/// that as a hard failure.
+#[allow(clippy::too_many_lines)]
+fn run_select_bench(
+    corpus_n: usize,
+    rounds: usize,
+    reps: usize,
+    threads: usize,
+    smoke: bool,
+    cache_path: &str,
+    out_path: &str,
+) -> String {
+    use streamk_select::{AdaptiveSelector, SelectorConfig};
+
+    let mut out = String::new();
+    let nproc = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    // Oversubscribed workers would measure scheduler noise, not
+    // schedules; the sweep stays within the machine.
+    let workers = threads.min(nproc).max(1);
+    let top_k = if smoke { 5 } else { 8 };
+    let layout = Layout::RowMajor;
+    let precision = Precision::Fp64;
+    let _ = writeln!(
+        out,
+        "select-bench: {workers} workers (requested {threads}, nproc {nproc}), top-{top_k} slates, {rounds} adaptation rounds, {reps} reps{}",
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    // Corpus: regime anchors plus clamped log-uniform shapes.
+    let cap = if smoke { 96 } else { 256 };
+    let kcap = if smoke { 256 } else { 1024 };
+    let mut shapes = vec![
+        GemmShape::new(cap, cap, cap),
+        GemmShape::new(cap / 4, cap / 4, kcap),
+        GemmShape::new(cap, cap / 2, cap / 4),
+    ];
+    for s in Corpus::generate(CorpusConfig::smoke(corpus_n * 3)).shapes().iter().take(corpus_n) {
+        let clamped = GemmShape::new(s.m.min(cap), s.n.min(cap), s.k.min(kcap));
+        if !shapes.contains(&clamped) {
+            shapes.push(clamped);
+        }
+    }
+
+    // The slate authority: one selector queried in corpus order, so
+    // same-class shapes share one slate exactly as the live selector
+    // would key them.
+    let config = || SelectorConfig::new(precision, workers).with_top_k(top_k);
+    let mut slates = AdaptiveSelector::new(config());
+
+    // Oracle table: measure every slate candidate on every shape.
+    let base = CpuExecutor::with_threads(workers);
+    let mut table: Vec<(GemmShape, Vec<MeasuredCell>)> = Vec::new();
+    let _ = writeln!(out, "\nmeasured oracle ({} shapes, every cell bit-exact vs scalar):", shapes.len());
+    for &shape in &shapes {
+        let (_, slate) = slates.slate(shape, layout);
+        let a = Matrix::<f64>::random::<f64>(shape.m, shape.k, layout, 0x5E1E);
+        let b = Matrix::<f64>::random::<f64>(shape.k, shape.n, layout, 0x5E1F);
+        let cells: Vec<MeasuredCell> =
+            slate.iter().map(|c| measure_candidate(&base, c, shape, &a, &b, reps)).collect();
+        let best = cells.iter().min_by(|x, y| x.median_s.total_cmp(&y.median_s)).expect("slate non-empty");
+        let _ = writeln!(
+            out,
+            "  {shape}: {} candidates, oracle {} at {:.3e}s",
+            cells.len(),
+            best.candidate,
+            best.median_s
+        );
+        table.push((shape, cells));
+    }
+    fn lookup(
+        table: &[(GemmShape, Vec<MeasuredCell>)],
+        shape: GemmShape,
+        candidate: &streamk_select::Candidate,
+    ) -> Option<(f64, f64)> {
+        table
+            .iter()
+            .find(|(s, _)| *s == shape)
+            .and_then(|(_, cells)| cells.iter().find(|c| c.candidate == *candidate))
+            .map(|c| (c.median_s, c.wait_s))
+    }
+    let oracle_total: f64 = table
+        .iter()
+        .map(|(_, cells)| {
+            cells.iter().map(|c| c.median_s).fold(f64::INFINITY, f64::min)
+        })
+        .sum();
+
+    // Cold pass: a fresh selector, frozen — pure App. A.1 decisions.
+    let mut cold = AdaptiveSelector::new(config());
+    let cold_picks: Vec<streamk_select::Candidate> =
+        shapes.iter().map(|&s| cold.select_frozen(s, layout).candidate).collect();
+
+    // Warm selector: persists to `cache_path`; a prior invocation's
+    // table is picked up here (the cross-invocation CI gate).
+    let mut warm = AdaptiveSelector::new(config().with_cache_path(cache_path));
+    let cache_loaded = warm.loaded_from_disk();
+    let _ = writeln!(
+        out,
+        "\ncache {cache_path}: {}",
+        if cache_loaded { "loaded from a previous invocation" } else { "cold start" }
+    );
+
+    // Adaptation: replay the corpus, feeding measured times back. The
+    // measured table stands in for re-running each launch — the same
+    // schedule costs the same, and the replay exercises exactly the
+    // explore → converge ladder a live executor would.
+    for _ in 0..rounds.max(1) {
+        for &shape in &shapes {
+            let sel = warm.select(shape, layout);
+            if let Some((secs, wait)) = lookup(&table, shape, &sel.candidate) {
+                warm.feedback_raw(&sel, secs, wait);
+            }
+        }
+    }
+    // Finish coverage so the frozen winner is the true table argmin:
+    // replay keeps exploring until no slate entry is untried.
+    for &shape in &shapes {
+        loop {
+            let sel = warm.select(shape, layout);
+            let Some((secs, wait)) = lookup(&table, shape, &sel.candidate) else { break };
+            warm.feedback_raw(&sel, secs, wait);
+            let (class, slate) = warm.slate(shape, layout);
+            let entry = &warm.cache().entries[&class];
+            if (0..slate.len()).all(|i| entry.stats.get(i).is_none_or(|s| s.trials > 0)) {
+                break;
+            }
+        }
+    }
+    let warm_picks: Vec<streamk_select::Candidate> =
+        shapes.iter().map(|&s| warm.select_frozen(s, layout).candidate).collect();
+
+    // Persist and prove the round trip: a fresh selector over the same
+    // file must reproduce every frozen pick.
+    let cache_written = warm.persist().unwrap_or(false);
+    let mut reloaded = AdaptiveSelector::new(config().with_cache_path(cache_path));
+    let cache_reload_consistent = cache_written
+        && reloaded.loaded_from_disk()
+        && shapes
+            .iter()
+            .zip(&warm_picks)
+            .all(|(&s, pick)| reloaded.select_frozen(s, layout).candidate == *pick);
+
+    // Distilled pass: the decision tree's zero-lookup predictions.
+    let distilled_classes = warm.distill().unwrap_or(0);
+    let distilled_picks: Vec<streamk_select::Candidate> = shapes
+        .iter()
+        .zip(&warm_picks)
+        .map(|(&s, warm_pick)| warm.predict_distilled(s, layout).unwrap_or(*warm_pick))
+        .collect();
+
+    // Score the three passes. A distilled tree may predict a schedule
+    // from a sibling class's slate that this shape's table never
+    // measured — measure it on demand rather than guessing.
+    let mut pass_time = |picks: &[streamk_select::Candidate], out: &mut String, name: &str| -> f64 {
+        let mut total = 0.0;
+        for (&shape, candidate) in shapes.iter().zip(picks) {
+            let secs = match lookup(&table, shape, candidate) {
+                Some((secs, _)) => secs,
+                None => {
+                    let a = Matrix::<f64>::random::<f64>(shape.m, shape.k, layout, 0x5E1E);
+                    let b = Matrix::<f64>::random::<f64>(shape.k, shape.n, layout, 0x5E1F);
+                    let cell = measure_candidate(&base, candidate, shape, &a, &b, reps);
+                    let secs = cell.median_s;
+                    let _ = writeln!(out, "  [{name}] measured off-slate pick {candidate} on {shape}: {secs:.3e}s");
+                    table.iter_mut().find(|(s, _)| *s == shape).expect("shape in table").1.push(cell);
+                    secs
+                }
+            };
+            total += secs;
+        }
+        total
+    };
+    let cold_total = pass_time(&cold_picks, &mut out, "cold");
+    let warm_total = pass_time(&warm_picks, &mut out, "warm");
+    let distilled_total = pass_time(&distilled_picks, &mut out, "distilled");
+    let regret = |total: f64| (total / oracle_total - 1.0) * 100.0;
+    let (cold_regret, warm_regret, distilled_regret) =
+        (regret(cold_total), regret(warm_total), regret(distilled_total));
+    let distilled_vs_warm = (distilled_total / warm_total - 1.0) * 100.0;
+
+    let _ = writeln!(out, "\nregret vs measured oracle (total {oracle_total:.3e}s):");
+    let _ = writeln!(out, "  {:<11} {:>12} {:>9}", "pass", "total(s)", "regret");
+    for (name, total, r) in [
+        ("cold", cold_total, cold_regret),
+        ("warm", warm_total, warm_regret),
+        ("distilled", distilled_total, distilled_regret),
+    ] {
+        let _ = writeln!(out, "  {name:<11} {total:>12.3e} {r:>8.2}%");
+    }
+    let _ = writeln!(
+        out,
+        "warm ≤ cold: {}; distilled vs warm: {distilled_vs_warm:+.2}%; tree trained on {distilled_classes} classes",
+        if warm_regret <= cold_regret + 1e-9 { "yes" } else { "NO" }
+    );
+    let _ = writeln!(
+        out,
+        "cache: loaded {cache_loaded}, written {cache_written}, reload-consistent {cache_reload_consistent}"
+    );
+
+    let per_shape: Vec<String> = shapes
+        .iter()
+        .enumerate()
+        .map(|(i, &shape)| {
+            let cells = &table.iter().find(|(s, _)| *s == shape).expect("shape in table").1;
+            let best = cells.iter().min_by(|x, y| x.median_s.total_cmp(&y.median_s)).expect("cells");
+            let t = |c: &streamk_select::Candidate| lookup(&table, shape, c).map_or(f64::NAN, |(s, _)| s);
+            format!(
+                "      {{\"shape\": \"{shape}\", \"slate\": {}, \"oracle_s\": {:.6e}, \"oracle\": \"{}\", \"cold_s\": {:.6e}, \"cold\": \"{}\", \"warm_s\": {:.6e}, \"warm\": \"{}\", \"distilled_s\": {:.6e}}}",
+                cells.len(),
+                best.median_s,
+                best.candidate.encode(),
+                t(&cold_picks[i]),
+                cold_picks[i].encode(),
+                t(&warm_picks[i]),
+                warm_picks[i].encode(),
+                t(&distilled_picks[i]),
+            )
+        })
+        .collect();
+    let section = format!(
+        "{{\n    \"generated_by\": \"streamk select-bench\",\n    \"smoke\": {smoke},\n    \"workers\": {workers},\n    \"requested_threads\": {threads},\n    \"nproc\": {nproc},\n    \"top_k\": {top_k},\n    \"rounds\": {rounds},\n    \"reps\": {reps},\n    \"shapes\": {},\n    \"classes\": {},\n    \"all_bit_exact\": true,\n    \"cache_path\": \"{cache_path}\",\n    \"cache_loaded\": {cache_loaded},\n    \"cache_written\": {cache_written},\n    \"cache_reload_consistent\": {cache_reload_consistent},\n    \"distilled_classes\": {distilled_classes},\n    \"oracle_total_s\": {oracle_total:.6e},\n    \"cold_total_s\": {cold_total:.6e},\n    \"warm_total_s\": {warm_total:.6e},\n    \"distilled_total_s\": {distilled_total:.6e},\n    \"cold_regret_pct\": {cold_regret:.3},\n    \"warm_regret_pct\": {warm_regret:.3},\n    \"distilled_regret_pct\": {distilled_regret:.3},\n    \"distilled_vs_warm_pct\": {distilled_vs_warm:.3},\n    \"per_shape\": [\n{}\n    ]\n  }}",
+        shapes.len(),
+        warm.class_count(),
+        per_shape.join(",\n"),
+    );
+    match splice_json_section(out_path, "selection_adaptive", &section) {
+        Ok(()) => {
+            let _ = writeln!(out, "wrote selection_adaptive section into {out_path}");
         }
         Err(e) => {
             let _ = writeln!(out, "failed to write {out_path}: {e}");
@@ -1462,6 +1800,9 @@ mod tests {
         assert!(json.contains("\"thread_scaling\""), "{json}");
         assert!(json.contains("\"simd_level\""), "{json}");
         assert!(json.contains("\"cache_speedup\""), "{json}");
+        // Sweep rows above the machine's core count are flagged so
+        // downstream gates can skip them instead of judging noise.
+        assert!(json.contains("\"oversubscribed\""), "{json}");
         assert!(json.contains("\"tracing_overhead\""), "{json}");
         assert!(json.contains("\"overhead_pct\""), "{json}");
         assert!(json.contains("\"overhead_raw_pct\""), "{json}");
@@ -1483,6 +1824,42 @@ mod tests {
             assert!(json.contains(name), "missing {name}: {json}");
         }
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn select_bench_smoke_adapts_and_persists() {
+        let dir = std::env::temp_dir().join(format!("streamk_cli_select_bench_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let cache = dir.join("cache");
+        let json_path = dir.join("bench.json");
+        let cmd = format!(
+            "select-bench --smoke --shapes 1 --rounds 1 --reps 1 --cache {} --out {}",
+            cache.display(),
+            json_path.display()
+        );
+        let out = run(&cmd);
+        assert!(out.contains("measured oracle"), "{out}");
+        assert!(out.contains("warm ≤ cold: yes"), "{out}");
+        assert!(out.contains("written true, reload-consistent true"), "{out}");
+        assert!(out.contains("loaded false"), "first invocation must start cold: {out}");
+        let json = std::fs::read_to_string(&json_path).unwrap();
+        assert!(json.contains("\"selection_adaptive\""), "{json}");
+        assert!(json.contains("\"all_bit_exact\": true"), "{json}");
+        assert!(json.contains("\"cache_loaded\": false"), "{json}");
+        assert!(json.contains("\"cache_written\": true"), "{json}");
+        assert!(json.contains("\"cache_reload_consistent\": true"), "{json}");
+        assert!(json.contains("\"warm_regret_pct\""), "{json}");
+        assert!(json.contains("\"per_shape\""), "{json}");
+
+        // Second invocation: starts from the persisted table, and the
+        // splice replaces the old section instead of stacking a copy.
+        let out2 = run(&cmd);
+        assert!(out2.contains("loaded from a previous invocation"), "{out2}");
+        let json2 = std::fs::read_to_string(&json_path).unwrap();
+        assert!(json2.contains("\"cache_loaded\": true"), "{json2}");
+        assert_eq!(json2.matches("\"selection_adaptive\"").count(), 1, "{json2}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

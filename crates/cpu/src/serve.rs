@@ -162,13 +162,15 @@ pub struct LaunchRequest<In> {
     decomp: Decomposition,
     priority: Priority,
     deadline: Option<Duration>,
+    kernel: Option<KernelKind>,
     cta_faults: FaultPlan,
     serve_fault: Option<ServeFaultKind>,
 }
 
 impl<In> LaunchRequest<In> {
     /// A request computing `C = A · B` under `decomp`, at
-    /// [`Priority::Normal`] with no deadline.
+    /// [`Priority::Normal`] with no deadline, using the service's
+    /// default kernel.
     #[must_use]
     pub fn new(a: Matrix<In>, b: Matrix<In>, decomp: Decomposition) -> Self {
         Self {
@@ -177,6 +179,7 @@ impl<In> LaunchRequest<In> {
             decomp,
             priority: Priority::Normal,
             deadline: None,
+            kernel: None,
             cta_faults: FaultPlan::none(),
             serve_fault: None,
         }
@@ -195,6 +198,18 @@ impl<In> LaunchRequest<In> {
     #[must_use]
     pub fn with_deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Overrides the microkernel for this request alone. Every CTA of
+    /// the request — including fault recovery — runs `kernel`, while
+    /// concurrently active requests keep their own choice; all kernels
+    /// produce bit-identical output for a fixed decomposition, so the
+    /// override is a pure performance knob (per-request adaptive
+    /// selection hooks in here).
+    #[must_use]
+    pub fn with_kernel(mut self, kernel: KernelKind) -> Self {
+        self.kernel = Some(kernel);
         self
     }
 
@@ -302,7 +317,8 @@ impl std::error::Error for ServeError {}
 /// the single-launch view.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct RequestStats {
-    /// CTAs of this request executed to completion.
+    /// CTAs of this request claimed and executed (a CTA that failed
+    /// or panicked mid-body still counts — it ran).
     pub ctas: usize,
     /// Owner consolidations parked cooperatively.
     pub deferrals: usize,
@@ -378,6 +394,7 @@ struct RequestCell<In, Acc> {
     out_rows: usize,
     out_cols: usize,
     layout: Layout,
+    kernel: KernelKind,
     state: AtomicU8,
     submitted_at: Instant,
     /// Earliest admission time (submission-time straggler injection).
@@ -806,12 +823,17 @@ fn execute_claim<In, Acc>(
 {
     let ws = scratch.get_or_insert_with(|| Workspace::<In, Acc>::new(cell.tile_len));
     ws.ensure_tile_len(cell.tile_len);
+    // Counted before the body runs: the request completes inside the
+    // owner's CTA body (final tile store, possibly on another worker
+    // via a deferred consolidation), and every peer's claim
+    // happens-before the signals the owner consumes — so counting at
+    // claim time is the only order under which the completion-time
+    // stats snapshot cannot miss a straggling increment.
+    cell.ctas_run.fetch_add(1, Ordering::Relaxed);
     let outcome =
         catch_unwind(AssertUnwindSafe(|| execute_cta(shared, cell, id, &mut *ws, &mut *deferred)));
     match outcome {
-        Ok(Ok(())) => {
-            cell.ctas_run.fetch_add(1, Ordering::Relaxed);
-        }
+        Ok(Ok(())) => {}
         Ok(Err(e)) => {
             if cell.transition(RUNNING, FAILED) {
                 shared.stats.failed.fetch_add(1, Ordering::Relaxed);
@@ -862,7 +884,7 @@ where
     let space = cell.decomp.space();
     let blk_n = space.tile().blk_n;
     let (av, bv) = (cell.a.view(), cell.b.view());
-    let kind = shared.kernel;
+    let kind = cell.kernel;
 
     for seg in cta.segments(space) {
         if cell.is_dead() {
@@ -983,7 +1005,7 @@ where
                 }
                 ws.recycle_partial(partial);
             }
-            None => recover_peer(shared, cell, peer, tile_idx, accum, ws)?,
+            None => recover_peer(cell, peer, tile_idx, accum, ws)?,
         }
         *next_peer += 1;
     }
@@ -994,7 +1016,6 @@ where
 /// `tile_idx` with the same kernel over the same k-range, folding it
 /// at the same position — the bit-exact identity of `core::recovery`.
 fn recover_peer<In, Acc>(
-    shared: &ServeShared<In, Acc>,
     cell: &Arc<RequestCell<In, Acc>>,
     peer: usize,
     tile_idx: usize,
@@ -1016,7 +1037,7 @@ where
     // tile while this worker drains a parked consolidation.
     let mut partial = vec![Acc::ZERO; cell.tile_len];
     mac_loop_kernel_cached(
-        shared.kernel,
+        cell.kernel,
         None,
         0,
         &cell.a.view(),
@@ -1218,7 +1239,8 @@ where
     /// error the single-launch path reports is rejected here, at
     /// submission, before the request can occupy queue space.
     fn build_cell(&self, request: LaunchRequest<In>) -> Result<RequestCell<In, Acc>, AdmissionError> {
-        let LaunchRequest { a, b, decomp, priority, deadline, mut cta_faults, serve_fault } = request;
+        let LaunchRequest { a, b, decomp, priority, deadline, kernel, mut cta_faults, serve_fault } =
+            request;
         let space = decomp.space();
         let shape = space.shape();
         for (operand, expected, got) in [
@@ -1282,6 +1304,7 @@ where
             out_rows,
             out_cols,
             layout,
+            kernel: kernel.unwrap_or(self.shared.kernel),
             state: AtomicU8::new(QUEUED),
             submitted_at: now,
             admit_at,

@@ -377,3 +377,69 @@ fn weighted_admission_starts_high_priority_first() {
     );
     service.shutdown();
 }
+
+#[test]
+fn per_request_kernel_override_is_bit_exact_and_isolated() {
+    use streamk_cpu::KernelKind;
+    let shape = GemmShape::new(48, 40, 32);
+    let tile = TileShape::new(16, 16, 8);
+    let e = exec(4);
+    let decomp = Decomposition::stream_k(shape, tile, 4);
+    let (a, b) = operands(shape, 23);
+    let baseline = e.gemm::<f64, f64>(&a, &b, &decomp);
+
+    // Mixed kernels in flight at once: each request pins its own, the
+    // service default covers the rest. Every kernel computes the same
+    // ascending-k accumulation, so all results must be bit-identical
+    // to the single-launch baseline.
+    let service = GemmService::<f64, f64>::start(&e, ServeConfig::default());
+    let handles: Vec<_> = [
+        None,
+        Some(KernelKind::Scalar),
+        Some(KernelKind::Packed4x8),
+        Some(KernelKind::Simd8x32),
+        Some(KernelKind::Blocked),
+    ]
+    .into_iter()
+    .map(|kernel| {
+        let mut req = LaunchRequest::new(a.clone(), b.clone(), decomp.clone());
+        if let Some(k) = kernel {
+            req = req.with_kernel(k);
+        }
+        service.submit(req).unwrap()
+    })
+    .collect();
+    for handle in handles {
+        let (c, _) = handle.wait().expect("request completes");
+        assert_eq!(c.max_abs_diff(&baseline), 0.0);
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.completed, 5);
+    assert_eq!(stats.pool_poisonings, 0);
+}
+
+#[test]
+fn kernel_override_survives_fault_recovery() {
+    use streamk_cpu::KernelKind;
+    let shape = GemmShape::new(48, 40, 32);
+    let tile = TileShape::new(16, 16, 8);
+    let e = exec(4);
+    let decomp = Decomposition::stream_k(shape, tile, 4);
+    let (a, b) = operands(shape, 29);
+    let baseline = e.gemm::<f64, f64>(&a, &b, &decomp);
+
+    // A lost peer forces owner-side recovery, which must recompute
+    // the contribution with the *request's* kernel to stay bit-exact.
+    let service = GemmService::<f64, f64>::start(&e, ServeConfig::default());
+    let handle = service
+        .submit(
+            LaunchRequest::new(a.clone(), b.clone(), decomp.clone())
+                .with_kernel(KernelKind::Packed8x8)
+                .with_serve_fault(ServeFaultKind::Protocol(FaultKind::Lose)),
+        )
+        .unwrap();
+    let (c, stats) = handle.wait().expect("request completes despite the lost peer");
+    assert_eq!(c.max_abs_diff(&baseline), 0.0);
+    assert!(stats.recoveries >= 1, "the lost contribution must be recovered");
+    service.shutdown();
+}

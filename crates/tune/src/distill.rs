@@ -78,6 +78,190 @@ pub fn distill_ensemble(
     TileEnsemble { precision, configs: chosen.into_iter().map(|ci| candidates[ci]).collect() }
 }
 
+/// A binary CART-style decision tree over numeric feature vectors.
+///
+/// This is the second half of the distillation story: once a
+/// selection table has converged (per-shape-class measured winners),
+/// the table is compiled into a tree so steady-state dispatch needs
+/// no table lookup at all — ISAAC's "predict a tiling per shape"
+/// approach (§2), trained on measurements instead of a model.
+///
+/// Training is deterministic: splits minimize weighted Gini impurity,
+/// with ties broken toward the lowest feature index and threshold, so
+/// the same table always distills to the same tree.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    nodes: Vec<TreeNode>,
+}
+
+#[derive(Debug, Clone)]
+enum TreeNode {
+    Leaf { label: usize },
+    Split { feature: usize, threshold: f64, left: usize, right: usize },
+}
+
+impl DecisionTree {
+    /// Trains a tree on `(features, label)` samples.
+    ///
+    /// Recursion stops at `max_depth`, when a node holds fewer than
+    /// `2 · min_leaf` samples, or when no split separates the labels;
+    /// leaves predict their majority label (ties toward the smallest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or feature vectors have unequal
+    /// lengths.
+    #[must_use]
+    pub fn train(samples: &[(Vec<f64>, usize)], max_depth: usize, min_leaf: usize) -> Self {
+        assert!(!samples.is_empty(), "training set must be non-empty");
+        let width = samples[0].0.len();
+        assert!(
+            samples.iter().all(|(f, _)| f.len() == width),
+            "all feature vectors must have the same length"
+        );
+        let mut nodes = Vec::new();
+        let subset: Vec<usize> = (0..samples.len()).collect();
+        build_node(&mut nodes, samples, &subset, max_depth, min_leaf.max(1));
+        Self { nodes }
+    }
+
+    /// Predicts the label for `features` by walking the tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` is shorter than a split feature index
+    /// encountered on the walk.
+    #[must_use]
+    pub fn predict(&self, features: &[f64]) -> usize {
+        let mut at = 0;
+        loop {
+            match self.nodes[at] {
+                TreeNode::Leaf { label } => return label,
+                TreeNode::Split { feature, threshold, left, right } => {
+                    at = if features[feature] <= threshold { left } else { right };
+                }
+            }
+        }
+    }
+
+    /// Total node count (splits + leaves).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of leaf nodes.
+    #[must_use]
+    pub fn leaf_count(&self) -> usize {
+        self.nodes.iter().filter(|n| matches!(n, TreeNode::Leaf { .. })).count()
+    }
+
+    /// Maximum root-to-leaf depth (a lone leaf has depth 0).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        fn walk(nodes: &[TreeNode], at: usize) -> usize {
+            match nodes[at] {
+                TreeNode::Leaf { .. } => 0,
+                TreeNode::Split { left, right, .. } => 1 + walk(nodes, left).max(walk(nodes, right)),
+            }
+        }
+        walk(&self.nodes, 0)
+    }
+}
+
+/// Recursively grows the subtree for `subset`, returning its root's
+/// index in `nodes`.
+fn build_node(
+    nodes: &mut Vec<TreeNode>,
+    samples: &[(Vec<f64>, usize)],
+    subset: &[usize],
+    depth_left: usize,
+    min_leaf: usize,
+) -> usize {
+    let leaf = |nodes: &mut Vec<TreeNode>| {
+        let label = majority_label(samples, subset);
+        nodes.push(TreeNode::Leaf { label });
+        nodes.len() - 1
+    };
+    if depth_left == 0 || subset.len() < 2 * min_leaf || gini(samples, subset) == 0.0 {
+        return leaf(nodes);
+    }
+    let Some((feature, threshold)) = best_split(samples, subset, min_leaf) else {
+        return leaf(nodes);
+    };
+    let (lo, hi): (Vec<usize>, Vec<usize>) =
+        subset.iter().partition(|&&i| samples[i].0[feature] <= threshold);
+    // Reserve the split slot before building children so the root of
+    // every subtree precedes its descendants.
+    let at = nodes.len();
+    nodes.push(TreeNode::Leaf { label: 0 });
+    let left = build_node(nodes, samples, &lo, depth_left - 1, min_leaf);
+    let right = build_node(nodes, samples, &hi, depth_left - 1, min_leaf);
+    nodes[at] = TreeNode::Split { feature, threshold, left, right };
+    at
+}
+
+/// Gini impurity of the label distribution over `subset`.
+fn gini(samples: &[(Vec<f64>, usize)], subset: &[usize]) -> f64 {
+    let mut counts: Vec<(usize, f64)> = Vec::new();
+    for &i in subset {
+        let label = samples[i].1;
+        match counts.iter_mut().find(|(l, _)| *l == label) {
+            Some((_, c)) => *c += 1.0,
+            None => counts.push((label, 1.0)),
+        }
+    }
+    let n = subset.len() as f64;
+    1.0 - counts.iter().map(|(_, c)| (c / n) * (c / n)).sum::<f64>()
+}
+
+/// Most frequent label in `subset` (ties toward the smallest label).
+fn majority_label(samples: &[(Vec<f64>, usize)], subset: &[usize]) -> usize {
+    let mut counts: Vec<(usize, usize)> = Vec::new();
+    for &i in subset {
+        let label = samples[i].1;
+        match counts.iter_mut().find(|(l, _)| *l == label) {
+            Some((_, c)) => *c += 1,
+            None => counts.push((label, 1)),
+        }
+    }
+    counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    counts.first().map_or(0, |&(l, _)| l)
+}
+
+/// The `(feature, threshold)` minimizing weighted child Gini, or
+/// `None` when no candidate split leaves both children with at least
+/// `min_leaf` samples or improves on the parent.
+fn best_split(
+    samples: &[(Vec<f64>, usize)],
+    subset: &[usize],
+    min_leaf: usize,
+) -> Option<(usize, f64)> {
+    let width = samples[subset[0]].0.len();
+    let parent = gini(samples, subset);
+    let mut best: Option<(f64, usize, f64)> = None; // (score, feature, threshold)
+    for feature in 0..width {
+        let mut values: Vec<f64> = subset.iter().map(|&i| samples[i].0[feature]).collect();
+        values.sort_by(f64::total_cmp);
+        values.dedup();
+        for pair in values.windows(2) {
+            let threshold = (pair[0] + pair[1]) / 2.0;
+            let (lo, hi): (Vec<usize>, Vec<usize>) =
+                subset.iter().partition(|&&i| samples[i].0[feature] <= threshold);
+            if lo.len() < min_leaf || hi.len() < min_leaf {
+                continue;
+            }
+            let n = subset.len() as f64;
+            let score = gini(samples, &lo) * lo.len() as f64 / n
+                + gini(samples, &hi) * hi.len() as f64 / n;
+            if score < parent - 1e-12 && best.is_none_or(|(s, _, _)| score < s - 1e-12) {
+                best = Some((score, feature, threshold));
+            }
+        }
+    }
+    best.map(|(_, f, t)| (f, t))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -108,6 +292,72 @@ mod tests {
                 assert_ne!(e.configs[i].tile, e.configs[j].tile);
             }
         }
+    }
+
+    #[test]
+    fn tree_separates_an_axis_aligned_rule() {
+        // label = 1 iff x0 > 5, regardless of x1.
+        let samples: Vec<(Vec<f64>, usize)> = (0..40)
+            .map(|i| {
+                let x0 = f64::from(i % 10);
+                let x1 = f64::from(i / 10);
+                (vec![x0, x1], usize::from(x0 > 5.0))
+            })
+            .collect();
+        let tree = DecisionTree::train(&samples, 4, 1);
+        for (f, label) in &samples {
+            assert_eq!(tree.predict(f), *label, "features {f:?}");
+        }
+        // One split suffices: root + two leaves.
+        assert_eq!(tree.node_count(), 3);
+        assert_eq!(tree.depth(), 1);
+    }
+
+    #[test]
+    fn tree_fits_multiclass_training_data_exactly() {
+        // Distinct feature vectors, 3 labels laid out in bands.
+        let samples: Vec<(Vec<f64>, usize)> =
+            (0..30).map(|i| (vec![f64::from(i)], (i as usize) / 10)).collect();
+        let tree = DecisionTree::train(&samples, 8, 1);
+        for (f, label) in &samples {
+            assert_eq!(tree.predict(f), *label);
+        }
+        assert!(tree.leaf_count() >= 3);
+    }
+
+    #[test]
+    fn tree_is_deterministic() {
+        let samples: Vec<(Vec<f64>, usize)> = (0..25)
+            .map(|i| (vec![f64::from(i % 5), f64::from(i / 5)], (i as usize) % 3))
+            .collect();
+        let a = DecisionTree::train(&samples, 6, 1);
+        let b = DecisionTree::train(&samples, 6, 1);
+        for (f, _) in &samples {
+            assert_eq!(a.predict(f), b.predict(f));
+        }
+        assert_eq!(a.node_count(), b.node_count());
+    }
+
+    #[test]
+    fn depth_and_leaf_limits_hold() {
+        let samples: Vec<(Vec<f64>, usize)> =
+            (0..64).map(|i| (vec![f64::from(i)], (i as usize) % 2)).collect();
+        let tree = DecisionTree::train(&samples, 3, 4);
+        assert!(tree.depth() <= 3);
+        // A pure-noise labeling can't be fully separated at depth 3;
+        // the tree still predicts a valid label everywhere.
+        for (f, _) in &samples {
+            assert!(tree.predict(f) < 2);
+        }
+    }
+
+    #[test]
+    fn single_class_collapses_to_one_leaf() {
+        let samples: Vec<(Vec<f64>, usize)> =
+            (0..10).map(|i| (vec![f64::from(i)], 7)).collect();
+        let tree = DecisionTree::train(&samples, 5, 1);
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.predict(&[3.0]), 7);
     }
 
     /// Distillation must help: the 3-member ensemble's oracle beats

@@ -24,6 +24,6 @@ pub mod distill;
 pub mod space;
 pub mod tuner;
 
-pub use distill::distill_ensemble;
+pub use distill::{distill_ensemble, DecisionTree};
 pub use space::{candidate_tiles, estimated_efficiency};
 pub use tuner::{AutoTuner, TunedConfig};
