@@ -128,6 +128,23 @@ pub enum Command {
         /// Output path for the JSON report.
         out: String,
     },
+    /// Strassen–Winograd hybrid crossover benchmark, splicing a
+    /// `strassen_hybrid` section into `BENCH_cpu.json`.
+    StrassenBench {
+        /// Crossover cutoff of the hybrid under test.
+        cutoff: usize,
+        /// Blocking factor of the leaf sub-products.
+        tile: TileShape,
+        /// Timing repetitions per cell; medians are reported.
+        reps: usize,
+        /// Executor worker threads.
+        threads: usize,
+        /// Cut the sweep down for CI smoke runs.
+        smoke: bool,
+        /// Report path; an existing `BENCH_cpu.json` gains the
+        /// section, anything else is created.
+        out: String,
+    },
     /// Adaptive-selector replay benchmark: cold / warm / distilled
     /// regret vs a measured oracle, spliced into `BENCH_cpu.json`.
     SelectBench {
@@ -193,6 +210,7 @@ USAGE:
   streamk bench    [--size N] [--tile MxNxK] [--corpus C] [--reps R] [--layout L] [--out FILE] [--smoke]
   streamk serve-bench [--threads T] [--requests N] [--window W] [--capacity C] [--watchdog-ms MS] [--out FILE] [--smoke]
   streamk select-bench [--shapes N] [--rounds R] [--reps P] [--threads T] [--cache FILE] [--out FILE] [--smoke]
+  streamk strassen-bench [--cutoff N] [--tile MxNxK] [--reps R] [--threads T] [--out FILE] [--smoke]
   streamk profile  <m> <n> <k> [--tile MxNxK] [--threads T] [--strategy S] [--layout L] [--out FILE] [--svg FILE]
   streamk svg      <m> <n> <k> --out FILE [--tile MxNxK] [--sms P] [--strategy S]
   streamk help
@@ -406,6 +424,26 @@ impl Cli {
                     })?,
                     smoke,
                     out: get_flag(&flags, "out").unwrap_or("BENCH_serve.json").to_string(),
+                }
+            }
+            "strassen-bench" => {
+                let flags = split_flags(rest)?;
+                let parse_usize = |name: &str, default: usize, flags: &Flags<'_>| {
+                    get_flag(flags, name).map_or(Ok(default), |v| {
+                        v.parse::<usize>()
+                            .ok()
+                            .filter(|&x| x > 0)
+                            .ok_or_else(|| ParseError(format!("--{name} expects a positive integer, got '{v}'")))
+                    })
+                };
+                let smoke = get_flag(&flags, "smoke") == Some("true");
+                Command::StrassenBench {
+                    cutoff: parse_usize("cutoff", if smoke { 64 } else { 512 }, &flags)?,
+                    tile: get_flag(&flags, "tile").map_or(Ok(TileShape::new(64, 64, 16)), parse_tile)?,
+                    reps: parse_usize("reps", if smoke { 1 } else { 3 }, &flags)?,
+                    threads: parse_usize("threads", 1, &flags)?,
+                    smoke,
+                    out: get_flag(&flags, "out").unwrap_or("BENCH_cpu.json").to_string(),
                 }
             }
             "select-bench" => {
@@ -705,6 +743,34 @@ mod tests {
         }
         assert!(Cli::parse(&argv("select-bench --shapes 0")).is_err());
         assert!(Cli::parse(&argv("select-bench --rounds x")).is_err());
+    }
+
+    #[test]
+    fn strassen_bench_defaults_and_smoke() {
+        let cli = Cli::parse(&argv("strassen-bench")).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::StrassenBench {
+                cutoff: 512,
+                tile: TileShape::new(64, 64, 16),
+                reps: 3,
+                threads: 1,
+                smoke: false,
+                out: "BENCH_cpu.json".into(),
+            }
+        );
+        let cli = Cli::parse(&argv("strassen-bench --smoke --cutoff 32 --out /tmp/b.json")).unwrap();
+        match cli.command {
+            Command::StrassenBench { cutoff, reps, smoke, out, .. } => {
+                assert!(smoke);
+                assert_eq!(cutoff, 32);
+                assert_eq!(reps, 1);
+                assert_eq!(out, "/tmp/b.json");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(Cli::parse(&argv("strassen-bench --cutoff 0")).is_err());
+        assert!(Cli::parse(&argv("strassen-bench --reps x")).is_err());
     }
 
     #[test]

@@ -9,9 +9,10 @@ use streamk_core::{
 use streamk_corpus::{Corpus, CorpusConfig};
 use streamk_cpu::trace::ring_allocations;
 use streamk_cpu::{
-    mac_loop_kernel, mac_loop_kernel_cached, select_kernel_on, CpuExecutor, FaultKind, FaultPlan,
-    GemmService, KernelKind, LaunchRequest, PackBuffers, PackCache, Priority, ServeConfig,
-    ServeError, ServeFaultKind, ServeFaultPlan, SimdLevel, WaitPolicy,
+    leaf_decomposition, mac_loop_kernel, mac_loop_kernel_cached, machine_epsilon, max_abs,
+    select_kernel_on, strassen_error_bound, CpuExecutor, FaultKind, FaultPlan, GemmService,
+    KernelKind, LaunchRequest, PackBuffers, PackCache, Priority, ServeConfig, ServeError,
+    ServeFaultKind, ServeFaultPlan, SimdLevel, StrassenArena, StrassenConfig, WaitPolicy,
 };
 use streamk_cpu::macloop::mac_loop_view;
 use streamk_ensemble::runners;
@@ -21,6 +22,26 @@ use streamk_sim::{
     SimFaultPlan, SimReport, SvgOptions,
 };
 use streamk_types::{GemmShape, Layout, Precision, TileShape};
+
+/// Provenance stamp for bench reports: tool name, short git commit,
+/// and rustc version, so trajectory entries stay attributable across
+/// PRs. Both probes degrade to `"unknown"` outside a git checkout or
+/// without a toolchain on PATH.
+fn provenance(tool: &str) -> String {
+    let probe = |cmd: &str, args: &[&str]| -> Option<String> {
+        let out = std::process::Command::new(cmd).args(args).output().ok()?;
+        if !out.status.success() {
+            return None;
+        }
+        let text = String::from_utf8(out.stdout).ok()?;
+        let text = text.trim();
+        (!text.is_empty()).then(|| text.to_string())
+    };
+    let commit =
+        probe("git", &["rev-parse", "--short", "HEAD"]).unwrap_or_else(|| "unknown".into());
+    let rustc = probe("rustc", &["--version"]).unwrap_or_else(|| "rustc unknown".into());
+    format!("streamk {tool} @ {commit} ({rustc})")
+}
 
 /// Builds the decomposition a [`StrategyArg`] describes.
 fn build(strategy: StrategyArg, shape: GemmShape, tile: TileShape, sms: usize, precision: Precision) -> Decomposition {
@@ -161,6 +182,9 @@ pub fn execute(cli: &Cli) -> String {
         }
         Command::SelectBench { shapes, rounds, reps, threads, smoke, cache, out } => {
             run_select_bench(*shapes, *rounds, *reps, *threads, *smoke, cache, out)
+        }
+        Command::StrassenBench { cutoff, tile, reps, threads, smoke, out } => {
+            run_strassen_bench(*cutoff, *tile, *reps, *threads, *smoke, out)
         }
         Command::Profile { shape, tile, threads, strategy, layout, out, svg } => {
             run_profile(*shape, *tile, *threads, *strategy, *layout, out, svg.as_deref())
@@ -655,8 +679,9 @@ fn run_bench(
             )
         })
         .collect();
+    let generated_by = provenance("bench");
     let json = format!(
-        "{{\n  \"generated_by\": \"streamk bench\",\n  \"smoke\": {smoke},\n  \"tile\": \"{tile}\",\n  \"simd_level\": \"{simd_level}\",\n  \"nproc\": {nproc},\n  \"bit_exact_f64\": true,\n  \"headline\": {{\n    \"shape\": \"{shape}\",\n    \"dtype\": \"f32\",\n    \"reps\": {reps},\n    \"timings_s\": {},\n    \"cached_timings_s\": {},\n    \"best_packed\": \"{}\",\n    \"speedup_packed_vs_blocked\": {speedup:.3},\n    \"best_simd\": \"{}\",\n    \"best_simd_gflops\": {:.2},\n    \"speedup_simd_vs_scalar\": {simd_speedup:.3}\n  }},\n  \"thread_scaling\": [\n{}\n  ],\n  \"parallel_efficiency\": [\n{}\n  ],\n  \"tracing_overhead\": {{\"shape\": \"{t_shape}\", \"threads\": {t_threads}, \"trace_off_s\": {trace_off:.6e}, \"trace_on_s\": {trace_on:.6e}, \"overhead_pct\": {overhead_pct:.2}, \"overhead_raw_pct\": {overhead_raw_pct:.2}, \"gate_pct\": 5.0, \"within_gate\": {trace_within_gate}}},\n  \"layout_comparison\": {{\n    \"shape\": \"{shape}\",\n    \"dtype\": \"f32\",\n    \"kernel\": \"{}\",\n    \"headline_layout\": \"{layout}\",\n    \"bit_exact\": true,\n    \"rows\": [\n{}\n    ]\n  }},\n  \"corpus\": [\n{}\n  ],\n  \"selection\": {{\"best\": \"{}\", \"shape\": \"{}\", \"timings_s\": {}}}\n}}\n",
+        "{{\n  \"generated_by\": \"{generated_by}\",\n  \"smoke\": {smoke},\n  \"tile\": \"{tile}\",\n  \"simd_level\": \"{simd_level}\",\n  \"nproc\": {nproc},\n  \"bit_exact_f64\": true,\n  \"headline\": {{\n    \"shape\": \"{shape}\",\n    \"dtype\": \"f32\",\n    \"reps\": {reps},\n    \"timings_s\": {},\n    \"cached_timings_s\": {},\n    \"best_packed\": \"{}\",\n    \"speedup_packed_vs_blocked\": {speedup:.3},\n    \"best_simd\": \"{}\",\n    \"best_simd_gflops\": {:.2},\n    \"speedup_simd_vs_scalar\": {simd_speedup:.3}\n  }},\n  \"thread_scaling\": [\n{}\n  ],\n  \"parallel_efficiency\": [\n{}\n  ],\n  \"tracing_overhead\": {{\"shape\": \"{t_shape}\", \"threads\": {t_threads}, \"trace_off_s\": {trace_off:.6e}, \"trace_on_s\": {trace_on:.6e}, \"overhead_pct\": {overhead_pct:.2}, \"overhead_raw_pct\": {overhead_raw_pct:.2}, \"gate_pct\": 5.0, \"within_gate\": {trace_within_gate}}},\n  \"layout_comparison\": {{\n    \"shape\": \"{shape}\",\n    \"dtype\": \"f32\",\n    \"kernel\": \"{}\",\n    \"headline_layout\": \"{layout}\",\n    \"bit_exact\": true,\n    \"rows\": [\n{}\n    ]\n  }},\n  \"corpus\": [\n{}\n  ],\n  \"selection\": {{\"best\": \"{}\", \"shape\": \"{}\", \"timings_s\": {}}}\n}}\n",
         json_timings(&headline),
         json_timings(&headline_cached),
         best_packed.0.name(),
@@ -698,7 +723,7 @@ fn splice_json_section(out_path: &str, key: &str, section: &str) -> std::io::Res
                 trimmed.strip_suffix('}').unwrap_or(trimmed).trim_end().to_string()
             }
         }
-        _ => "{\n  \"generated_by\": \"streamk select-bench\"".to_string(),
+        _ => format!("{{\n  \"generated_by\": \"{}\"", provenance("bench-splice")),
     };
     let sep = if body.trim_end().ends_with('{') { "" } else { "," };
     std::fs::write(out_path, format!("{body}{sep}\n  \"{key}\": {section}\n}}\n"))
@@ -992,8 +1017,9 @@ fn run_select_bench(
             )
         })
         .collect();
+    let generated_by = provenance("select-bench");
     let section = format!(
-        "{{\n    \"generated_by\": \"streamk select-bench\",\n    \"smoke\": {smoke},\n    \"workers\": {workers},\n    \"requested_threads\": {threads},\n    \"nproc\": {nproc},\n    \"top_k\": {top_k},\n    \"rounds\": {rounds},\n    \"reps\": {reps},\n    \"shapes\": {},\n    \"classes\": {},\n    \"all_bit_exact\": true,\n    \"cache_path\": \"{cache_path}\",\n    \"cache_loaded\": {cache_loaded},\n    \"cache_written\": {cache_written},\n    \"cache_reload_consistent\": {cache_reload_consistent},\n    \"distilled_classes\": {distilled_classes},\n    \"oracle_total_s\": {oracle_total:.6e},\n    \"cold_total_s\": {cold_total:.6e},\n    \"warm_total_s\": {warm_total:.6e},\n    \"distilled_total_s\": {distilled_total:.6e},\n    \"cold_regret_pct\": {cold_regret:.3},\n    \"warm_regret_pct\": {warm_regret:.3},\n    \"distilled_regret_pct\": {distilled_regret:.3},\n    \"distilled_vs_warm_pct\": {distilled_vs_warm:.3},\n    \"per_shape\": [\n{}\n    ]\n  }}",
+        "{{\n    \"generated_by\": \"{generated_by}\",\n    \"smoke\": {smoke},\n    \"workers\": {workers},\n    \"requested_threads\": {threads},\n    \"nproc\": {nproc},\n    \"top_k\": {top_k},\n    \"rounds\": {rounds},\n    \"reps\": {reps},\n    \"shapes\": {},\n    \"classes\": {},\n    \"all_bit_exact\": true,\n    \"cache_path\": \"{cache_path}\",\n    \"cache_loaded\": {cache_loaded},\n    \"cache_written\": {cache_written},\n    \"cache_reload_consistent\": {cache_reload_consistent},\n    \"distilled_classes\": {distilled_classes},\n    \"oracle_total_s\": {oracle_total:.6e},\n    \"cold_total_s\": {cold_total:.6e},\n    \"warm_total_s\": {warm_total:.6e},\n    \"distilled_total_s\": {distilled_total:.6e},\n    \"cold_regret_pct\": {cold_regret:.3},\n    \"warm_regret_pct\": {warm_regret:.3},\n    \"distilled_regret_pct\": {distilled_regret:.3},\n    \"distilled_vs_warm_pct\": {distilled_vs_warm:.3},\n    \"per_shape\": [\n{}\n    ]\n  }}",
         shapes.len(),
         warm.class_count(),
         per_shape.join(",\n"),
@@ -1021,6 +1047,205 @@ fn wave_skews(mut spans: Vec<(f64, f64)>, width: usize) -> Vec<f64> {
             hi - lo
         })
         .collect()
+}
+
+/// The Strassen–Winograd crossover study behind `streamk
+/// strassen-bench`: for each cubic size, the classical simd8x32
+/// executor races a forced depth-1 hybrid and an adaptive-depth
+/// hybrid (recursing under `cutoff`), every hybrid result is gated
+/// against the DESIGN.md §15 forward-error bound, and the section
+/// records the measured crossover point plus three structural gates
+/// (classical f64 bit-exactness through the fallback, fallback below
+/// the cutoff, and the service-path request group). Splices a
+/// `strassen_hybrid` section into `out_path`.
+fn run_strassen_bench(
+    cutoff: usize,
+    tile: TileShape,
+    reps: usize,
+    threads: usize,
+    smoke: bool,
+    out_path: &str,
+) -> String {
+    let mut out = String::new();
+    let exec = CpuExecutor::with_threads(threads).with_kernel(KernelKind::Simd8x32);
+    let sizes: &[usize] = if smoke { &[128, 256] } else { &[512, 768, 1024, 1536, 2048] };
+    let eps32 = machine_epsilon::<f32>();
+
+    let median = |times: &mut Vec<f64>| -> f64 {
+        times.sort_by(f64::total_cmp);
+        times[times.len() / 2]
+    };
+
+    let _ = writeln!(
+        out,
+        "strassen hybrid crossover: f32, {threads} thread(s), tile {tile}, cutoff {cutoff}, reps {reps}"
+    );
+    let _ = writeln!(
+        out,
+        "\n  {:>6} {:>13} {:>13} {:>13} {:>6} {:>11} {:>11}",
+        "size", "classical_s", "hybrid_d1_s", "adaptive_s", "depth", "max_err", "bound"
+    );
+
+    let mut rows = Vec::new();
+    let mut all_within = true;
+    let mut crossover: Option<usize> = None;
+    let mut largest: Option<(usize, f64, f64)> = None;
+    for &n in sizes {
+        let shape = GemmShape::new(n, n, n);
+        let a = Matrix::<f32>::random::<f32>(n, n, Layout::RowMajor, 0xA100 + n as u64);
+        let b = Matrix::<f32>::random::<f32>(n, n, Layout::RowMajor, 0xB100 + n as u64);
+        let decomp = leaf_decomposition(shape, tile, threads);
+
+        let c_classical: Matrix<f32> = exec.gemm(&a, &b, &decomp); // warm-up
+        let mut times: Vec<f64> = (0..reps)
+            .map(|_| {
+                let t0 = Instant::now();
+                let _: Matrix<f32> = exec.gemm(&a, &b, &decomp);
+                t0.elapsed().as_secs_f64()
+            })
+            .collect();
+        let classical_s = median(&mut times);
+
+        // Forced depth 1 regardless of the global cutoff — the
+        // crossover curve needs hybrid timings on both sides of it.
+        let d1_cfg =
+            StrassenConfig::enabled().with_max_depth(1).with_cutoff((n / 2).max(1));
+        let mut arena = StrassenArena::<f32, f32>::new();
+        let (c_d1, report_d1) =
+            exec.gemm_strassen_with_arena(&a, &b, tile, &d1_cfg, &mut arena);
+        let mut times: Vec<f64> = (0..reps)
+            .map(|_| {
+                let t0 = Instant::now();
+                let _ = exec.gemm_strassen_with_arena::<f32, f32>(&a, &b, tile, &d1_cfg, &mut arena);
+                t0.elapsed().as_secs_f64()
+            })
+            .collect();
+        let hybrid_d1_s = median(&mut times);
+
+        // Adaptive depth under the configured cutoff (the shipping
+        // configuration; below 2·cutoff this is the classical
+        // fallback and times the dispatch overhead).
+        let ad_cfg = StrassenConfig::enabled().with_max_depth(3).with_cutoff(cutoff);
+        let mut ad_arena = StrassenArena::<f32, f32>::new();
+        let (c_ad, report_ad) =
+            exec.gemm_strassen_with_arena(&a, &b, tile, &ad_cfg, &mut ad_arena);
+        let mut times: Vec<f64> = (0..reps)
+            .map(|_| {
+                let t0 = Instant::now();
+                let _ =
+                    exec.gemm_strassen_with_arena::<f32, f32>(&a, &b, tile, &ad_cfg, &mut ad_arena);
+                t0.elapsed().as_secs_f64()
+            })
+            .collect();
+        let adaptive_s = median(&mut times);
+
+        let (amax, bmax) = (max_abs(&a), max_abs(&b));
+        let classical_bound = strassen_error_bound(shape, 0, amax, bmax, eps32);
+        let err_d1 = c_d1.max_abs_diff(&c_classical);
+        let bound_d1 = strassen_error_bound(shape, 1, amax, bmax, eps32) + classical_bound;
+        let err_ad = c_ad.max_abs_diff(&c_classical);
+        let bound_ad =
+            strassen_error_bound(shape, report_ad.depth, amax, bmax, eps32) + classical_bound;
+        let within = err_d1 <= bound_d1 && err_ad <= bound_ad;
+        all_within &= within;
+
+        assert!(!report_d1.fell_back, "forced depth-1 must recurse at {n}");
+        if crossover.is_none() && hybrid_d1_s < classical_s {
+            crossover = Some(n);
+        }
+        largest = Some((n, classical_s, hybrid_d1_s.min(adaptive_s)));
+
+        let _ = writeln!(
+            out,
+            "  {n:>6} {classical_s:>13.3e} {hybrid_d1_s:>13.3e} {adaptive_s:>13.3e} {:>6} {err_d1:>11.3e} {bound_d1:>11.3e}{}",
+            report_ad.depth,
+            if within { "" } else { "  EXCEEDS BOUND" }
+        );
+        rows.push(format!(
+            "      {{\"size\": {n}, \"classical_s\": {classical_s:.6e}, \"hybrid_d1_s\": {hybrid_d1_s:.6e}, \"hybrid_adaptive_s\": {adaptive_s:.6e}, \"adaptive_depth\": {}, \"adaptive_leaves\": {}, \"d1_speedup\": {:.4}, \"max_abs_err_d1\": {err_d1:.6e}, \"err_bound_d1\": {bound_d1:.6e}, \"max_abs_err_adaptive\": {err_ad:.6e}, \"err_bound_adaptive\": {bound_ad:.6e}, \"within_bound\": {within}}}",
+            report_ad.depth,
+            report_ad.leaf_products,
+            classical_s / hybrid_d1_s,
+        ));
+    }
+
+    // Gate 1: the f64 fallback stays bit-identical to the classical
+    // executor (the hybrid never perturbs the disabled path).
+    let g = GemmShape::new(192, 160, 176);
+    let ga = Matrix::<f64>::random::<f64>(g.m, g.k, Layout::RowMajor, 51);
+    let gb = Matrix::<f64>::random::<f64>(g.k, g.n, Layout::RowMajor, 52);
+    let (gc, g_report) = exec.gemm_strassen::<f64, f64>(&ga, &gb, tile, &StrassenConfig::default());
+    let g_ref: Matrix<f64> = exec.gemm(&ga, &gb, &leaf_decomposition(g, tile, threads));
+    let classical_f64_bit_exact = g_report.fell_back && gc.max_abs_diff(&g_ref) == 0.0;
+
+    // Gate 2: an enabled config still falls back (bit-exactly) below
+    // its cutoff.
+    let fb_n = cutoff.max(32);
+    let fb = GemmShape::new(fb_n, fb_n, fb_n);
+    let fa = Matrix::<f32>::random::<f32>(fb.m, fb.k, Layout::RowMajor, 61);
+    let fbm = Matrix::<f32>::random::<f32>(fb.k, fb.n, Layout::RowMajor, 62);
+    let (fc, f_report) = exec.gemm_strassen::<f32, f32>(
+        &fa,
+        &fbm,
+        tile,
+        &StrassenConfig::enabled().with_cutoff(cutoff),
+    );
+    let f_ref: Matrix<f32> = exec.gemm(&fa, &fbm, &leaf_decomposition(fb, tile, threads));
+    let fallback_below_cutoff = f_report.fell_back && fc.max_abs_diff(&f_ref) == 0.0;
+
+    // Gate 3: the same recursion through the service's request-group
+    // surface completes as a unit and stays within the bound.
+    let s_n = if smoke { 128 } else { 512 };
+    let s_shape = GemmShape::new(s_n, s_n, s_n);
+    let sa = Matrix::<f32>::random::<f32>(s_n, s_n, Layout::RowMajor, 71);
+    let sb = Matrix::<f32>::random::<f32>(s_n, s_n, Layout::RowMajor, 72);
+    let s_cfg = StrassenConfig::enabled().with_max_depth(1).with_cutoff((s_n / 2).max(1));
+    let service = GemmService::<f32, f32>::start(&exec, ServeConfig::default());
+    let service_result = service.gemm_strassen(&sa, &sb, tile, &s_cfg);
+    service.shutdown();
+    let s_ref: Matrix<f32> = exec.gemm(&sa, &sb, &leaf_decomposition(s_shape, tile, threads));
+    let s_bound = strassen_error_bound(s_shape, 1, max_abs(&sa), max_abs(&sb), eps32)
+        + strassen_error_bound(s_shape, 0, max_abs(&sa), max_abs(&sb), eps32);
+    let service_group_ok = match &service_result {
+        Ok((c, report)) => !report.fell_back && c.max_abs_diff(&s_ref) <= s_bound,
+        Err(_) => false,
+    };
+
+    let (largest_size, largest_classical, largest_hybrid) =
+        largest.expect("at least one size");
+    let speedup_at_largest = largest_classical / largest_hybrid;
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "  crossover (hybrid d1 < classical): {}",
+        crossover.map_or("not reached".to_string(), |n| format!("{n}³")),
+    );
+    let _ = writeln!(
+        out,
+        "  at {largest_size}³: hybrid {:.3e}s vs classical {:.3e}s ({speedup_at_largest:.3}x)",
+        largest_hybrid, largest_classical
+    );
+    let _ = writeln!(out, "  classical f64 bit-exact: {classical_f64_bit_exact}");
+    let _ = writeln!(out, "  fallback below cutoff:   {fallback_below_cutoff}");
+    let _ = writeln!(out, "  service group path:      {service_group_ok}");
+    let _ = writeln!(out, "  all within error bound:  {all_within}");
+
+    let generated_by = provenance("strassen-bench");
+    let section = format!(
+        "{{\n    \"generated_by\": \"{generated_by}\",\n    \"smoke\": {smoke},\n    \"dtype\": \"f32\",\n    \"kernel\": \"simd8x32\",\n    \"threads\": {threads},\n    \"tile\": \"{tile}\",\n    \"cutoff\": {cutoff},\n    \"reps\": {reps},\n    \"rows\": [\n{}\n    ],\n    \"classical_f64_bit_exact\": {classical_f64_bit_exact},\n    \"fallback_below_cutoff\": {fallback_below_cutoff},\n    \"service_group_ok\": {service_group_ok},\n    \"all_within_bound\": {all_within},\n    \"crossover_size\": {},\n    \"largest_size\": {largest_size},\n    \"classical_s_at_largest\": {largest_classical:.6e},\n    \"hybrid_s_at_largest\": {largest_hybrid:.6e},\n    \"hybrid_speedup_at_largest\": {speedup_at_largest:.4},\n    \"hybrid_beats_classical_at_largest\": {}\n  }}",
+        rows.join(",\n"),
+        crossover.map_or("null".to_string(), |n| n.to_string()),
+        speedup_at_largest >= 1.0,
+    );
+    match splice_json_section(out_path, "strassen_hybrid", &section) {
+        Ok(()) => {
+            let _ = writeln!(out, "\nspliced strassen_hybrid into {out_path}");
+        }
+        Err(e) => {
+            let _ = writeln!(out, "\nfailed to write {out_path}: {e}");
+        }
+    }
+    out
 }
 
 /// The measured-vs-modeled study behind `streamk profile`: one
@@ -1491,8 +1716,9 @@ fn run_serve_bench(
         if all_contract { "yes" } else { "NO" }
     );
 
+    let generated_by = provenance("serve-bench");
     let json = format!(
-        "{{\n  \"generated_by\": \"streamk serve-bench\",\n  \"smoke\": {smoke},\n  \"threads\": {threads},\n  \"requests_per_mix\": {requests},\n  \"window\": {window},\n  \"capacity\": {capacity},\n  \"watchdog_ms\": {watchdog_ms},\n  \"mixes\": [\n{}\n  ],\n  \"all_bit_exact\": {all_exact},\n  \"all_contracts_ok\": {all_contract},\n  \"total_pool_poisonings\": {poisonings}\n}}\n",
+        "{{\n  \"generated_by\": \"{generated_by}\",\n  \"smoke\": {smoke},\n  \"threads\": {threads},\n  \"requests_per_mix\": {requests},\n  \"window\": {window},\n  \"capacity\": {capacity},\n  \"watchdog_ms\": {watchdog_ms},\n  \"mixes\": [\n{}\n  ],\n  \"all_bit_exact\": {all_exact},\n  \"all_contracts_ok\": {all_contract},\n  \"total_pool_poisonings\": {poisonings}\n}}\n",
         mix_json.join(",\n"),
     );
     match std::fs::write(out_path, &json) {

@@ -47,6 +47,7 @@ pub mod pad;
 pub mod pool;
 pub mod sched;
 pub mod serve;
+pub mod strassen;
 // The one module allowed to hold unsafe code: the `std::arch` SIMD
 // kernels plus the TypeId-guarded slice casts that feed them. Every
 // unsafe block carries its safety argument inline.
@@ -66,8 +67,8 @@ pub use pad::CachePadded;
 pub use pool::{ScratchStore, WorkerPool};
 pub use sched::{Claim, CtaScheduler, GridCursor};
 pub use serve::{
-    AdmissionError, CompletionHandle, GemmService, LaunchRequest, Priority, RequestStats,
-    ServeConfig, ServeError, ServiceStats,
+    AdmissionError, CompletionHandle, GemmService, GroupError, GroupHandle, LaunchRequest,
+    Priority, RequestStats, ServeConfig, ServeError, ServiceStats,
 };
 pub use microkernel::{
     mac_loop_blocked, mac_loop_cached, mac_loop_kernel, mac_loop_packed, mac_loop_simd, KernelKind,
@@ -76,5 +77,9 @@ pub use microkernel::{
 };
 pub use packcache::{mac_loop_kernel_cached, PackCache, PanelGuard};
 pub use simd::SimdLevel;
+pub use strassen::{
+    leaf_decomposition, machine_epsilon, max_abs, recombine_quadrants, split_quadrants,
+    strassen_error_bound, StrassenArena, StrassenConfig, StrassenReport, StrassenServeError,
+};
 pub use trace::{ExecTrace, Histogram, Metrics, Span, SpanRing, WorkerTrace};
 pub use workspace::Workspace;

@@ -259,11 +259,13 @@ mod tests {
                     strategy: Strategy::DataParallel,
                     tile: TileShape::new(64, 64, 16),
                     kernel: KernelKind::Simd8x32,
+                    strassen_depth: 0,
                 },
                 Candidate {
                     strategy: Strategy::StreamK { grid: 4 },
                     tile: TileShape::new(32, 32, 16),
                     kernel: KernelKind::Packed4x8,
+                    strassen_depth: 0,
                 },
             ]);
             entry.stats[0].record(1e-3 * (i + 1) as f64, 1e-5);
@@ -320,11 +322,13 @@ mod tests {
                 strategy: Strategy::DataParallel,
                 tile: TileShape::new(64, 64, 16),
                 kernel: KernelKind::Simd8x32,
+                strassen_depth: 0,
             },
             Candidate {
                 strategy: Strategy::StreamK { grid: 4 },
                 tile: TileShape::new(64, 64, 16),
                 kernel: KernelKind::Simd8x32,
+                strassen_depth: 0,
             },
         ]);
         assert_eq!(entry.winner(), None);

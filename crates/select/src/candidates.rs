@@ -8,12 +8,13 @@
 //! on it.
 
 use streamk_core::{Decomposition, Strategy};
-use streamk_cpu::KernelKind;
+use streamk_cpu::{KernelKind, StrassenConfig};
 use streamk_ensemble::HeuristicSelector;
 use streamk_tune::{candidate_tiles, estimated_efficiency};
 use streamk_types::{GemmShape, Precision, TileShape};
 
-/// One selectable schedule: strategy × tile × microkernel.
+/// One selectable schedule: strategy × tile × microkernel, plus an
+/// optional Strassen–Winograd recursion depth on top.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Candidate {
     /// The decomposition strategy.
@@ -22,6 +23,11 @@ pub struct Candidate {
     pub tile: TileShape,
     /// The microkernel executing every MAC-loop segment.
     pub kernel: KernelKind,
+    /// Strassen–Winograd recursion depth; `0` is the classical
+    /// (bit-exact) path. Non-zero candidates only enter slates when
+    /// the selector was built with an enabled
+    /// [`StrassenConfig`] — opt-in stays explicit end to end.
+    pub strassen_depth: u8,
 }
 
 impl Candidate {
@@ -41,7 +47,14 @@ impl Candidate {
             Strategy::DpOneTileStreamK { sms } => format!("dp1.{sms}"),
             Strategy::TwoTileStreamKDp { sms } => format!("sk2.{sms}"),
         };
-        format!("{strategy} {} {}", self.tile, self.kernel.name())
+        // The Strassen token is appended only when present so
+        // classical encodings — and every cache image written before
+        // the hybrid existed — stay byte-identical.
+        if self.strassen_depth > 0 {
+            format!("{strategy} {} {} sw.{}", self.tile, self.kernel.name(), self.strassen_depth)
+        } else {
+            format!("{strategy} {} {}", self.tile, self.kernel.name())
+        }
     }
 
     /// Parses an [`encode`](Self::encode)d candidate.
@@ -51,6 +64,16 @@ impl Candidate {
         let strat = parts.next()?;
         let tile: TileShape = parts.next()?.parse().ok()?;
         let kernel = KernelKind::parse(parts.next()?)?;
+        let strassen_depth = match parts.next() {
+            None => 0,
+            Some(token) => {
+                let depth: u8 = token.strip_prefix("sw.")?.parse().ok()?;
+                if depth == 0 {
+                    return None;
+                }
+                depth
+            }
+        };
         if parts.next().is_some() {
             return None;
         }
@@ -62,13 +85,17 @@ impl Candidate {
             Some(("sk2", v)) => Strategy::TwoTileStreamKDp { sms: v.parse().ok()? },
             _ => return None,
         };
-        Some(Self { strategy, tile, kernel })
+        Some(Self { strategy, tile, kernel, strassen_depth })
     }
 }
 
 impl std::fmt::Display for Candidate {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{} @ {} [{}]", self.strategy, self.tile, self.kernel.name())
+        write!(f, "{} @ {} [{}]", self.strategy, self.tile, self.kernel.name())?;
+        if self.strassen_depth > 0 {
+            write!(f, " sw.{}", self.strassen_depth)?;
+        }
+        Ok(())
     }
 }
 
@@ -143,13 +170,37 @@ pub fn candidates_for(
     workers: usize,
     top_k: usize,
 ) -> Vec<Candidate> {
+    candidates_for_with(shape, precision, workers, top_k, None)
+}
+
+/// [`candidates_for`] plus the opt-in Strassen–Winograd hybrid: when
+/// `strassen` is enabled and the shape class is large enough to
+/// recurse (its [`StrassenConfig::effective_depth`] is non-zero),
+/// one hybrid candidate — the slate seed's tile and kernel at that
+/// depth — is appended after the classical slate. It rides outside
+/// `top_k` like the heuristic seed does, so enabling the hybrid
+/// never evicts a classical candidate; the epsilon-greedy loop then
+/// measures whether sub-cubic actually wins on this machine.
+///
+/// # Panics
+///
+/// Panics if `workers == 0` or `top_k == 0`.
+#[must_use]
+pub fn candidates_for_with(
+    shape: GemmShape,
+    precision: Precision,
+    workers: usize,
+    top_k: usize,
+    strassen: Option<&StrassenConfig>,
+) -> Vec<Candidate> {
     assert!(workers > 0, "workers must be at least 1");
     assert!(top_k > 0, "top_k must be at least 1");
 
     let heuristic =
         HeuristicSelector::new(streamk_ensemble::TileEnsemble::for_precision(precision), workers);
     let (config, strategy) = heuristic.select(shape);
-    let seed = Candidate { strategy, tile: config.tile, kernel: KernelKind::default() };
+    let seed =
+        Candidate { strategy, tile: config.tile, kernel: KernelKind::default(), strassen_depth: 0 };
 
     let mut strategies = vec![
         Strategy::DataParallel,
@@ -165,7 +216,7 @@ pub fn candidates_for(
     for tile in candidate_tiles(precision) {
         for &strategy in &strategies {
             for &kernel in &kernel_palette() {
-                let candidate = Candidate { strategy, tile, kernel };
+                let candidate = Candidate { strategy, tile, kernel, strassen_depth: 0 };
                 if candidate == seed || !feasible(&candidate, shape, workers) {
                     continue;
                 }
@@ -181,6 +232,19 @@ pub fn candidates_for(
             break;
         }
         slate.push(candidate);
+    }
+
+    if let Some(cfg) = strassen {
+        let depth = cfg.effective_depth(shape);
+        if depth > 0 {
+            // The hybrid reuses the seed's tile and kernel for its
+            // leaf launches; its own residency guard degrades the
+            // grouped burst to data-parallel when Stream-K would
+            // oversubscribe the workers, so the candidate is always
+            // runnable.
+            let depth = u8::try_from(depth).unwrap_or(u8::MAX);
+            slate.push(Candidate { strassen_depth: depth, ..seed });
+        }
     }
     slate
 }
@@ -200,13 +264,58 @@ mod tests {
             Strategy::TwoTileStreamKDp { sms: 8 },
         ] {
             for kernel in KernelKind::ALL {
-                let c = Candidate { strategy, tile: TileShape::new(32, 64, 8), kernel };
-                assert_eq!(Candidate::decode(&c.encode()), Some(c), "{c}");
+                for strassen_depth in [0u8, 1, 2] {
+                    let c = Candidate {
+                        strategy,
+                        tile: TileShape::new(32, 64, 8),
+                        kernel,
+                        strassen_depth,
+                    };
+                    assert_eq!(Candidate::decode(&c.encode()), Some(c), "{c}");
+                }
             }
         }
         assert_eq!(Candidate::decode("nope 32x32x8 scalar"), None);
         assert_eq!(Candidate::decode("dp 32x32x8"), None);
         assert_eq!(Candidate::decode("dp 32x32x8 scalar extra"), None);
+        // The Strassen token must be well-formed and non-zero.
+        assert_eq!(Candidate::decode("dp 32x32x8 scalar sw.0"), None);
+        assert_eq!(Candidate::decode("dp 32x32x8 scalar sw.x"), None);
+        assert_eq!(Candidate::decode("dp 32x32x8 scalar sw.1 extra"), None);
+    }
+
+    #[test]
+    fn classical_encoding_has_no_strassen_token() {
+        // Pre-hybrid cache images must keep round-tripping.
+        let c = Candidate {
+            strategy: Strategy::DataParallel,
+            tile: TileShape::new(64, 64, 16),
+            kernel: KernelKind::Simd8x32,
+            strassen_depth: 0,
+        };
+        assert_eq!(c.encode(), "dp 64x64x16 simd8x32");
+    }
+
+    #[test]
+    fn strassen_candidate_joins_large_slates_only_when_opted_in() {
+        use streamk_cpu::StrassenConfig;
+        let big = GemmShape::new(2048, 2048, 2048);
+        let small = GemmShape::new(256, 256, 256);
+        let cfg = StrassenConfig::enabled();
+
+        let plain = candidates_for(big, Precision::Fp64, 4, 8);
+        assert!(plain.iter().all(|c| c.strassen_depth == 0));
+
+        let hybrid = candidates_for_with(big, Precision::Fp64, 4, 8, Some(&cfg));
+        assert_eq!(hybrid.len(), plain.len() + 1, "hybrid must not evict classicals");
+        assert_eq!(hybrid[..plain.len()], plain[..]);
+        let last = hybrid.last().unwrap();
+        assert_eq!(last.strassen_depth, 1);
+        assert_eq!(last.tile, hybrid[0].tile);
+
+        // Below the cutoff the slate stays purely classical.
+        let below = candidates_for_with(small, Precision::Fp64, 4, 8, Some(&cfg));
+        assert!(below.iter().all(|c| c.strassen_depth == 0));
     }
 
     #[test]

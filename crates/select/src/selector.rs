@@ -16,10 +16,10 @@
 //!    winner (near-ties broken by fixup wait stall from `ExecStats`).
 
 use crate::cache::{ClassEntry, SelectionCache};
-use crate::candidates::{candidates_for, Candidate};
+use crate::candidates::{candidates_for_with, Candidate};
 use crate::class::ShapeClass;
 use std::path::PathBuf;
-use streamk_cpu::{ExecStats, RequestStats};
+use streamk_cpu::{ExecStats, RequestStats, StrassenConfig};
 use streamk_ensemble::{HeuristicSelector, TileEnsemble};
 use streamk_tune::DecisionTree;
 use streamk_types::{GemmShape, Layout, Precision};
@@ -39,6 +39,12 @@ pub struct SelectorConfig {
     pub seed: u64,
     /// Cache file; `None` keeps the table in memory only.
     pub cache_path: Option<PathBuf>,
+    /// Opt-in Strassen–Winograd hybrid: when set (and enabled),
+    /// shape classes large enough to recurse gain one hybrid
+    /// candidate and [`SelectingExecutor`](crate::SelectingExecutor)
+    /// routes it through `gemm_strassen`. `None` keeps every slate
+    /// purely classical.
+    pub strassen: Option<StrassenConfig>,
 }
 
 impl SelectorConfig {
@@ -46,7 +52,15 @@ impl SelectorConfig {
     /// persistence.
     #[must_use]
     pub fn new(precision: Precision, workers: usize) -> Self {
-        Self { precision, workers, top_k: 8, epsilon: 0.1, seed: 0x5eed_cafe, cache_path: None }
+        Self {
+            precision,
+            workers,
+            top_k: 8,
+            epsilon: 0.1,
+            seed: 0x5eed_cafe,
+            cache_path: None,
+            strassen: None,
+        }
     }
 
     /// Sets the slate size.
@@ -74,6 +88,13 @@ impl SelectorConfig {
     #[must_use]
     pub fn with_cache_path(mut self, path: impl Into<PathBuf>) -> Self {
         self.cache_path = Some(path.into());
+        self
+    }
+
+    /// Opts the Strassen–Winograd hybrid into the candidate slates.
+    #[must_use]
+    pub fn with_strassen(mut self, strassen: StrassenConfig) -> Self {
+        self.strassen = Some(strassen);
         self
     }
 }
@@ -199,7 +220,13 @@ impl AdaptiveSelector {
     fn entry_mut(&mut self, class: ShapeClass, shape: GemmShape) -> &mut ClassEntry {
         let config = &self.config;
         self.cache.entries.entry(class).or_insert_with(|| {
-            ClassEntry::new(candidates_for(shape, config.precision, config.workers, config.top_k))
+            ClassEntry::new(candidates_for_with(
+                shape,
+                config.precision,
+                config.workers,
+                config.top_k,
+                config.strassen.as_ref(),
+            ))
         })
     }
 
