@@ -127,6 +127,9 @@ pub enum Command {
         smoke: bool,
         /// Output path for the JSON report.
         out: String,
+        /// Optional output path for a Prometheus text snapshot of the
+        /// service's telemetry registry, taken at shutdown.
+        metrics_out: Option<String>,
     },
     /// Strassen–Winograd hybrid crossover benchmark, splicing a
     /// `strassen_hybrid` section into `BENCH_cpu.json`.
@@ -181,6 +184,10 @@ pub enum Command {
         out: String,
         /// Optional output path for the measured-timeline SVG.
         svg: Option<String>,
+        /// Also run a traced `GemmService` campaign over the same
+        /// shape and merge per-request tracks (queue-wait included)
+        /// into the Chrome trace.
+        serve: bool,
     },
     /// SVG schedule to a file.
     Svg {
@@ -208,10 +215,10 @@ USAGE:
   streamk corpus   [count]
   streamk chaos    <m> <n> <k> [--tile MxNxK] [--seeds N] [--threads T] [--watchdog-ms MS] [--serve]
   streamk bench    [--size N] [--tile MxNxK] [--corpus C] [--reps R] [--layout L] [--out FILE] [--smoke]
-  streamk serve-bench [--threads T] [--requests N] [--window W] [--capacity C] [--watchdog-ms MS] [--out FILE] [--smoke]
-  streamk select-bench [--shapes N] [--rounds R] [--reps P] [--threads T] [--cache FILE] [--out FILE] [--smoke]
+  streamk serve-bench [--threads T] [--requests N] [--window W] [--capacity C] [--watchdog-ms MS] [--out FILE] [--metrics-out FILE] [--smoke]
+  streamk select-bench [--shapes N] [--rounds R] [--reps P] [--threads T] [--select-cache FILE] [--out FILE] [--smoke]
   streamk strassen-bench [--cutoff N] [--tile MxNxK] [--reps R] [--threads T] [--out FILE] [--smoke]
-  streamk profile  <m> <n> <k> [--tile MxNxK] [--threads T] [--strategy S] [--layout L] [--out FILE] [--svg FILE]
+  streamk profile  <m> <n> <k> [--tile MxNxK] [--threads T] [--strategy S] [--layout L] [--out FILE] [--svg FILE] [--serve]
   streamk svg      <m> <n> <k> --out FILE [--tile MxNxK] [--sms P] [--strategy S]
   streamk help
 
@@ -424,6 +431,7 @@ impl Cli {
                     })?,
                     smoke,
                     out: get_flag(&flags, "out").unwrap_or("BENCH_serve.json").to_string(),
+                    metrics_out: get_flag(&flags, "metrics-out").map(String::from),
                 }
             }
             "strassen-bench" => {
@@ -463,7 +471,14 @@ impl Cli {
                     reps: parse_usize("reps", if smoke { 2 } else { 3 }, &flags)?,
                     threads: parse_usize("threads", 4, &flags)?,
                     smoke,
-                    cache: get_flag(&flags, "cache").unwrap_or("SELECT_cache").to_string(),
+                    // --select-cache is the documented spelling;
+                    // --cache stays accepted for compatibility. The
+                    // default lives under target/ so scratch state
+                    // never lands in the working tree.
+                    cache: get_flag(&flags, "select-cache")
+                        .or_else(|| get_flag(&flags, "cache"))
+                        .unwrap_or("target/SELECT_cache")
+                        .to_string(),
                     out: get_flag(&flags, "out").unwrap_or("BENCH_cpu.json").to_string(),
                 }
             }
@@ -503,6 +518,7 @@ impl Cli {
                     layout: get_flag(&flags, "layout").map_or(Ok(Layout::RowMajor), parse_layout)?,
                     out: get_flag(&flags, "out").unwrap_or("TRACE_profile.json").to_string(),
                     svg: get_flag(&flags, "svg").map(String::from),
+                    serve: get_flag(&flags, "serve") == Some("true"),
                 }
             }
             "svg" => {
@@ -698,15 +714,20 @@ mod tests {
                 watchdog_ms: 200,
                 smoke: false,
                 out: "BENCH_serve.json".into(),
+                metrics_out: None,
             }
         );
-        let cli = Cli::parse(&argv("serve-bench --smoke --threads 4 --out /tmp/s.json")).unwrap();
+        let cli = Cli::parse(&argv(
+            "serve-bench --smoke --threads 4 --out /tmp/s.json --metrics-out /tmp/m.prom",
+        ))
+        .unwrap();
         match cli.command {
-            Command::ServeBench { threads, requests, smoke, out, .. } => {
+            Command::ServeBench { threads, requests, smoke, out, metrics_out, .. } => {
                 assert!(smoke);
                 assert_eq!(threads, 4);
                 assert_eq!(requests, 16);
                 assert_eq!(out, "/tmp/s.json");
+                assert_eq!(metrics_out.as_deref(), Some("/tmp/m.prom"));
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -725,10 +746,15 @@ mod tests {
                 reps: 3,
                 threads: 4,
                 smoke: false,
-                cache: "SELECT_cache".into(),
+                cache: "target/SELECT_cache".into(),
                 out: "BENCH_cpu.json".into(),
             }
         );
+        let cli = Cli::parse(&argv("select-bench --select-cache /tmp/sc")).unwrap();
+        match cli.command {
+            Command::SelectBench { cache, .. } => assert_eq!(cache, "/tmp/sc"),
+            other => panic!("unexpected {other:?}"),
+        }
         let cli = Cli::parse(&argv("select-bench --smoke --cache /tmp/c --out /tmp/b.json")).unwrap();
         match cli.command {
             Command::SelectBench { shapes, rounds, reps, smoke, cache, out, .. } => {
@@ -786,8 +812,14 @@ mod tests {
                 layout: Layout::RowMajor,
                 out: "TRACE_profile.json".into(),
                 svg: None,
+                serve: false,
             }
         );
+        let cli = Cli::parse(&argv("profile 64 64 64 --serve")).unwrap();
+        match cli.command {
+            Command::Profile { serve, .. } => assert!(serve),
+            other => panic!("unexpected {other:?}"),
+        }
         let cli = Cli::parse(&argv("profile 64 64 64 --layout morton")).unwrap();
         match cli.command {
             Command::Profile { layout, .. } => assert_eq!(layout, Layout::BlockMajorZ),

@@ -2,6 +2,7 @@
 
 use crate::args::{Cli, Command, StrategyArg, USAGE};
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use streamk_core::{
     CostModel, Decomposition, GridSizeModel, IterSpace, Phase, SpanKind, TraceWriter,
@@ -12,7 +13,8 @@ use streamk_cpu::{
     leaf_decomposition, mac_loop_kernel, mac_loop_kernel_cached, machine_epsilon, max_abs,
     select_kernel_on, strassen_error_bound, CpuExecutor, FaultKind, FaultPlan, GemmService,
     KernelKind, LaunchRequest, PackBuffers, PackCache, Priority, ServeConfig, ServeError,
-    ServeFaultKind, ServeFaultPlan, SimdLevel, StrassenArena, StrassenConfig, WaitPolicy,
+    ServeFaultKind, ServeFaultPlan, ServiceCounter, SimdLevel, StrassenArena, StrassenConfig,
+    TelemetryRegistry, WaitPolicy,
 };
 use streamk_cpu::macloop::mac_loop_view;
 use streamk_ensemble::runners;
@@ -177,17 +179,33 @@ pub fn execute(cli: &Cli) -> String {
         Command::Bench { size, tile, corpus, reps, smoke, layout, out } => {
             run_bench(*size, *tile, *corpus, *reps, *smoke, *layout, out)
         }
-        Command::ServeBench { threads, requests, window, capacity, watchdog_ms, smoke, out } => {
-            run_serve_bench(*threads, *requests, *window, *capacity, *watchdog_ms, *smoke, out)
-        }
+        Command::ServeBench {
+            threads,
+            requests,
+            window,
+            capacity,
+            watchdog_ms,
+            smoke,
+            out,
+            metrics_out,
+        } => run_serve_bench(
+            *threads,
+            *requests,
+            *window,
+            *capacity,
+            *watchdog_ms,
+            *smoke,
+            out,
+            metrics_out.as_deref(),
+        ),
         Command::SelectBench { shapes, rounds, reps, threads, smoke, cache, out } => {
             run_select_bench(*shapes, *rounds, *reps, *threads, *smoke, cache, out)
         }
         Command::StrassenBench { cutoff, tile, reps, threads, smoke, out } => {
             run_strassen_bench(*cutoff, *tile, *reps, *threads, *smoke, out)
         }
-        Command::Profile { shape, tile, threads, strategy, layout, out, svg } => {
-            run_profile(*shape, *tile, *threads, *strategy, *layout, out, svg.as_deref())
+        Command::Profile { shape, tile, threads, strategy, layout, out, svg, serve } => {
+            run_profile(*shape, *tile, *threads, *strategy, *layout, out, svg.as_deref(), *serve)
         }
         Command::Svg { shape, tile, sms, strategy, out } => {
             let decomp = build(*strategy, *shape, *tile, *sms, Precision::Fp64);
@@ -1257,6 +1275,7 @@ fn run_strassen_bench(
 /// matched per-"SM" throughput. Emits a merged Chrome trace (pid 1 =
 /// measured workers, pid 2 = predicted SMs) and optionally the
 /// measured timeline as SVG.
+#[allow(clippy::too_many_arguments)]
 fn run_profile(
     shape: GemmShape,
     tile: TileShape,
@@ -1265,6 +1284,7 @@ fn run_profile(
     layout: Layout,
     out_path: &str,
     svg_path: Option<&str>,
+    serve: bool,
 ) -> String {
     let mut out = String::new();
     let decomp = build(strategy, shape, tile, threads, Precision::Fp64);
@@ -1399,10 +1419,54 @@ fn run_profile(
     let mut w = TraceWriter::new();
     trace.write_chrome_trace(&mut w, 1, &format!("streamk-cpu measured ({threads} workers)"));
     write_chrome_trace(&mut w, &report, 2);
+    let mut processes = 2;
+
+    // --serve: the same launch as a traced service campaign. Each
+    // request renders as its own track, with queue-wait a first-class
+    // phase ahead of its CTA/MAC/fixup spans.
+    if serve {
+        let n_requests = 6.min(threads * 2).max(2);
+        let service =
+            GemmService::<f64, f64>::start(&exec, ServeConfig::default().with_trace(true));
+        let handles: Vec<_> = (0..n_requests)
+            .map(|i| {
+                let req = LaunchRequest::new(a.clone(), b.clone(), decomp.clone())
+                    .with_priority(Priority::ALL[i % Priority::ALL.len()]);
+                service.submit(req).expect("profile request admitted")
+            })
+            .collect();
+        let mut serve_exact = true;
+        for h in handles {
+            match h.wait() {
+                Ok((c, _)) => serve_exact &= c.max_abs_diff(&baseline) == 0.0,
+                Err(_) => serve_exact = false,
+            }
+        }
+        // Harvest after shutdown: the join guarantees the trailing
+        // CTA span of each completing claim has been remnant-merged.
+        let registry = service.telemetry();
+        service.shutdown();
+        let strace = registry.take_trace();
+        let queue_waits: usize = strace
+            .requests
+            .iter()
+            .map(|r| r.spans.iter().filter(|s| s.kind == SpanKind::QueueWait).count())
+            .sum();
+        let _ = writeln!(
+            out,
+            "\nserve campaign: {} request tracks ({} dropped), {queue_waits} queue-wait spans, bit-exact {}",
+            strace.requests.len(),
+            strace.dropped_requests,
+            if serve_exact { "yes" } else { "NO" }
+        );
+        strace.write_chrome_trace(&mut w, 3, "streamk-serve requests");
+        processes = 3;
+    }
+
     let events = w.events();
     match std::fs::write(out_path, w.finish()) {
         Ok(()) => {
-            let _ = writeln!(out, "\nwrote {out_path} ({events} trace events, 2 processes)");
+            let _ = writeln!(out, "\nwrote {out_path} ({events} trace events, {processes} processes)");
         }
         Err(e) => {
             let _ = writeln!(out, "\nfailed to write {out_path}: {e}");
@@ -1505,6 +1569,10 @@ struct ServeMixOutcome {
     bit_exact: bool,
     contract_ok: bool,
     pool_poisonings: usize,
+    incidents: u64,
+    /// The mix's telemetry registry, alive past service shutdown —
+    /// the `--metrics-out` snapshot and incident dumps come from here.
+    registry: Arc<TelemetryRegistry>,
 }
 
 /// Runs one mix of requests through a fresh executor + service:
@@ -1518,6 +1586,7 @@ fn run_serve_mix(
     window: usize,
     capacity: usize,
     watchdog: Duration,
+    oversubscribed: bool,
 ) -> ServeMixOutcome {
     let tile = TileShape::new(16, 16, 8);
     let exec = CpuExecutor::with_threads(threads).with_watchdog(watchdog);
@@ -1586,10 +1655,12 @@ fn run_serve_mix(
         }
     }
     let wall = t0.elapsed().as_secs_f64();
+    let registry = service.telemetry();
     let stats = service.shutdown();
     if let Some(prev) = prev_hook {
         std::panic::set_hook(prev);
     }
+    let incidents = registry.get(ServiceCounter::Incidents);
 
     latencies.sort_by(f64::total_cmp);
     let pct = |p: f64| {
@@ -1610,7 +1681,7 @@ fn run_serve_mix(
         if bit_exact && contract_ok { "yes" } else { "NO" }
     );
     let json = format!(
-        "    {{\"name\": \"{name}\", \"requests\": {}, \"window\": {window}, \"capacity\": {capacity}, \"submitted\": {}, \"completed\": {}, \"rejected\": {}, \"timed_out\": {}, \"cancelled\": {}, \"panicked\": {}, \"failed\": {}, \"requests_per_s\": {rps:.2}, \"p50_latency_s\": {p50:.6e}, \"p99_latency_s\": {p99:.6e}, \"bit_exact\": {bit_exact}, \"contract_ok\": {contract_ok}, \"pool_poisonings\": {}}}",
+        "    {{\"name\": \"{name}\", \"requests\": {}, \"threads\": {threads}, \"oversubscribed\": {oversubscribed}, \"window\": {window}, \"capacity\": {capacity}, \"submitted\": {}, \"completed\": {}, \"rejected\": {}, \"timed_out\": {}, \"cancelled\": {}, \"panicked\": {}, \"failed\": {}, \"requests_per_s\": {rps:.2}, \"p50_latency_s\": {p50:.6e}, \"p99_latency_s\": {p99:.6e}, \"bit_exact\": {bit_exact}, \"contract_ok\": {contract_ok}, \"pool_poisonings\": {}, \"incidents\": {incidents}}}",
         specs.len(),
         stats.submitted,
         stats.completed,
@@ -1621,7 +1692,59 @@ fn run_serve_mix(
         stats.failed,
         stats.pool_poisonings,
     );
-    ServeMixOutcome { text, json, bit_exact, contract_ok, pool_poisonings: stats.pool_poisonings }
+    ServeMixOutcome {
+        text,
+        json,
+        bit_exact,
+        contract_ok,
+        pool_poisonings: stats.pool_poisonings,
+        incidents,
+        registry,
+    }
+}
+
+/// Wall time of one fault-free uniform burst through a fresh service,
+/// for the tracing-overhead comparison. `traced` toggles per-request
+/// span rings; everything else is identical.
+fn time_serve_burst(
+    threads: usize,
+    window: usize,
+    capacity: usize,
+    requests: usize,
+    traced: bool,
+) -> f64 {
+    // Heavy enough that each request's MAC work dwarfs per-span
+    // bookkeeping — the overhead figure is the tracing tax on real
+    // requests, not on ring setup for near-empty ones.
+    let shape = GemmShape::new(160, 128, 96);
+    let tile = TileShape::new(16, 16, 8);
+    let grid = 4usize.min(threads.max(2));
+    let decomp = Decomposition::stream_k(shape, tile, grid);
+    let a = Matrix::<f64>::random::<f64>(shape.m, shape.k, Layout::RowMajor, 0x7E1E);
+    let b = Matrix::<f64>::random::<f64>(shape.k, shape.n, Layout::RowMajor, 0x7E1F);
+    let exec = CpuExecutor::with_threads(threads);
+    let service = GemmService::<f64, f64>::start(
+        &exec,
+        ServeConfig::default()
+            .with_window(window)
+            .with_capacity(capacity)
+            .with_trace(traced)
+            .with_trace_capacity(512),
+    );
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..requests)
+        .map(|_| {
+            service
+                .submit(LaunchRequest::new(a.clone(), b.clone(), decomp.clone()))
+                .expect("burst fits the queue")
+        })
+        .collect();
+    for h in handles {
+        let _ = h.wait();
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    service.shutdown();
+    wall
 }
 
 /// The concurrent-launch benchmark behind `streamk serve-bench`:
@@ -1630,6 +1753,7 @@ fn run_serve_mix(
 /// campaign under queue pressure — reporting throughput, p50/p99
 /// latency, admission rejections, deadline timeouts, and the
 /// bit-exactness verdict per mix to stdout and `out` as JSON.
+#[allow(clippy::too_many_arguments)]
 fn run_serve_bench(
     threads: usize,
     requests: usize,
@@ -1638,6 +1762,7 @@ fn run_serve_bench(
     watchdog_ms: u64,
     smoke: bool,
     out_path: &str,
+    metrics_out: Option<&str>,
 ) -> String {
     let watchdog = Duration::from_millis(watchdog_ms.max(1));
     let shapes =
@@ -1685,40 +1810,95 @@ fn run_serve_bench(
     // Overflow burst: fault-free requests into a quarter-size queue —
     // the backpressure story, rejections counted not blocked on.
     let tight_capacity = (requests / 4).max(4).min(capacity);
-    let mixes: [(&str, &[ServeReq], usize); 4] = [
-        ("uniform-small", &uniform, capacity),
-        ("mixed-sizes", &mixed, capacity),
-        ("faulted", &faulted, requests.max(capacity)),
-        ("burst-overflow", &uniform, tight_capacity),
+    // Oversubscription probe: the same uniform burst on 2x the
+    // requested workers. Rows beyond nproc carry scheduler noise, so
+    // they are marked and latency gates skip them.
+    let nproc = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let over_threads = (threads * 2).max(nproc + 1);
+    let mixes: [(&str, &[ServeReq], usize, usize); 5] = [
+        ("uniform-small", &uniform, capacity, threads),
+        ("mixed-sizes", &mixed, capacity, threads),
+        ("faulted", &faulted, requests.max(capacity), threads),
+        ("burst-overflow", &uniform, tight_capacity, threads),
+        ("oversubscribed-2x", &uniform, capacity, over_threads),
     ];
 
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "serve-bench: {requests} requests/mix, {threads} workers, window {window}, capacity {capacity}, watchdog {watchdog_ms}ms{}",
+        "serve-bench: {requests} requests/mix, {threads} workers (nproc {nproc}), window {window}, capacity {capacity}, watchdog {watchdog_ms}ms{}",
         if smoke { " (smoke)" } else { "" }
     );
     let mut mix_json = Vec::new();
     let (mut all_exact, mut all_contract) = (true, true);
     let mut poisonings = 0usize;
-    for (name, specs, cap) in mixes {
-        let r = run_serve_mix(name, specs, threads, window, cap, watchdog);
+    let mut incidents = 0u64;
+    let mut faulted_registry: Option<Arc<TelemetryRegistry>> = None;
+    for (name, specs, cap, mix_threads) in mixes {
+        let r =
+            run_serve_mix(name, specs, mix_threads, window, cap, watchdog, mix_threads > nproc);
         out.push_str(&r.text);
         mix_json.push(r.json);
         all_exact &= r.bit_exact;
         all_contract &= r.contract_ok;
         poisonings += r.pool_poisonings;
+        incidents += r.incidents;
+        if name == "faulted" {
+            faulted_registry = Some(r.registry);
+        }
     }
     let _ = writeln!(
         out,
-        "all mixes bit-exact: {}; contracts honored: {}; pool poisonings: {poisonings}",
+        "all mixes bit-exact: {}; contracts honored: {}; pool poisonings: {poisonings}; incidents: {incidents}",
         if all_exact { "yes" } else { "NO" },
         if all_contract { "yes" } else { "NO" }
     );
 
+    // Tracing overhead: interleaved untraced/traced uniform bursts,
+    // min-of-reps each (min discards scheduler noise; the residual
+    // difference is the per-span bookkeeping itself). Pinned within
+    // nproc — oversubscription would measure the scheduler, not the
+    // tracer.
+    let overhead_threads = threads.min(nproc).max(1);
+    let overhead_reps = if smoke { 7 } else { 9 };
+    let burst = requests.min(if smoke { 12 } else { 32 }).max(4);
+    let (mut untraced_s, mut traced_s) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..overhead_reps {
+        untraced_s = untraced_s
+            .min(time_serve_burst(overhead_threads, window, capacity.max(burst), burst, false));
+        traced_s = traced_s
+            .min(time_serve_burst(overhead_threads, window, capacity.max(burst), burst, true));
+    }
+    let overhead_raw_pct = (traced_s - untraced_s) / untraced_s.max(1e-12) * 100.0;
+    let overhead_pct = overhead_raw_pct.max(0.0);
+    let _ = writeln!(
+        out,
+        "serve tracing overhead: untraced {untraced_s:.3e}s traced {traced_s:.3e}s ({overhead_raw_pct:+.2}% raw, {overhead_pct:.2}% clamped)"
+    );
+
+    if let Some(path) = metrics_out {
+        // The faulted mix's registry is the snapshot of record: it
+        // carries every counter class (completions, timeouts,
+        // cancellations, panics) plus incident dumps.
+        let rendered = faulted_registry.as_deref().map(TelemetryRegistry::render);
+        match rendered {
+            Some(text) => match std::fs::write(path, &text) {
+                Ok(()) => {
+                    let _ = writeln!(out, "wrote {path} (Prometheus text, faulted mix)");
+                }
+                Err(e) => {
+                    let _ = writeln!(out, "failed to write {path}: {e}");
+                }
+            },
+            None => {
+                let _ = writeln!(out, "no faulted-mix registry; {path} not written");
+            }
+        }
+    }
+
     let generated_by = provenance("serve-bench");
     let json = format!(
-        "{{\n  \"generated_by\": \"{generated_by}\",\n  \"smoke\": {smoke},\n  \"threads\": {threads},\n  \"requests_per_mix\": {requests},\n  \"window\": {window},\n  \"capacity\": {capacity},\n  \"watchdog_ms\": {watchdog_ms},\n  \"mixes\": [\n{}\n  ],\n  \"all_bit_exact\": {all_exact},\n  \"all_contracts_ok\": {all_contract},\n  \"total_pool_poisonings\": {poisonings}\n}}\n",
+        "{{\n  \"generated_by\": \"{generated_by}\",\n  \"smoke\": {smoke},\n  \"threads\": {threads},\n  \"nproc\": {nproc},\n  \"requests_per_mix\": {requests},\n  \"window\": {window},\n  \"capacity\": {capacity},\n  \"watchdog_ms\": {watchdog_ms},\n  \"mixes\": [\n{}\n  ],\n  \"serve_tracing_overhead\": {{\"reps\": {overhead_reps}, \"requests\": {burst}, \"untraced_s\": {untraced_s:.6e}, \"traced_s\": {traced_s:.6e}, \"overhead_raw_pct\": {overhead_raw_pct:.3}, \"overhead_pct\": {overhead_pct:.3}}},\n  \"all_bit_exact\": {all_exact},\n  \"all_contracts_ok\": {all_contract},\n  \"total_pool_poisonings\": {poisonings},\n  \"total_incidents\": {incidents}\n}}\n",
         mix_json.join(",\n"),
     );
     match std::fs::write(out_path, &json) {

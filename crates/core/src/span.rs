@@ -40,11 +40,14 @@ pub enum SpanKind {
     DeferResume,
     /// Recomputing a lost or poisoned peer's contribution.
     Recovery,
+    /// A serve-layer request waiting in its admission lane before the
+    /// first CTA claim (admit → first claim).
+    QueueWait,
 }
 
 impl SpanKind {
     /// Every kind, in a fixed order usable for dense indexing.
-    pub const ALL: [Self; 12] = [
+    pub const ALL: [Self; 13] = [
         Self::Claim,
         Self::Steal,
         Self::Cta,
@@ -57,6 +60,7 @@ impl SpanKind {
         Self::DeferPark,
         Self::DeferResume,
         Self::Recovery,
+        Self::QueueWait,
     ];
 
     /// Stable display name (also the event name in Chrome traces).
@@ -75,6 +79,7 @@ impl SpanKind {
             Self::DeferPark => "defer_park",
             Self::DeferResume => "defer_resume",
             Self::Recovery => "recovery",
+            Self::QueueWait => "queue_wait",
         }
     }
 
@@ -94,6 +99,7 @@ impl SpanKind {
             Self::Signal | Self::LoadPartials => Phase::Fixup,
             Self::Wait => Phase::Stall,
             Self::Recovery => Phase::Recovery,
+            Self::QueueWait => Phase::Queue,
         }
     }
 
@@ -123,12 +129,22 @@ pub enum Phase {
     Stall,
     /// Recomputing lost or poisoned contributions.
     Recovery,
+    /// Serve-layer admission-lane waiting (request queued, not yet
+    /// claimed by any worker).
+    Queue,
 }
 
 impl Phase {
     /// Every phase, in display order.
-    pub const ALL: [Self; 6] =
-        [Self::Compute, Self::Pack, Self::Fixup, Self::Stall, Self::Schedule, Self::Recovery];
+    pub const ALL: [Self; 7] = [
+        Self::Compute,
+        Self::Pack,
+        Self::Fixup,
+        Self::Stall,
+        Self::Schedule,
+        Self::Recovery,
+        Self::Queue,
+    ];
 
     /// Stable display name.
     #[must_use]
@@ -140,6 +156,7 @@ impl Phase {
             Self::Fixup => "fixup",
             Self::Stall => "stall",
             Self::Recovery => "recovery",
+            Self::Queue => "queue",
         }
     }
 

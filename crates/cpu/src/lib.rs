@@ -53,6 +53,7 @@ pub mod strassen;
 // unsafe block carries its safety argument inline.
 #[allow(unsafe_code)]
 pub mod simd;
+pub mod telemetry;
 pub mod trace;
 pub mod workspace;
 
@@ -80,6 +81,10 @@ pub use simd::SimdLevel;
 pub use strassen::{
     leaf_decomposition, machine_epsilon, max_abs, recombine_quadrants, split_quadrants,
     strassen_error_bound, StrassenArena, StrassenConfig, StrassenReport, StrassenServeError,
+};
+pub use telemetry::{
+    FlightRecorder, IncidentReport, RequestTrace, SelectEvent, SelectOutcome, ServeTrace,
+    ServiceCounter, ServiceEvent, ServiceEventKind, TelemetryRegistry,
 };
 pub use trace::{ExecTrace, Histogram, Metrics, Span, SpanRing, WorkerTrace};
 pub use workspace::Workspace;

@@ -63,6 +63,10 @@ use crate::output::OwnedTileWriter;
 use crate::packcache::mac_loop_kernel_cached;
 use crate::pool::ScratchStore;
 use crate::sched::GridCursor;
+use crate::telemetry::{
+    IncidentReport, RequestTrace, ServeTrace, ServiceCounter, ServiceEventKind, TelemetryRegistry,
+};
+use crate::trace::{Span, SpanKind, SpanRing};
 use crate::workspace::Workspace;
 use std::collections::VecDeque;
 use std::fmt;
@@ -100,7 +104,11 @@ impl Priority {
     /// All classes, High first.
     pub const ALL: [Priority; 3] = [Priority::High, Priority::Normal, Priority::Bulk];
 
-    fn lane(self) -> usize {
+    /// This class's admission-lane index — the position its depth
+    /// gauge and latency histogram render under in the telemetry
+    /// registry's `LANE_NAMES`.
+    #[must_use]
+    pub fn lane(self) -> usize {
         match self {
             Priority::High => 0,
             Priority::Normal => 1,
@@ -130,11 +138,20 @@ pub struct ServeConfig {
     /// window keeps per-request cache locality; a large one smooths
     /// tail latency under mixed sizes.
     pub window: usize,
+    /// Record a per-request span timeline for every request (queue
+    /// wait, CTA, MAC, fixup, recovery), harvested on completion via
+    /// [`GemmService::take_trace`]. Off by default: when off, no span
+    /// ring is allocated and every recording site is a `None` check.
+    pub trace: bool,
+    /// Per-request span-ring capacity (spans) when
+    /// [`trace`](Self::trace) is on; full rings drop their oldest
+    /// span, exactly like the single-launch tracer.
+    pub trace_capacity: usize,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        Self { capacity: 64, window: 4 }
+        Self { capacity: 64, window: 4, trace: false, trace_capacity: 2048 }
     }
 }
 
@@ -150,6 +167,20 @@ impl ServeConfig {
     #[must_use]
     pub fn with_window(mut self, window: usize) -> Self {
         self.window = window;
+        self
+    }
+
+    /// Enables or disables per-request span tracing.
+    #[must_use]
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Sets the per-request span-ring capacity.
+    #[must_use]
+    pub fn with_trace_capacity(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
         self
     }
 }
@@ -388,6 +419,22 @@ pub struct ServiceStats {
     /// panic that escaped per-CTA isolation. Always 0 unless there is
     /// a bug in the serve loop itself — CI asserts on it.
     pub pool_poisonings: usize,
+    /// CTAs claimed and executed across all requests (live: counted
+    /// at claim time).
+    pub ctas: usize,
+    /// Cross-request claims — a worker took work from a request other
+    /// than the sweep head, the serve analogue of single-launch range
+    /// stealing (live: counted at claim time).
+    pub steals: usize,
+    /// Owner consolidations parked cooperatively, summed over every
+    /// resolved request.
+    pub deferrals: usize,
+    /// Peer contributions recomputed by recovery, summed over every
+    /// resolved request.
+    pub recoveries: usize,
+    /// Total owner fixup-wait stall, summed over every resolved
+    /// request.
+    pub wait_stall: Duration,
 }
 
 // ---------------------------------------------------------------------------
@@ -410,6 +457,14 @@ type Outcome<Acc> = Result<(Matrix<Acc>, RequestStats), ServeError>;
 struct RequestCell<In, Acc> {
     id: u64,
     priority: Priority,
+    /// Group id when submitted via `submit_group`.
+    group: Option<u64>,
+    /// The service epoch every span timestamp is relative to.
+    epoch: Instant,
+    /// The request-scoped span ring (`Some` only when the service was
+    /// started with `ServeConfig::trace`); every recording site is a
+    /// cheap `None` check when tracing is off.
+    spans: Option<Mutex<SpanRing>>,
     a: Matrix<In>,
     b: Matrix<In>,
     decomp: Decomposition,
@@ -459,10 +514,58 @@ impl<In, Acc: Scalar> RequestCell<In, Acc> {
         self.state() >= DONE
     }
 
-    fn mark_started(&self, now: Instant, seq: &AtomicU64) {
+    /// Records the first-claim instant; `true` only for the call that
+    /// actually started the request (queue wait ends here).
+    fn mark_started(&self, now: Instant, seq: &AtomicU64) -> bool {
         let mut slot = self.started.lock().unwrap_or_else(PoisonError::into_inner);
         if slot.is_none() {
             *slot = Some((now, seq.fetch_add(1, Ordering::Relaxed)));
+            return true;
+        }
+        false
+    }
+
+    /// Opens a span: a timestamp when this request is traced, `None`
+    /// (a field check, no syscall) when not.
+    fn tstart(&self) -> Option<Instant> {
+        if self.spans.is_some() {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Closes a span opened by [`tstart`](Self::tstart).
+    fn record_span(&self, kind: SpanKind, t0: Option<Instant>, arg: u32, arg2: u32) {
+        if let Some(t0) = t0 {
+            self.record_span_between(kind, t0, Instant::now(), arg, arg2);
+        }
+    }
+
+    /// Records a `[t0, t1)` span into the request's ring (no-op when
+    /// untraced). Timestamps are rebased on the service epoch so all
+    /// request tracks share one timeline.
+    fn record_span_between(&self, kind: SpanKind, t0: Instant, t1: Instant, arg: u32, arg2: u32) {
+        let Some(ring) = &self.spans else { return };
+        let rel = |t: Instant| t.saturating_duration_since(self.epoch).as_nanos() as u64;
+        ring.lock().unwrap_or_else(PoisonError::into_inner).push(Span {
+            kind,
+            start_ns: rel(t0),
+            end_ns: rel(t1),
+            arg,
+            arg2,
+        });
+    }
+
+    /// Drains the request's recorded spans (empty when untraced).
+    fn drain_spans(&self) -> (Vec<Span>, usize) {
+        match &self.spans {
+            None => (Vec::new(), 0),
+            Some(ring) => {
+                let mut ring = ring.lock().unwrap_or_else(PoisonError::into_inner);
+                let dropped = ring.dropped();
+                (ring.drain_spans(), dropped)
+            }
         }
     }
 
@@ -553,9 +656,7 @@ impl<In, Acc: Scalar> CompletionHandle<In, Acc> {
         let won =
             self.cell.transition(QUEUED, CANCELLED) || self.cell.transition(RUNNING, CANCELLED);
         if won {
-            self.shared.stats.cancelled.fetch_add(1, Ordering::Relaxed);
-            self.cell.complete(Err(ServeError::Cancelled));
-            self.shared.work_cv.notify_all();
+            self.shared.finish(&self.cell, CANCELLED, Err(ServeError::Cancelled));
         }
         won
     }
@@ -673,30 +774,26 @@ impl<In, Acc: Scalar> GroupHandle<In, Acc> {
 // Shared service state
 // ---------------------------------------------------------------------------
 
-#[derive(Default)]
-struct StatsCell {
-    submitted: AtomicUsize,
-    rejected: AtomicUsize,
-    completed: AtomicUsize,
-    timed_out: AtomicUsize,
-    cancelled: AtomicUsize,
-    panicked: AtomicUsize,
-    failed: AtomicUsize,
-    pool_poisonings: AtomicUsize,
-}
-
-impl StatsCell {
-    fn snapshot(&self) -> ServiceStats {
-        ServiceStats {
-            submitted: self.submitted.load(Ordering::Relaxed),
-            rejected: self.rejected.load(Ordering::Relaxed),
-            completed: self.completed.load(Ordering::Relaxed),
-            timed_out: self.timed_out.load(Ordering::Relaxed),
-            cancelled: self.cancelled.load(Ordering::Relaxed),
-            panicked: self.panicked.load(Ordering::Relaxed),
-            failed: self.failed.load(Ordering::Relaxed),
-            pool_poisonings: self.pool_poisonings.load(Ordering::Relaxed),
-        }
+/// Derives the programmatic stats snapshot from the telemetry
+/// registry — the single source of truth, so a Prometheus scrape
+/// ([`TelemetryRegistry::render`]) and [`GemmService::stats`] can
+/// never disagree.
+fn stats_from_registry(t: &TelemetryRegistry) -> ServiceStats {
+    let g = |c: ServiceCounter| t.get(c) as usize;
+    ServiceStats {
+        submitted: g(ServiceCounter::Submitted),
+        rejected: g(ServiceCounter::Rejected),
+        completed: g(ServiceCounter::Completed),
+        timed_out: g(ServiceCounter::TimedOut),
+        cancelled: g(ServiceCounter::Cancelled),
+        panicked: g(ServiceCounter::Panicked),
+        failed: g(ServiceCounter::Failed),
+        pool_poisonings: g(ServiceCounter::PoolPoisonings),
+        ctas: g(ServiceCounter::Ctas),
+        steals: g(ServiceCounter::Steals),
+        deferrals: g(ServiceCounter::Deferrals),
+        recoveries: g(ServiceCounter::Recoveries),
+        wait_stall: Duration::from_nanos(t.get(ServiceCounter::WaitStallNs)),
     }
 }
 
@@ -717,13 +814,17 @@ struct ServeShared<In, Acc> {
     workers: usize,
     watchdog: Duration,
     kernel: KernelKind,
+    /// Per-request span tracing on/off + ring sizing.
+    trace: bool,
+    trace_capacity: usize,
     queue: Mutex<QueueState<In, Acc>>,
     /// Workers park here when nothing is claimable; submission,
     /// completion, and cancellation notify it.
     work_cv: Condvar,
     start_seq: AtomicU64,
     next_id: AtomicU64,
-    stats: StatsCell,
+    next_group: AtomicU64,
+    telemetry: Arc<TelemetryRegistry>,
 }
 
 /// How long an idle worker parks between queue polls. Bounds the
@@ -741,6 +842,87 @@ enum Claimed<In, Acc> {
 }
 
 impl<In, Acc: Scalar> ServeShared<In, Acc> {
+    /// Post-CAS bookkeeping for a request reaching terminal state
+    /// `to` — the single funnel every terminal transition goes
+    /// through. Counts the outcome, folds the request's deferral/
+    /// recovery/wait-stall counters into the service aggregates,
+    /// records the per-lane latency, emits the flight-recorder event,
+    /// fires an incident dump on anomalies (timeout, panic,
+    /// unmaskable failure), harvests the request's span timeline, and
+    /// resolves the handle. The caller must have *won* the CAS into
+    /// `to`.
+    fn finish(
+        &self,
+        cell: &Arc<RequestCell<In, Acc>>,
+        to: u8,
+        result: Result<Matrix<Acc>, ServeError>,
+    ) {
+        let lane = cell.priority.lane();
+        let t = &self.telemetry;
+        let (counter, event, anomaly) = match to {
+            DONE => (ServiceCounter::Completed, ServiceEventKind::Completed, None),
+            CANCELLED => (ServiceCounter::Cancelled, ServiceEventKind::Cancelled, None),
+            TIMED_OUT => (ServiceCounter::TimedOut, ServiceEventKind::TimedOut, Some("timeout")),
+            PANICKED => (ServiceCounter::Panicked, ServiceEventKind::Panicked, Some("panic")),
+            _ => (ServiceCounter::Failed, ServiceEventKind::Failed, Some("failure")),
+        };
+        t.inc(counter);
+        // Per-request counters fold in exactly once, at resolution —
+        // increments racing past this point (a straggling claimed CTA
+        // of a timed-out request) are deliberately not chased.
+        t.add(ServiceCounter::Deferrals, cell.deferrals.load(Ordering::Relaxed) as u64);
+        t.add(ServiceCounter::Recoveries, cell.recoveries.load(Ordering::Relaxed) as u64);
+        t.add(ServiceCounter::WaitStallNs, cell.wait_ns.load(Ordering::Relaxed));
+        t.record_latency(lane, cell.submitted_at.elapsed().as_nanos() as u64);
+        t.flight().record(event, cell.id, lane, 0);
+        let (spans, dropped) = cell.drain_spans();
+        if let Some(reason) = anomaly {
+            t.incident(reason, cell.id, lane, spans.clone());
+        }
+        if cell.spans.is_some() {
+            t.harvest_trace(RequestTrace {
+                id: cell.id,
+                lane,
+                group: cell.group,
+                spans,
+                dropped,
+            });
+        }
+        cell.complete(result);
+        self.work_cv.notify_all();
+    }
+
+    /// Harvests spans recorded *after* [`finish`](Self::finish)
+    /// drained the request's ring — the claim that completes a
+    /// request closes its own CTA span on the way out, strictly after
+    /// the resolution harvest. The leftovers become a same-id
+    /// fragment that `TelemetryRegistry::take_trace` merges back into
+    /// the request's track, so timelines stay complete.
+    fn harvest_remnant(&self, cell: &Arc<RequestCell<In, Acc>>) {
+        if cell.spans.is_none() || !cell.is_dead() {
+            return;
+        }
+        let (spans, dropped) = cell.drain_spans();
+        if spans.is_empty() && dropped == 0 {
+            return;
+        }
+        self.telemetry.harvest_trace(RequestTrace {
+            id: cell.id,
+            lane: cell.priority.lane(),
+            group: cell.group,
+            spans,
+            dropped,
+        });
+    }
+
+    /// Publishes the queue-depth gauges from the current queue state.
+    fn publish_depths(&self, q: &QueueState<In, Acc>) {
+        for lane in 0..LANES {
+            self.telemetry.set_lane_depth(lane, q.pending[lane].len());
+        }
+        self.telemetry.set_active_depth(q.active.len());
+    }
+
     /// Admits pending requests into the active window: weighted
     /// round-robin over priority lanes, FIFO within a lane, skipping
     /// lanes whose head is not yet admissible (injected admission
@@ -762,8 +944,7 @@ impl<In, Acc: Scalar> ServeShared<In, Acc> {
                     if let Some((at, budget)) = head.deadline {
                         if now >= at {
                             if head.transition(QUEUED, TIMED_OUT) {
-                                self.stats.timed_out.fetch_add(1, Ordering::Relaxed);
-                                head.complete(Err(ServeError::Timeout { deadline: budget }));
+                                self.finish(head, TIMED_OUT, Err(ServeError::Timeout { deadline: budget }));
                             }
                             q.pending[lane].pop_front();
                             q.pending_len -= 1;
@@ -786,9 +967,12 @@ impl<In, Acc: Scalar> ServeShared<In, Acc> {
             let cell = q.pending[lane].pop_front().expect("chosen lane has a head");
             q.pending_len -= 1;
             if cell.transition(QUEUED, RUNNING) {
+                self.telemetry.count_admission(lane);
+                self.telemetry.flight().record(ServiceEventKind::Admitted, cell.id, lane, 0);
                 q.active.push(cell);
             }
         }
+        self.publish_depths(q);
     }
 
     /// One claim attempt: admit, sweep the active list in admission
@@ -815,8 +999,7 @@ impl<In, Acc: Scalar> ServeShared<In, Acc> {
             if expired && !cell.cursor.exhausted() {
                 let budget = cell.deadline.expect("expired implies a deadline").1;
                 if cell.transition(RUNNING, TIMED_OUT) {
-                    self.stats.timed_out.fetch_add(1, Ordering::Relaxed);
-                    cell.complete(Err(ServeError::Timeout { deadline: budget }));
+                    self.finish(cell, TIMED_OUT, Err(ServeError::Timeout { deadline: budget }));
                 }
                 q.active.remove(i);
                 self.admit(&mut q, now);
@@ -827,14 +1010,36 @@ impl<In, Acc: Scalar> ServeShared<In, Acc> {
                     // Injected mid-flight cancellation, at exactly the
                     // claim granularity real cancellation uses.
                     if cell.transition(RUNNING, CANCELLED) {
-                        self.stats.cancelled.fetch_add(1, Ordering::Relaxed);
-                        cell.complete(Err(ServeError::Cancelled));
+                        self.finish(cell, CANCELLED, Err(ServeError::Cancelled));
                     }
                     q.active.remove(i);
                     self.admit(&mut q, now);
                     continue;
                 }
-                cell.mark_started(now, &self.start_seq);
+                if cell.mark_started(now, &self.start_seq) {
+                    let lane = cell.priority.lane();
+                    self.telemetry.flight().record(
+                        ServiceEventKind::Started,
+                        cell.id,
+                        lane,
+                        id as u64,
+                    );
+                    // Queue wait is a first-class phase: submission →
+                    // first claim, one span per request.
+                    cell.record_span_between(
+                        SpanKind::QueueWait,
+                        cell.submitted_at,
+                        now,
+                        lane as u32,
+                        cell.id as u32,
+                    );
+                }
+                if i > 0 {
+                    // The sweep passed i exhausted-or-dead requests to
+                    // find this one: a cross-request claim, the serve
+                    // layer's work-conservation steal.
+                    self.telemetry.inc(ServiceCounter::Steals);
+                }
                 return Claimed::Cta(Arc::clone(cell), id);
             }
             // Fully claimed but tiles still in flight elsewhere: keep
@@ -856,11 +1061,11 @@ impl<In, Acc: Scalar> ServeShared<In, Acc> {
         let drained: Vec<Arc<RequestCell<In, Acc>>> =
             q.pending.iter_mut().flat_map(std::mem::take).chain(q.active.drain(..)).collect();
         q.pending_len = 0;
+        self.publish_depths(q);
         drop(guard);
         for cell in drained {
             if cell.transition(QUEUED, FAILED) || cell.transition(RUNNING, FAILED) {
-                self.stats.failed.fetch_add(1, Ordering::Relaxed);
-                cell.complete(Err(ServeError::ServiceDown));
+                self.finish(&cell, FAILED, Err(ServeError::ServiceDown));
             }
         }
     }
@@ -891,8 +1096,11 @@ enum Progress {
 
 /// The per-worker serve loop: runs until the service is told to shut
 /// down *and* every request has resolved.
-fn serve_worker<In, Acc>(shared: &Arc<ServeShared<In, Acc>>, scratch: &mut ScratchStore)
-where
+fn serve_worker<In, Acc>(
+    wid: usize,
+    shared: &Arc<ServeShared<In, Acc>>,
+    scratch: &mut ScratchStore,
+) where
     In: Promote<Acc>,
     Acc: Scalar,
 {
@@ -902,7 +1110,7 @@ where
         // peers have signaled since, without blocking.
         advance_deferred(shared, &mut deferred, scratch, false);
         match shared.claim_next() {
-            Claimed::Cta(cell, id) => execute_claim(shared, &cell, id, scratch, &mut deferred),
+            Claimed::Cta(cell, id) => execute_claim(shared, &cell, id, wid, scratch, &mut deferred),
             Claimed::Idle => {
                 if !deferred.is_empty() {
                     // No claimable work anywhere: every CTA of the
@@ -940,6 +1148,7 @@ fn execute_claim<In, Acc>(
     shared: &Arc<ServeShared<In, Acc>>,
     cell: &Arc<RequestCell<In, Acc>>,
     id: usize,
+    wid: usize,
     scratch: &mut ScratchStore,
     deferred: &mut Vec<ServeDeferred<In, Acc>>,
 ) where
@@ -955,25 +1164,29 @@ fn execute_claim<In, Acc>(
     // claim time is the only order under which the completion-time
     // stats snapshot cannot miss a straggling increment.
     cell.ctas_run.fetch_add(1, Ordering::Relaxed);
+    shared.telemetry.inc(ServiceCounter::Ctas);
+    let t0 = cell.tstart();
     let outcome =
         catch_unwind(AssertUnwindSafe(|| execute_cta(shared, cell, id, &mut *ws, &mut *deferred)));
+    cell.record_span(SpanKind::Cta, t0, id as u32, wid as u32);
     match outcome {
         Ok(Ok(())) => {}
         Ok(Err(e)) => {
             if cell.transition(RUNNING, FAILED) {
-                shared.stats.failed.fetch_add(1, Ordering::Relaxed);
-                cell.complete(Err(ServeError::Failed(e)));
-                shared.work_cv.notify_all();
+                shared.finish(cell, FAILED, Err(ServeError::Failed(e)));
             }
         }
         Err(payload) => {
             if cell.transition(RUNNING, PANICKED) {
-                shared.stats.panicked.fetch_add(1, Ordering::Relaxed);
-                cell.complete(Err(ServeError::Panicked { message: panic_message(payload.as_ref()) }));
-                shared.work_cv.notify_all();
+                shared.finish(
+                    cell,
+                    PANICKED,
+                    Err(ServeError::Panicked { message: panic_message(payload.as_ref()) }),
+                );
             }
         }
     }
+    shared.harvest_remnant(cell);
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -1017,7 +1230,15 @@ where
         }
         if !seg.starts_tile {
             let mut partial = ws.take_partial();
+            let t0 = cell.tstart();
             mac_loop_kernel_cached(kind, None, 0, &av, &bv, space, seg.tile_idx, seg.local_begin, seg.local_end, &mut partial, &mut ws.pack);
+            cell.record_span(
+                SpanKind::Mac,
+                t0,
+                seg.tile_idx as u32,
+                (seg.local_end - seg.local_begin) as u32,
+            );
+            let t_sig = cell.tstart();
             match cell.cta_faults.fault_for(cta.cta_id) {
                 None => cell.board.store_and_signal(cta.cta_id, partial).map_err(ExecutorError::Fixup)?,
                 Some(FaultKind::Straggle(delay)) => {
@@ -1030,17 +1251,35 @@ where
                     cell.board.poison(cta.cta_id).map_err(ExecutorError::Fixup)?;
                 }
             }
+            cell.record_span(SpanKind::Signal, t_sig, cta.cta_id as u32, 0);
             continue;
         }
 
         let mut accum = ws.take_partial();
+        let t0 = cell.tstart();
         mac_loop_kernel_cached(kind, None, 0, &av, &bv, space, seg.tile_idx, seg.local_begin, seg.local_end, &mut accum, &mut ws.pack);
+        cell.record_span(
+            SpanKind::Mac,
+            t0,
+            seg.tile_idx as u32,
+            (seg.local_end - seg.local_begin) as u32,
+        );
         if !seg.ends_tile {
             let mut next_peer = 0;
             match advance_consolidation(shared, cell, id, seg.tile_idx, &mut accum, &mut next_peer, ws, false)? {
                 Progress::Done => {}
                 Progress::Parked => {
                     cell.deferrals.fetch_add(1, Ordering::Relaxed);
+                    if cell.spans.is_some() {
+                        let now = Instant::now();
+                        cell.record_span_between(
+                            SpanKind::DeferPark,
+                            now,
+                            now,
+                            seg.tile_idx as u32,
+                            next_peer as u32,
+                        );
+                    }
                     deferred.push(ServeDeferred {
                         cell: Arc::clone(cell),
                         owner: id,
@@ -1107,7 +1346,11 @@ where
                     TryTake::Pending => None,
                 }
             });
-            cell.wait_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            let waited = t0.elapsed();
+            cell.wait_ns.fetch_add(waited.as_nanos() as u64, Ordering::Relaxed);
+            if cell.spans.is_some() {
+                cell.record_span_between(SpanKind::Wait, t0, t0 + waited, peer as u32, 0);
+            }
             match probed {
                 Ok(Probe::Ready(p)) => Some(p),
                 Ok(Probe::Dead) => return Ok(Progress::Abandoned),
@@ -1125,9 +1368,11 @@ where
         };
         match taken {
             Some(partial) => {
+                let t_fold = cell.tstart();
                 for (acc, p) in accum.iter_mut().zip(&partial) {
                     *acc += *p;
                 }
+                cell.record_span(SpanKind::LoadPartials, t_fold, peer as u32, 0);
                 ws.recycle_partial(partial);
             }
             None => recover_peer(cell, peer, tile_idx, accum, ws)?,
@@ -1160,6 +1405,7 @@ where
     // A private scratch tile, not `ws.scratch`: recovery is the cold
     // path, and the workspace may be sized for a different request's
     // tile while this worker drains a parked consolidation.
+    let t0 = cell.tstart();
     let mut partial = vec![Acc::ZERO; cell.tile_len];
     mac_loop_kernel_cached(
         cell.kernel,
@@ -1177,6 +1423,7 @@ where
     for (acc, p) in accum.iter_mut().zip(&partial) {
         *acc += *p;
     }
+    cell.record_span(SpanKind::Recovery, t0, peer as u32, (seg.local_end - seg.local_begin) as u32);
     cell.recoveries.fetch_add(1, Ordering::Relaxed);
     Ok(())
 }
@@ -1201,11 +1448,9 @@ fn store_owned_tile<In, Acc>(
     if done == cell.total_tiles && cell.transition(RUNNING, DONE) {
         let data = cell.writer.take();
         let c = Matrix::from_vec(cell.out_rows, cell.out_cols, cell.layout, data);
-        shared.stats.completed.fetch_add(1, Ordering::Relaxed);
-        cell.complete(Ok(c));
-        // The window slot frees on the next sweep; wake parked
-        // workers so admission sees it promptly.
-        shared.work_cv.notify_all();
+        // `finish` also wakes parked workers, so admission sees the
+        // freed window slot promptly.
+        shared.finish(cell, DONE, Ok(c));
     }
 }
 
@@ -1231,12 +1476,15 @@ fn advance_deferred<In, Acc>(
         ws.ensure_tile_len(deferred[i].cell.tile_len);
         let d = &mut deferred[i];
         let (cell, owner, tile_idx) = (Arc::clone(&d.cell), d.owner, d.tile_idx);
+        let t0 = cell.tstart();
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             advance_consolidation(shared, &cell, owner, tile_idx, &mut d.accum, &mut d.next_peer, &mut *ws, block)
         }));
         match outcome {
             Ok(Ok(Progress::Done)) => {
                 let d = deferred.swap_remove(i);
+                cell.record_span(SpanKind::DeferResume, t0, tile_idx as u32, 0);
+                shared.harvest_remnant(&cell);
                 let blk_n = cell.decomp.space().tile().blk_n;
                 store_owned_tile(shared, &cell, tile_idx, blk_n, &d.accum);
                 ws.recycle_partial(d.accum);
@@ -1248,17 +1496,17 @@ fn advance_deferred<In, Acc>(
             Ok(Err(e)) => {
                 drop(deferred.swap_remove(i));
                 if cell.transition(RUNNING, FAILED) {
-                    shared.stats.failed.fetch_add(1, Ordering::Relaxed);
-                    cell.complete(Err(ServeError::Failed(e)));
-                    shared.work_cv.notify_all();
+                    shared.finish(&cell, FAILED, Err(ServeError::Failed(e)));
                 }
             }
             Err(payload) => {
                 drop(deferred.swap_remove(i));
                 if cell.transition(RUNNING, PANICKED) {
-                    shared.stats.panicked.fetch_add(1, Ordering::Relaxed);
-                    cell.complete(Err(ServeError::Panicked { message: panic_message(payload.as_ref()) }));
-                    shared.work_cv.notify_all();
+                    shared.finish(
+                        &cell,
+                        PANICKED,
+                        Err(ServeError::Panicked { message: panic_message(payload.as_ref()) }),
+                    );
                 }
             }
         }
@@ -1297,6 +1545,8 @@ where
             workers: executor.threads(),
             watchdog: executor.watchdog(),
             kernel: executor.kernel(),
+            trace: config.trace,
+            trace_capacity: config.trace_capacity.max(16),
             queue: Mutex::new(QueueState {
                 accepting: true,
                 pending: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
@@ -1307,19 +1557,23 @@ where
             work_cv: Condvar::new(),
             start_seq: AtomicU64::new(0),
             next_id: AtomicU64::new(0),
-            stats: StatsCell::default(),
+            next_group: AtomicU64::new(0),
+            telemetry: Arc::new(TelemetryRegistry::new()),
         });
         let executor = executor.clone();
         let shared_for_pool = Arc::clone(&shared);
         let coordinator = std::thread::spawn(move || {
-            let job = |_wid: usize, scratch: &mut ScratchStore| {
-                serve_worker::<In, Acc>(&shared_for_pool, scratch);
+            let job = |wid: usize, scratch: &mut ScratchStore| {
+                serve_worker::<In, Acc>(wid, &shared_for_pool, scratch);
             };
             // Per-CTA catch_unwind means no panic should reach the
             // pool; this catch is the backstop that keeps the
             // coordinator from dying silently if one does.
             if catch_unwind(AssertUnwindSafe(|| executor.worker_pool().run(&job))).is_err() {
-                shared_for_pool.stats.pool_poisonings.fetch_add(1, Ordering::Relaxed);
+                let t = &shared_for_pool.telemetry;
+                t.inc(ServiceCounter::PoolPoisonings);
+                t.flight().record(ServiceEventKind::Poisoned, u64::MAX, 0, 0);
+                t.incident("pool_poisoning", u64::MAX, 0, Vec::new());
                 shared_for_pool.fail_all();
             }
         });
@@ -1334,27 +1588,33 @@ where
         &self,
         request: LaunchRequest<In>,
     ) -> Result<CompletionHandle<In, Acc>, AdmissionError> {
-        let cell = match self.build_cell(request) {
+        let lane = request.priority.lane();
+        let t = Arc::clone(&self.shared.telemetry);
+        let cell = match self.build_cell(request, None) {
             Ok(cell) => cell,
             Err(e) => {
-                self.shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                t.inc(ServiceCounter::Rejected);
+                t.flight().record(ServiceEventKind::Rejected, u64::MAX, lane, 0);
                 return Err(e);
             }
         };
-        let lane = cell.priority.lane();
         let mut q = self.shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
         if !q.accepting {
-            self.shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            t.inc(ServiceCounter::Rejected);
+            t.flight().record(ServiceEventKind::Rejected, cell.id, lane, 1);
             return Err(AdmissionError::ShuttingDown);
         }
         if q.pending_len >= self.shared.capacity {
-            self.shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            t.inc(ServiceCounter::Rejected);
+            t.flight().record(ServiceEventKind::Rejected, cell.id, lane, 2);
             return Err(AdmissionError::QueueFull { capacity: self.shared.capacity });
         }
         let cell = Arc::new(cell);
         q.pending[lane].push_back(Arc::clone(&cell));
         q.pending_len += 1;
-        self.shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        t.inc(ServiceCounter::Submitted);
+        t.flight().record(ServiceEventKind::Submitted, cell.id, lane, 0);
+        self.shared.publish_depths(&q);
         drop(q);
         self.shared.work_cv.notify_all();
         Ok(CompletionHandle { cell, shared: Arc::clone(&self.shared) })
@@ -1381,12 +1641,15 @@ where
         requests: Vec<LaunchRequest<In>>,
     ) -> Result<GroupHandle<In, Acc>, AdmissionError> {
         let count = requests.len();
+        let t = Arc::clone(&self.shared.telemetry);
+        let group = self.shared.next_group.fetch_add(1, Ordering::Relaxed);
         let mut cells = Vec::with_capacity(count);
         for request in requests {
-            match self.build_cell(request) {
+            match self.build_cell(request, Some(group)) {
                 Ok(cell) => cells.push(Arc::new(cell)),
                 Err(e) => {
-                    self.shared.stats.rejected.fetch_add(count, Ordering::Relaxed);
+                    t.add(ServiceCounter::Rejected, count as u64);
+                    t.flight().record(ServiceEventKind::Rejected, u64::MAX, 0, count as u64);
                     return Err(e);
                 }
             }
@@ -1394,18 +1657,23 @@ where
         {
             let mut q = self.shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
             if !q.accepting {
-                self.shared.stats.rejected.fetch_add(count, Ordering::Relaxed);
+                t.add(ServiceCounter::Rejected, count as u64);
+                t.flight().record(ServiceEventKind::Rejected, u64::MAX, 0, count as u64);
                 return Err(AdmissionError::ShuttingDown);
             }
             if q.pending_len + cells.len() > self.shared.capacity {
-                self.shared.stats.rejected.fetch_add(count, Ordering::Relaxed);
+                t.add(ServiceCounter::Rejected, count as u64);
+                t.flight().record(ServiceEventKind::Rejected, u64::MAX, 0, count as u64);
                 return Err(AdmissionError::QueueFull { capacity: self.shared.capacity });
             }
             for cell in &cells {
-                q.pending[cell.priority.lane()].push_back(Arc::clone(cell));
+                let lane = cell.priority.lane();
+                q.pending[lane].push_back(Arc::clone(cell));
                 q.pending_len += 1;
+                t.inc(ServiceCounter::Submitted);
+                t.flight().record(ServiceEventKind::Submitted, cell.id, lane, group);
             }
-            self.shared.stats.submitted.fetch_add(cells.len(), Ordering::Relaxed);
+            self.shared.publish_depths(&q);
         }
         self.shared.work_cv.notify_all();
         let members = cells
@@ -1441,7 +1709,11 @@ where
     /// Validates a request and builds its cell — every structural
     /// error the single-launch path reports is rejected here, at
     /// submission, before the request can occupy queue space.
-    fn build_cell(&self, request: LaunchRequest<In>) -> Result<RequestCell<In, Acc>, AdmissionError> {
+    fn build_cell(
+        &self,
+        request: LaunchRequest<In>,
+        group: Option<u64>,
+    ) -> Result<RequestCell<In, Acc>, AdmissionError> {
         let LaunchRequest { a, b, decomp, priority, deadline, kernel, mut cta_faults, serve_fault } =
             request;
         let space = decomp.space();
@@ -1497,6 +1769,9 @@ where
         Ok(RequestCell {
             id: self.shared.next_id.fetch_add(1, Ordering::Relaxed),
             priority,
+            group,
+            epoch: self.shared.telemetry.epoch(),
+            spans: self.shared.trace.then(|| Mutex::new(SpanRing::new(self.shared.trace_capacity))),
             peers,
             board: FixupBoard::new(grid),
             writer: OwnedTileWriter::new(out_rows, out_cols, layout, space.tiles()),
@@ -1531,7 +1806,34 @@ where
     /// A racy snapshot of the service counters.
     #[must_use]
     pub fn stats(&self) -> ServiceStats {
-        self.shared.stats.snapshot()
+        stats_from_registry(&self.shared.telemetry)
+    }
+
+    /// The service's telemetry registry — counters, lane gauges and
+    /// latency histograms, the flight recorder, and incident reports.
+    /// Cloneable and alive past [`shutdown`](Self::shutdown); pass it
+    /// to exporters or an [`AdaptiveSelector`] feedback loop.
+    ///
+    /// [`AdaptiveSelector`]: https://docs.rs/streamk-select
+    #[must_use]
+    pub fn telemetry(&self) -> Arc<TelemetryRegistry> {
+        Arc::clone(&self.shared.telemetry)
+    }
+
+    /// Drains the per-request span traces harvested so far (empty
+    /// unless the service was started with
+    /// [`ServeConfig::with_trace`]). Each drained [`ServeTrace`]
+    /// renders as one Chrome-trace process with one track per request.
+    #[must_use]
+    pub fn take_trace(&self) -> ServeTrace {
+        self.shared.telemetry.take_trace()
+    }
+
+    /// Incident reports dumped so far (anomalies: timeout, panic,
+    /// pool poisoning, failure). Bounded; oldest dropped first.
+    #[must_use]
+    pub fn incidents(&self) -> Vec<IncidentReport> {
+        self.shared.telemetry.incidents()
     }
 
     /// Current queue depth: `(pending, active)`.
@@ -1547,7 +1849,7 @@ where
     /// again the moment this returns.
     pub fn shutdown(mut self) -> ServiceStats {
         self.shutdown_inner();
-        self.shared.stats.snapshot()
+        stats_from_registry(&self.shared.telemetry)
     }
 
     fn shutdown_inner(&mut self) {

@@ -173,20 +173,6 @@ impl<T: Scalar> BufferPool<T> {
         Self { pools: HashMap::new(), fresh: 0 }
     }
 
-    /// A zeroed buffer of exactly `len` elements, pooled when warm.
-    fn take(&mut self, len: usize) -> Vec<T> {
-        match self.pools.get_mut(&len).and_then(Vec::pop) {
-            Some(mut buf) => {
-                buf.fill(T::ZERO);
-                buf
-            }
-            None => {
-                self.fresh += 1;
-                vec![T::ZERO; len]
-            }
-        }
-    }
-
     /// A buffer of exactly `len` elements with *unspecified*
     /// contents — for callers that overwrite every element before
     /// reading. Skips the zero-fill pass [`take`](Self::take) pays.
@@ -410,7 +396,7 @@ pub fn split_quadrants<T: Scalar>(
     pad_cols: usize,
 ) -> [Matrix<T>; 4] {
     assert!(pad_rows >= src.rows() && pad_cols >= src.cols(), "padding must not truncate");
-    assert!(pad_rows % 2 == 0 && pad_cols % 2 == 0, "padded extents must be even");
+    assert!(pad_rows.is_multiple_of(2) && pad_cols.is_multiple_of(2), "padded extents must be even");
     let (hr, hc) = (pad_rows / 2, pad_cols / 2);
     let mut pool = BufferPool::new();
     [(0, 0), (0, 1), (1, 0), (1, 1)]
@@ -579,6 +565,7 @@ struct Plan<In> {
 /// Depth-first expansion: build the 14 signed quadrant sums of this
 /// level, recurse (or emit leaves), and recycle intermediate operand
 /// storage as soon as its children are built.
+#[allow(clippy::too_many_arguments)]
 fn expand<In: Scalar>(
     a: &Matrix<In>,
     b: &Matrix<In>,

@@ -398,6 +398,7 @@ fn arg_names(kind: SpanKind) -> (Option<&'static str>, Option<&'static str>) {
         SpanKind::DeferPark => (Some("tile"), Some("peer")),
         SpanKind::DeferResume => (Some("tile"), None),
         SpanKind::Recovery => (Some("peer"), Some("iters")),
+        SpanKind::QueueWait => (Some("lane"), Some("request")),
     }
 }
 
@@ -468,6 +469,35 @@ impl Histogram {
     /// Longest recorded duration, nanoseconds.
     #[must_use]
     pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Estimates the `q`-quantile (`0.0..=1.0`) from the log-decade
+    /// buckets by linear interpolation inside the bucket holding the
+    /// target rank. The top of the last (unbounded) bucket is clamped
+    /// to the observed maximum, so the estimate never exceeds
+    /// [`max_ns`](Self::max_ns). Returns 0 when empty.
+    #[must_use]
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        let mut lower = 0u64;
+        for (idx, &limit) in BUCKET_LIMITS_NS.iter().enumerate() {
+            let here = self.counts[idx];
+            let upper = if limit == u64::MAX { self.max_ns.max(lower) } else { limit };
+            if seen + here >= target {
+                let into = (target - seen) as f64 / here.max(1) as f64;
+                let est = lower as f64 + into * (upper - lower) as f64;
+                return (est as u64).min(self.max_ns);
+            }
+            seen += here;
+            lower = upper;
+        }
         self.max_ns
     }
 }
@@ -607,6 +637,23 @@ mod tests {
         assert_eq!(h.bucket(8), 1);
         assert_eq!(h.count(), 4);
         assert_eq!(h.max_ns(), u64::MAX - 1);
+    }
+
+    #[test]
+    fn quantile_estimates_interpolate_and_clamp() {
+        let mut h = Histogram::default();
+        assert_eq!(h.quantile_ns(0.99), 0, "empty histogram");
+        for _ in 0..99 {
+            h.record(500); // <1us bucket
+        }
+        h.record(5_000_000); // one <10ms outlier
+        let p50 = h.quantile_ns(0.50);
+        assert!(p50 < 1_000, "median stays in the first bucket, got {p50}");
+        let p99 = h.quantile_ns(0.99);
+        assert!(p99 <= 1_000, "rank 99 of 100 is within the first bucket's bounds");
+        let p100 = h.quantile_ns(1.0);
+        assert!(p100 <= h.max_ns(), "quantile never exceeds the observed max");
+        assert!(p100 >= 1_000_000, "top quantile reaches the outlier bucket");
     }
 
     #[test]

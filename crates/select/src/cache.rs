@@ -214,6 +214,9 @@ impl SelectionCache {
     ///
     /// Propagates I/O errors from the temp write or the rename.
     pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            std::fs::create_dir_all(parent)?;
+        }
         let seq = TEMP_SEQ.fetch_add(1, Ordering::Relaxed);
         let mut temp = path.as_os_str().to_owned();
         temp.push(format!(".{}.{seq}.tmp", std::process::id()));
